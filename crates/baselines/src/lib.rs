@@ -1,0 +1,18 @@
+//! # baselines — the paper's comparator MPI implementations
+//!
+//! The evaluation section of MPICH/Madeleine compares `ch_mad` against
+//! four native MPI implementations, none of which can be run today
+//! (closed source and/or dead hardware). This crate models each as a
+//! simplified eager/rendezvous engine ([`NativeMpi`]) built *directly*
+//! on the simulated links — the architectural property that explains
+//! their curves: lower fixed overhead than `ch_mad` (no Madeleine/Marcel
+//! layers) but, except for MPICH-PM, no zero-copy bulk path.
+//!
+//! See `DESIGN.md` §2 for the substitution rationale and
+//! [`presets`] for the per-implementation calibration targets.
+
+pub mod native;
+pub mod presets;
+
+pub use native::{bandwidth_mb_s, pingpong, NativeMpi, NativeMpiModel};
+pub use presets::{mpi_gm, mpich_pm, scampi, sci_mpich};

@@ -1,0 +1,257 @@
+//! A generic "native MPI" engine: an MPI implementation built *directly*
+//! on one network's link model, without the Madeleine layer — the shape
+//! of every comparator in the paper's Figures 6–8 (ch_p4 aside, which
+//! lives in the `mpich` crate because it shares the ADI machinery).
+//!
+//! The engine implements a two-rank eager/rendezvous protocol with the
+//! comparator-specific parameters of [`NativeMpiModel`]; the presets in
+//! [`crate::presets`] instantiate it per published implementation.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use marcel::{
+    CostModel, Kernel, PollSource, Polled, ProcId, SimMutex, VirtualDuration, VirtualTime,
+};
+use simnet::LinkModel;
+
+/// Parameters of one native MPI implementation.
+#[derive(Clone, Debug)]
+pub struct NativeMpiModel {
+    pub name: &'static str,
+    /// The network hardware/protocol underneath.
+    pub link: LinkModel,
+    /// Per-message software overhead on the sending side.
+    pub sw_send: VirtualDuration,
+    /// Per-message software overhead on the receiving side.
+    pub sw_recv: VirtualDuration,
+    /// Messages above this size use the rendezvous protocol.
+    pub eager_threshold: usize,
+    /// Receive-side per-byte cost in eager mode (bounce-buffer copy +
+    /// protocol per-byte overheads), ns/B.
+    pub eager_copy_ns: f64,
+    /// Residual per-byte cost in rendezvous mode (0 = true zero-copy).
+    pub rndv_copy_ns: f64,
+}
+
+impl NativeMpiModel {
+    /// Analytic asymptotic bandwidth (MB/s, binary) of the bulk path.
+    pub fn asymptotic_bandwidth_mb_s(&self) -> f64 {
+        let per_byte = self.link.send_per_byte_ns
+            + self.link.wire_per_byte_ns
+            + self.link.recv_per_byte_ns
+            + if (self.eager_threshold) == usize::MAX {
+                self.eager_copy_ns
+            } else {
+                self.rndv_copy_ns
+            };
+        1e9 / per_byte / (1 << 20) as f64
+    }
+}
+
+/// Control messages of the two-rank engine.
+enum NativeMsg {
+    Eager(Bytes),
+    RndvReq(#[allow(dead_code)] usize),
+    RndvAck,
+    RndvData(Bytes),
+}
+
+/// Size on the wire of the rendezvous control messages.
+const CTRL_LEN: usize = 32;
+
+/// A two-rank instance of a native MPI (enough for the paper's
+/// ping-pong evaluation).
+pub struct NativeMpi {
+    model: NativeMpiModel,
+    sources: Vec<PollSource<NativeMsg>>,
+    floors: Vec<SimMutex<VirtualTime>>,
+}
+
+impl NativeMpi {
+    pub fn new(kernel: &Kernel, model: NativeMpiModel) -> Arc<NativeMpi> {
+        let sources = (0..2)
+            .map(|r| PollSource::new(kernel, ProcId(r as u32), model.link.poll_cost))
+            .collect();
+        let floors = (0..2).map(|_| SimMutex::new(kernel, VirtualTime::ZERO)).collect();
+        Arc::new(NativeMpi { model, sources, floors })
+    }
+
+    pub fn model(&self) -> &NativeMpiModel {
+        &self.model
+    }
+
+    fn send_raw(&self, from: usize, wire_len: usize, msg: NativeMsg) {
+        let to = 1 - from;
+        let mut floor = self.floors[from].lock();
+        marcel::advance(self.model.link.sender_occupancy(wire_len, 1));
+        let mut arrival = self.model.link.arrival(marcel::now(), wire_len);
+        let min = *floor
+            + (self.model.link.wire_serialization(wire_len) + VirtualDuration::from_nanos(1));
+        if arrival < min {
+            arrival = min;
+        }
+        *floor = arrival;
+        self.sources[to].post(arrival, msg);
+    }
+
+    /// Blocking send of `data` to the other rank.
+    pub fn send(&self, from: usize, data: Bytes) {
+        marcel::advance(self.model.sw_send);
+        if data.len() > self.model.eager_threshold {
+            self.send_raw(from, CTRL_LEN, NativeMsg::RndvReq(data.len()));
+            // Wait for the acknowledgement before the bulk transfer.
+            match self.sources[from].poll_wait() {
+                Some(Polled { payload: NativeMsg::RndvAck, .. }) => {}
+                _ => panic!("{}: expected RndvAck", self.model.name),
+            }
+            let len = data.len();
+            self.send_raw(from, len, NativeMsg::RndvData(data));
+        } else {
+            let len = data.len();
+            self.send_raw(from, len, NativeMsg::Eager(data));
+        }
+    }
+
+    /// Blocking receive from the other rank.
+    pub fn recv(&self, me: usize) -> Bytes {
+        let polled = self.sources[me].poll_wait().expect("source closed");
+        match polled.payload {
+            NativeMsg::Eager(data) => {
+                marcel::advance(
+                    self.model.link.receiver_occupancy(data.len())
+                        + self.model.sw_recv
+                        + per_byte(self.model.eager_copy_ns, data.len()),
+                );
+                data
+            }
+            NativeMsg::RndvReq(_) => {
+                marcel::advance(self.model.link.receiver_occupancy(CTRL_LEN) + self.model.sw_recv);
+                self.send_raw(me, CTRL_LEN, NativeMsg::RndvAck);
+                match self.sources[me].poll_wait() {
+                    Some(Polled { payload: NativeMsg::RndvData(data), .. }) => {
+                        marcel::advance(
+                            self.model.link.receiver_occupancy(data.len())
+                                + self.model.sw_recv
+                                + per_byte(self.model.rndv_copy_ns, data.len()),
+                        );
+                        data
+                    }
+                    _ => panic!("{}: expected RndvData", self.model.name),
+                }
+            }
+            _ => panic!("{}: unexpected control message in recv", self.model.name),
+        }
+    }
+}
+
+fn per_byte(ns: f64, bytes: usize) -> VirtualDuration {
+    VirtualDuration::from_nanos((bytes as f64 * ns).round() as u64)
+}
+
+/// Run a ping-pong over a native MPI model and return the *one-way*
+/// time per message size (round-trip halved, averaged over `iters`
+/// iterations after one warm-up).
+pub fn pingpong(model: &NativeMpiModel, sizes: &[usize], iters: usize) -> Vec<(usize, VirtualDuration)> {
+    let kernel = Kernel::new(CostModel::calibrated());
+    let mpi = NativeMpi::new(&kernel, model.clone());
+    let sizes_owned: Vec<usize> = sizes.to_vec();
+    let m0 = mpi.clone();
+    let h = kernel.spawn("rank0", move || {
+        let mut out = Vec::new();
+        for &n in &sizes_owned {
+            let payload = Bytes::from(vec![0u8; n]);
+            // Warm-up round.
+            m0.send(0, payload.clone());
+            m0.recv(0);
+            let t0 = marcel::now();
+            for _ in 0..iters {
+                m0.send(0, payload.clone());
+                let back = m0.recv(0);
+                assert_eq!(back.len(), n);
+            }
+            let elapsed = marcel::now() - t0;
+            out.push((n, elapsed / (2 * iters as u64)));
+        }
+        out
+    });
+    let sizes_owned: Vec<usize> = sizes.to_vec();
+    let m1 = mpi.clone();
+    kernel.spawn("rank1", move || {
+        for &n in &sizes_owned {
+            for _ in 0..iters + 1 {
+                let data = m1.recv(1);
+                assert_eq!(data.len(), n);
+                m1.send(1, data);
+            }
+        }
+    });
+    kernel.run().expect("baseline ping-pong must not deadlock");
+    h.join_outcome().expect("rank0 result")
+}
+
+/// Bandwidth in MB/s (binary) for a (size, one-way time) sample.
+pub fn bandwidth_mb_s(size: usize, oneway: VirtualDuration) -> f64 {
+    size as f64 / (1 << 20) as f64 / oneway.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::Protocol;
+
+    fn toy() -> NativeMpiModel {
+        NativeMpiModel {
+            name: "toy",
+            link: Protocol::Sisci.model(),
+            sw_send: VirtualDuration::from_micros(1),
+            sw_recv: VirtualDuration::from_micros(1),
+            eager_threshold: 1024,
+            eager_copy_ns: 10.0,
+            rndv_copy_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn pingpong_round_trips_data() {
+        let results = pingpong(&toy(), &[0, 4, 64, 4096], 3);
+        assert_eq!(results.len(), 4);
+        // Times strictly increase with size for a fixed protocol mode...
+        assert!(results[1].1 <= results[2].1);
+        // ...and the 4-byte latency is near link + 2us software.
+        let lat = results[1].1.as_micros_f64();
+        assert!(lat > 5.0 && lat < 8.0, "4B latency {lat}us");
+    }
+
+    #[test]
+    fn rendezvous_kicks_in_above_threshold() {
+        // Same per-byte cost in both modes, so crossing the threshold
+        // exposes exactly the extra handshake round trip.
+        let mut model = toy();
+        model.rndv_copy_ns = model.eager_copy_ns;
+        let below = pingpong(&model, &[1024], 3)[0].1;
+        let above = pingpong(&model, &[1025], 3)[0].1;
+        let delta = above.as_micros_f64() - below.as_micros_f64();
+        assert!(delta > 5.0, "rendezvous handshake not visible: delta {delta}us");
+    }
+
+    #[test]
+    fn zero_copy_rendezvous_beats_eager_for_bulk() {
+        let mut eager_only = toy();
+        eager_only.eager_threshold = usize::MAX;
+        let rndv = toy();
+        let n = 1 << 20;
+        let t_eager = pingpong(&eager_only, &[n], 2)[0].1;
+        let t_rndv = pingpong(&rndv, &[n], 2)[0].1;
+        assert!(
+            t_rndv < t_eager,
+            "zero-copy 1MB {t_rndv} should beat eager {t_eager}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_helper() {
+        let bw = bandwidth_mb_s(1 << 20, VirtualDuration::from_secs_f64(0.5));
+        assert!((bw - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,141 @@
+//! Calibrated models of the MPI implementations the paper compares
+//! `ch_mad` against. The originals are closed-source (ScaMPI) or tied to
+//! dead hardware/software stacks (SCI-MPICH, MPI-GM, MPICH-PM/SCore), so
+//! each is reproduced as a [`NativeMpiModel`] whose parameters are fitted
+//! to the curves in Figures 7 and 8:
+//!
+//! | implementation | small latency | bulk bandwidth | regime           |
+//! |----------------|---------------|----------------|------------------|
+//! | ScaMPI         | ≈ 5.5 µs      | ≈ 64 MB/s      | buffered always  |
+//! | SCI-MPICH      | ≈ 11.5 µs     | ≈ 55 MB/s      | buffered always  |
+//! | MPI-GM         | ≈ 25 µs       | ≈ 45 MB/s      | buffered always  |
+//! | MPICH-PM       | ≈ 15 µs       | ≈ 118 MB/s     | zero-copy rndv   |
+//!
+//! The *relative* claims these need to support: ScaMPI and SCI-MPICH
+//! beat `ch_mad` (≈20 µs) on SCI latency but lose past 16 KB once
+//! `ch_mad`'s zero-copy rendezvous engages (Fig. 7); MPI-GM loses to
+//! `ch_mad` below 512 B and everywhere on bandwidth, while MPICH-PM wins
+//! below 4 KB and above 256 KB (Fig. 8).
+
+use marcel::VirtualDuration;
+use simnet::Protocol;
+
+use crate::native::NativeMpiModel;
+
+fn us(x: f64) -> VirtualDuration {
+    VirtualDuration::from_micros_f64(x)
+}
+
+/// Scali's commercial MPI over SCI (paper ref [2]). Implemented
+/// directly on the SCI hardware: very low software overhead, but every
+/// transfer goes through its buffering scheme.
+pub fn scampi() -> NativeMpiModel {
+    NativeMpiModel {
+        name: "ScaMPI",
+        link: Protocol::Sisci.model(),
+        sw_send: us(0.5),
+        sw_recv: us(0.6),
+        eager_threshold: usize::MAX,
+        eager_copy_ns: 3.1,
+        rndv_copy_ns: 3.1,
+    }
+}
+
+/// RWTH Aachen's SCI-MPICH (`ch_smi` device, paper ref [17]). Also
+/// direct on SCI, with a heavier protocol layer than ScaMPI.
+pub fn sci_mpich() -> NativeMpiModel {
+    NativeMpiModel {
+        name: "SCI-MPICH",
+        link: Protocol::Sisci.model(),
+        sw_send: us(3.5),
+        sw_recv: us(3.6),
+        eager_threshold: usize::MAX,
+        eager_copy_ns: 6.5,
+        rndv_copy_ns: 6.5,
+    }
+}
+
+/// Myricom's MPI over GM 1.2.3 (paper ref [1]). GM's driver path on the
+/// 32-bit LANai 4.3 boards is slow on both latency and per-byte cost —
+/// "definitely outperformed" in Fig. 8b.
+pub fn mpi_gm() -> NativeMpiModel {
+    NativeMpiModel {
+        name: "MPI-GM",
+        link: Protocol::Bip.model(),
+        sw_send: us(8.0),
+        sw_recv: us(8.0),
+        eager_threshold: usize::MAX,
+        eager_copy_ns: 13.0,
+        rndv_copy_ns: 13.0,
+    }
+}
+
+/// RWCP's zero-copy MPICH-PM/SCore (paper ref [13]). NOTE: the paper
+/// measured it on a *different* cluster (Pentium Pro 200 vs dual PII
+/// 450); the model reflects the published curves, not a same-hardware
+/// port — exactly the caveat §5.4 makes.
+pub fn mpich_pm() -> NativeMpiModel {
+    NativeMpiModel {
+        name: "MPICH-PM",
+        link: Protocol::Bip.model(),
+        sw_send: us(3.0),
+        sw_recv: us(3.0),
+        eager_threshold: 4 * 1024,
+        // PM pins and remaps: nearly free on both paths.
+        eager_copy_ns: 0.8,
+        rndv_copy_ns: 0.1,
+    }
+}
+
+/// Every preset, for sweep tooling.
+pub fn all() -> Vec<NativeMpiModel> {
+    vec![scampi(), sci_mpich(), mpi_gm(), mpich_pm()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::{bandwidth_mb_s, pingpong};
+
+    #[test]
+    fn latency_ordering_matches_figures() {
+        // Fig 7a: ScaMPI < SCI-MPICH < ch_mad(~20us);
+        // Fig 8a: MPICH-PM(~15us) < ch_mad(~20us) < MPI-GM(~25us).
+        let lat = |m: &NativeMpiModel| pingpong(m, &[4], 4)[0].1.as_micros_f64();
+        let scampi = lat(&scampi());
+        let smi = lat(&sci_mpich());
+        let gm = lat(&mpi_gm());
+        let pm = lat(&mpich_pm());
+        assert!(scampi < smi, "ScaMPI {scampi} < SCI-MPICH {smi}");
+        assert!(smi < 16.0, "SCI-MPICH small latency {smi}us below ch_mad's ~20us");
+        assert!(scampi > 3.0 && scampi < 8.0, "ScaMPI latency {scampi}us");
+        assert!(pm > 12.0 && pm < 18.0, "MPICH-PM latency {pm}us");
+        assert!(gm > 20.0 && gm < 30.0, "MPI-GM latency {gm}us");
+    }
+
+    #[test]
+    fn bulk_bandwidth_matches_figures() {
+        let bw = |m: &NativeMpiModel| {
+            let n = 8 << 20;
+            bandwidth_mb_s(n, pingpong(m, &[n], 1)[0].1)
+        };
+        let scampi = bw(&scampi());
+        assert!((55.0..70.0).contains(&scampi), "ScaMPI bulk {scampi} MB/s");
+        let smi = bw(&sci_mpich());
+        assert!((48.0..62.0).contains(&smi), "SCI-MPICH bulk {smi} MB/s");
+        let gm = bw(&mpi_gm());
+        assert!((38.0..52.0).contains(&gm), "MPI-GM bulk {gm} MB/s");
+        let pm = bw(&mpich_pm());
+        assert!((110.0..125.0).contains(&pm), "MPICH-PM bulk {pm} MB/s");
+    }
+
+    #[test]
+    fn pm_beats_gm_everywhere() {
+        // Fig 8b: "MPI-GM is definitely outperformed".
+        for n in [64usize, 1024, 16 * 1024, 1 << 20] {
+            let t_gm = pingpong(&mpi_gm(), &[n], 2)[0].1;
+            let t_pm = pingpong(&mpich_pm(), &[n], 2)[0].1;
+            assert!(t_pm < t_gm, "at {n}B: PM {t_pm} vs GM {t_gm}");
+        }
+    }
+}

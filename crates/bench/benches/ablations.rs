@@ -1,0 +1,89 @@
+//! Ablations of the design choices listed in DESIGN.md §5. Each bench
+//! runs the affected workload with the choice on vs off and prints the
+//! virtual-time consequence (the criterion number is wall-clock; the
+//! interesting output is the eprintln comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpich::{ChMadConfig, RemoteDeviceKind, WorldConfig};
+use simnet::{Protocol, Topology};
+
+fn config_with(f: impl FnOnce(&mut ChMadConfig)) -> WorldConfig {
+    let mut cfg = ChMadConfig::default();
+    f(&mut cfg);
+    WorldConfig {
+        remote: RemoteDeviceKind::ChMad(cfg),
+        ..WorldConfig::default()
+    }
+}
+
+/// Ablation 1 — polling detection delay: faithful vs oracle polling.
+fn ablation_polling(c: &mut Criterion) {
+    let run = |oracle: bool| {
+        let mut cfg = WorldConfig::default();
+        if oracle {
+            cfg.cost_model = cfg.cost_model.with_oracle_polling();
+        }
+        bench::mpi_pingpong(bench::fig9_topology(true), cfg, &[4], 2)[0].1
+    };
+    let faithful = run(false);
+    let oracle = run(true);
+    eprintln!(
+        "[ablation_polling] 4B latency over SCI+TCP: faithful {faithful}, oracle {oracle}"
+    );
+    assert!(faithful > oracle);
+    c.bench_function("ablation_polling", |b| b.iter(|| run(false)));
+}
+
+/// Ablation 2 — split short packets vs padded inline buffer (§4.2.2).
+fn ablation_short_split(c: &mut Criterion) {
+    let run = |split: bool| {
+        let cfg = config_with(|c| c.split_short = split);
+        bench::mpi_pingpong(Topology::single_network(2, Protocol::Sisci), cfg, &[4, 4096], 2)
+    };
+    let with = run(true);
+    let without = run(false);
+    eprintln!(
+        "[ablation_short_split] SCI eager 4B: split {} vs padded {}; 4KB: split {} vs padded {}",
+        with[0].1, without[0].1, with[1].1, without[1].1
+    );
+    // The padded scheme ships the full 8KB inline buffer even for 4B.
+    assert!(without[0].1 > with[0].1);
+    c.bench_function("ablation_short_split", |b| b.iter(|| run(true)));
+}
+
+/// Ablation 3 — elected switch point vs per-size alternatives.
+fn ablation_switch_point(c: &mut Criterion) {
+    let run = |switch: usize| {
+        let cfg = config_with(|c| c.switch_point_override = Some(switch));
+        bench::mpi_pingpong(
+            Topology::single_network(2, Protocol::Sisci),
+            cfg,
+            &[4096, 16 * 1024, 64 * 1024],
+            2,
+        )
+    };
+    for sp in [1024usize, 8192, 65536] {
+        let s = run(sp);
+        eprintln!(
+            "[ablation_switch_point] switch={sp}: 4KB {}, 16KB {}, 64KB {}",
+            s[0].1, s[1].1, s[2].1
+        );
+    }
+    c.bench_function("ablation_switch_point", |b| b.iter(|| run(8192)));
+}
+
+/// Ablation 4 — rendezvous zero-copy vs eager-always.
+fn ablation_rendezvous(c: &mut Criterion) {
+    let run = |rndv: bool| {
+        let cfg = config_with(|c| c.rendezvous = rndv);
+        bench::mpi_pingpong(Topology::single_network(2, Protocol::Sisci), cfg, &[1 << 20], 1)[0].1
+    };
+    let with = run(true);
+    let without = run(false);
+    eprintln!("[ablation_rendezvous] SCI 1MB: rendezvous {with} vs eager-always {without}");
+    assert!(with < without, "zero-copy must win for 1MB");
+    c.bench_function("ablation_rendezvous", |b| b.iter(|| run(true)));
+}
+
+criterion_group!(benches, ablation_polling, ablation_short_split, ablation_switch_point, ablation_rendezvous);
+criterion_main!(benches);

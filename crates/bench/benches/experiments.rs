@@ -1,0 +1,20 @@
+//! Criterion wrappers: one bench per paper table/figure. These measure
+//! the wall-clock of regenerating each experiment (the experiment's own
+//! results are in *virtual* time and printed by the bin targets).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| bench::experiments::table1(1)));
+    g.bench_function("table2", |b| b.iter(|| bench::experiments::table2(1)));
+    g.bench_function("fig6", |b| b.iter(|| bench::experiments::fig6(1)));
+    g.bench_function("fig7", |b| b.iter(|| bench::experiments::fig7(1)));
+    g.bench_function("fig8", |b| b.iter(|| bench::experiments::fig8(1)));
+    g.bench_function("fig9", |b| b.iter(|| bench::experiments::fig9(1)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates the paper's fig9 (run: `cargo run -p bench --bin fig9 [--release] [-- <iters>]`).
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let report = bench::experiments::fig9(iters);
+    report.emit(true, true);
+}

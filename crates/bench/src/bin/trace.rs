@@ -1,0 +1,46 @@
+//! Timeline tool: run one ch_mad ping-pong with kernel tracing enabled
+//! and print the event timeline — a window into the paper's Figure 4
+//! message flows (eager and rendezvous) as they actually execute.
+//!
+//! `cargo run -p bench --bin trace [-- <bytes>]`
+
+use mpich::{run_world_kernel, Placement, WorldConfig};
+use simnet::{Protocol, Topology};
+
+fn main() {
+    let bytes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let mut cfg = WorldConfig::default();
+    cfg.trace = true;
+    let (_, kernel) = run_world_kernel(
+        Topology::single_network(2, Protocol::Sisci),
+        Placement::OneRankPerNode,
+        cfg,
+        move |comm| {
+            if comm.rank() == 0 {
+                comm.send(&vec![0u8; bytes], 1, 0);
+                comm.recv(bytes, Some(1), Some(0));
+            } else {
+                let (d, _) = comm.recv(bytes, Some(0), Some(0));
+                comm.send(&d, 0, 0);
+            }
+        },
+    )
+    .expect("trace world completes");
+    let trace = kernel.take_trace();
+    let mode = if bytes > Protocol::Sisci.switch_point() {
+        "rendezvous (REQUEST -> OK_TO_SEND -> DATA, Fig. 4b)"
+    } else {
+        "eager (Fig. 4a)"
+    };
+    println!("ch_mad ping-pong of {bytes} B over SCI — transfer mode: {mode}");
+    println!("{:>12}  {:>4}  event", "time", "tid");
+    for e in &trace {
+        println!("{:>12}  {:>4}  {}", format!("{}", e.time), e.tid, e.what);
+    }
+    println!(
+        "\n{} events; finished at {} (one-way ~{:.1} us)",
+        trace.len(),
+        kernel.end_time(),
+        kernel.end_time().as_micros_f64() / 2.0
+    );
+}

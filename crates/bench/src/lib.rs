@@ -1,0 +1,27 @@
+//! # bench — experiment harnesses for the MPICH/Madeleine reproduction
+//!
+//! One binary per table/figure of the paper's evaluation (§5):
+//!
+//! | binary   | reproduces | what it runs |
+//! |----------|------------|--------------|
+//! | `table1` | Table 1    | raw Madeleine latency + 8 MB bandwidth over TCP, BIP, SISCI |
+//! | `table2` | Table 2    | ch_mad 0 B/4 B latency + 8 MB bandwidth over the three networks |
+//! | `fig6`   | Figure 6   | TCP: ch_mad vs ch_p4 vs raw Madeleine (time + bandwidth) |
+//! | `fig7`   | Figure 7   | SCI: ch_mad vs ScaMPI vs SCI-MPICH vs raw Madeleine |
+//! | `fig8`   | Figure 8   | Myrinet: ch_mad vs MPI-GM vs MPICH-PM vs raw Madeleine |
+//! | `fig9`   | Figure 9   | SCI alone vs SCI + TCP polling thread |
+//! | `all`    | everything | runs the six experiments back to back |
+//!
+//! Criterion benches (`cargo bench`) wrap the same harnesses
+//! (`benches/experiments.rs`) plus the design-choice ablations from
+//! DESIGN.md §5 (`benches/ablations.rs`).
+
+pub mod experiments;
+pub mod pingpong;
+pub mod report;
+
+pub use pingpong::{
+    bandwidth_mb_s, bandwidth_sizes, fig9_topology, latency_sizes, mpi_pingpong,
+    raw_madeleine_pingpong, Series,
+};
+pub use report::{Anchor, NamedSeries, Report};

@@ -1,0 +1,306 @@
+//! Result formatting: aligned console tables, paper-vs-measured anchor
+//! comparisons, and machine-readable JSON dumps (written under
+//! `target/bench-results/` unless `BENCH_JSON_DIR` overrides it).
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use marcel::VirtualDuration;
+use serde::Serialize;
+
+use crate::pingpong::{bandwidth_mb_s, Series};
+
+/// One named measured series of an experiment.
+#[derive(Serialize, Clone)]
+pub struct NamedSeries {
+    pub name: String,
+    /// (bytes, one-way nanoseconds) samples.
+    pub samples: Vec<(usize, u64)>,
+}
+
+impl NamedSeries {
+    pub fn new(name: impl Into<String>, series: &Series) -> Self {
+        NamedSeries {
+            name: name.into(),
+            samples: series.iter().map(|(n, d)| (*n, d.as_nanos())).collect(),
+        }
+    }
+}
+
+/// An explicit number the paper states (in a table or in the text),
+/// paired with our measurement.
+#[derive(Serialize, Clone)]
+pub struct Anchor {
+    pub what: String,
+    pub paper: f64,
+    pub measured: f64,
+    pub unit: &'static str,
+}
+
+impl Anchor {
+    pub fn new(what: impl Into<String>, paper: f64, measured: f64, unit: &'static str) -> Anchor {
+        Anchor { what: what.into(), paper, measured, unit }
+    }
+
+    pub fn deviation_pct(&self) -> f64 {
+        if self.paper == 0.0 {
+            return 0.0;
+        }
+        (self.measured - self.paper) / self.paper * 100.0
+    }
+}
+
+/// A full experiment report.
+#[derive(Serialize, Clone)]
+pub struct Report {
+    pub experiment: String,
+    pub title: String,
+    pub series: Vec<NamedSeries>,
+    pub anchors: Vec<Anchor>,
+}
+
+impl Report {
+    pub fn new(experiment: impl Into<String>, title: impl Into<String>) -> Report {
+        Report {
+            experiment: experiment.into(),
+            title: title.into(),
+            series: Vec::new(),
+            anchors: Vec::new(),
+        }
+    }
+
+    pub fn add_series(&mut self, name: impl Into<String>, series: &Series) -> &mut Self {
+        self.series.push(NamedSeries::new(name, series));
+        self
+    }
+
+    pub fn add_anchor(&mut self, anchor: Anchor) -> &mut Self {
+        self.anchors.push(anchor);
+        self
+    }
+
+    /// Print the transfer-time view (µs per one-way message).
+    pub fn print_time_table(&self) {
+        println!("\n== {} — {} : one-way transfer time (us) ==", self.experiment, self.title);
+        self.print_table(
+            |_size, ns| VirtualDuration::from_nanos(ns).as_micros_f64(),
+            "us",
+            |s| s <= 4096,
+        );
+    }
+
+    /// Print the bandwidth view (MB/s).
+    pub fn print_bandwidth_table(&self) {
+        println!("\n== {} — {} : bandwidth (MB/s) ==", self.experiment, self.title);
+        self.print_table(
+            |size, ns| bandwidth_mb_s(size, VirtualDuration::from_nanos(ns)),
+            "MB/s",
+            |_| true,
+        );
+    }
+
+    fn print_table(
+        &self,
+        value: impl Fn(usize, u64) -> f64,
+        _unit: &str,
+        size_filter: impl Fn(usize) -> bool,
+    ) {
+        let mut sizes: Vec<usize> = self
+            .series
+            .iter()
+            .flat_map(|s| s.samples.iter().map(|(n, _)| *n))
+            .filter(|n| size_filter(*n))
+            .collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        print!("{:>10}", "bytes");
+        for s in &self.series {
+            print!(" {:>14}", truncate(&s.name, 14));
+        }
+        println!();
+        for n in sizes {
+            print!("{n:>10}");
+            for s in &self.series {
+                match s.samples.iter().find(|(sz, _)| *sz == n) {
+                    Some((_, ns)) => print!(" {:>14.3}", value(n, *ns)),
+                    None => print!(" {:>14}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+
+    /// Print the paper-vs-measured anchor table.
+    pub fn print_anchors(&self) {
+        if self.anchors.is_empty() {
+            return;
+        }
+        println!("\n-- paper anchors vs measured --");
+        println!(
+            "{:<52} {:>10} {:>10} {:>8}",
+            "quantity", "paper", "measured", "dev%"
+        );
+        for a in &self.anchors {
+            println!(
+                "{:<52} {:>8.2}{:<2} {:>8.2}{:<2} {:>7.1}%",
+                truncate(&a.what, 52),
+                a.paper,
+                a.unit,
+                a.measured,
+                a.unit,
+                a.deviation_pct()
+            );
+        }
+    }
+
+    /// Write the JSON dump and return its path.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("BENCH_JSON_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/bench-results"));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.experiment));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(serde_json::to_string_pretty(self).expect("report serializes").as_bytes())?;
+        Ok(path)
+    }
+
+    /// Write gnuplot-ready data files (one `.dat` per series, columns:
+    /// bytes, one-way µs, MB/s) plus a `.gp` script with the paper's
+    /// log-log axes. Returns the script path.
+    pub fn write_gnuplot(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("BENCH_JSON_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/bench-results"))
+            .join(&self.experiment);
+        std::fs::create_dir_all(&dir)?;
+        let mut plot_lines = Vec::new();
+        for s in &self.series {
+            let safe: String = s
+                .name
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                .collect();
+            let path = dir.join(format!("{safe}.dat"));
+            let mut f = std::fs::File::create(&path)?;
+            writeln!(f, "# bytes oneway_us bandwidth_mb_s")?;
+            for (bytes, ns) in &s.samples {
+                let d = VirtualDuration::from_nanos(*ns);
+                writeln!(
+                    f,
+                    "{bytes} {:.3} {:.4}",
+                    d.as_micros_f64(),
+                    bandwidth_mb_s(*bytes, d)
+                )?;
+            }
+            plot_lines.push(format!("'{safe}.dat' using 1:3 with linespoints title \"{}\"", s.name));
+        }
+        let script = dir.join("plot.gp");
+        let mut f = std::fs::File::create(&script)?;
+        writeln!(f, "# {} — {}", self.experiment, self.title)?;
+        writeln!(f, "set logscale x 2")?;
+        writeln!(f, "set xlabel 'Message Size (bytes)'")?;
+        writeln!(f, "set ylabel 'Bandwidth (MByte/s)'")?;
+        writeln!(f, "set key left top")?;
+        writeln!(f, "plot {}", plot_lines.join(", \\\n     "))?;
+        Ok(script)
+    }
+
+    /// Full console output + JSON + gnuplot dumps.
+    pub fn emit(&self, time_table: bool, bandwidth_table: bool) {
+        if time_table {
+            self.print_time_table();
+        }
+        if bandwidth_table {
+            self.print_bandwidth_table();
+        }
+        self.print_anchors();
+        match self.write_json() {
+            Ok(p) => println!("\n[json] {}", p.display()),
+            Err(e) => eprintln!("[json] write failed: {e}"),
+        }
+        match self.write_gnuplot() {
+            Ok(p) => println!("[gnuplot] {}", p.display()),
+            Err(e) => eprintln!("[gnuplot] write failed: {e}"),
+        }
+    }
+
+    /// Look up a measured value: one-way µs at `size` in series `name`.
+    pub fn us_at(&self, name: &str, size: usize) -> f64 {
+        self.ns_at(name, size) as f64 / 1_000.0
+    }
+
+    /// Look up a measured bandwidth (MB/s) at `size` in series `name`.
+    pub fn mb_s_at(&self, name: &str, size: usize) -> f64 {
+        bandwidth_mb_s(size, VirtualDuration::from_nanos(self.ns_at(name, size)))
+    }
+
+    fn ns_at(&self, name: &str, size: usize) -> u64 {
+        self.series
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no series '{name}'"))
+            .samples
+            .iter()
+            .find(|(n, _)| *n == size)
+            .unwrap_or_else(|| panic!("series '{name}' has no sample at {size}"))
+            .1
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    &s[..s.len().min(n)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_deviation() {
+        let a = Anchor::new("x", 100.0, 110.0, "us");
+        assert!((a.deviation_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let mut r = Report::new("t", "test");
+        r.add_series(
+            "s",
+            &vec![
+                (4, VirtualDuration::from_nanos(2_000)),
+                (1 << 20, VirtualDuration::from_nanos(1_000_000_000)),
+            ],
+        );
+        assert!((r.us_at("s", 4) - 2.0).abs() < 1e-9);
+        assert!((r.mb_s_at("s", 1 << 20) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gnuplot_files_written() {
+        let mut r = Report::new("unit_gp", "test");
+        r.add_series(
+            "a b/c",
+            &vec![(1024, VirtualDuration::from_micros(100))],
+        );
+        std::env::set_var("BENCH_JSON_DIR", std::env::temp_dir().join("bench-gp-test"));
+        let script = r.write_gnuplot().unwrap();
+        let text = std::fs::read_to_string(&script).unwrap();
+        assert!(text.contains("logscale"));
+        assert!(text.contains("a_b_c.dat"));
+        let dat = std::fs::read_to_string(script.parent().unwrap().join("a_b_c.dat")).unwrap();
+        // 1024 bytes in 100us = 9.7656 MB/s.
+        assert!(dat.contains("1024 100.000 9.7656"), "{dat}");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut r = Report::new("unit_json", "test");
+        r.add_series("s", &vec![(1, VirtualDuration::from_nanos(10))]);
+        r.add_anchor(Anchor::new("a", 1.0, 1.1, "us"));
+        std::env::set_var("BENCH_JSON_DIR", std::env::temp_dir().join("bench-json-test"));
+        let path = r.write_json().unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("unit_json"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Channels, connections, and the packing/unpacking interface.
+//!
+//! A [`Channel`] is Madeleine's unit of communication isolation (paper
+//! §3.1): it is bound to one network protocol (and adapter set) and owns
+//! one point-to-point [`Connection`] per ordered rank pair. In-order
+//! delivery is guaranteed *within* a channel's connections only — exactly
+//! the property the `ch_mad` device depends on when it restricts each MPI
+//! message to a single channel (§4.2.1).
+//!
+//! A rank interacts with a channel through an [`Endpoint`], using the
+//! paper's API shape:
+//!
+//! ```text
+//! connection = mad_begin_packing(channel, remote);
+//! mad_pack(connection, &size, sizeof(int), send_CHEAPER, receive_EXPRESS);
+//! mad_pack(connection, array,  size,       send_CHEAPER, receive_CHEAPER);
+//! mad_end_packing(connection);
+//! ```
+//!
+//! # Cost accounting
+//!
+//! * each `pack`/`unpack` call charges a small constant CPU cost;
+//! * `end_packing` charges the sender the link model's occupancy for the
+//!   total byte count **plus one `extra_segment` per packing operation
+//!   beyond the first** — the overhead the paper measures in §5.2–5.4;
+//! * the wire arrival time is the sender's (charged) clock plus the link
+//!   model's wire delay, floored to preserve per-connection FIFO order;
+//! * `begin_unpacking` blocks in the rank's factorized polling loop (one
+//!   cycle of detection delay — see `marcel::poll`), then charges the
+//!   receiver's fixed drain cost; each `unpack` charges the per-byte
+//!   drain cost of its block.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use marcel::{Kernel, PollSource, ProcId, SimMutex, VirtualDuration, VirtualTime};
+use simnet::{LinkModel, Protocol};
+
+use crate::message::{Block, WireMessage};
+use crate::modes::{ReceiveMode, SendMode};
+
+/// CPU cost of one `mad_pack`/`mad_unpack` library call (argument
+/// handling, iovec bookkeeping). The per-*segment* protocol cost is the
+/// link model's `extra_segment` and dwarfs this.
+pub const PACK_CALL_CPU: VirtualDuration = VirtualDuration::from_nanos(120);
+
+/// Minimum spacing between two messages on one connection, used to keep
+/// per-connection arrivals strictly monotone (FIFO on the wire).
+const FIFO_EPSILON: VirtualDuration = VirtualDuration::from_nanos(1);
+
+/// Sender-side state of one point-to-point connection: the FIFO floor
+/// and the message sequence number (drives deterministic jitter).
+struct Connection {
+    state: SimMutex<ConnState>,
+}
+
+#[derive(Clone, Copy)]
+struct ConnState {
+    floor: VirtualTime,
+    seq: u64,
+}
+
+/// A Madeleine channel: one protocol, a set of member ranks, one
+/// incoming message source per member, one connection per ordered pair.
+pub struct Channel {
+    name: String,
+    protocol: Protocol,
+    model: Arc<LinkModel>,
+    /// Member ranks (session-global indices), sorted.
+    members: Vec<usize>,
+    /// rank -> incoming source.
+    sources: HashMap<usize, PollSource<WireMessage>>,
+    /// (from, to) -> connection.
+    conns: HashMap<(usize, usize), Connection>,
+}
+
+impl Channel {
+    /// Build a channel over `protocol` with the given link `model`
+    /// connecting `members` (rank indices). Connections include the
+    /// loop-back pair (rank, rank), which the `ch_mad` shutdown path
+    /// uses to deliver its TERM packet to the local polling thread.
+    pub fn new(
+        kernel: &Kernel,
+        name: impl Into<String>,
+        protocol: Protocol,
+        model: LinkModel,
+        members: impl IntoIterator<Item = usize>,
+    ) -> Arc<Channel> {
+        let mut members: Vec<usize> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        let mut sources = HashMap::new();
+        let mut conns = HashMap::new();
+        for &r in &members {
+            sources.insert(r, PollSource::new(kernel, ProcId(r as u32), model.poll_cost));
+        }
+        for &a in &members {
+            for &b in &members {
+                conns.insert(
+                    (a, b),
+                    Connection {
+                        state: SimMutex::new(kernel, ConnState { floor: VirtualTime::ZERO, seq: 0 }),
+                    },
+                );
+            }
+        }
+        Arc::new(Channel {
+            name: name.into(),
+            protocol,
+            model: Arc::new(model),
+            members,
+            sources,
+            conns,
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    pub fn model(&self) -> &LinkModel {
+        &self.model
+    }
+
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    pub fn is_member(&self, rank: usize) -> bool {
+        self.sources.contains_key(&rank)
+    }
+
+    /// The view of this channel from `rank`.
+    pub fn endpoint(self: &Arc<Self>, rank: usize) -> Endpoint {
+        assert!(
+            self.is_member(rank),
+            "rank {rank} is not a member of channel '{}'",
+            self.name
+        );
+        Endpoint {
+            channel: self.clone(),
+            rank,
+        }
+    }
+}
+
+/// A rank's handle on a channel.
+#[derive(Clone)]
+pub struct Endpoint {
+    channel: Arc<Channel>,
+    rank: usize,
+}
+
+impl Endpoint {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn channel(&self) -> &Arc<Channel> {
+        &self.channel
+    }
+
+    /// `mad_begin_packing`: open an outgoing message to `remote`.
+    pub fn begin_packing(&self, remote: usize) -> PackingConnection {
+        assert!(
+            self.channel.is_member(remote),
+            "rank {remote} is not a member of channel '{}'",
+            self.channel.name
+        );
+        PackingConnection {
+            endpoint: self.clone(),
+            remote,
+            blocks: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// `mad_begin_unpacking`: block until a message is noticed on this
+    /// rank's incoming side. Returns `None` once the source is closed
+    /// and drained (session shutdown).
+    pub fn begin_unpacking(&self) -> Option<UnpackingConnection> {
+        let polled = self.source().poll_wait()?;
+        marcel::advance(self.channel.model.recv_fixed);
+        Some(UnpackingConnection {
+            endpoint: self.clone(),
+            message: polled.payload,
+            cursor: 0,
+            finished: false,
+        })
+    }
+
+    /// One non-blocking poll attempt (charges the protocol's poll cost).
+    pub fn try_begin_unpacking(&self) -> Option<UnpackingConnection> {
+        let polled = self.source().try_poll()?;
+        marcel::advance(self.channel.model.recv_fixed);
+        Some(UnpackingConnection {
+            endpoint: self.clone(),
+            message: polled.payload,
+            cursor: 0,
+            finished: false,
+        })
+    }
+
+    /// Register this endpoint in its rank's factorized polling loop
+    /// without blocking (the polling thread exists). `begin_unpacking`
+    /// attaches implicitly.
+    pub fn attach_polling(&self) {
+        self.source().attach();
+    }
+
+    /// Remove this endpoint from the polling loop (polling thread gone).
+    pub fn detach_polling(&self) {
+        self.source().detach();
+    }
+
+    /// Close this rank's incoming side: a blocked `begin_unpacking`
+    /// returns `None`.
+    pub fn close_incoming(&self) {
+        self.source().close();
+    }
+
+    /// Number of queued (arrived or in-flight) incoming messages.
+    pub fn backlog(&self) -> usize {
+        self.source().backlog()
+    }
+
+    fn source(&self) -> &PollSource<WireMessage> {
+        &self.channel.sources[&self.rank]
+    }
+}
+
+/// An outgoing message being built (`mad_pack*` + `mad_end_packing`).
+pub struct PackingConnection {
+    endpoint: Endpoint,
+    remote: usize,
+    blocks: Vec<Block>,
+    finished: bool,
+}
+
+impl PackingConnection {
+    pub fn remote(&self) -> usize {
+        self.remote
+    }
+
+    /// `mad_pack`: append `data` with the given mode pair.
+    pub fn pack(&mut self, data: &[u8], send_mode: SendMode, recv_mode: ReceiveMode) {
+        self.pack_bytes(Bytes::copy_from_slice(data), send_mode, recv_mode);
+    }
+
+    /// Zero-(host-)copy variant of [`PackingConnection::pack`] for
+    /// callers that already own a [`Bytes`].
+    pub fn pack_bytes(&mut self, data: Bytes, send_mode: SendMode, recv_mode: ReceiveMode) {
+        let mut cpu = PACK_CALL_CPU;
+        if send_mode == SendMode::Safer {
+            // SAFER requires the library to copy synchronously so the
+            // caller may reuse the buffer immediately.
+            cpu += crate::cost_per_byte(
+                self.endpoint.channel.model.eager_copy_per_byte_ns,
+                data.len(),
+            );
+        }
+        marcel::advance(cpu);
+        self.blocks.push(Block {
+            data,
+            send_mode,
+            recv_mode,
+        });
+    }
+
+    /// `mad_end_packing`: transmit the message. Charges the sender's
+    /// occupancy (including one `extra_segment` per pack beyond the
+    /// first) and posts the message with its wire arrival time,
+    /// preserving per-connection FIFO order.
+    pub fn end_packing(mut self) {
+        self.finished = true;
+        let channel = &self.endpoint.channel;
+        let model = &channel.model;
+        let total: usize = self.blocks.iter().map(|b| b.data.len()).sum();
+        let segments = self.blocks.len().max(1);
+        let conn = &channel.conns[&(self.endpoint.rank, self.remote)];
+        let mut state = conn.state.lock();
+        marcel::advance(model.sender_occupancy(total, segments));
+        let now = marcel::now();
+        let mut arrival = model.arrival(now, total) + model.jitter_delay(state.seq, total);
+        state.seq += 1;
+        // The wire is a serial resource: this message cannot arrive
+        // sooner than one full wire-serialization after the previous
+        // message on the connection.
+        let min_arrival = state.floor + (model.wire_serialization(total) + FIFO_EPSILON);
+        if arrival < min_arrival {
+            arrival = min_arrival;
+        }
+        state.floor = arrival;
+        let message = WireMessage {
+            from: self.endpoint.rank,
+            blocks: std::mem::take(&mut self.blocks),
+            arrival,
+        };
+        channel.sources[&self.remote].post(arrival, message);
+        drop(state);
+    }
+}
+
+impl Drop for PackingConnection {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            panic!(
+                "PackingConnection to rank {} dropped without mad_end_packing",
+                self.remote
+            );
+        }
+    }
+}
+
+/// An incoming message being consumed (`mad_unpack*` +
+/// `mad_end_unpacking`).
+pub struct UnpackingConnection {
+    endpoint: Endpoint,
+    message: WireMessage,
+    cursor: usize,
+    finished: bool,
+}
+
+impl UnpackingConnection {
+    /// Sending rank.
+    pub fn from(&self) -> usize {
+        self.message.from
+    }
+
+    /// Wire arrival time of the message.
+    pub fn arrival(&self) -> VirtualTime {
+        self.message.arrival
+    }
+
+    /// Total payload length of the message.
+    pub fn total_len(&self) -> usize {
+        self.message.total_len()
+    }
+
+    /// Remaining (not yet unpacked) blocks.
+    pub fn remaining_blocks(&self) -> usize {
+        self.message.blocks.len() - self.cursor
+    }
+
+    /// Length of the next block, if any (the `ch_mad` demultiplexer
+    /// peeks at this to size eager bodies).
+    pub fn next_block_len(&self) -> Option<usize> {
+        self.message.blocks.get(self.cursor).map(|b| b.data.len())
+    }
+
+    /// `mad_unpack` into a caller-provided buffer. The mode pair and
+    /// length must match the corresponding `mad_pack` — Madeleine
+    /// treats a mismatch as a protocol violation, and so do we.
+    pub fn unpack(&mut self, buf: &mut [u8], send_mode: SendMode, recv_mode: ReceiveMode) {
+        let block = self.take_block(send_mode, recv_mode);
+        assert_eq!(
+            buf.len(),
+            block.data.len(),
+            "unpack length {} does not match packed block length {}",
+            buf.len(),
+            block.data.len()
+        );
+        buf.copy_from_slice(&block.data);
+    }
+
+    /// `mad_unpack` returning the block's bytes without a host copy
+    /// (used for the zero-copy rendezvous body).
+    pub fn unpack_bytes(&mut self, send_mode: SendMode, recv_mode: ReceiveMode) -> Bytes {
+        self.take_block(send_mode, recv_mode).data
+    }
+
+    fn take_block(&mut self, send_mode: SendMode, recv_mode: ReceiveMode) -> Block {
+        assert!(
+            self.cursor < self.message.blocks.len(),
+            "unpack past the end of a {}-block message",
+            self.message.blocks.len()
+        );
+        let block = self.message.blocks[self.cursor].clone();
+        assert_eq!(
+            (block.send_mode, block.recv_mode),
+            (send_mode, recv_mode),
+            "unpack modes must match the pack modes of block {}",
+            self.cursor
+        );
+        self.cursor += 1;
+        marcel::advance(
+            PACK_CALL_CPU
+                + crate::cost_per_byte(
+                    self.endpoint.channel.model.recv_per_byte_ns,
+                    block.data.len(),
+                ),
+        );
+        block
+    }
+
+    /// `mad_end_unpacking`: every block must have been consumed.
+    pub fn end_unpacking(mut self) {
+        assert_eq!(
+            self.cursor,
+            self.message.blocks.len(),
+            "end_unpacking with {} block(s) left",
+            self.message.blocks.len() - self.cursor
+        );
+        self.finished = true;
+    }
+}
+
+impl Drop for UnpackingConnection {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            panic!(
+                "UnpackingConnection from rank {} dropped without mad_end_unpacking",
+                self.message.from
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Packing/unpacking semantics flags.
+//!
+//! The pair of flags passed to `mad_pack`/`mad_unpack` is "an original
+//! specificity of Madeleine with respect to other communication
+//! libraries" (paper §3.2): the application states, per data block, how
+//! much freedom the library has when transmitting it. The reproduction
+//! keeps the full mode lattice of Madeleine II; the paper's example uses
+//! `send_CHEAPER` with `receive_EXPRESS` (a size header that must be
+//! available immediately) and `receive_CHEAPER` (bulk data that may be
+//! delivered lazily, enabling zero-copy).
+
+/// Sender-side constraint for one packed block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SendMode {
+    /// The buffer may be reused as soon as `pack` returns: the library
+    /// must copy or transmit it synchronously.
+    Safer,
+    /// The buffer must stay untouched until `end_packing` returns.
+    Later,
+    /// The buffer must stay untouched until the whole message is sent;
+    /// maximal freedom for the library (the common fast path).
+    Cheaper,
+}
+
+/// Receiver-side constraint for one unpacked block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReceiveMode {
+    /// The data is guaranteed to be available as soon as the matching
+    /// `unpack` returns — required when later unpacks *depend* on the
+    /// value (e.g. a size field). Express blocks travel with the first
+    /// packet of the message.
+    Express,
+    /// The data is only guaranteed after `end_unpacking`; the library
+    /// may avoid intermediate copies.
+    Cheaper,
+}
+
+impl SendMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            SendMode::Safer => "send_SAFER",
+            SendMode::Later => "send_LATER",
+            SendMode::Cheaper => "send_CHEAPER",
+        }
+    }
+}
+
+impl ReceiveMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            ReceiveMode::Express => "receive_EXPRESS",
+            ReceiveMode::Cheaper => "receive_CHEAPER",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_madeleine_api() {
+        assert_eq!(SendMode::Cheaper.name(), "send_CHEAPER");
+        assert_eq!(SendMode::Safer.name(), "send_SAFER");
+        assert_eq!(SendMode::Later.name(), "send_LATER");
+        assert_eq!(ReceiveMode::Express.name(), "receive_EXPRESS");
+        assert_eq!(ReceiveMode::Cheaper.name(), "receive_CHEAPER");
+    }
+}

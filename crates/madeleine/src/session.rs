@@ -1,0 +1,407 @@
+//! Session bootstrap: map ranks onto cluster nodes and build one channel
+//! per network (plus optional extra channels — Madeleine explicitly
+//! allows several channels over the same protocol, e.g. to split the
+//! traffic of two software modules; §3.1).
+
+use std::sync::Arc;
+
+use marcel::Kernel;
+use simnet::{NetworkId, NodeId, Protocol, Topology, TopologyError};
+
+use crate::channel::{Channel, Endpoint};
+
+/// Declarative session description; build with [`SessionBuilder::build`].
+pub struct SessionBuilder {
+    topology: Topology,
+    placement: Vec<NodeId>,
+    extra_channels: Vec<(NetworkId, String)>,
+    forwarding: bool,
+}
+
+impl SessionBuilder {
+    pub fn new(topology: Topology) -> Self {
+        SessionBuilder {
+            topology,
+            placement: Vec::new(),
+            extra_channels: Vec::new(),
+            forwarding: false,
+        }
+    }
+
+    /// Allow topologies whose node pairs are only *transitively*
+    /// connected: messages between them will cross gateway nodes (the
+    /// forwarding mechanism of the paper's §6 future work). Validation
+    /// relaxes from "pairwise direct link" to "connected graph".
+    pub fn allow_forwarding(mut self) -> Self {
+        self.forwarding = true;
+        self
+    }
+
+    /// Place one rank per node, in node order.
+    pub fn one_rank_per_node(mut self) -> Self {
+        self.placement = (0..self.topology.nodes().len()).map(NodeId).collect();
+        self
+    }
+
+    /// Place one rank per CPU on every node (SMP nodes get several).
+    pub fn one_rank_per_cpu(mut self) -> Self {
+        self.placement = self
+            .topology
+            .nodes()
+            .iter()
+            .enumerate()
+            .flat_map(|(i, n)| std::iter::repeat_n(NodeId(i), n.cpus))
+            .collect();
+        self
+    }
+
+    /// Explicit rank -> node placement.
+    pub fn place(mut self, placement: Vec<NodeId>) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Open an additional channel over an existing network.
+    pub fn extra_channel(mut self, network: NetworkId, name: impl Into<String>) -> Self {
+        self.extra_channels.push((network, name.into()));
+        self
+    }
+
+    /// Validate the topology and instantiate channels and connections.
+    pub fn build(self, kernel: &Kernel) -> Result<Arc<Session>, TopologyError> {
+        if self.forwarding {
+            self.topology.validate_connected()?;
+        } else {
+            self.topology.validate()?;
+        }
+        assert!(!self.placement.is_empty(), "session needs at least one rank");
+        for (rank, node) in self.placement.iter().enumerate() {
+            assert!(
+                node.0 < self.topology.nodes().len(),
+                "rank {rank} placed on unknown node {}",
+                node.0
+            );
+        }
+        let mut channels = Vec::new();
+        let mut network_channel = Vec::new();
+        for (i, net) in self.topology.networks().iter().enumerate() {
+            let members = member_ranks(&self.placement, &net.members);
+            let channel = Channel::new(
+                kernel,
+                format!("{}#{}", net.protocol.name(), i),
+                net.protocol,
+                net.model.clone(),
+                members,
+            );
+            network_channel.push(channels.len());
+            channels.push(channel);
+        }
+        for (net_id, name) in self.extra_channels {
+            let net = self.topology.network(net_id);
+            let members = member_ranks(&self.placement, &net.members);
+            channels.push(Channel::new(
+                kernel,
+                name,
+                net.protocol,
+                net.model.clone(),
+                members,
+            ));
+        }
+        Ok(Arc::new(Session {
+            topology: self.topology,
+            placement: self.placement,
+            channels,
+            network_channel,
+            forwarding: self.forwarding,
+        }))
+    }
+}
+
+fn member_ranks(
+    placement: &[NodeId],
+    members: &std::collections::BTreeSet<NodeId>,
+) -> Vec<usize> {
+    placement
+        .iter()
+        .enumerate()
+        .filter(|(_, node)| members.contains(node))
+        .map(|(rank, _)| rank)
+        .collect()
+}
+
+/// A running Madeleine session: ranks placed on nodes, channels built.
+pub struct Session {
+    topology: Topology,
+    placement: Vec<NodeId>,
+    channels: Vec<Arc<Channel>>,
+    /// network index -> index into `channels` (the primary channel).
+    network_channel: Vec<usize>,
+    forwarding: bool,
+}
+
+impl Session {
+    /// Shortcut: `n` ranks, one per node, over a single network of the
+    /// given protocol.
+    pub fn single_network(
+        kernel: &Kernel,
+        n: usize,
+        protocol: Protocol,
+    ) -> Arc<Session> {
+        SessionBuilder::new(Topology::single_network(n, protocol))
+            .one_rank_per_node()
+            .build(kernel)
+            .expect("single-network topology is always valid")
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.placement.len()
+    }
+
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.placement[rank]
+    }
+
+    pub fn ranks_on_node(&self, node: NodeId) -> Vec<usize> {
+        self.placement
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n == node)
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// All channels (primary per-network channels first, then extras).
+    pub fn channels(&self) -> &[Arc<Channel>] {
+        &self.channels
+    }
+
+    /// The primary channel of a network.
+    pub fn channel_for_network(&self, net: NetworkId) -> &Arc<Channel> {
+        &self.channels[self.network_channel[net.0]]
+    }
+
+    /// Channels whose membership includes `rank`.
+    pub fn channels_of_rank(&self, rank: usize) -> Vec<Arc<Channel>> {
+        self.channels
+            .iter()
+            .filter(|c| c.is_member(rank))
+            .cloned()
+            .collect()
+    }
+
+    /// Primary channels connecting two distinct ranks on different
+    /// nodes, best (highest transfer priority) first.
+    pub fn channels_between(&self, a: usize, b: usize) -> Vec<Arc<Channel>> {
+        let (na, nb) = (self.node_of(a), self.node_of(b));
+        let mut out: Vec<Arc<Channel>> = self
+            .topology
+            .networks_between(na, nb)
+            .into_iter()
+            .map(|net| self.channel_for_network(net).clone())
+            .collect();
+        out.sort_by_key(|c| std::cmp::Reverse(c.protocol().transfer_priority()));
+        out
+    }
+
+    /// The preferred channel between two ranks (the `ch_mad` selection
+    /// rule: the fastest network both nodes share).
+    pub fn best_channel_between(&self, a: usize, b: usize) -> Option<Arc<Channel>> {
+        self.channels_between(a, b).into_iter().next()
+    }
+
+    /// Endpoint of `rank` on the primary channel of `net`.
+    pub fn endpoint(&self, net: NetworkId, rank: usize) -> Endpoint {
+        self.channel_for_network(net).endpoint(rank)
+    }
+
+    /// Whether forwarding across gateway nodes is enabled.
+    pub fn forwarding_enabled(&self) -> bool {
+        self.forwarding
+    }
+
+    /// The rank path from `a` to `b`: `[a, gateways..., b]`. One rank
+    /// per gateway node (the lowest-numbered rank hosted there, a
+    /// deterministic choice). `None` when the nodes are unreachable or
+    /// forwarding is disabled and the path is indirect.
+    pub fn route_between(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        let node_path = self.topology.node_route(self.node_of(a), self.node_of(b))?;
+        if node_path.len() > 2 && !self.forwarding {
+            return None;
+        }
+        let mut ranks = Vec::with_capacity(node_path.len());
+        ranks.push(a);
+        if node_path.len() > 2 {
+            for node in &node_path[1..node_path.len() - 1] {
+                let gateway = *self
+                    .ranks_on_node(*node)
+                    .first()
+                    .expect("gateway node hosts at least one rank");
+                ranks.push(gateway);
+            }
+        }
+        if b != a {
+            ranks.push(b);
+        }
+        Some(ranks)
+    }
+
+    /// The next hop from `from` toward `final_dst` plus whether that hop
+    /// is the final one. Panics when unreachable (callers validate at
+    /// session build).
+    pub fn next_hop(&self, from: usize, final_dst: usize) -> (usize, bool) {
+        let route = self
+            .route_between(from, final_dst)
+            .unwrap_or_else(|| panic!("no route from rank {from} to rank {final_dst}"));
+        assert!(route.len() >= 2, "next_hop requires distinct ranks");
+        (route[1], route.len() == 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marcel::CostModel;
+
+    #[test]
+    fn single_network_session() {
+        let k = Kernel::new(CostModel::free());
+        let s = Session::single_network(&k, 4, Protocol::Tcp);
+        assert_eq!(s.n_ranks(), 4);
+        assert_eq!(s.channels().len(), 1);
+        assert_eq!(s.channels()[0].members(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn meta_cluster_channel_membership() {
+        let k = Kernel::new(CostModel::free());
+        let s = SessionBuilder::new(Topology::meta_cluster(2))
+            .one_rank_per_node()
+            .build(&k)
+            .unwrap();
+        // Networks: SCI {0,1}, BIP {2,3}, TCP {0,1,2,3}.
+        assert_eq!(s.channels().len(), 3);
+        let sci = s.channel_for_network(NetworkId(0));
+        assert_eq!(sci.members(), &[0, 1]);
+        let bip = s.channel_for_network(NetworkId(1));
+        assert_eq!(bip.members(), &[2, 3]);
+        let tcp = s.channel_for_network(NetworkId(2));
+        assert_eq!(tcp.members(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn best_channel_selection() {
+        let k = Kernel::new(CostModel::free());
+        let s = SessionBuilder::new(Topology::meta_cluster(2))
+            .one_rank_per_node()
+            .build(&k)
+            .unwrap();
+        assert_eq!(s.best_channel_between(0, 1).unwrap().protocol(), Protocol::Sisci);
+        assert_eq!(s.best_channel_between(2, 3).unwrap().protocol(), Protocol::Bip);
+        assert_eq!(s.best_channel_between(0, 2).unwrap().protocol(), Protocol::Tcp);
+        assert_eq!(s.best_channel_between(1, 3).unwrap().protocol(), Protocol::Tcp);
+    }
+
+    #[test]
+    fn smp_placement() {
+        let k = Kernel::new(CostModel::free());
+        let s = SessionBuilder::new(Topology::meta_cluster(2))
+            .one_rank_per_cpu()
+            .build(&k)
+            .unwrap();
+        // 4 dual-CPU nodes -> 8 ranks.
+        assert_eq!(s.n_ranks(), 8);
+        assert_eq!(s.ranks_on_node(NodeId(0)), vec![0, 1]);
+        assert_eq!(s.node_of(7), NodeId(3));
+    }
+
+    #[test]
+    fn extra_channel_over_same_network() {
+        let k = Kernel::new(CostModel::free());
+        let s = SessionBuilder::new(Topology::single_network(2, Protocol::Sisci))
+            .one_rank_per_node()
+            .extra_channel(NetworkId(0), "module-b")
+            .build(&k)
+            .unwrap();
+        assert_eq!(s.channels().len(), 2);
+        assert_eq!(s.channels()[1].name(), "module-b");
+        assert_eq!(s.channels()[0].protocol(), s.channels()[1].protocol());
+    }
+
+    #[test]
+    fn invalid_topology_is_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", 1);
+        let b = t.add_node("b", 1);
+        let c = t.add_node("c", 1);
+        t.add_network(Protocol::Sisci, [a, b]);
+        t.add_network(Protocol::Bip, [b, c]);
+        let k = Kernel::new(CostModel::free());
+        let err = SessionBuilder::new(t).one_rank_per_node().build(&k);
+        assert!(err.is_err());
+    }
+}
+
+#[cfg(test)]
+mod forwarding_tests {
+    use super::*;
+    use marcel::CostModel;
+    use simnet::Protocol;
+
+    fn chain_session(kernel: &Kernel) -> Arc<Session> {
+        let mut t = Topology::new();
+        let a = t.add_node("a", 1);
+        let b = t.add_node("b", 2);
+        let c = t.add_node("c", 1);
+        t.add_network(Protocol::Sisci, [a, b]);
+        t.add_network(Protocol::Bip, [b, c]);
+        SessionBuilder::new(t)
+            .one_rank_per_cpu() // ranks: 0 on a; 1,2 on b; 3 on c
+            .allow_forwarding()
+            .build(kernel)
+            .unwrap()
+    }
+
+    #[test]
+    fn chain_requires_forwarding_flag() {
+        let k = Kernel::new(CostModel::free());
+        let mut t = Topology::new();
+        let a = t.add_node("a", 1);
+        let b = t.add_node("b", 1);
+        let c = t.add_node("c", 1);
+        t.add_network(Protocol::Sisci, [a, b]);
+        t.add_network(Protocol::Bip, [b, c]);
+        assert!(SessionBuilder::new(t).one_rank_per_node().build(&k).is_err());
+    }
+
+    #[test]
+    fn route_uses_lowest_rank_gateway() {
+        let k = Kernel::new(CostModel::free());
+        let s = chain_session(&k);
+        assert_eq!(s.route_between(0, 3), Some(vec![0, 1, 3]));
+        assert_eq!(s.route_between(3, 0), Some(vec![3, 1, 0]));
+        assert_eq!(s.route_between(0, 2), Some(vec![0, 2]));
+        assert_eq!(s.route_between(1, 2), Some(vec![1, 2]), "same node is direct");
+    }
+
+    #[test]
+    fn next_hop_walks_the_route() {
+        let k = Kernel::new(CostModel::free());
+        let s = chain_session(&k);
+        assert_eq!(s.next_hop(0, 3), (1, false));
+        assert_eq!(s.next_hop(1, 3), (3, true));
+        assert_eq!(s.next_hop(3, 0), (1, false));
+        assert_eq!(s.next_hop(1, 0), (0, true));
+    }
+
+    #[test]
+    fn direct_pairs_have_two_rank_routes_without_the_flag() {
+        let k = Kernel::new(CostModel::free());
+        let s = Session::single_network(&k, 3, Protocol::Tcp);
+        assert!(!s.forwarding_enabled());
+        assert_eq!(s.route_between(0, 2), Some(vec![0, 2]));
+    }
+}

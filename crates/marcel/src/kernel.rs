@@ -1,0 +1,569 @@
+//! The deterministic virtual-time thread kernel.
+//!
+//! # Execution model
+//!
+//! Every simulated ("Marcel") thread is backed by a real OS thread, but
+//! **exactly one simulated thread executes at a time**. Whenever the
+//! running thread performs a kernel operation (advance, yield, semaphore
+//! op, poll, spawn, join, exit) the kernel re-evaluates which thread should
+//! run next: the runnable thread with the smallest `(virtual time, thread
+//! id)` pair. Between kernel operations a thread only touches its own
+//! data, so this total order of kernel operations by virtual time yields a
+//! *deterministic, causally consistent* simulation: the same program
+//! produces the same virtual-time trace on every run.
+//!
+//! # Why real threads and not an event loop
+//!
+//! The system under reproduction (MPICH/Madeleine, §4.2.3 of the paper) is
+//! written in blocking style: polling threads block in
+//! `mad_begin_unpacking`, the MPI control thread blocks on a rendezvous
+//! semaphore, `MPI_Isend` spawns a worker thread. Backing simulated
+//! threads with real stacks lets the reproduction keep exactly that
+//! structure instead of inverting it into state machines.
+//!
+//! # Polling model
+//!
+//! Madeleine/Marcel integrate polling: each network channel is polled by a
+//! dedicated thread, and Marcel *factorizes* the poll requests into one
+//! polling loop whose iteration cost is the sum of the per-protocol poll
+//! costs. The kernel models the consequence directly: a message arriving
+//! at virtual time `a` on a source whose process currently poll-waits on
+//! sources with total poll cost `C` is *noticed* at `max(a, block time) +
+//! C`. This is what makes the paper's Figure 9 (SCI + TCP polling thread)
+//! reproducible: adding a TCP channel adds TCP's expensive `select`-style
+//! poll cost to every detection on the SCI channel.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use crate::cost::CostModel;
+use crate::time::{VirtualDuration, VirtualTime};
+
+/// Identifier of a simulated thread.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tid(pub(crate) usize);
+
+impl Tid {
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a poll source (see [`crate::poll`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SourceId(pub(crate) usize);
+
+/// Identifier of a kernel semaphore.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct SemId(pub(crate) usize);
+
+/// Process grouping for polling interference: poll sources of the same
+/// process share one polling loop, so their poll costs add up (this is a
+/// *simulation* process, i.e. an MPI rank, not an OS process).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+/// Errors surfaced by [`Kernel::run`].
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// No thread can ever make progress again; the message contains a
+    /// dump of every live thread's state.
+    Deadlock(String),
+    /// A simulated thread panicked; the simulation was aborted.
+    ThreadPanicked(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(d) => write!(f, "simulation deadlock:\n{d}"),
+            SimError::ThreadPanicked(m) => write!(f, "simulated thread panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+pub(crate) enum TState {
+    /// Eligible to run.
+    Ready,
+    /// Currently executing (at most one thread).
+    Running,
+    /// Waiting on a semaphore.
+    BlockedSem(SemId),
+    /// Waiting for another thread to finish.
+    BlockedJoin(Tid),
+    /// Waiting in `poll_wait` on a source with an empty queue.
+    BlockedPoll(SourceId),
+    /// Sleeping until an absolute virtual time.
+    Sleeping(VirtualTime),
+    /// Finished.
+    Done,
+}
+
+impl TState {
+    fn describe(&self) -> String {
+        match self {
+            TState::Ready => "ready".into(),
+            TState::Running => "running".into(),
+            TState::BlockedSem(s) => format!("blocked on semaphore #{}", s.0),
+            TState::BlockedJoin(t) => format!("joining thread #{}", t.0),
+            TState::BlockedPoll(s) => format!("poll-waiting on source #{}", s.0),
+            TState::Sleeping(t) => format!("sleeping until {t}"),
+            TState::Done => "done".into(),
+        }
+    }
+}
+
+pub(crate) struct ThreadSlot {
+    pub(crate) name: String,
+    pub(crate) vtime: VirtualTime,
+    pub(crate) state: TState,
+    pub(crate) joiners: Vec<Tid>,
+    /// Payload handed to a thread woken from `poll_wait`.
+    pub(crate) wake_payload: Option<Box<dyn Any + Send>>,
+}
+
+pub(crate) struct SemState {
+    pub(crate) count: u64,
+    pub(crate) waiters: VecDeque<Tid>,
+}
+
+pub(crate) struct SourceState {
+    pub(crate) proc: ProcId,
+    pub(crate) poll_cost: VirtualDuration,
+    /// In-flight and arrived messages, sorted by (arrival, post sequence).
+    pub(crate) queue: VecDeque<(VirtualTime, u64, Box<dyn Any + Send>)>,
+    /// The thread currently blocked in `poll_wait` on this source, if any.
+    pub(crate) waiter: Option<Tid>,
+    /// A source counts toward the process polling cycle while some thread
+    /// services it (a polling thread is attached, even if momentarily not
+    /// blocked). Registered on first `poll_wait`, cleared on `detach`.
+    pub(crate) attached: bool,
+    pub(crate) closed: bool,
+}
+
+/// One entry of the (optional) deterministic event trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub time: VirtualTime,
+    pub tid: usize,
+    pub what: String,
+}
+
+pub(crate) struct Sched {
+    pub(crate) threads: Vec<ThreadSlot>,
+    pub(crate) running: Option<Tid>,
+    pub(crate) live: usize,
+    pub(crate) started: bool,
+    pub(crate) abort: Option<String>,
+    pub(crate) deadlock: Option<String>,
+    pub(crate) sems: Vec<SemState>,
+    pub(crate) sources: Vec<SourceState>,
+    pub(crate) post_seq: u64,
+    pub(crate) trace: Option<Vec<TraceEvent>>,
+}
+
+impl Sched {
+    pub(crate) fn record(&mut self, tid: Tid, what: impl FnOnce() -> String) {
+        if let Some(trace) = &mut self.trace {
+            let time = self.threads[tid.0].vtime;
+            trace.push(TraceEvent { time, tid: tid.0, what: what() });
+        }
+    }
+
+    fn dump(&self) -> String {
+        let mut out = String::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            if matches!(t.state, TState::Done) {
+                continue;
+            }
+            out.push_str(&format!(
+                "  thread #{i} '{}' at {}: {}\n",
+                t.name,
+                t.vtime,
+                t.state.describe()
+            ));
+        }
+        out
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) state: Mutex<Sched>,
+    pub(crate) cv: Condvar,
+    pub(crate) cost: CostModel,
+}
+
+impl Shared {
+    /// Sum of poll costs of all *attached* sources in `proc` — the cost of
+    /// one iteration of that process's factorized polling loop.
+    pub(crate) fn polling_cycle(sched: &Sched, proc: ProcId) -> VirtualDuration {
+        sched
+            .sources
+            .iter()
+            .filter(|s| s.attached && s.proc == proc && !s.closed)
+            .map(|s| s.poll_cost)
+            .sum()
+    }
+
+    /// Pick the best next thread: the Ready thread or due Sleeper with the
+    /// smallest `(vtime, tid)`. Returns `None` when nothing can run.
+    fn best_candidate(sched: &Sched) -> Option<Tid> {
+        let mut best: Option<(VirtualTime, usize)> = None;
+        for (i, t) in sched.threads.iter().enumerate() {
+            let key = match t.state {
+                TState::Ready => t.vtime,
+                TState::Sleeping(wake) => wake,
+                _ => continue,
+            };
+            if best.is_none_or(|(bt, bi)| (key, i) < (bt, bi)) {
+                best = Some((key, i));
+            }
+        }
+        best.map(|(_, i)| Tid(i))
+    }
+
+    /// Make `next` the running thread (waking it from Sleeping if needed)
+    /// and notify every parked OS thread so the right one resumes.
+    fn commit(&self, sched: &mut Sched, next: Tid) {
+        let slot = &mut sched.threads[next.0];
+        if let TState::Sleeping(wake) = slot.state {
+            if wake > slot.vtime {
+                slot.vtime = wake;
+            }
+        }
+        slot.state = TState::Running;
+        sched.running = Some(next);
+        self.cv.notify_all();
+    }
+
+    /// Schedule the next thread after the current one stopped running
+    /// (blocked or exited). Declares a deadlock when no thread can ever
+    /// run again.
+    pub(crate) fn dispatch(&self, sched: &mut Sched) {
+        sched.running = None;
+        if let Some(next) = Self::best_candidate(sched) {
+            self.commit(sched, next);
+            return;
+        }
+        if sched.live == 0 {
+            // Normal termination: wake `run()`.
+            self.cv.notify_all();
+            return;
+        }
+        let msg = format!("no runnable thread among {} live:\n{}", sched.live, sched.dump());
+        sched.deadlock = Some(msg);
+        self.cv.notify_all();
+    }
+
+    /// Re-evaluate scheduling at the end of a kernel operation performed
+    /// by the running thread `me`. If another thread now has a smaller
+    /// `(vtime, tid)`, switch to it and park until rescheduled.
+    pub(crate) fn reschedule(&self, sched: &mut MutexGuard<'_, Sched>, me: Tid) {
+        debug_assert!(matches!(sched.threads[me.0].state, TState::Running));
+        sched.threads[me.0].state = TState::Ready;
+        let next = Self::best_candidate(sched).expect("running thread is always a candidate");
+        self.commit(sched, next);
+        if next != me {
+            self.wait_until_running(sched, me);
+        }
+    }
+
+    /// Block the running thread `me` with `state` and run something else.
+    /// Returns once `me` is scheduled again.
+    pub(crate) fn block(&self, sched: &mut MutexGuard<'_, Sched>, me: Tid, state: TState) {
+        sched.threads[me.0].state = state;
+        self.dispatch(sched);
+        self.wait_until_running(sched, me);
+    }
+
+    /// Mark `target` runnable no earlier than `at`.
+    pub(crate) fn make_ready(sched: &mut Sched, target: Tid, at: VirtualTime) {
+        let slot = &mut sched.threads[target.0];
+        if at > slot.vtime {
+            slot.vtime = at;
+        }
+        slot.state = TState::Ready;
+    }
+
+    /// Park the calling OS thread until its simulated thread is scheduled.
+    /// On abort/deadlock the OS thread parks forever (the simulation is
+    /// unrecoverable; `Kernel::run` reports the error).
+    pub(crate) fn wait_until_running(&self, sched: &mut MutexGuard<'_, Sched>, me: Tid) {
+        loop {
+            if sched.abort.is_some() || sched.deadlock.is_some() {
+                loop {
+                    self.cv.wait(sched);
+                }
+            }
+            if sched.running == Some(me) {
+                return;
+            }
+            self.cv.wait(sched);
+        }
+    }
+
+    /// Bookkeeping when a simulated thread finishes (normally or by
+    /// panic). Wakes joiners and schedules the next thread.
+    pub(crate) fn thread_exit(&self, me: Tid, panic_msg: Option<String>) {
+        let mut sched = self.state.lock();
+        let vtime = sched.threads[me.0].vtime;
+        sched.record(me, || "exit".to_string());
+        sched.threads[me.0].state = TState::Done;
+        sched.live -= 1;
+        let joiners = std::mem::take(&mut sched.threads[me.0].joiners);
+        let wake_at = vtime + self.cost.wake;
+        for j in joiners {
+            Self::make_ready(&mut sched, j, wake_at);
+        }
+        if let Some(msg) = panic_msg {
+            sched.abort = Some(msg);
+            self.cv.notify_all();
+            return;
+        }
+        self.dispatch(&mut sched);
+    }
+}
+
+/// Handle to a virtual-time simulation.
+///
+/// Spawn the root threads with [`Kernel::spawn`], then call
+/// [`Kernel::run`], which blocks (in real time) until every simulated
+/// thread has finished and returns the simulation outcome.
+#[derive(Clone)]
+pub struct Kernel {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Kernel {
+    /// Create a kernel with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        Kernel {
+            shared: Arc::new(Shared {
+                state: Mutex::new(Sched {
+                    threads: Vec::new(),
+                    running: None,
+                    live: 0,
+                    started: false,
+                    abort: None,
+                    deadlock: None,
+                    sems: Vec::new(),
+                    sources: Vec::new(),
+                    post_seq: 0,
+                    trace: None,
+                }),
+                cv: Condvar::new(),
+                cost,
+            }),
+        }
+    }
+
+    /// Create a kernel with the calibrated default cost model.
+    pub fn calibrated() -> Self {
+        Kernel::new(CostModel::calibrated())
+    }
+
+    /// The kernel's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.shared.cost
+    }
+
+    /// Record a deterministic event trace during the run (see
+    /// [`Kernel::take_trace`]).
+    pub fn enable_trace(&self) {
+        self.shared.state.lock().trace = Some(Vec::new());
+    }
+
+    /// Take the recorded trace (empty if tracing was never enabled).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.shared.state.lock().trace.take().unwrap_or_default()
+    }
+
+    /// Spawn a simulated thread starting at virtual time zero. Must be
+    /// called before [`Kernel::run`]; inside the simulation use
+    /// [`crate::spawn`] instead, which charges the spawn cost to the
+    /// parent.
+    pub fn spawn<T, F>(&self, name: impl Into<String>, f: F) -> crate::thread::JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        crate::thread::spawn_inner(&self.shared, name.into(), VirtualTime::ZERO, f)
+    }
+
+    /// Run the simulation to completion. Returns an error on deadlock or
+    /// when a simulated thread panics (in which case remaining parked OS
+    /// threads are leaked — the simulation is unrecoverable).
+    pub fn run(&self) -> Result<(), SimError> {
+        let mut sched = self.shared.state.lock();
+        assert!(!sched.started, "Kernel::run called twice");
+        sched.started = true;
+        if sched.live > 0 {
+            self.shared.dispatch(&mut sched);
+        }
+        loop {
+            if let Some(msg) = &sched.abort {
+                return Err(SimError::ThreadPanicked(msg.clone()));
+            }
+            if let Some(msg) = &sched.deadlock {
+                return Err(SimError::Deadlock(msg.clone()));
+            }
+            if sched.live == 0 {
+                return Ok(());
+            }
+            self.shared.cv.wait(&mut sched);
+        }
+    }
+
+    /// Virtual time at which the last simulated thread finished.
+    pub fn end_time(&self) -> VirtualTime {
+        let sched = self.shared.state.lock();
+        sched
+            .threads
+            .iter()
+            .map(|t| t.vtime)
+            .max()
+            .unwrap_or(VirtualTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::Semaphore;
+    use crate::thread;
+
+    #[test]
+    fn empty_kernel_runs() {
+        let k = Kernel::new(CostModel::free());
+        k.run().unwrap();
+    }
+
+    #[test]
+    fn single_thread_advances_time() {
+        let k = Kernel::new(CostModel::free());
+        let h = k.spawn("t", || {
+            thread::advance(VirtualDuration::from_micros(5));
+            thread::now()
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), VirtualTime(5_000));
+    }
+
+    #[test]
+    fn threads_interleave_by_virtual_time() {
+        // Thread A advances 10us per step, thread B 3us per step; the
+        // kernel must always run the thread with the smaller clock, so
+        // B completes several steps before A's first step finishes.
+        let k = Kernel::new(CostModel::free());
+        let log = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let la = log.clone();
+        k.spawn("a", move || {
+            for i in 0..3 {
+                thread::advance(VirtualDuration::from_micros(10));
+                la.lock().push(("a", i, thread::now()));
+            }
+        });
+        let lb = log.clone();
+        k.spawn("b", move || {
+            for i in 0..3 {
+                thread::advance(VirtualDuration::from_micros(3));
+                lb.lock().push(("b", i, thread::now()));
+            }
+        });
+        k.run().unwrap();
+        let events = log.lock().clone();
+        let times: Vec<u64> = events.iter().map(|(_, _, t)| t.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "events must be logged in virtual-time order");
+        // b at 3,6,9 all precede a's 10.
+        assert_eq!(events[0].0, "b");
+        assert_eq!(events[1].0, "b");
+        assert_eq!(events[2].0, "b");
+        assert_eq!(events[3].0, "a");
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reported() {
+        let k = Kernel::new(CostModel::free());
+        let sem = Semaphore::new(&k, 0);
+        k.spawn("stuck", move || {
+            sem.acquire();
+        });
+        match k.run() {
+            Err(SimError::Deadlock(msg)) => {
+                assert!(msg.contains("stuck"), "dump should name the thread: {msg}");
+                assert!(msg.contains("semaphore"), "dump should say why: {msg}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_in_thread_aborts_run() {
+        let k = Kernel::new(CostModel::free());
+        k.spawn("boom", || panic!("intentional"));
+        match k.run() {
+            Err(SimError::ThreadPanicked(msg)) => assert!(msg.contains("intentional")),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_across_runs() {
+        fn run_once() -> Vec<TraceEvent> {
+            let k = Kernel::new(CostModel::calibrated());
+            k.enable_trace();
+            let sem = Semaphore::new(&k, 0);
+            let sem2 = sem.clone();
+            k.spawn("producer", move || {
+                for _ in 0..10 {
+                    thread::advance(VirtualDuration::from_micros(7));
+                    sem2.release();
+                }
+            });
+            k.spawn("consumer", move || {
+                for _ in 0..10 {
+                    sem.acquire();
+                    thread::advance(VirtualDuration::from_micros(2));
+                }
+            });
+            k.run().unwrap();
+            k.take_trace()
+        }
+        let a = run_once();
+        let b = run_once();
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn end_time_reflects_last_thread() {
+        let k = Kernel::new(CostModel::free());
+        k.spawn("short", || thread::advance(VirtualDuration::from_micros(1)));
+        k.spawn("long", || thread::advance(VirtualDuration::from_micros(90)));
+        k.run().unwrap();
+        assert_eq!(k.end_time(), VirtualTime(90_000));
+    }
+
+    #[test]
+    fn sleep_wakes_in_order() {
+        let k = Kernel::new(CostModel::free());
+        let log = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for (name, us) in [("late", 50u64), ("early", 10), ("mid", 30)] {
+            let log = log.clone();
+            k.spawn(name, move || {
+                thread::sleep(VirtualDuration::from_micros(us));
+                log.lock().push(name);
+            });
+        }
+        k.run().unwrap();
+        assert_eq!(*log.lock(), vec!["early", "mid", "late"]);
+    }
+}

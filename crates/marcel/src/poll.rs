@@ -1,0 +1,415 @@
+//! Poll sources: the Marcel/Madeleine polling integration.
+//!
+//! A [`PollSource`] models one pollable communication endpoint (one
+//! Madeleine channel's incoming side on one process). A *polling thread*
+//! blocks in [`PollSource::poll_wait`]; senders [`PollSource::post`]
+//! messages with an absolute *arrival* virtual time computed by the
+//! network model.
+//!
+//! # Detection-delay model
+//!
+//! Marcel factorizes the poll requests of all channels of a process into
+//! one polling loop (paper §3.3). One loop iteration therefore costs the
+//! *sum* of the per-protocol poll costs of every channel currently being
+//! serviced. The kernel models the observable consequence: a message
+//! arriving at `a` is noticed at
+//!
+//! ```text
+//! max(a, waiter clock) + Σ poll_cost(attached sources of the process)
+//! ```
+//!
+//! Attaching a second channel (e.g. TCP, whose poll is an expensive
+//! `select`) therefore slows *every* detection on the first channel
+//! (e.g. SCI) — precisely the effect the paper measures in Figure 9. The
+//! `CostModel::poll_cycle_scale` knob turns this into an ablation.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::kernel::{Kernel, ProcId, Shared, SourceId, SourceState, TState};
+use crate::thread::current;
+use crate::time::{VirtualDuration, VirtualTime};
+
+/// A message received from a poll source: the wire arrival time and the
+/// payload.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Polled<T> {
+    pub arrival: VirtualTime,
+    pub payload: T,
+}
+
+/// Typed pollable message source. Clone to share between the posting and
+/// polling sides.
+pub struct PollSource<T> {
+    shared: Arc<Shared>,
+    id: SourceId,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for PollSource<T> {
+    fn clone(&self) -> Self {
+        PollSource {
+            shared: self.shared.clone(),
+            id: self.id,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Send + 'static> PollSource<T> {
+    /// Create a source belonging to process `proc` whose single poll
+    /// attempt costs `poll_cost` (protocol-dependent: cheap for SCI,
+    /// expensive for TCP's `select`).
+    pub fn new(kernel: &Kernel, proc: ProcId, poll_cost: VirtualDuration) -> Self {
+        Self::with_shared(kernel.shared.clone(), proc, poll_cost)
+    }
+
+    /// Create on the current simulated thread's kernel.
+    pub fn current(proc: ProcId, poll_cost: VirtualDuration) -> Self {
+        let (shared, _) = current();
+        Self::with_shared(shared, proc, poll_cost)
+    }
+
+    fn with_shared(shared: Arc<Shared>, proc: ProcId, poll_cost: VirtualDuration) -> Self {
+        let id = {
+            let mut sched = shared.state.lock();
+            let id = SourceId(sched.sources.len());
+            sched.sources.push(SourceState {
+                proc,
+                poll_cost,
+                queue: Default::default(),
+                waiter: None,
+                attached: false,
+                closed: false,
+            });
+            id
+        };
+        PollSource {
+            shared,
+            id,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Kernel-level id (diagnostics).
+    pub fn id(&self) -> usize {
+        self.id.0
+    }
+
+    /// Register this source in its process's polling cycle without
+    /// blocking. `poll_wait` attaches implicitly; an explicit attach lets
+    /// a benchmark model "a polling thread exists for this channel" even
+    /// before its first wait.
+    pub fn attach(&self) {
+        self.shared.state.lock().sources[self.id.0].attached = true;
+    }
+
+    /// Remove this source from its process's polling cycle (the polling
+    /// thread exited).
+    pub fn detach(&self) {
+        self.shared.state.lock().sources[self.id.0].attached = false;
+    }
+
+    /// Post a message that arrives on the wire at absolute virtual time
+    /// `arrival`. Must be called from a simulated thread. Messages are
+    /// delivered in `(arrival, post order)` order.
+    pub fn post(&self, arrival: VirtualTime, payload: T) {
+        let (shared, me) = current();
+        debug_assert!(Arc::ptr_eq(&shared, &self.shared), "source used across kernels");
+        let mut sched = shared.state.lock();
+        assert!(
+            !sched.sources[self.id.0].closed,
+            "post on closed poll source #{}",
+            self.id.0
+        );
+        let seq = sched.post_seq;
+        sched.post_seq += 1;
+        // Insert sorted by (arrival, seq): scan from the back, since
+        // arrivals are mostly monotone.
+        {
+            let queue = &mut sched.sources[self.id.0].queue;
+            let pos = queue
+                .iter()
+                .rposition(|(a, s, _)| (*a, *s) <= (arrival, seq))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            queue.insert(pos, (arrival, seq, Box::new(payload)));
+        }
+        if let Some(w) = sched.sources[self.id.0].waiter.take() {
+            let proc = sched.sources[self.id.0].proc;
+            let cycle = shared.cost.scaled_cycle(Shared::polling_cycle(&sched, proc));
+            let (head_arrival, _, head) = sched.sources[self.id.0]
+                .queue
+                .pop_front()
+                .expect("just inserted");
+            let blocked_at = sched.threads[w.0].vtime;
+            let notice = std::cmp::max(head_arrival, blocked_at) + cycle;
+            sched.threads[w.0].wake_payload = Some(Box::new(Polled {
+                arrival: head_arrival,
+                payload: *head.downcast::<T>().expect("poll source type confusion"),
+            }));
+            Shared::make_ready(&mut sched, w, notice);
+            sched.record(me, || format!("post->wake src#{}", self.id.0));
+        }
+        shared.reschedule(&mut sched, me);
+    }
+
+    /// Block until a message is noticed by the polling loop; returns
+    /// `None` once the source is closed and drained. The caller's clock
+    /// advances to the notice time.
+    pub fn poll_wait(&self) -> Option<Polled<T>> {
+        let (shared, me) = current();
+        let mut sched = shared.state.lock();
+        sched.sources[self.id.0].attached = true;
+        let proc = sched.sources[self.id.0].proc;
+        if let Some((arrival, _, payload)) = sched.sources[self.id.0].queue.pop_front() {
+            let cycle = shared.cost.scaled_cycle(Shared::polling_cycle(&sched, proc));
+            let slot = &mut sched.threads[me.0];
+            let notice = std::cmp::max(arrival, slot.vtime) + cycle;
+            slot.vtime = notice;
+            sched.record(me, || format!("polled src#{} (queued)", self.id.0));
+            shared.reschedule(&mut sched, me);
+            return Some(Polled {
+                arrival,
+                payload: *payload.downcast::<T>().expect("poll source type confusion"),
+            });
+        }
+        if sched.sources[self.id.0].closed {
+            shared.reschedule(&mut sched, me);
+            return None;
+        }
+        assert!(
+            sched.sources[self.id.0].waiter.is_none(),
+            "two threads poll-waiting on source #{}",
+            self.id.0
+        );
+        sched.sources[self.id.0].waiter = Some(me);
+        shared.block(&mut sched, me, TState::BlockedPoll(self.id));
+        // Woken either by a post (payload present) or by close (absent).
+        sched.record(me, || format!("polled src#{} (waited)", self.id.0));
+        let payload = sched.threads[me.0].wake_payload.take();
+        drop(sched);
+        payload.map(|p| *p.downcast::<Polled<T>>().expect("poll source type confusion"))
+    }
+
+    /// One explicit poll attempt: charges this source's own poll cost and
+    /// returns a message only if one had arrived by the (charged) clock.
+    pub fn try_poll(&self) -> Option<Polled<T>> {
+        let (shared, me) = current();
+        let mut sched = shared.state.lock();
+        let cost = sched.sources[self.id.0].poll_cost;
+        sched.threads[me.0].vtime += cost;
+        let now = sched.threads[me.0].vtime;
+        let due = sched.sources[self.id.0]
+            .queue
+            .front()
+            .is_some_and(|(a, _, _)| *a <= now);
+        let result = if due {
+            let (arrival, _, payload) = sched.sources[self.id.0].queue.pop_front().unwrap();
+            Some(Polled {
+                arrival,
+                payload: *payload.downcast::<T>().expect("poll source type confusion"),
+            })
+        } else {
+            None
+        };
+        shared.reschedule(&mut sched, me);
+        result
+    }
+
+    /// Close the source: the blocked poller (if any) wakes with `None`,
+    /// and future `poll_wait`s return `None` once the queue drains.
+    pub fn close(&self) {
+        let (shared, me) = current();
+        let mut sched = shared.state.lock();
+        sched.sources[self.id.0].closed = true;
+        if let Some(w) = sched.sources[self.id.0].waiter.take() {
+            let at = sched.threads[me.0].vtime + shared.cost.wake;
+            Shared::make_ready(&mut sched, w, at);
+        }
+        shared.reschedule(&mut sched, me);
+    }
+
+    /// Number of queued (arrived or in-flight) messages.
+    pub fn backlog(&self) -> usize {
+        self.shared.state.lock().sources[self.id.0].queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::kernel::Kernel;
+    use crate::thread::{advance, now};
+    use crate::time::{VirtualDuration, VirtualTime};
+
+    fn us(n: u64) -> VirtualDuration {
+        VirtualDuration::from_micros(n)
+    }
+
+    #[test]
+    fn message_noticed_one_cycle_after_arrival() {
+        let k = Kernel::new(CostModel::free());
+        let src = PollSource::<u32>::new(&k, ProcId(0), us(2));
+        let rx = src.clone();
+        let h = k.spawn("poller", move || {
+            let m = rx.poll_wait().unwrap();
+            (m.arrival, m.payload, now())
+        });
+        k.spawn("sender", move || {
+            advance(us(10));
+            // Arrives 5us after the send clock.
+            src.post(now() + us(5), 7);
+        });
+        k.run().unwrap();
+        let (arrival, payload, noticed) = h.join_outcome().unwrap();
+        assert_eq!(payload, 7);
+        assert_eq!(arrival, VirtualTime(15_000));
+        // Noticed = arrival + own poll cost (only source in the proc).
+        assert_eq!(noticed, VirtualTime(17_000));
+    }
+
+    #[test]
+    fn second_attached_source_slows_detection() {
+        // The Figure 9 mechanism: attaching a TCP-like source (expensive
+        // poll) to the same process delays SCI-like detections by the
+        // TCP poll cost.
+        fn detection(with_tcp: bool) -> VirtualTime {
+            let k = Kernel::new(CostModel::free());
+            let sci = PollSource::<u32>::new(&k, ProcId(0), us(1));
+            if with_tcp {
+                let tcp = PollSource::<u32>::new(&k, ProcId(0), us(6));
+                tcp.attach();
+            }
+            let rx = sci.clone();
+            let h = k.spawn("poller", move || {
+                rx.poll_wait().unwrap();
+                now()
+            });
+            k.spawn("sender", move || {
+                sci.post(VirtualTime(10_000), 1);
+            });
+            k.run().unwrap();
+            h.join_outcome().unwrap()
+        }
+        assert_eq!(detection(false), VirtualTime(11_000));
+        assert_eq!(detection(true), VirtualTime(17_000));
+    }
+
+    #[test]
+    fn sources_in_other_processes_do_not_interfere() {
+        let k = Kernel::new(CostModel::free());
+        let sci = PollSource::<u32>::new(&k, ProcId(0), us(1));
+        let other = PollSource::<u32>::new(&k, ProcId(1), us(50));
+        other.attach();
+        let rx = sci.clone();
+        let h = k.spawn("poller", move || {
+            rx.poll_wait().unwrap();
+            now()
+        });
+        k.spawn("sender", move || sci.post(VirtualTime(10_000), 1));
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), VirtualTime(11_000));
+    }
+
+    #[test]
+    fn oracle_polling_ablation_removes_cycle() {
+        let k = Kernel::new(CostModel::free().with_oracle_polling());
+        let src = PollSource::<u32>::new(&k, ProcId(0), us(4));
+        let rx = src.clone();
+        let h = k.spawn("poller", move || {
+            rx.poll_wait().unwrap();
+            now()
+        });
+        k.spawn("sender", move || src.post(VirtualTime(10_000), 1));
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), VirtualTime(10_000));
+    }
+
+    #[test]
+    fn delivery_order_is_by_arrival_then_post_order() {
+        let k = Kernel::new(CostModel::free());
+        let src = PollSource::<&'static str>::new(&k, ProcId(0), VirtualDuration::ZERO);
+        let rx = src.clone();
+        let h = k.spawn("poller", move || {
+            // Wait until everything is posted.
+            advance(us(100));
+            (0..3).map(|_| rx.poll_wait().unwrap().payload).collect::<Vec<_>>()
+        });
+        k.spawn("sender", move || {
+            src.post(VirtualTime(30_000), "late");
+            src.post(VirtualTime(10_000), "early");
+            src.post(VirtualTime(10_000), "early2");
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), vec!["early", "early2", "late"]);
+    }
+
+    #[test]
+    fn poll_wait_with_queued_message_does_not_block() {
+        let k = Kernel::new(CostModel::free());
+        let src = PollSource::<u32>::new(&k, ProcId(0), us(1));
+        let h = k.spawn("t", move || {
+            src.post(VirtualTime(5_000), 42);
+            advance(us(20));
+            let m = src.poll_wait().unwrap();
+            (m.payload, now())
+        });
+        k.run().unwrap();
+        let (v, t) = h.join_outcome().unwrap();
+        assert_eq!(v, 42);
+        // Already arrived; notice = now + cycle.
+        assert_eq!(t, VirtualTime(21_000));
+    }
+
+    #[test]
+    fn close_wakes_poller_with_none() {
+        let k = Kernel::new(CostModel::free());
+        let src = PollSource::<u32>::new(&k, ProcId(0), us(1));
+        let rx = src.clone();
+        let h = k.spawn("poller", move || rx.poll_wait().is_none());
+        k.spawn("closer", move || {
+            advance(us(5));
+            src.close();
+        });
+        k.run().unwrap();
+        assert!(h.join_outcome().unwrap());
+    }
+
+    #[test]
+    fn try_poll_charges_cost_and_respects_arrival() {
+        let k = Kernel::new(CostModel::free());
+        let src = PollSource::<u32>::new(&k, ProcId(0), us(2));
+        let h = k.spawn("t", move || {
+            src.post(VirtualTime(9_000), 5);
+            // First attempt at clock 2us: nothing arrived yet.
+            let a = src.try_poll().is_none();
+            advance(us(10)); // clock 12us
+            let b = src.try_poll().map(|p| p.payload);
+            (a, b, now())
+        });
+        k.run().unwrap();
+        let (a, b, t) = h.join_outcome().unwrap();
+        assert!(a);
+        assert_eq!(b, Some(5));
+        assert_eq!(t, VirtualTime(14_000)); // 2 + 10 + 2
+    }
+
+    #[test]
+    fn detached_source_leaves_cycle() {
+        let k = Kernel::new(CostModel::free());
+        let sci = PollSource::<u32>::new(&k, ProcId(0), us(1));
+        let tcp = PollSource::<u32>::new(&k, ProcId(0), us(6));
+        tcp.attach();
+        tcp.detach();
+        let rx = sci.clone();
+        let h = k.spawn("poller", move || {
+            rx.poll_wait().unwrap();
+            now()
+        });
+        k.spawn("sender", move || sci.post(VirtualTime(10_000), 1));
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), VirtualTime(11_000));
+    }
+}

@@ -1,0 +1,354 @@
+//! Simulated thread operations: spawn, join, advance, yield, sleep.
+//!
+//! Functions in this module operate on the *current* simulated thread via
+//! a thread-local set up by the spawn wrapper, mirroring how Marcel (and
+//! `std::thread`) expose ambient operations.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::{Sched, Shared, TState, ThreadSlot, Tid};
+use crate::time::{VirtualDuration, VirtualTime};
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Shared>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// The current simulated thread's kernel handle and id.
+///
+/// Panics when called from outside a simulated thread.
+pub(crate) fn current() -> (Arc<Shared>, Tid) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("marcel operation outside a simulated thread")
+    })
+}
+
+/// True when the calling OS thread is a simulated thread.
+pub fn in_simulation() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Handle to a spawned simulated thread. Joining from inside the
+/// simulation blocks in *virtual* time until the target finishes.
+pub struct JoinHandle<T> {
+    tid: Tid,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T: Send + 'static> JoinHandle<T> {
+    /// Simulated thread id of the target.
+    pub fn tid(&self) -> usize {
+        self.tid.0
+    }
+
+    /// Block the *current simulated thread* until the target finishes and
+    /// return its result. Must be called from inside the simulation.
+    pub fn join(self) -> T {
+        let (shared, me) = current();
+        {
+            let mut sched = shared.state.lock();
+            let done = matches!(sched.threads[self.tid.0].state, TState::Done);
+            if done {
+                let end = sched.threads[self.tid.0].vtime;
+                let slot = &mut sched.threads[me.0];
+                if end > slot.vtime {
+                    slot.vtime = end;
+                }
+                shared.reschedule(&mut sched, me);
+            } else {
+                sched.threads[self.tid.0].joiners.push(me);
+                shared.block(&mut sched, me, TState::BlockedJoin(self.tid));
+            }
+        }
+        self.slot
+            .lock()
+            .take()
+            .expect("joined thread finished without a result")
+    }
+
+    /// Retrieve the result *after* `Kernel::run` returned, from outside
+    /// the simulation. Returns `None` when the thread never completed
+    /// (deadlock/abort).
+    pub fn join_outcome(self) -> Option<T> {
+        self.slot.lock().take()
+    }
+}
+
+/// Internal spawn shared by `Kernel::spawn` and [`spawn`].
+pub(crate) fn spawn_inner<T, F>(
+    shared: &Arc<Shared>,
+    name: String,
+    start: VirtualTime,
+    f: F,
+) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let tid = {
+        let mut sched = shared.state.lock();
+        let tid = Tid(sched.threads.len());
+        sched.threads.push(ThreadSlot {
+            name: name.clone(),
+            vtime: start,
+            state: TState::Ready,
+            joiners: Vec::new(),
+            wake_payload: None,
+        });
+        sched.live += 1;
+        sched.record(tid, || "spawn".to_string());
+        tid
+    };
+    let os_shared = shared.clone();
+    let os_slot = slot.clone();
+    std::thread::Builder::new()
+        .name(format!("sim-{name}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((os_shared.clone(), tid)));
+            {
+                let mut sched = os_shared.state.lock();
+                os_shared.wait_until_running(&mut sched, tid);
+            }
+            let result = catch_unwind(AssertUnwindSafe(f));
+            let panic_msg = match result {
+                Ok(v) => {
+                    *os_slot.lock() = Some(v);
+                    None
+                }
+                Err(payload) => Some(panic_to_string(payload.as_ref(), tid)),
+            };
+            os_shared.thread_exit(tid, panic_msg);
+        })
+        .expect("failed to spawn backing OS thread");
+    JoinHandle { tid, slot }
+}
+
+fn panic_to_string(payload: &(dyn std::any::Any + Send), tid: Tid) -> String {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    };
+    format!("thread #{}: {msg}", tid.0)
+}
+
+/// Spawn a simulated thread from inside the simulation. The parent is
+/// charged the spawn cost; the child starts at the parent's (charged)
+/// clock, modelling Marcel's cheap user-level thread creation.
+pub fn spawn<T, F>(name: impl Into<String>, f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (shared, me) = current();
+    let start = {
+        let mut sched = shared.state.lock();
+        let spawn_cost = shared.cost.spawn;
+        let slot = &mut sched.threads[me.0];
+        slot.vtime += spawn_cost;
+        slot.vtime
+    };
+    let handle = spawn_inner(&shared, name.into(), start, f);
+    // The child is now Ready; re-evaluate scheduling (the child has the
+    // same vtime but a larger tid, so the parent keeps running — the
+    // reschedule keeps the invariant that every kernel op re-dispatches).
+    let mut sched = shared.state.lock();
+    shared.reschedule(&mut sched, me);
+    handle
+}
+
+/// Current thread's virtual clock.
+pub fn now() -> VirtualTime {
+    let (shared, me) = current();
+    let sched = shared.state.lock();
+    sched.threads[me.0].vtime
+}
+
+/// Charge `d` of computation/occupancy to the current thread's clock.
+pub fn advance(d: VirtualDuration) {
+    let (shared, me) = current();
+    let mut sched = shared.state.lock();
+    sched.threads[me.0].vtime += d;
+    shared.reschedule(&mut sched, me);
+}
+
+/// Yield the processor (charges the yield cost).
+pub fn yield_now() {
+    let (shared, me) = current();
+    let mut sched = shared.state.lock();
+    let c = shared.cost.yield_op;
+    sched.threads[me.0].vtime += c;
+    shared.reschedule(&mut sched, me);
+}
+
+/// Sleep for `d` of virtual time.
+pub fn sleep(d: VirtualDuration) {
+    let (shared, me) = current();
+    let mut sched = shared.state.lock();
+    let wake = sched.threads[me.0].vtime + d;
+    shared.block(&mut sched, me, TState::Sleeping(wake));
+}
+
+/// Sleep until the absolute virtual time `t` (no-op if already past).
+pub fn sleep_until(t: VirtualTime) {
+    let (shared, me) = current();
+    let mut sched = shared.state.lock();
+    if sched.threads[me.0].vtime >= t {
+        shared.reschedule(&mut sched, me);
+        return;
+    }
+    shared.block(&mut sched, me, TState::Sleeping(t));
+}
+
+/// Name of the current simulated thread (for diagnostics).
+pub fn name() -> String {
+    let (shared, me) = current();
+    let sched = shared.state.lock();
+    sched.threads[me.0].name.clone()
+}
+
+/// Escape hatch used by higher layers to attribute an externally computed
+/// absolute timestamp (e.g. "this receive completed at wire time T") to
+/// the current thread: sets the clock to `max(now, t)`.
+pub fn advance_to(t: VirtualTime) {
+    let (shared, me) = current();
+    let mut sched = shared.state.lock();
+    if t > sched.threads[me.0].vtime {
+        sched.threads[me.0].vtime = t;
+    }
+    shared.reschedule(&mut sched, me);
+}
+
+#[allow(dead_code)]
+pub(crate) fn with_sched<R>(f: impl FnOnce(&mut Sched, &Shared, Tid) -> R) -> R {
+    let (shared, me) = current();
+    let mut sched = shared.state.lock();
+    f(&mut sched, &shared, me)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::kernel::Kernel;
+
+    #[test]
+    fn join_synchronizes_clocks() {
+        let k = Kernel::new(CostModel::free());
+        let h = k.spawn("parent", || {
+            let child = spawn("child", || {
+                advance(VirtualDuration::from_micros(42));
+            });
+            child.join();
+            now()
+        });
+        k.run().unwrap();
+        // Parent joined a child that finished at 42us, so its clock must
+        // be at least 42us.
+        assert!(h.join_outcome().unwrap() >= VirtualTime(42_000));
+    }
+
+    #[test]
+    fn join_after_completion_takes_max_clock() {
+        let k = Kernel::new(CostModel::free());
+        let h = k.spawn("parent", || {
+            let child = spawn("child", || advance(VirtualDuration::from_micros(5)));
+            advance(VirtualDuration::from_micros(100));
+            child.join();
+            now()
+        });
+        k.run().unwrap();
+        // Parent was already past the child's end; join must not move the
+        // parent's clock backwards.
+        assert_eq!(h.join_outcome().unwrap(), VirtualTime(100_000));
+    }
+
+    #[test]
+    fn spawn_charges_parent() {
+        let mut cost = CostModel::free();
+        cost.spawn = VirtualDuration::from_micros(3);
+        let k = Kernel::new(cost);
+        let h = k.spawn("parent", || {
+            let c = spawn("child", || {});
+            let t = now();
+            c.join();
+            t
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), VirtualTime(3_000));
+    }
+
+    #[test]
+    fn child_starts_at_parent_clock() {
+        let k = Kernel::new(CostModel::free());
+        let h = k.spawn("parent", || {
+            advance(VirtualDuration::from_micros(10));
+            let c = spawn("child", now);
+            c.join()
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), VirtualTime(10_000));
+    }
+
+    #[test]
+    fn sleep_until_past_time_is_noop() {
+        let k = Kernel::new(CostModel::free());
+        let h = k.spawn("t", || {
+            advance(VirtualDuration::from_micros(50));
+            sleep_until(VirtualTime(10_000));
+            now()
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), VirtualTime(50_000));
+    }
+
+    #[test]
+    fn advance_to_moves_forward_only() {
+        let k = Kernel::new(CostModel::free());
+        let h = k.spawn("t", || {
+            advance(VirtualDuration::from_micros(20));
+            advance_to(VirtualTime(5_000));
+            let a = now();
+            advance_to(VirtualTime(60_000));
+            (a, now())
+        });
+        k.run().unwrap();
+        let (a, b) = h.join_outcome().unwrap();
+        assert_eq!(a, VirtualTime(20_000));
+        assert_eq!(b, VirtualTime(60_000));
+    }
+
+    #[test]
+    fn nested_spawns() {
+        let k = Kernel::new(CostModel::calibrated());
+        let h = k.spawn("root", || {
+            let mut handles = Vec::new();
+            for i in 0..4 {
+                handles.push(spawn(format!("w{i}"), move || {
+                    advance(VirtualDuration::from_micros(i * 10));
+                    i
+                }));
+            }
+            handles.into_iter().map(|h| h.join()).sum::<u64>()
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), 6);
+    }
+
+    #[test]
+    fn in_simulation_flag() {
+        assert!(!in_simulation());
+        let k = Kernel::new(CostModel::free());
+        let h = k.spawn("t", in_simulation);
+        k.run().unwrap();
+        assert!(h.join_outcome().unwrap());
+    }
+}

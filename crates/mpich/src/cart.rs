@@ -1,0 +1,166 @@
+//! Cartesian process topologies (`MPI_Cart_create` and friends) — the
+//! standard tool for the stencil workloads that heterogeneous clusters
+//! of clusters run (paper §1's motivation).
+
+use crate::comm::Communicator;
+
+/// A communicator with an attached N-dimensional Cartesian layout.
+pub struct CartComm {
+    comm: Communicator,
+    dims: Vec<usize>,
+    periodic: Vec<bool>,
+}
+
+impl CartComm {
+    /// `MPI_Cart_create` (with `reorder = false`): attach a grid layout
+    /// to `comm`. The product of `dims` must equal the communicator
+    /// size. Collective only in the trivial sense (no communication —
+    /// ranks keep their identity).
+    pub fn create(comm: &Communicator, dims: &[usize], periodic: &[bool]) -> CartComm {
+        assert_eq!(dims.len(), periodic.len(), "dims/periodic length mismatch");
+        assert!(!dims.is_empty(), "a Cartesian topology needs at least one dimension");
+        let cells: usize = dims.iter().product();
+        assert_eq!(
+            cells,
+            comm.size(),
+            "grid {dims:?} has {cells} cells for {} ranks",
+            comm.size()
+        );
+        CartComm {
+            comm: comm.clone(),
+            dims: dims.to_vec(),
+            periodic: periodic.to_vec(),
+        }
+    }
+
+    /// `MPI_Dims_create`: factor `n` ranks into `ndims` balanced,
+    /// non-increasing dimensions.
+    pub fn balanced_dims(n: usize, ndims: usize) -> Vec<usize> {
+        assert!(ndims >= 1);
+        let mut dims = vec![1usize; ndims];
+        let mut remaining = n;
+        // Repeatedly peel the smallest prime factor onto the currently
+        // smallest dimension.
+        let mut factors = Vec::new();
+        let mut m = remaining;
+        let mut p = 2;
+        while p * p <= m {
+            while m.is_multiple_of(p) {
+                factors.push(p);
+                m /= p;
+            }
+            p += 1;
+        }
+        if m > 1 {
+            factors.push(m);
+        }
+        factors.sort_unstable_by(|a, b| b.cmp(a)); // largest first
+        for f in factors {
+            let i = (0..ndims).min_by_key(|&i| dims[i]).unwrap();
+            dims[i] *= f;
+            remaining /= f;
+        }
+        debug_assert_eq!(remaining, 1);
+        dims.sort_unstable_by(|a, b| b.cmp(a));
+        dims
+    }
+
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// `MPI_Cart_coords`: grid coordinates of a rank (row-major).
+    pub fn coords(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.comm.size());
+        let mut coords = vec![0usize; self.dims.len()];
+        let mut rest = rank;
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            coords[i] = rest % d;
+            rest /= d;
+        }
+        coords
+    }
+
+    /// `MPI_Cart_rank`: rank of grid coordinates (periodic dimensions
+    /// wrap; non-periodic out-of-range coordinates return `None`).
+    pub fn rank_of(&self, coords: &[isize]) -> Option<usize> {
+        assert_eq!(coords.len(), self.dims.len());
+        let mut rank = 0usize;
+        for (i, (&c, &d)) in coords.iter().zip(&self.dims).enumerate() {
+            let c = if self.periodic[i] {
+                c.rem_euclid(d as isize) as usize
+            } else if c < 0 || c >= d as isize {
+                return None;
+            } else {
+                c as usize
+            };
+            rank = rank * d + c;
+        }
+        Some(rank)
+    }
+
+    /// My coordinates.
+    pub fn my_coords(&self) -> Vec<usize> {
+        self.coords(self.comm.rank())
+    }
+
+    /// `MPI_Cart_shift`: the (source, destination) neighbours for a
+    /// displacement along `dim` (`None` at a non-periodic boundary).
+    pub fn shift(&self, dim: usize, displacement: isize) -> (Option<usize>, Option<usize>) {
+        let me: Vec<isize> = self.my_coords().iter().map(|&c| c as isize).collect();
+        let mut up = me.clone();
+        up[dim] += displacement;
+        let mut down = me;
+        down[dim] -= displacement;
+        (self.rank_of(&down), self.rank_of(&up))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_dims_factorizations() {
+        assert_eq!(CartComm::balanced_dims(12, 2), vec![4, 3]);
+        assert_eq!(CartComm::balanced_dims(8, 3), vec![2, 2, 2]);
+        assert_eq!(CartComm::balanced_dims(7, 2), vec![7, 1]);
+        assert_eq!(CartComm::balanced_dims(1, 2), vec![1, 1]);
+        assert_eq!(CartComm::balanced_dims(16, 2), vec![4, 4]);
+        assert_eq!(CartComm::balanced_dims(6, 1), vec![6]);
+    }
+
+    // Coordinate logic is pure; exercise it without a kernel by faking
+    // a communicator through the world harness in integration tests.
+    // Here: check the row-major round trip via a standalone struct.
+    fn grid(dims: &[usize], periodic: &[bool]) -> (Vec<usize>, Vec<bool>) {
+        (dims.to_vec(), periodic.to_vec())
+    }
+
+    fn coords_of(dims: &[usize], rank: usize) -> Vec<usize> {
+        let mut coords = vec![0usize; dims.len()];
+        let mut rest = rank;
+        for (i, &d) in dims.iter().enumerate().rev() {
+            coords[i] = rest % d;
+            rest /= d;
+        }
+        coords
+    }
+
+    #[test]
+    fn row_major_coords() {
+        let (dims, _) = grid(&[2, 3], &[false, false]);
+        assert_eq!(coords_of(&dims, 0), vec![0, 0]);
+        assert_eq!(coords_of(&dims, 1), vec![0, 1]);
+        assert_eq!(coords_of(&dims, 3), vec![1, 0]);
+        assert_eq!(coords_of(&dims, 5), vec![1, 2]);
+    }
+}

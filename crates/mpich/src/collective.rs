@@ -1,0 +1,361 @@
+//! Collective operations, implemented in the generic layer over
+//! point-to-point sends (paper Fig. 1/3: "Generic part — collective
+//! operations"). All collective traffic uses the communicator's
+//! *collective* context, so it can never match user point-to-point
+//! receives.
+
+use bytes::Bytes;
+
+use crate::comm::Communicator;
+use crate::datatype::{from_bytes, to_bytes, BaseType, MpiScalar};
+use crate::op::{apply, ReduceOp};
+use crate::types::Tag;
+
+const T_BCAST: Tag = 2;
+const T_REDUCE: Tag = 3;
+const T_GATHER: Tag = 4;
+const T_SCATTER: Tag = 5;
+const T_ALLTOALL: Tag = 7;
+const T_SCAN: Tag = 8;
+const T_RSCAT: Tag = 9;
+
+impl Communicator {
+    /// `MPI_Barrier`: binomial reduce to rank 0, binomial broadcast out.
+    pub fn barrier(&self) {
+        let token = self.reduce_bytes(0, Vec::new(), BaseType::Byte, ReduceOp::Sum);
+        let _ = self.bcast_bytes(0, if self.rank() == 0 { token } else { None });
+    }
+
+    /// `MPI_Bcast` of a byte buffer. The root passes `Some(data)`;
+    /// everyone receives the broadcast value. Uses a binomial tree —
+    /// O(log n) rounds.
+    pub fn bcast_bytes(&self, root: usize, data: Option<Vec<u8>>) -> Vec<u8> {
+        let n = self.size();
+        let me = self.rank();
+        let ctx = self.coll_context();
+        assert!(root < n, "bcast root {root} out of range");
+        let rel = (me + n - root) % n;
+        // Receive phase: scan up to the lowest set bit of the relative
+        // rank — that bit identifies the parent. The root (rel == 0)
+        // skips straight past the loop with mask = 2^ceil(log2 n).
+        let mut mask = 1usize;
+        let payload = if me == root {
+            while mask < n {
+                mask <<= 1;
+            }
+            data.expect("bcast root must provide the data")
+        } else {
+            loop {
+                debug_assert!(mask < n);
+                if rel & mask != 0 {
+                    let parent = ((rel - mask) + root) % n;
+                    let (bytes, _) = self.recv_probed_ctx(Some(parent), Some(T_BCAST), ctx);
+                    break bytes;
+                }
+                mask <<= 1;
+            }
+        };
+        // Forward phase: send to children at decreasing bit distances.
+        mask >>= 1;
+        while mask > 0 {
+            if rel + mask < n {
+                let dst = ((rel + mask) + root) % n;
+                self.send_ctx(Bytes::copy_from_slice(&payload), dst, T_BCAST, ctx);
+            }
+            mask >>= 1;
+        }
+        payload
+    }
+
+    /// Typed broadcast.
+    pub fn bcast_vec<T: MpiScalar>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
+        let bytes = self.bcast_bytes(root, data.map(|d| to_bytes(&d)));
+        from_bytes(&bytes)
+    }
+
+    /// `MPI_Reduce` over packed scalars: binomial tree to `root`, which
+    /// gets `Some(result)`; everyone else gets `None`.
+    pub fn reduce_bytes(
+        &self,
+        root: usize,
+        contribution: Vec<u8>,
+        base: BaseType,
+        op: ReduceOp,
+    ) -> Option<Vec<u8>> {
+        let n = self.size();
+        let me = self.rank();
+        let ctx = self.coll_context();
+        let rel = (me + n - root) % n;
+        let mut acc = contribution;
+        let mut mask = 1usize;
+        loop {
+            if mask >= n {
+                // Only the root exhausts the loop without sending.
+                debug_assert_eq!(rel, 0);
+                return Some(acc);
+            }
+            if rel & mask == 0 {
+                let src_rel = rel | mask;
+                if src_rel < n {
+                    let src = (src_rel + root) % n;
+                    let (partial, _) = self.recv_probed_ctx(Some(src), Some(T_REDUCE), ctx);
+                    apply(base, op, &mut acc, &partial);
+                }
+            } else {
+                let dst = ((rel & !mask) + root) % n;
+                self.send_ctx(Bytes::from(acc), dst, T_REDUCE, ctx);
+                return None;
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Typed reduce.
+    pub fn reduce_vec<T: MpiScalar>(
+        &self,
+        root: usize,
+        contribution: &[T],
+        op: ReduceOp,
+    ) -> Option<Vec<T>> {
+        self.reduce_bytes(root, to_bytes(contribution), T::BASE, op)
+            .map(|b| from_bytes(&b))
+    }
+
+    /// `MPI_Allreduce`: reduce to rank 0, then broadcast.
+    pub fn allreduce_bytes(&self, contribution: Vec<u8>, base: BaseType, op: ReduceOp) -> Vec<u8> {
+        let reduced = self.reduce_bytes(0, contribution, base, op);
+        self.bcast_bytes(0, reduced)
+    }
+
+    /// Typed allreduce.
+    pub fn allreduce_vec<T: MpiScalar>(&self, contribution: &[T], op: ReduceOp) -> Vec<T> {
+        from_bytes(&self.allreduce_bytes(to_bytes(contribution), T::BASE, op))
+    }
+
+    /// `MPI_Gather(v)`: everyone contributes a (possibly different-
+    /// sized) byte buffer; the root gets them ordered by rank.
+    pub fn gather_bytes(&self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        let n = self.size();
+        let me = self.rank();
+        let ctx = self.coll_context();
+        if me == root {
+            let mut parts: Vec<Vec<u8>> = vec![Vec::new(); n];
+            parts[me] = data;
+            for src in (0..n).filter(|s| *s != root) {
+                let (bytes, _) = self.recv_probed_ctx(Some(src), Some(T_GATHER), ctx);
+                parts[src] = bytes;
+            }
+            Some(parts)
+        } else {
+            self.send_ctx(Bytes::from(data), root, T_GATHER, ctx);
+            None
+        }
+    }
+
+    /// Typed gather.
+    pub fn gather_vec<T: MpiScalar>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>> {
+        self.gather_bytes(root, to_bytes(data))
+            .map(|parts| parts.iter().map(|p| from_bytes(p)).collect())
+    }
+
+    /// `MPI_Scatter(v)`: the root provides one byte buffer per rank.
+    pub fn scatter_bytes(&self, root: usize, parts: Option<Vec<Vec<u8>>>) -> Vec<u8> {
+        let n = self.size();
+        let me = self.rank();
+        let ctx = self.coll_context();
+        if me == root {
+            let parts = parts.expect("scatter root must provide the parts");
+            assert_eq!(parts.len(), n, "scatter needs one part per rank");
+            let mut mine = Vec::new();
+            for (dst, part) in parts.into_iter().enumerate() {
+                if dst == me {
+                    mine = part;
+                } else {
+                    self.send_ctx(Bytes::from(part), dst, T_SCATTER, ctx);
+                }
+            }
+            mine
+        } else {
+            let (bytes, _) = self.recv_probed_ctx(Some(root), Some(T_SCATTER), ctx);
+            bytes
+        }
+    }
+
+    /// `MPI_Allgather(v)`: gather to rank 0, broadcast the concatenation.
+    pub fn allgather_bytes(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        let gathered = self.gather_bytes(0, data);
+        let blob = self.bcast_bytes(0, gathered.map(encode_parts));
+        decode_parts(&blob)
+    }
+
+    /// Typed allgather.
+    pub fn allgather_vec<T: MpiScalar>(&self, data: &[T]) -> Vec<Vec<T>> {
+        self.allgather_bytes(to_bytes(data))
+            .iter()
+            .map(|p| from_bytes(p))
+            .collect()
+    }
+
+    /// `MPI_Alltoall(v)`: pairwise exchange rounds; `parts[d]` goes to
+    /// rank `d`, the result's entry `s` came from rank `s`.
+    pub fn alltoall_bytes(&self, parts: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let n = self.size();
+        let me = self.rank();
+        let ctx = self.coll_context();
+        assert_eq!(parts.len(), n, "alltoall needs one part per rank");
+        let mut result: Vec<Vec<u8>> = vec![Vec::new(); n];
+        result[me] = parts[me].clone();
+        for round in 1..n {
+            let dst = (me + round) % n;
+            let src = (me + n - round) % n;
+            // Non-blocking send to the round's partner, then receive.
+            let send = {
+                let comm = self.clone();
+                let payload = parts[dst].clone();
+                let dst_local = dst;
+                marcel::spawn(format!("rank{}-a2a", self.env().world_rank), move || {
+                    comm.send_ctx(Bytes::from(payload), dst_local, T_ALLTOALL, ctx);
+                })
+            };
+            let (bytes, _) = self.recv_probed_ctx(Some(src), Some(T_ALLTOALL), ctx);
+            result[src] = bytes;
+            send.join();
+        }
+        result
+    }
+
+    /// `MPI_Scan` (inclusive prefix reduction, linear chain).
+    pub fn scan_bytes(&self, contribution: Vec<u8>, base: BaseType, op: ReduceOp) -> Vec<u8> {
+        let n = self.size();
+        let me = self.rank();
+        let ctx = self.coll_context();
+        let mut acc = contribution;
+        if me > 0 {
+            let (prefix, _) = self.recv_probed_ctx(Some(me - 1), Some(T_SCAN), ctx);
+            let mut combined = prefix;
+            apply(base, op, &mut combined, &acc);
+            acc = combined;
+        }
+        if me + 1 < n {
+            self.send_ctx(Bytes::copy_from_slice(&acc), me + 1, T_SCAN, ctx);
+        }
+        acc
+    }
+
+    /// Typed scan.
+    pub fn scan_vec<T: MpiScalar>(&self, contribution: &[T], op: ReduceOp) -> Vec<T> {
+        from_bytes(&self.scan_bytes(to_bytes(contribution), T::BASE, op))
+    }
+
+    /// `MPI_Exscan` (exclusive prefix reduction): rank 0 gets `None`,
+    /// rank r > 0 gets the reduction of ranks `0..r`.
+    pub fn exscan_bytes(
+        &self,
+        contribution: Vec<u8>,
+        base: BaseType,
+        op: ReduceOp,
+    ) -> Option<Vec<u8>> {
+        let n = self.size();
+        let me = self.rank();
+        let ctx = self.coll_context();
+        let prefix = if me > 0 {
+            let (p, _) = self.recv_probed_ctx(Some(me - 1), Some(T_SCAN), ctx);
+            Some(p)
+        } else {
+            None
+        };
+        if me + 1 < n {
+            let mut outgoing = match &prefix {
+                Some(p) => {
+                    let mut acc = p.clone();
+                    apply(base, op, &mut acc, &contribution);
+                    acc
+                }
+                None => contribution,
+            };
+            outgoing.shrink_to_fit();
+            self.send_ctx(Bytes::from(outgoing), me + 1, T_SCAN, ctx);
+        }
+        prefix
+    }
+
+    /// Typed exclusive scan.
+    pub fn exscan_vec<T: MpiScalar>(&self, contribution: &[T], op: ReduceOp) -> Option<Vec<T>> {
+        self.exscan_bytes(to_bytes(contribution), T::BASE, op)
+            .map(|b| from_bytes(&b))
+    }
+
+    /// `MPI_Reduce_scatter_block`: reduce elementwise across ranks, then
+    /// scatter equal blocks — rank r gets the r-th block of the
+    /// reduction. `contribution` must hold `size() * block_elems`
+    /// elements.
+    pub fn reduce_scatter_vec<T: MpiScalar>(
+        &self,
+        contribution: &[T],
+        block_elems: usize,
+        op: ReduceOp,
+    ) -> Vec<T> {
+        let n = self.size();
+        let me = self.rank();
+        let ctx = self.coll_context();
+        assert_eq!(
+            contribution.len(),
+            n * block_elems,
+            "reduce_scatter needs size * block_elems elements"
+        );
+        // Reduce to rank 0, then scatter the blocks (the classic
+        // reduce+scatterv formulation; fine for these scales).
+        let reduced = self.reduce_bytes(0, to_bytes(contribution), T::BASE, op);
+        let block_bytes = block_elems * T::BASE.size();
+        if me == 0 {
+            let reduced = reduced.expect("root holds the reduction");
+            let mut mine = Vec::new();
+            for (dst, chunk) in reduced.chunks(block_bytes.max(1)).take(n).enumerate() {
+                if dst == 0 {
+                    mine = chunk.to_vec();
+                } else {
+                    self.send_ctx(Bytes::copy_from_slice(chunk), dst, T_RSCAT, ctx);
+                }
+            }
+            from_bytes(&mine)
+        } else {
+            let (bytes, _) = self.recv_probed_ctx(Some(0), Some(T_RSCAT), ctx);
+            from_bytes(&bytes)
+        }
+    }
+}
+
+/// Length-prefixed concatenation of per-rank buffers (for relaying
+/// gathered data through a broadcast).
+fn encode_parts(parts: Vec<Vec<u8>>) -> Vec<u8> {
+    let total: usize = parts.iter().map(|p| p.len() + 8).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        out.extend_from_slice(&p);
+    }
+    out
+}
+
+fn decode_parts(blob: &[u8]) -> Vec<Vec<u8>> {
+    let mut parts = Vec::new();
+    let mut cursor = 0;
+    while cursor < blob.len() {
+        let len = u64::from_le_bytes(blob[cursor..cursor + 8].try_into().unwrap()) as usize;
+        cursor += 8;
+        parts.push(blob[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_round_trip() {
+        let parts = vec![vec![1u8, 2], vec![], vec![9u8; 100]];
+        assert_eq!(decode_parts(&encode_parts(parts.clone())), parts);
+    }
+}

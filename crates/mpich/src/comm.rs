@@ -1,0 +1,510 @@
+//! Communicators: the user-facing MPI interface (point-to-point part).
+//!
+//! A [`Communicator`] is a group of ranks plus a pair of context ids
+//! (one for point-to-point traffic, one for the collective layer), bound
+//! to the calling rank's engine and device table. All public rank
+//! arguments and statuses are *communicator-local*; translation to
+//! world ranks happens here.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::adi::DeviceSet;
+use crate::datatype::{from_bytes, to_bytes, Datatype, MpiScalar};
+use crate::engine::Engine;
+use crate::group::Group;
+use crate::request::{ReqInner, Request};
+use crate::types::{Envelope, MatchSpec, Status, Tag};
+use marcel::SimMutex;
+
+/// Per-rank MPI environment shared by every communicator of that rank.
+pub struct MpiEnv {
+    pub world_rank: usize,
+    pub world_size: usize,
+    pub engine: Arc<Engine>,
+    pub devices: Arc<DeviceSet>,
+    /// Global context-id allocator (roots allocate, then broadcast).
+    pub ctx_alloc: Arc<SimMutex<u32>>,
+}
+
+impl MpiEnv {
+    fn alloc_contexts(&self) -> u32 {
+        let mut next = self.ctx_alloc.lock();
+        let base = *next;
+        *next += 2; // point-to-point + collective
+        base
+    }
+}
+
+/// An MPI communicator.
+#[derive(Clone)]
+pub struct Communicator {
+    env: Arc<MpiEnv>,
+    group: Arc<Group>,
+    /// Point-to-point context; collective traffic uses `context + 1`.
+    context: u32,
+    /// This rank's position in `group`.
+    local: usize,
+}
+
+impl Communicator {
+    /// `MPI_COMM_WORLD` for this rank (context ids 0/1).
+    pub fn world(env: Arc<MpiEnv>) -> Communicator {
+        let group = Group::world(env.world_size);
+        let local = env.world_rank;
+        Communicator { env, group, context: 0, local }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.local
+    }
+
+    pub fn size(&self) -> usize {
+        self.group.size()
+    }
+
+    pub fn group(&self) -> &Arc<Group> {
+        &self.group
+    }
+
+    pub fn context(&self) -> u32 {
+        self.context
+    }
+
+    pub(crate) fn env(&self) -> &Arc<MpiEnv> {
+        &self.env
+    }
+
+    pub(crate) fn coll_context(&self) -> u32 {
+        self.context + 1
+    }
+
+    fn world_of(&self, local: usize) -> usize {
+        self.group.world_rank(local)
+    }
+
+    fn localize(&self, status: Status) -> Status {
+        let source = self
+            .group
+            .local_rank(status.source)
+            .expect("status source outside the communicator (context leak)");
+        Status { source, tag: status.tag, len: status.len }
+    }
+
+    // ------------------------------------------------------------------
+    // Core byte-level operations (context-parameterized for reuse by the
+    // collective layer).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn send_ctx(&self, data: Bytes, dst_local: usize, tag: Tag, context: u32) {
+        self.send_ctx_mode(data, dst_local, tag, context, false);
+    }
+
+    pub(crate) fn send_ctx_mode(
+        &self,
+        data: Bytes,
+        dst_local: usize,
+        tag: Tag,
+        context: u32,
+        sync: bool,
+    ) {
+        let from = self.env.world_rank;
+        let dst = self.world_of(dst_local);
+        let env = Envelope { src: from, tag, context, len: data.len() };
+        let device = self.env.devices.select(from, dst).clone();
+        device.send(from, dst, env, data, sync);
+    }
+
+    pub(crate) fn irecv_ctx(
+        &self,
+        cap: usize,
+        src_local: Option<usize>,
+        tag: Option<Tag>,
+        context: u32,
+    ) -> Request {
+        let spec = MatchSpec {
+            src: src_local.map(|l| self.world_of(l)),
+            tag,
+            context,
+        };
+        let inner = ReqInner::new();
+        self.env.engine.post_recv(spec, cap, inner.clone());
+        Request::new(inner)
+    }
+
+    pub(crate) fn recv_ctx(
+        &self,
+        cap: usize,
+        src_local: Option<usize>,
+        tag: Option<Tag>,
+        context: u32,
+    ) -> (Vec<u8>, Status) {
+        let (data, status) = self.irecv_ctx(cap, src_local, tag, context).wait_data();
+        (data, self.localize(status))
+    }
+
+    // ------------------------------------------------------------------
+    // Public point-to-point API.
+    // ------------------------------------------------------------------
+
+    /// Blocking send (`MPI_Send`). Completes locally in eager mode; in
+    /// rendezvous mode it returns once the data is handed to the
+    /// receiver's buffer.
+    pub fn send(&self, data: &[u8], dst: usize, tag: Tag) {
+        self.send_ctx(Bytes::copy_from_slice(data), dst, tag, self.context);
+    }
+
+    /// Owned-buffer send, avoiding the host copy.
+    pub fn send_bytes(&self, data: Bytes, dst: usize, tag: Tag) {
+        self.send_ctx(data, dst, tag, self.context);
+    }
+
+    /// Synchronous send (`MPI_Ssend`): completes only once the matching
+    /// receive is posted — always takes the rendezvous path, whatever
+    /// the message size.
+    pub fn ssend(&self, data: &[u8], dst: usize, tag: Tag) {
+        self.send_ctx_mode(Bytes::copy_from_slice(data), dst, tag, self.context, true);
+    }
+
+    /// Non-blocking synchronous send (`MPI_Issend`).
+    pub fn issend(&self, data: Vec<u8>, dst: usize, tag: Tag) -> Request {
+        let inner = ReqInner::new();
+        let comm = self.clone();
+        let my_world = self.env.world_rank;
+        let req = inner.clone();
+        let len = data.len();
+        marcel::spawn(format!("rank{my_world}-issend"), move || {
+            comm.send_ctx_mode(Bytes::from(data), dst, tag, comm.context, true);
+            req.complete(None, Status { source: my_world, tag, len });
+        });
+        Request::new(inner)
+    }
+
+    /// Non-blocking send (`MPI_Isend`): spawns a worker thread that runs
+    /// the blocking protocol, as MPICH/Madeleine does (§4.2.3).
+    pub fn isend(&self, data: Vec<u8>, dst: usize, tag: Tag) -> Request {
+        let inner = ReqInner::new();
+        let comm = self.clone();
+        let my_world = self.env.world_rank;
+        let req = inner.clone();
+        let len = data.len();
+        marcel::spawn(format!("rank{my_world}-isend"), move || {
+            comm.send_ctx(Bytes::from(data), dst, tag, comm.context);
+            req.complete(None, Status { source: my_world, tag, len });
+        });
+        Request::new(inner)
+    }
+
+    /// Blocking receive (`MPI_Recv`) of up to `cap` bytes. `None` source
+    /// or tag mean `MPI_ANY_SOURCE` / `MPI_ANY_TAG`.
+    pub fn recv(&self, cap: usize, src: Option<usize>, tag: Option<Tag>) -> (Vec<u8>, Status) {
+        self.recv_ctx(cap, src, tag, self.context)
+    }
+
+    /// Non-blocking receive (`MPI_Irecv`). Wrap the result status with
+    /// [`Communicator::localize_status`] if rank translation matters, or
+    /// use [`CommRequest`] via [`Communicator::irecv_local`].
+    pub fn irecv(&self, cap: usize, src: Option<usize>, tag: Option<Tag>) -> Request {
+        self.irecv_ctx(cap, src, tag, self.context)
+    }
+
+    /// Non-blocking receive whose wait returns communicator-local
+    /// statuses.
+    pub fn irecv_local(&self, cap: usize, src: Option<usize>, tag: Option<Tag>) -> CommRequest {
+        CommRequest {
+            inner: self.irecv(cap, src, tag),
+            group: self.group.clone(),
+        }
+    }
+
+    /// Translate a raw (world-rank) status to this communicator.
+    pub fn localize_status(&self, status: Status) -> Status {
+        self.localize(status)
+    }
+
+    /// `MPI_Sendrecv`: concurrent send and receive (deadlock-free even
+    /// against itself).
+    pub fn sendrecv(
+        &self,
+        data: &[u8],
+        dst: usize,
+        send_tag: Tag,
+        cap: usize,
+        src: Option<usize>,
+        recv_tag: Option<Tag>,
+    ) -> (Vec<u8>, Status) {
+        let recv = self.irecv(cap, src, recv_tag, );
+        let send = self.isend(data.to_vec(), dst, send_tag);
+        let (bytes, status) = recv.wait_data();
+        send.wait_send();
+        (bytes, self.localize(status))
+    }
+
+    /// Blocking probe (`MPI_Probe`).
+    pub fn probe(&self, src: Option<usize>, tag: Option<Tag>) -> Status {
+        let spec = MatchSpec {
+            src: src.map(|l| self.world_of(l)),
+            tag,
+            context: self.context,
+        };
+        self.localize(self.env.engine.probe(spec))
+    }
+
+    /// Non-blocking probe (`MPI_Iprobe`).
+    pub fn iprobe(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Status> {
+        let spec = MatchSpec {
+            src: src.map(|l| self.world_of(l)),
+            tag,
+            context: self.context,
+        };
+        self.env.engine.iprobe(spec).map(|s| self.localize(s))
+    }
+
+    /// Probe, then receive exactly the probed message (helper used by
+    /// the collective layer for unknown-size transfers).
+    pub(crate) fn recv_probed_ctx(
+        &self,
+        src_local: Option<usize>,
+        tag: Option<Tag>,
+        context: u32,
+    ) -> (Vec<u8>, Status) {
+        let spec = MatchSpec {
+            src: src_local.map(|l| self.world_of(l)),
+            tag,
+            context,
+        };
+        let st = self.env.engine.probe(spec);
+        let (data, status) = self
+            .irecv_ctx(st.len, self.group.local_rank(st.source), Some(st.tag), context)
+            .wait_data();
+        (data, self.localize(status))
+    }
+
+    // ------------------------------------------------------------------
+    // Typed convenience API.
+    // ------------------------------------------------------------------
+
+    /// Send a scalar slice.
+    pub fn send_slice<T: MpiScalar>(&self, data: &[T], dst: usize, tag: Tag) {
+        self.send_bytes(Bytes::from(to_bytes(data)), dst, tag);
+    }
+
+    /// Receive exactly `count` scalars.
+    pub fn recv_vec<T: MpiScalar>(
+        &self,
+        count: usize,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> (Vec<T>, Status) {
+        let (bytes, status) = self.recv(count * T::BASE.size(), src, tag);
+        assert_eq!(bytes.len(), count * T::BASE.size(), "typed receive length mismatch");
+        (from_bytes(&bytes), status)
+    }
+
+    /// Non-blocking typed send.
+    pub fn isend_slice<T: MpiScalar>(&self, data: &[T], dst: usize, tag: Tag) -> Request {
+        self.isend(to_bytes(data), dst, tag)
+    }
+
+    /// Send `count` instances of `datatype` from a raw user buffer,
+    /// packing non-contiguous layouts first (the MPICH datatype engine).
+    pub fn send_typed(&self, buf: &[u8], datatype: &Datatype, count: usize, dst: usize, tag: Tag) {
+        let payload = if datatype.is_contiguous() {
+            Bytes::copy_from_slice(&buf[..datatype.size() * count])
+        } else {
+            Bytes::from(datatype.pack(buf, count))
+        };
+        self.send_bytes(payload, dst, tag);
+    }
+
+    /// Receive `count` instances of `datatype` into a raw user buffer.
+    pub fn recv_typed(
+        &self,
+        buf: &mut [u8],
+        datatype: &Datatype,
+        count: usize,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Status {
+        let (bytes, status) = self.recv(datatype.size() * count, src, tag);
+        assert_eq!(bytes.len(), datatype.size() * count, "typed receive length mismatch");
+        datatype.unpack(buf, &bytes, count);
+        status
+    }
+
+    /// `MPI_Send_init`: build a persistent send (see [`PersistentSend`]).
+    pub fn send_init(&self, data: Vec<u8>, dst: usize, tag: Tag) -> PersistentSend {
+        PersistentSend {
+            comm: self.clone(),
+            data: Bytes::from(data),
+            dst,
+            tag,
+        }
+    }
+
+    /// `MPI_Recv_init`: build a persistent receive.
+    pub fn recv_init(&self, cap: usize, src: Option<usize>, tag: Option<Tag>) -> PersistentRecv {
+        PersistentRecv { comm: self.clone(), cap, src, tag }
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management.
+    // ------------------------------------------------------------------
+
+    /// `MPI_Comm_dup`: same group, fresh contexts. Collective.
+    pub fn dup(&self) -> Communicator {
+        let base = if self.local == 0 {
+            let base = self.env.alloc_contexts();
+            self.bcast_bytes(0, Some(base.to_le_bytes().to_vec()));
+            base
+        } else {
+            let bytes = self.bcast_bytes(0, None);
+            u32::from_le_bytes(bytes.try_into().expect("context broadcast is 4 bytes"))
+        };
+        Communicator {
+            env: self.env.clone(),
+            group: self.group.clone(),
+            context: base,
+            local: self.local,
+        }
+    }
+
+    /// `MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)`: one communicator
+    /// per physical node, ordered by rank — the standard tool for
+    /// hierarchical (node-aware) algorithms on SMP clusters.
+    pub fn split_by_node(&self) -> Communicator {
+        let node = self.env.devices.rank_node[self.env.world_rank] as i32;
+        self.split(node, self.local as i32)
+            .expect("node color is never undefined")
+    }
+
+    /// `MPI_Comm_split`: partition by `color` (negative = undefined:
+    /// the caller gets `None`), ordering each part by `(key, rank)`.
+    /// Collective.
+    pub fn split(&self, color: i32, key: i32) -> Option<Communicator> {
+        // Gather (color, key) pairs to local root.
+        let mine = [color, key];
+        let gathered = self.gather_bytes(0, to_bytes(&mine));
+        // Root computes every part's (world-rank list, context base) and
+        // scatters each member its own part.
+        let assignments: Option<Vec<Vec<u8>>> = if self.local == 0 {
+            let pairs: Vec<(i32, i32, usize)> = gathered
+                .expect("root gathers")
+                .iter()
+                .enumerate()
+                .map(|(local, bytes)| {
+                    let v: Vec<i32> = from_bytes(bytes);
+                    (v[0], v[1], local)
+                })
+                .collect();
+            let mut colors: Vec<i32> = pairs.iter().map(|p| p.0).filter(|c| *c >= 0).collect();
+            colors.sort_unstable();
+            colors.dedup();
+            let mut per_local: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
+            for color in colors {
+                let mut members: Vec<(i32, usize)> = pairs
+                    .iter()
+                    .filter(|p| p.0 == color)
+                    .map(|p| (p.1, p.2))
+                    .collect();
+                members.sort_unstable();
+                let base = self.env.alloc_contexts();
+                // Encode: context base + world ranks of the new group.
+                let mut blob: Vec<i64> = vec![base as i64];
+                blob.extend(members.iter().map(|(_, l)| self.world_of(*l) as i64));
+                for (_, local) in &members {
+                    per_local[*local] = to_bytes(&blob);
+                }
+            }
+            Some(per_local)
+        } else {
+            None
+        };
+        let mine = self.scatter_bytes(0, assignments);
+        if mine.is_empty() {
+            return None;
+        }
+        let blob: Vec<i64> = from_bytes(&mine);
+        let context = blob[0] as u32;
+        let ranks: Vec<usize> = blob[1..].iter().map(|r| *r as usize).collect();
+        let group = Group::from_ranks(ranks);
+        let local = group
+            .local_rank(self.env.world_rank)
+            .expect("split assignment must include self");
+        Some(Communicator {
+            env: self.env.clone(),
+            group,
+            context,
+            local,
+        })
+    }
+}
+
+/// A persistent send operation (`MPI_Send_init`): fix the message once,
+/// `start` it any number of times (`MPI_Start`). Each start behaves
+/// like an `isend` of the same buffer.
+pub struct PersistentSend {
+    comm: Communicator,
+    data: Bytes,
+    dst: usize,
+    tag: Tag,
+}
+
+impl PersistentSend {
+    /// Launch one round; complete with `Request::wait`/`wait_send`.
+    pub fn start(&self) -> Request {
+        let inner = ReqInner::new();
+        let comm = self.comm.clone();
+        let (data, dst, tag) = (self.data.clone(), self.dst, self.tag);
+        let my_world = comm.env.world_rank;
+        let req = inner.clone();
+        let len = data.len();
+        marcel::spawn(format!("rank{my_world}-psend"), move || {
+            comm.send_ctx(data, dst, tag, comm.context);
+            req.complete(None, Status { source: my_world, tag, len });
+        });
+        Request::new(inner)
+    }
+}
+
+/// A persistent receive operation (`MPI_Recv_init`/`MPI_Start`).
+pub struct PersistentRecv {
+    comm: Communicator,
+    cap: usize,
+    src: Option<usize>,
+    tag: Option<Tag>,
+}
+
+impl PersistentRecv {
+    /// Post one round; complete with [`CommRequest::wait_data`].
+    pub fn start(&self) -> CommRequest {
+        self.comm.irecv_local(self.cap, self.src, self.tag)
+    }
+}
+
+/// A request whose `wait` returns communicator-local statuses.
+pub struct CommRequest {
+    inner: Request,
+    group: Arc<Group>,
+}
+
+impl CommRequest {
+    pub fn wait(self) -> (Option<Vec<u8>>, Status) {
+        let (data, status) = self.inner.wait();
+        let source = self
+            .group
+            .local_rank(status.source)
+            .expect("status source outside the communicator");
+        (data, Status { source, ..status })
+    }
+
+    pub fn wait_data(self) -> (Vec<u8>, Status) {
+        let (data, status) = self.wait();
+        (data.expect("wait_data on a send request"), status)
+    }
+
+    pub fn test(&mut self) -> bool {
+        self.inner.test()
+    }
+}

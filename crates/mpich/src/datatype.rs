@@ -1,0 +1,402 @@
+//! MPI datatypes: base types and the derived-type constructors
+//! (contiguous, vector, hvector, indexed, struct), plus the pack/unpack
+//! engine that linearizes non-contiguous user buffers for transmission.
+//!
+//! This reproduces the "datatype management" box of the MPICH generic
+//! ADI code in the paper's Figure 1/3. Displacements are expressed like
+//! in MPI (element strides for `Vector`/`Indexed`, byte displacements
+//! for `Hvector`/`Struct`); the walker refuses layouts that reach below
+//! offset zero.
+
+use std::sync::Arc;
+
+/// Primitive element types.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BaseType {
+    Byte,
+    Int32,
+    Int64,
+    UInt64,
+    Float32,
+    Float64,
+}
+
+impl BaseType {
+    pub fn size(self) -> usize {
+        match self {
+            BaseType::Byte => 1,
+            BaseType::Int32 | BaseType::Float32 => 4,
+            BaseType::Int64 | BaseType::UInt64 | BaseType::Float64 => 8,
+        }
+    }
+}
+
+/// An MPI datatype: a tree of type constructors over base types.
+#[derive(Clone, Debug)]
+pub enum Datatype {
+    Base(BaseType),
+    /// `count` consecutive copies of `inner`.
+    Contiguous { count: usize, inner: Arc<Datatype> },
+    /// `count` blocks of `blocklen` elements, consecutive blocks
+    /// `stride` *elements* apart (MPI_Type_vector).
+    Vector {
+        count: usize,
+        blocklen: usize,
+        stride: isize,
+        inner: Arc<Datatype>,
+    },
+    /// Like `Vector` but the stride is in *bytes* (MPI_Type_hvector).
+    Hvector {
+        count: usize,
+        blocklen: usize,
+        stride_bytes: isize,
+        inner: Arc<Datatype>,
+    },
+    /// Blocks of varying length at varying element displacements
+    /// (MPI_Type_indexed).
+    Indexed {
+        /// `(blocklen, displacement-in-elements)` pairs.
+        blocks: Vec<(usize, isize)>,
+        inner: Arc<Datatype>,
+    },
+    /// Heterogeneous fields at byte displacements (MPI_Type_struct).
+    Struct {
+        /// `(count, byte displacement, field type)` triples.
+        fields: Vec<(usize, isize, Arc<Datatype>)>,
+    },
+}
+
+impl Datatype {
+    /// Shorthand constructors.
+    pub fn base(b: BaseType) -> Arc<Datatype> {
+        Arc::new(Datatype::Base(b))
+    }
+
+    pub fn contiguous(count: usize, inner: Arc<Datatype>) -> Arc<Datatype> {
+        Arc::new(Datatype::Contiguous { count, inner })
+    }
+
+    pub fn vector(count: usize, blocklen: usize, stride: isize, inner: Arc<Datatype>) -> Arc<Datatype> {
+        Arc::new(Datatype::Vector { count, blocklen, stride, inner })
+    }
+
+    pub fn hvector(count: usize, blocklen: usize, stride_bytes: isize, inner: Arc<Datatype>) -> Arc<Datatype> {
+        Arc::new(Datatype::Hvector { count, blocklen, stride_bytes, inner })
+    }
+
+    pub fn indexed(blocks: Vec<(usize, isize)>, inner: Arc<Datatype>) -> Arc<Datatype> {
+        Arc::new(Datatype::Indexed { blocks, inner })
+    }
+
+    pub fn structure(fields: Vec<(usize, isize, Arc<Datatype>)>) -> Arc<Datatype> {
+        Arc::new(Datatype::Struct { fields })
+    }
+
+    /// Number of *data* bytes one instance carries (MPI_Type_size).
+    pub fn size(&self) -> usize {
+        match self {
+            Datatype::Base(b) => b.size(),
+            Datatype::Contiguous { count, inner } => count * inner.size(),
+            Datatype::Vector { count, blocklen, inner, .. }
+            | Datatype::Hvector { count, blocklen, inner, .. } => count * blocklen * inner.size(),
+            Datatype::Indexed { blocks, inner } => {
+                blocks.iter().map(|(len, _)| len * inner.size()).sum()
+            }
+            Datatype::Struct { fields } => {
+                fields.iter().map(|(count, _, ty)| count * ty.size()).sum()
+            }
+        }
+    }
+
+    /// Memory span of one instance (MPI_Type_extent, with lb fixed at 0:
+    /// the distance from the buffer start to one past the last byte
+    /// touched).
+    pub fn extent(&self) -> usize {
+        let mut max_end = 0usize;
+        self.walk(0, &mut |off, len| {
+            max_end = max_end.max(off + len);
+        });
+        max_end
+    }
+
+    /// Visit every contiguous byte run of one instance rooted at byte
+    /// offset `base`, in canonical (pack) order.
+    pub fn walk(&self, base: isize, f: &mut impl FnMut(usize, usize)) {
+        match self {
+            Datatype::Base(b) => {
+                let off = usize::try_from(base).expect("datatype layout reaches below offset 0");
+                f(off, b.size());
+            }
+            Datatype::Contiguous { count, inner } => {
+                let ext = inner.extent() as isize;
+                for i in 0..*count {
+                    inner.walk(base + i as isize * ext, f);
+                }
+            }
+            Datatype::Vector { count, blocklen, stride, inner } => {
+                let ext = inner.extent() as isize;
+                for i in 0..*count {
+                    let block_base = base + i as isize * stride * ext;
+                    for j in 0..*blocklen {
+                        inner.walk(block_base + j as isize * ext, f);
+                    }
+                }
+            }
+            Datatype::Hvector { count, blocklen, stride_bytes, inner } => {
+                let ext = inner.extent() as isize;
+                for i in 0..*count {
+                    let block_base = base + i as isize * stride_bytes;
+                    for j in 0..*blocklen {
+                        inner.walk(block_base + j as isize * ext, f);
+                    }
+                }
+            }
+            Datatype::Indexed { blocks, inner } => {
+                let ext = inner.extent() as isize;
+                for (len, displ) in blocks {
+                    for j in 0..*len {
+                        inner.walk(base + (displ + j as isize) * ext, f);
+                    }
+                }
+            }
+            Datatype::Struct { fields } => {
+                for (count, displ, ty) in fields {
+                    let ext = ty.extent() as isize;
+                    for i in 0..*count {
+                        ty.walk(base + displ + i as isize * ext, f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Linearize `count` instances from `src` into a packed byte vector.
+    /// `src` must cover `count * extent()` bytes (except the last
+    /// instance may stop at its last touched byte).
+    pub fn pack(&self, src: &[u8], count: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size() * count);
+        let ext = self.extent() as isize;
+        for i in 0..count {
+            self.walk(i as isize * ext, &mut |off, len| {
+                out.extend_from_slice(&src[off..off + len]);
+            });
+        }
+        out
+    }
+
+    /// Scatter `data` (packed form) into `dst` following the layout.
+    /// Returns the number of bytes consumed.
+    pub fn unpack(&self, dst: &mut [u8], data: &[u8], count: usize) -> usize {
+        let ext = self.extent() as isize;
+        let mut cursor = 0usize;
+        for i in 0..count {
+            self.walk(i as isize * ext, &mut |off, len| {
+                dst[off..off + len].copy_from_slice(&data[cursor..cursor + len]);
+                cursor += len;
+            });
+        }
+        cursor
+    }
+
+    /// True when the layout of one instance is a single gap-free run
+    /// starting at offset 0 (transmission can skip the pack step).
+    pub fn is_contiguous(&self) -> bool {
+        let mut next = 0usize;
+        let mut contiguous = true;
+        self.walk(0, &mut |off, len| {
+            if off != next {
+                contiguous = false;
+            }
+            next = off + len;
+        });
+        contiguous && next == self.extent()
+    }
+}
+
+/// Rust scalars usable directly with the typed convenience API.
+pub trait MpiScalar: Copy + Send + 'static {
+    const BASE: BaseType;
+    fn write_le(self, out: &mut Vec<u8>);
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($ty:ty, $base:expr) => {
+        impl MpiScalar for $ty {
+            const BASE: BaseType = $base;
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(bytes: &[u8]) -> Self {
+                <$ty>::from_le_bytes(bytes.try_into().expect("scalar width mismatch"))
+            }
+        }
+    };
+}
+
+impl_scalar!(u8, BaseType::Byte);
+impl_scalar!(i32, BaseType::Int32);
+impl_scalar!(i64, BaseType::Int64);
+impl_scalar!(u64, BaseType::UInt64);
+impl_scalar!(f32, BaseType::Float32);
+impl_scalar!(f64, BaseType::Float64);
+
+/// Serialize a scalar slice to little-endian bytes.
+pub fn to_bytes<T: MpiScalar>(data: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * T::BASE.size());
+    for &x in data {
+        x.write_le(&mut out);
+    }
+    out
+}
+
+/// Deserialize little-endian bytes to a scalar vector.
+pub fn from_bytes<T: MpiScalar>(bytes: &[u8]) -> Vec<T> {
+    let w = T::BASE.size();
+    assert_eq!(bytes.len() % w, 0, "byte length not a multiple of the scalar width");
+    bytes.chunks_exact(w).map(T::read_le).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_sizes() {
+        assert_eq!(BaseType::Byte.size(), 1);
+        assert_eq!(BaseType::Int32.size(), 4);
+        assert_eq!(BaseType::Float64.size(), 8);
+    }
+
+    #[test]
+    fn contiguous_size_extent() {
+        let t = Datatype::contiguous(5, Datatype::base(BaseType::Int32));
+        assert_eq!(t.size(), 20);
+        assert_eq!(t.extent(), 20);
+        assert!(t.is_contiguous());
+    }
+
+    #[test]
+    fn vector_layout() {
+        // 3 blocks of 2 ints, stride 4 ints: touches elements
+        // 0,1, 4,5, 8,9 -> extent 40 bytes, size 24 bytes.
+        let t = Datatype::vector(3, 2, 4, Datatype::base(BaseType::Int32));
+        assert_eq!(t.size(), 24);
+        assert_eq!(t.extent(), 40);
+        assert!(!t.is_contiguous());
+    }
+
+    #[test]
+    fn vector_pack_unpack_roundtrip() {
+        let t = Datatype::vector(3, 2, 4, Datatype::base(BaseType::Int32));
+        let src: Vec<u8> = (0..40).collect();
+        let packed = t.pack(&src, 1);
+        assert_eq!(packed.len(), 24);
+        // Elements 0,1 / 4,5 / 8,9 (4 bytes each).
+        assert_eq!(&packed[0..8], &src[0..8]);
+        assert_eq!(&packed[8..16], &src[16..24]);
+        assert_eq!(&packed[16..24], &src[32..40]);
+        let mut dst = vec![0u8; 40];
+        let used = t.unpack(&mut dst, &packed, 1);
+        assert_eq!(used, 24);
+        assert_eq!(&dst[0..8], &src[0..8]);
+        assert_eq!(&dst[16..24], &src[16..24]);
+        assert_eq!(&dst[32..40], &src[32..40]);
+        assert_eq!(&dst[8..16], &[0u8; 8], "gap bytes untouched");
+    }
+
+    #[test]
+    fn hvector_strides_in_bytes() {
+        // 2 blocks of 1 double, 24 bytes apart.
+        let t = Datatype::hvector(2, 1, 24, Datatype::base(BaseType::Float64));
+        assert_eq!(t.size(), 16);
+        assert_eq!(t.extent(), 32);
+    }
+
+    #[test]
+    fn indexed_blocks() {
+        // Blocks of (2 @ 0) and (1 @ 5) bytes.
+        let t = Datatype::indexed(vec![(2, 0), (1, 5)], Datatype::base(BaseType::Byte));
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.extent(), 6);
+        let src = [10u8, 11, 12, 13, 14, 15];
+        assert_eq!(t.pack(&src, 1), vec![10, 11, 15]);
+    }
+
+    #[test]
+    fn struct_fields() {
+        // struct { i32 a; f64 b; } with b at byte 8 (aligned).
+        let t = Datatype::structure(vec![
+            (1, 0, Datatype::base(BaseType::Int32)),
+            (1, 8, Datatype::base(BaseType::Float64)),
+        ]);
+        assert_eq!(t.size(), 12);
+        assert_eq!(t.extent(), 16);
+        let mut src = vec![0u8; 16];
+        src[0..4].copy_from_slice(&7i32.to_le_bytes());
+        src[8..16].copy_from_slice(&2.5f64.to_le_bytes());
+        let packed = t.pack(&src, 1);
+        assert_eq!(packed.len(), 12);
+        assert_eq!(i32::from_le_bytes(packed[0..4].try_into().unwrap()), 7);
+        assert_eq!(f64::from_le_bytes(packed[4..12].try_into().unwrap()), 2.5);
+    }
+
+    #[test]
+    fn multi_count_pack() {
+        let t = Datatype::vector(2, 1, 2, Datatype::base(BaseType::Byte));
+        // One instance: bytes 0 and 2; extent 3.
+        let src: Vec<u8> = (0..6).collect();
+        let packed = t.pack(&src, 2);
+        assert_eq!(packed, vec![0, 2, 3, 5]);
+        let mut dst = vec![9u8; 6];
+        t.unpack(&mut dst, &packed, 2);
+        assert_eq!(dst, vec![0, 9, 2, 3, 9, 5]);
+    }
+
+    #[test]
+    fn nested_types() {
+        // Vector of structs.
+        let st = Datatype::structure(vec![
+            (1, 0, Datatype::base(BaseType::Int32)),
+            (1, 4, Datatype::base(BaseType::Int32)),
+        ]);
+        let t = Datatype::vector(2, 1, 2, st);
+        assert_eq!(t.size(), 16);
+        assert_eq!(t.extent(), 24);
+        let src: Vec<u8> = (0..24).collect();
+        let packed = t.pack(&src, 1);
+        assert_eq!(&packed[0..8], &src[0..8]);
+        assert_eq!(&packed[8..16], &src[16..24]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below offset 0")]
+    fn negative_offset_rejected() {
+        let t = Datatype::indexed(vec![(1, -1)], Datatype::base(BaseType::Byte));
+        t.pack(&[0u8; 4], 1);
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let xs = vec![1.5f64, -2.25, 1e300];
+        assert_eq!(from_bytes::<f64>(&to_bytes(&xs)), xs);
+        let ys = vec![i32::MIN, 0, i32::MAX];
+        assert_eq!(from_bytes::<i32>(&to_bytes(&ys)), ys);
+        let zs = vec![u64::MAX, 0, 42];
+        assert_eq!(from_bytes::<u64>(&to_bytes(&zs)), zs);
+    }
+
+    #[test]
+    fn contiguous_detection() {
+        assert!(Datatype::base(BaseType::Float64).is_contiguous());
+        assert!(Datatype::contiguous(3, Datatype::base(BaseType::Byte)).is_contiguous());
+        // Stride == blocklen means gap-free.
+        let dense = Datatype::vector(3, 2, 2, Datatype::base(BaseType::Int32));
+        assert!(dense.is_contiguous());
+        let sparse = Datatype::vector(3, 2, 3, Datatype::base(BaseType::Int32));
+        assert!(!sparse.is_contiguous());
+        // Struct with a hole at the front.
+        let holey = Datatype::structure(vec![(1, 4, Datatype::base(BaseType::Int32))]);
+        assert!(!holey.is_contiguous());
+    }
+}

@@ -1,0 +1,368 @@
+//! `ch_mad`: the paper's contribution — a *single* MPICH device carrying
+//! all inter-node traffic over the multi-protocol Madeleine library.
+//!
+//! Structure (paper §4):
+//!
+//! * one Madeleine channel per network; each rank runs **one polling
+//!   thread per channel** (`poll_loop`), started at `MPI_Init` and
+//!   terminated by a `MAD_TERM_PKT` sent over the loop-back connection
+//!   at `MPI_Finalize`;
+//! * per destination, the device picks the *fastest network both nodes
+//!   share* — this is the multi-protocol selection the paper adds over
+//!   classical MPICH devices (no distinction between intra- and
+//!   inter-cluster communication);
+//! * **eager mode** for messages up to the switch point: one message,
+//!   header EXPRESS + user bytes CHEAPER (the *split short packet*
+//!   optimization of §4.2.2 — the naive alternative, a fixed
+//!   `MPID_PKT_MAX_DATA_SIZE` inline buffer, is kept as an ablation);
+//! * **rendezvous mode** above the switch point: REQUEST →
+//!   OK_TO_SEND(sync_address) → DATA(sync_address, zero-copy body);
+//!   the OK_TO_SEND is sent from a freshly spawned thread because *a
+//!   polling thread must never send* (§4.2.3);
+//! * the ADI reserves a single integer for the switch point, so one
+//!   value is **elected** for all networks (SCI's 8 KB when SCI is
+//!   present, else the fastest network's; §4.2.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use madeleine::{Endpoint, ReceiveMode, SendMode, Session};
+use marcel::{JoinHandle, Kernel, OneShot, SimMutex};
+use simnet::elect_switch_point;
+
+use crate::adi::{AdiCosts, Device};
+use crate::device::packet::Packet;
+use crate::engine::Engine;
+use crate::types::Envelope;
+use marcel::VirtualDuration;
+
+/// Per-byte polling-thread handling cost (see `AdiCosts`).
+fn touch(ns_per_byte: f64, bytes: usize) -> VirtualDuration {
+    VirtualDuration::from_nanos((bytes as f64 * ns_per_byte).round() as u64)
+}
+
+/// Tunables and ablation switches for the device.
+#[derive(Clone, Debug)]
+pub struct ChMadConfig {
+    /// Split the ADI short packet: header in the `ch_mad` header block,
+    /// user bytes as the message body (§4.2.2). `false` reproduces the
+    /// naive scheme — a fixed-size inline buffer padded with nulls —
+    /// whose waste the paper calls out.
+    pub split_short: bool,
+    /// Enable the rendezvous transfer mode. `false` forces eager for
+    /// every size (ablation: shows what zero-copy buys).
+    pub rendezvous: bool,
+    /// Override the elected switch point (used by the switch-point
+    /// ablation bench).
+    pub switch_point_override: Option<usize>,
+    /// Chunk size for rendezvous DATA on *forwarded* (multi-hop) routes.
+    /// Chunking lets consecutive hops pipeline, so the end-to-end
+    /// bandwidth approaches the slowest link instead of its half
+    /// (store-and-forward). `usize::MAX` disables chunking (ablation).
+    pub fwd_chunk: usize,
+}
+
+impl Default for ChMadConfig {
+    fn default() -> Self {
+        ChMadConfig {
+            split_short: true,
+            rendezvous: true,
+            switch_point_override: None,
+            fwd_chunk: 128 * 1024,
+        }
+    }
+}
+
+/// Sender-side rendezvous transactions of one rank.
+struct PendingRndv {
+    next_token: u64,
+    waiting: HashMap<u64, OneShot<u64>>,
+}
+
+struct RankState {
+    pending: SimMutex<PendingRndv>,
+}
+
+pub struct ChMad {
+    session: Arc<Session>,
+    engines: Vec<Arc<Engine>>,
+    costs: AdiCosts,
+    config: ChMadConfig,
+    switch_point: usize,
+    ranks: Vec<RankState>,
+}
+
+impl ChMad {
+    pub fn new(
+        kernel: &Kernel,
+        session: Arc<Session>,
+        engines: Vec<Arc<Engine>>,
+        costs: AdiCosts,
+        config: ChMadConfig,
+    ) -> Arc<ChMad> {
+        let protocols = session.topology().protocols();
+        let switch_point = config
+            .switch_point_override
+            .unwrap_or_else(|| elect_switch_point(&protocols));
+        let ranks = (0..session.n_ranks())
+            .map(|_| RankState {
+                pending: SimMutex::new(
+                    kernel,
+                    PendingRndv { next_token: 1, waiting: HashMap::new() },
+                ),
+            })
+            .collect();
+        Arc::new(ChMad {
+            session,
+            engines,
+            costs,
+            config,
+            switch_point,
+            ranks,
+        })
+    }
+
+    /// The Madeleine session the device runs over.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    fn endpoint_to(&self, from: usize, dst: usize) -> Endpoint {
+        let channel = self
+            .session
+            .best_channel_between(from, dst)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no direct network between ranks {from} and {dst}: \
+                     enable forwarding to cross gateways"
+                )
+            });
+        channel.endpoint(from)
+    }
+
+    /// Ship one ch_mad packet (header + optional body) toward
+    /// `final_dst`, wrapping it in a `MAD_FWD_PKT` when the next hop is
+    /// a gateway (§6 future-work extension).
+    fn send_packet(&self, from: usize, final_dst: usize, header: Bytes, body: Option<Bytes>) {
+        let (next, is_final) = self.session.next_hop(from, final_dst);
+        let ep = self.endpoint_to(from, next);
+        let mut conn = ep.begin_packing(next);
+        if !is_final {
+            conn.pack_bytes(
+                Packet::Fwd { final_dst: final_dst as u32 }.encode(),
+                SendMode::Cheaper,
+                ReceiveMode::Express,
+            );
+        }
+        conn.pack_bytes(header, SendMode::Cheaper, ReceiveMode::Express);
+        if let Some(body) = body {
+            if !body.is_empty() {
+                conn.pack_bytes(body, SendMode::Cheaper, ReceiveMode::Cheaper);
+            }
+        }
+        conn.end_packing();
+    }
+
+    /// Eager mode: one message, optimized for latency at the price of an
+    /// intermediate copy on the receiving side.
+    fn send_eager(&self, from: usize, dst: usize, env: Envelope, data: Bytes) {
+        if self.config.split_short {
+            self.send_packet(from, dst, Packet::Short { env }.encode(), Some(data));
+        } else {
+            // Naive ADI short packet: header + MPID_PKT_MAX_DATA_SIZE
+            // inline buffer, express in one piece. Everything beyond the
+            // payload is null padding on the wire.
+            let inline = Packet::short_header_len() + self.switch_point;
+            let mut buf = BytesMut::with_capacity(inline);
+            buf.put_slice(&Packet::Short { env }.encode());
+            buf.put_slice(&data);
+            buf.resize(inline, 0);
+            self.send_packet(from, dst, buf.freeze(), None);
+        }
+    }
+
+    /// Rendezvous mode: synchronize with the receiver, then transfer the
+    /// body zero-copy (paper Fig. 4b).
+    fn send_rndv(&self, from: usize, dst: usize, env: Envelope, data: Bytes) {
+        let (token, slot) = {
+            let mut pending = self.ranks[from].pending.lock();
+            let token = pending.next_token;
+            pending.next_token += 1;
+            let slot = OneShot::current();
+            pending.waiting.insert(token, slot.clone());
+            (token, slot)
+        };
+        // 1) Request.
+        self.send_packet(
+            from,
+            dst,
+            Packet::Request { env, sender_token: token }.encode(),
+            None,
+        );
+        // 2) Wait for Ok_To_Send: the receiver's sync_address.
+        let sync_address = slot.take();
+        // 3) Data, straight to the rhandle — no intermediate copies.
+        // Across gateways, split into chunks so the hops pipeline.
+        let (_, direct) = self.session.next_hop(from, dst);
+        let total = data.len() as u64;
+        let chunk = if direct { usize::MAX } else { self.config.fwd_chunk.max(1) };
+        let mut offset = 0usize;
+        loop {
+            let end = data.len().min(offset + chunk);
+            let body = data.slice(offset..end);
+            self.send_packet(
+                from,
+                dst,
+                Packet::Rndv { env, sync_address, offset: offset as u64, total }.encode(),
+                Some(body),
+            );
+            offset = end;
+            if offset >= data.len() {
+                break;
+            }
+        }
+    }
+
+    /// The polling loop run by one thread per (rank, channel).
+    fn poll_loop(self: &Arc<Self>, rank: usize, ep: Endpoint) {
+        let engine = &self.engines[rank];
+        let eager_copy_ns = ep.channel().model().eager_copy_per_byte_ns;
+        loop {
+            let Some(mut conn) = ep.begin_unpacking() else {
+                break;
+            };
+            let header = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Express);
+            marcel::advance(self.costs.demux);
+            match Packet::decode(&header) {
+                Packet::Short { env } => {
+                    let body = if self.config.split_short {
+                        if conn.remaining_blocks() > 0 {
+                            conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper)
+                        } else {
+                            Bytes::new()
+                        }
+                    } else {
+                        header.slice(
+                            Packet::short_header_len()..Packet::short_header_len() + env.len,
+                        )
+                    };
+                    conn.end_unpacking();
+                    marcel::advance(touch(self.costs.recv_touch_per_byte_ns, body.len()));
+                    engine.deliver_eager(env, body, eager_copy_ns);
+                }
+                Packet::Request { env, sender_token } => {
+                    conn.end_unpacking();
+                    let this = self.clone();
+                    let respond: crate::engine::RndvResponder = Box::new(move |sync_address| {
+                        // A polling thread must never send (§4.2.3):
+                        // the acknowledgement goes out from a dedicated
+                        // short-lived thread.
+                        let ack = this.clone();
+                        marcel::spawn(format!("rank{rank}-rndv-ack"), move || {
+                            ack.send_packet(
+                                rank,
+                                env.src,
+                                Packet::SendOk { sender_token, sync_address }.encode(),
+                                None,
+                            );
+                        });
+                    });
+                    engine.deliver_rndv_offer(env, respond);
+                }
+                Packet::SendOk { sender_token, sync_address } => {
+                    conn.end_unpacking();
+                    let slot = self.ranks[rank]
+                        .pending
+                        .lock()
+                        .waiting
+                        .remove(&sender_token)
+                        .unwrap_or_else(|| {
+                            panic!("rank {rank}: Ok_To_Send for unknown token {sender_token}")
+                        });
+                    slot.put(sync_address);
+                }
+                Packet::Rndv { env, sync_address, offset, total } => {
+                    let body = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
+                    conn.end_unpacking();
+                    marcel::advance(touch(self.costs.recv_touch_per_byte_ns, body.len()));
+                    engine.rndv_chunk(sync_address, env, offset as usize, total as usize, body);
+                }
+                Packet::Term => {
+                    conn.end_unpacking();
+                    break;
+                }
+                Packet::Fwd { final_dst } => {
+                    // Relay: read the wrapped header and optional body,
+                    // then ship them one hop closer to the destination.
+                    // A polling thread must never send (§4.2.3), so the
+                    // relay runs on its own short-lived thread.
+                    let inner = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Express);
+                    let body = (conn.remaining_blocks() > 0)
+                        .then(|| conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper));
+                    conn.end_unpacking();
+                    if let Some(b) = &body {
+                        marcel::advance(touch(self.costs.recv_touch_per_byte_ns, b.len()));
+                    }
+                    let dev = self.clone();
+                    marcel::spawn(format!("rank{rank}-fwd"), move || {
+                        dev.send_packet(rank, final_dst as usize, inner, body);
+                    });
+                }
+            }
+        }
+        ep.detach_polling();
+    }
+}
+
+impl Device for ChMad {
+    fn name(&self) -> &'static str {
+        "ch_mad"
+    }
+
+    fn switch_point(&self) -> usize {
+        self.switch_point
+    }
+
+    fn send(&self, from: usize, dst: usize, env: Envelope, data: Bytes, sync: bool) {
+        marcel::advance(self.costs.send_setup);
+        if sync || (self.config.rendezvous && env.len > self.switch_point) {
+            assert!(
+                !sync || self.config.rendezvous,
+                "synchronous sends require the rendezvous mode"
+            );
+            self.send_rndv(from, dst, env, data);
+        } else {
+            assert!(
+                self.config.split_short || env.len <= self.switch_point,
+                "eager message larger than the inline short buffer"
+            );
+            self.send_eager(from, dst, env, data);
+        }
+    }
+
+    fn start_rank(self: Arc<Self>, rank: usize) -> Vec<JoinHandle<()>> {
+        self.session
+            .channels_of_rank(rank)
+            .into_iter()
+            .map(|channel| {
+                let ep = channel.endpoint(rank);
+                ep.attach_polling();
+                let dev = self.clone();
+                let name = channel.name().to_string();
+                marcel::spawn(format!("rank{rank}-poll-{name}"), move || {
+                    dev.poll_loop(rank, ep);
+                })
+            })
+            .collect()
+    }
+
+    fn finalize_rank(&self, rank: usize) {
+        for channel in self.session.channels_of_rank(rank) {
+            let ep = channel.endpoint(rank);
+            let mut conn = ep.begin_packing(rank);
+            conn.pack_bytes(Packet::Term.encode(), SendMode::Cheaper, ReceiveMode::Express);
+            conn.end_packing();
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! The per-rank matching engine: the ADI's "request queues management"
+//! box (paper Fig. 3). One engine per rank holds the posted-receive
+//! queue and the unexpected-message queue, shared by *all* devices of
+//! that rank — which is what makes `MPI_ANY_SOURCE` work across
+//! `ch_self`, `smp_plug` and `ch_mad` simultaneously.
+//!
+//! Devices deliver into the engine from their polling threads:
+//!
+//! * [`Engine::deliver_eager`] — a short/eager message: matched against
+//!   posted receives, else buffered (the intermediate copy the eager
+//!   mode pays for, §4.1).
+//! * [`Engine::deliver_rndv_offer`] — a rendezvous REQUEST: when a
+//!   matching receive exists (or arrives), the engine allocates an
+//!   rhandle ("sync_address") and invokes the device's responder, which
+//!   sends the OK_TO_SEND message *from a separate thread* (a polling
+//!   thread must never send, §4.2.3).
+//! * [`Engine::rndv_complete`] — the rendezvous DATA message, routed by
+//!   rhandle straight into the posted buffer: zero-copy.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use marcel::{Kernel, SimCondvar, SimMutex, VirtualDuration};
+
+use crate::adi::AdiCosts;
+use crate::request::ReqInner;
+use crate::types::{Envelope, MatchSpec, Status};
+
+/// Responder invoked when a rendezvous request finds its receive: gets
+/// the freshly allocated rhandle token (the paper's `sync_address`) and
+/// must arrange the OK_TO_SEND reply.
+pub type RndvResponder = Box<dyn FnOnce(u64) + Send>;
+
+enum UnexpPayload {
+    /// Buffered eager data plus the per-byte cost (ns) of copying it out
+    /// when the receive finally posts.
+    Eager(Bytes, f64),
+    /// A rendezvous offer waiting for its receive.
+    Rndv(RndvResponder),
+}
+
+struct Unexpected {
+    env: Envelope,
+    payload: UnexpPayload,
+}
+
+struct Posted {
+    spec: MatchSpec,
+    /// Receive buffer capacity; a longer incoming message is an MPI
+    /// truncation error (we fail fast).
+    cap: usize,
+    req: Arc<ReqInner>,
+}
+
+/// One receiver-side rendezvous transaction, possibly assembled from
+/// several chunks (chunking happens on forwarded routes to keep the
+/// gateway pipeline full).
+struct RndvSlot {
+    req: Arc<ReqInner>,
+    total: usize,
+    buf: Vec<u8>,
+    received: usize,
+}
+
+struct EngineState {
+    posted: VecDeque<Posted>,
+    unexpected: VecDeque<Unexpected>,
+    /// Receiver-side rendezvous transactions: rhandle token -> slot.
+    rndv: HashMap<u64, RndvSlot>,
+    next_rhandle: u64,
+}
+
+/// The matching engine of one rank.
+pub struct Engine {
+    rank: usize,
+    state: SimMutex<EngineState>,
+    /// Mirrors `state` for probe wake-ups.
+    arrivals: SimCondvar,
+    costs: AdiCosts,
+}
+
+impl Engine {
+    pub fn new(kernel: &Kernel, rank: usize, costs: AdiCosts) -> Arc<Engine> {
+        Arc::new(Engine {
+            rank,
+            state: SimMutex::new(
+                kernel,
+                EngineState {
+                    posted: VecDeque::new(),
+                    unexpected: VecDeque::new(),
+                    rndv: HashMap::new(),
+                    next_rhandle: 1,
+                },
+            ),
+            arrivals: SimCondvar::new(kernel),
+            costs,
+        })
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn check_cap(env: &Envelope, cap: usize) {
+        assert!(
+            env.len <= cap,
+            "message truncation: {}-byte message for a {}-byte receive (src={}, tag={})",
+            env.len,
+            cap,
+            env.src,
+            env.tag
+        );
+    }
+
+    fn status_of(env: &Envelope) -> Status {
+        Status { source: env.src, tag: env.tag, len: env.len }
+    }
+
+    /// Post a receive. If a matching unexpected message is buffered it
+    /// completes (or initiates the rendezvous reply) immediately;
+    /// otherwise the receive is queued.
+    pub(crate) fn post_recv(&self, spec: MatchSpec, cap: usize, req: Arc<ReqInner>) {
+        marcel::advance(self.costs.post_recv);
+        let mut st = self.state.lock();
+        if let Some(pos) = st.unexpected.iter().position(|u| spec.matches(&u.env)) {
+            let unexp = st.unexpected.remove(pos).expect("position just found");
+            match unexp.payload {
+                UnexpPayload::Eager(data, copy_ns) => {
+                    Self::check_cap(&unexp.env, cap);
+                    drop(st);
+                    // The copy out of the bounce buffer is paid here, by
+                    // the receiving side — the eager mode's cost.
+                    marcel::advance(per_byte(copy_ns, data.len()));
+                    marcel::advance(self.costs.complete);
+                    req.complete(Some(data.to_vec()), Self::status_of(&unexp.env));
+                }
+                UnexpPayload::Rndv(respond) => {
+                    Self::check_cap(&unexp.env, cap);
+                    let token = st.next_rhandle;
+                    st.next_rhandle += 1;
+                    st.rndv.insert(token, RndvSlot {
+                        req,
+                        total: unexp.env.len,
+                        buf: Vec::new(),
+                        received: 0,
+                    });
+                    drop(st);
+                    respond(token);
+                }
+            }
+            return;
+        }
+        st.posted.push_back(Posted { spec, cap, req });
+    }
+
+    /// Deliver an eager message (called from a device's polling thread
+    /// or, for intra-node devices, from the sender's thread).
+    pub fn deliver_eager(&self, env: Envelope, data: Bytes, copy_ns: f64) {
+        debug_assert_eq!(env.len, data.len(), "envelope length out of sync");
+        let mut st = self.state.lock();
+        if let Some(pos) = st.posted.iter().position(|p| p.spec.matches(&env)) {
+            let posted = st.posted.remove(pos).expect("position just found");
+            Self::check_cap(&env, posted.cap);
+            drop(st);
+            marcel::advance(per_byte(copy_ns, data.len()));
+            marcel::advance(self.costs.complete);
+            posted.req.complete(Some(data.to_vec()), Self::status_of(&env));
+        } else {
+            st.unexpected.push_back(Unexpected {
+                env,
+                payload: UnexpPayload::Eager(data, copy_ns),
+            });
+            drop(st);
+        }
+        self.arrivals.notify_all();
+    }
+
+    /// Deliver a rendezvous REQUEST.
+    pub fn deliver_rndv_offer(&self, env: Envelope, respond: RndvResponder) {
+        let mut st = self.state.lock();
+        if let Some(pos) = st.posted.iter().position(|p| p.spec.matches(&env)) {
+            let posted = st.posted.remove(pos).expect("position just found");
+            Self::check_cap(&env, posted.cap);
+            let token = st.next_rhandle;
+            st.next_rhandle += 1;
+            st.rndv.insert(token, RndvSlot {
+                req: posted.req,
+                total: env.len,
+                buf: Vec::new(),
+                received: 0,
+            });
+            drop(st);
+            respond(token);
+        } else {
+            st.unexpected.push_back(Unexpected {
+                env,
+                payload: UnexpPayload::Rndv(respond),
+            });
+            drop(st);
+        }
+        self.arrivals.notify_all();
+    }
+
+    /// Deliver the (whole) rendezvous DATA for rhandle `token`:
+    /// completes the transaction zero-copy.
+    pub fn rndv_complete(&self, token: u64, env: Envelope, data: Bytes) {
+        let len = data.len();
+        self.rndv_chunk(token, env, 0, len, data);
+    }
+
+    /// Deliver one chunk of a rendezvous transaction. Chunks may arrive
+    /// in any order; the transaction completes when `total` bytes have
+    /// been assembled into the rhandle's buffer.
+    pub fn rndv_chunk(&self, token: u64, env: Envelope, offset: usize, total: usize, data: Bytes) {
+        let mut st = self.state.lock();
+        let done = {
+            let slot = st.rndv.get_mut(&token).unwrap_or_else(|| {
+                panic!("unknown rendezvous rhandle {token} on rank {}", self.rank)
+            });
+            assert_eq!(slot.total, total, "rendezvous total changed mid-flight");
+            assert!(offset + data.len() <= total, "rendezvous chunk out of bounds");
+            if slot.buf.is_empty() && offset == 0 && data.len() == total {
+                // Whole-message fast path: adopt the buffer.
+                slot.buf = data.to_vec();
+            } else {
+                if slot.buf.is_empty() {
+                    slot.buf = vec![0u8; total];
+                }
+                slot.buf[offset..offset + data.len()].copy_from_slice(&data);
+            }
+            slot.received += data.len();
+            assert!(slot.received <= total, "rendezvous over-delivery");
+            slot.received == total
+        };
+        if done {
+            let slot = st.rndv.remove(&token).expect("slot just seen");
+            drop(st);
+            marcel::advance(self.costs.complete);
+            slot.req.complete(Some(slot.buf), Self::status_of(&env));
+        }
+    }
+
+    /// Non-blocking probe of the unexpected queue (`MPI_Iprobe`).
+    pub fn iprobe(&self, spec: MatchSpec) -> Option<Status> {
+        let st = self.state.lock();
+        st.unexpected
+            .iter()
+            .find(|u| spec.matches(&u.env))
+            .map(|u| Self::status_of(&u.env))
+    }
+
+    /// Blocking probe (`MPI_Probe`): waits until a matching message is
+    /// buffered, without consuming it.
+    pub fn probe(&self, spec: MatchSpec) -> Status {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(u) = st.unexpected.iter().find(|u| spec.matches(&u.env)) {
+                return Self::status_of(&u.env);
+            }
+            st = self.arrivals.wait(&self.state, st);
+        }
+    }
+
+    /// Diagnostics: (posted, unexpected, live rendezvous) queue depths.
+    pub fn depths(&self) -> (usize, usize, usize) {
+        let st = self.state.lock();
+        (st.posted.len(), st.unexpected.len(), st.rndv.len())
+    }
+}
+
+fn per_byte(ns: f64, bytes: usize) -> VirtualDuration {
+    VirtualDuration::from_nanos((bytes as f64 * ns).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use marcel::{CostModel, Kernel};
+
+    fn env(src: usize, tag: i32, len: usize) -> Envelope {
+        Envelope { src, tag, context: 0, len }
+    }
+
+    fn spec(src: Option<usize>, tag: Option<i32>) -> MatchSpec {
+        MatchSpec { src, tag, context: 0 }
+    }
+
+    fn with_engine(f: impl FnOnce(Arc<Engine>) + Send + 'static) {
+        let k = Kernel::new(CostModel::free());
+        let k2 = k.clone();
+        k.spawn("main", move || {
+            let engine = Engine::new(&k2, 0, AdiCosts::free());
+            f(engine);
+        });
+        k.run().unwrap();
+    }
+
+    #[test]
+    fn eager_then_post() {
+        with_engine(|e| {
+            e.deliver_eager(env(1, 5, 3), Bytes::from_static(&[1, 2, 3]), 0.0);
+            let req = ReqInner::new();
+            e.post_recv(spec(Some(1), Some(5)), 16, req.clone());
+            let (data, status) = Request::new(req).wait();
+            assert_eq!(data.unwrap(), vec![1, 2, 3]);
+            assert_eq!(status.source, 1);
+        });
+    }
+
+    #[test]
+    fn post_then_eager() {
+        with_engine(|e| {
+            let req = ReqInner::new();
+            e.post_recv(spec(Some(1), Some(5)), 16, req.clone());
+            assert_eq!(e.depths(), (1, 0, 0));
+            e.deliver_eager(env(1, 5, 2), Bytes::from_static(&[7, 8]), 0.0);
+            let (data, _) = Request::new(req).wait();
+            assert_eq!(data.unwrap(), vec![7, 8]);
+            assert_eq!(e.depths(), (0, 0, 0));
+        });
+    }
+
+    #[test]
+    fn wildcard_matching_is_fifo() {
+        with_engine(|e| {
+            e.deliver_eager(env(2, 5, 1), Bytes::from_static(&[2]), 0.0);
+            e.deliver_eager(env(1, 5, 1), Bytes::from_static(&[1]), 0.0);
+            let r1 = ReqInner::new();
+            e.post_recv(spec(None, None), 16, r1.clone());
+            // ANY_SOURCE/ANY_TAG must take the earliest buffered message.
+            let (data, status) = Request::new(r1).wait();
+            assert_eq!(data.unwrap(), vec![2]);
+            assert_eq!(status.source, 2);
+        });
+    }
+
+    #[test]
+    fn non_matching_messages_do_not_complete() {
+        with_engine(|e| {
+            let req = ReqInner::new();
+            e.post_recv(spec(Some(1), Some(5)), 16, req.clone());
+            e.deliver_eager(env(1, 6, 1), Bytes::from_static(&[9]), 0.0);
+            e.deliver_eager(env(2, 5, 1), Bytes::from_static(&[9]), 0.0);
+            let mut r = Request::new(req);
+            assert!(!r.test());
+            assert_eq!(e.depths(), (1, 2, 0));
+            e.deliver_eager(env(1, 5, 1), Bytes::from_static(&[1]), 0.0);
+            assert!(r.test());
+        });
+    }
+
+    #[test]
+    fn rendezvous_flow() {
+        with_engine(|e| {
+            let e2 = e.clone();
+            // REQUEST arrives first; responder fires once the recv posts.
+            let fired = std::sync::Arc::new(parking_lot::Mutex::new(None));
+            let f2 = fired.clone();
+            e.deliver_rndv_offer(
+                env(3, 1, 4),
+                Box::new(move |token| {
+                    *f2.lock() = Some(token);
+                }),
+            );
+            let req = ReqInner::new();
+            e.post_recv(spec(Some(3), Some(1)), 16, req.clone());
+            let token = fired.lock().expect("responder must fire on post");
+            e2.rndv_complete(token, env(3, 1, 4), Bytes::from_static(&[4, 3, 2, 1]));
+            let (data, _) = Request::new(req).wait();
+            assert_eq!(data.unwrap(), vec![4, 3, 2, 1]);
+        });
+    }
+
+    #[test]
+    fn rendezvous_posted_first() {
+        with_engine(|e| {
+            let req = ReqInner::new();
+            e.post_recv(spec(None, Some(1)), 16, req.clone());
+            let fired = std::sync::Arc::new(parking_lot::Mutex::new(None));
+            let f2 = fired.clone();
+            e.deliver_rndv_offer(
+                env(3, 1, 2),
+                Box::new(move |t| {
+                    *f2.lock() = Some(t);
+                }),
+            );
+            let token = fired.lock().expect("responder fires immediately");
+            e.rndv_complete(token, env(3, 1, 2), Bytes::from_static(&[5, 6]));
+            let (data, status) = Request::new(req).wait();
+            assert_eq!(data.unwrap(), vec![5, 6]);
+            assert_eq!(status.source, 3);
+        });
+    }
+
+    #[test]
+    fn truncation_is_fatal() {
+        let k = Kernel::new(CostModel::free());
+        let k2 = k.clone();
+        k.spawn("main", move || {
+            let e = Engine::new(&k2, 0, AdiCosts::free());
+            let req = ReqInner::new();
+            e.post_recv(spec(None, None), 2, req);
+            e.deliver_eager(env(0, 0, 5), Bytes::from_static(&[0; 5]), 0.0);
+        });
+        match k.run() {
+            Err(marcel::SimError::ThreadPanicked(msg)) => assert!(msg.contains("truncation")),
+            other => panic!("expected truncation panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_sees_unexpected_without_consuming() {
+        with_engine(|e| {
+            e.deliver_eager(env(1, 7, 3), Bytes::from_static(&[1, 2, 3]), 0.0);
+            assert_eq!(e.iprobe(spec(None, Some(7))).unwrap().len, 3);
+            assert_eq!(e.iprobe(spec(None, Some(8))), None);
+            // Still buffered.
+            assert_eq!(e.depths(), (0, 1, 0));
+            let st = e.probe(spec(Some(1), None));
+            assert_eq!(st.source, 1);
+        });
+    }
+
+    #[test]
+    fn blocking_probe_wakes_on_arrival() {
+        let k = Kernel::new(CostModel::free());
+        let k2 = k.clone();
+        let h = k.spawn("main", move || {
+            let e = Engine::new(&k2, 0, AdiCosts::free());
+            let e2 = e.clone();
+            marcel::spawn("deliverer", move || {
+                marcel::advance(VirtualDuration::from_micros(40));
+                e2.deliver_eager(env(9, 3, 1), Bytes::from_static(&[1]), 0.0);
+            });
+            let st = e.probe(spec(Some(9), Some(3)));
+            (st.len, marcel::now())
+        });
+        k.run().unwrap();
+        let (len, t) = h.join_outcome().unwrap();
+        assert_eq!(len, 1);
+        assert!(t.as_micros_f64() >= 40.0);
+    }
+
+    #[test]
+    fn rndv_chunks_assemble_out_of_order() {
+        with_engine(|e| {
+            let req = ReqInner::new();
+            e.post_recv(spec(Some(1), Some(0)), 64, req.clone());
+            let fired = std::sync::Arc::new(parking_lot::Mutex::new(None));
+            let f2 = fired.clone();
+            e.deliver_rndv_offer(env(1, 0, 10), Box::new(move |t| *f2.lock() = Some(t)));
+            let token = fired.lock().expect("responder fired");
+            // Three chunks, delivered middle-last-first.
+            e.rndv_chunk(token, env(1, 0, 10), 4, 10, Bytes::from_static(&[5, 6, 7]));
+            e.rndv_chunk(token, env(1, 0, 10), 7, 10, Bytes::from_static(&[8, 9, 10]));
+            let mut r = Request::new(req);
+            assert!(!r.test(), "incomplete assembly must not complete");
+            e.rndv_chunk(token, env(1, 0, 10), 0, 10, Bytes::from_static(&[1, 2, 3, 4]));
+            let (data, status) = r.wait();
+            assert_eq!(data.unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+            assert_eq!(status.len, 10);
+        });
+    }
+
+    #[test]
+    fn rndv_single_chunk_fast_path() {
+        with_engine(|e| {
+            let req = ReqInner::new();
+            e.post_recv(spec(None, None), 8, req.clone());
+            let fired = std::sync::Arc::new(parking_lot::Mutex::new(None));
+            let f2 = fired.clone();
+            e.deliver_rndv_offer(env(2, 1, 3), Box::new(move |t| *f2.lock() = Some(t)));
+            let token = fired.lock().unwrap();
+            e.rndv_complete(token, env(2, 1, 3), Bytes::from_static(&[9, 8, 7]));
+            let (data, _) = Request::new(req).wait();
+            assert_eq!(data.unwrap(), vec![9, 8, 7]);
+        });
+    }
+
+    #[test]
+    fn eager_copy_cost_charged_on_match() {
+        let k = Kernel::new(CostModel::free());
+        let k2 = k.clone();
+        let h = k.spawn("main", move || {
+            let e = Engine::new(&k2, 0, AdiCosts::free());
+            e.deliver_eager(env(1, 0, 100_000), Bytes::from(vec![0u8; 100_000]), 10.0);
+            let before = marcel::now();
+            let req = ReqInner::new();
+            e.post_recv(spec(None, None), 1 << 20, req.clone());
+            Request::new(req).wait();
+            marcel::now() - before
+        });
+        k.run().unwrap();
+        // 100 KB at 10 ns/B = 1 ms.
+        let d = h.join_outcome().unwrap();
+        assert!(d.as_micros_f64() >= 1_000.0, "copy cost {d}");
+    }
+}

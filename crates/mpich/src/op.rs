@@ -1,0 +1,254 @@
+//! Reduction operations (`MPI_Op`) over the base types.
+//!
+//! `apply` folds one contribution into an accumulator, elementwise over
+//! packed little-endian buffers. `MaxLoc`/`MinLoc` operate on
+//! `(value, location)` pairs of the same base type, as in MPI's
+//! `MPI_2INT`-style pair types.
+
+use crate::datatype::BaseType;
+
+/// Predefined reduction operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+    /// Logical AND (nonzero = true).
+    Land,
+    /// Logical OR.
+    Lor,
+    /// Bitwise AND (integer types only).
+    Band,
+    /// Bitwise OR (integer types only).
+    Bor,
+    /// Max value with the lowest location on ties; operates on pairs.
+    MaxLoc,
+    /// Min value with the lowest location on ties; operates on pairs.
+    MinLoc,
+}
+
+impl ReduceOp {
+    /// True for ops that consume `(value, location)` pairs.
+    pub fn is_loc(self) -> bool {
+        matches!(self, ReduceOp::MaxLoc | ReduceOp::MinLoc)
+    }
+}
+
+macro_rules! fold_numeric {
+    ($ty:ty, $op:expr, $acc:expr, $other:expr) => {{
+        let w = std::mem::size_of::<$ty>();
+        for (a, b) in $acc.chunks_exact_mut(w).zip($other.chunks_exact(w)) {
+            let x = <$ty>::from_le_bytes(a.try_into().unwrap());
+            let y = <$ty>::from_le_bytes(b.try_into().unwrap());
+            let r: $ty = fold_one::<$ty>($op, x, y);
+            a.copy_from_slice(&r.to_le_bytes());
+        }
+    }};
+}
+
+trait Num: Copy + PartialOrd {
+    fn add(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    fn is_true(self) -> bool;
+    fn from_bool(b: bool) -> Self;
+    fn band(self, o: Self) -> Self;
+    fn bor(self, o: Self) -> Self;
+}
+
+macro_rules! impl_int {
+    ($ty:ty) => {
+        impl Num for $ty {
+            fn add(self, o: Self) -> Self {
+                self.wrapping_add(o)
+            }
+            fn mul(self, o: Self) -> Self {
+                self.wrapping_mul(o)
+            }
+            fn is_true(self) -> bool {
+                self != 0
+            }
+            fn from_bool(b: bool) -> Self {
+                if b { 1 } else { 0 }
+            }
+            fn band(self, o: Self) -> Self {
+                self & o
+            }
+            fn bor(self, o: Self) -> Self {
+                self | o
+            }
+        }
+    };
+}
+
+macro_rules! impl_float {
+    ($ty:ty) => {
+        impl Num for $ty {
+            fn add(self, o: Self) -> Self {
+                self + o
+            }
+            fn mul(self, o: Self) -> Self {
+                self * o
+            }
+            fn is_true(self) -> bool {
+                self != 0.0
+            }
+            fn from_bool(b: bool) -> Self {
+                if b { 1.0 } else { 0.0 }
+            }
+            fn band(self, _: Self) -> Self {
+                panic!("bitwise reduction on a floating-point type")
+            }
+            fn bor(self, _: Self) -> Self {
+                panic!("bitwise reduction on a floating-point type")
+            }
+        }
+    };
+}
+
+impl_int!(u8);
+impl_int!(i32);
+impl_int!(i64);
+impl_int!(u64);
+impl_float!(f32);
+impl_float!(f64);
+
+fn fold_one<T: Num>(op: ReduceOp, x: T, y: T) -> T {
+    match op {
+        ReduceOp::Sum => x.add(y),
+        ReduceOp::Prod => x.mul(y),
+        ReduceOp::Min => {
+            if y < x { y } else { x }
+        }
+        ReduceOp::Max => {
+            if y > x { y } else { x }
+        }
+        ReduceOp::Land => T::from_bool(x.is_true() && y.is_true()),
+        ReduceOp::Lor => T::from_bool(x.is_true() || y.is_true()),
+        ReduceOp::Band => x.band(y),
+        ReduceOp::Bor => x.bor(y),
+        ReduceOp::MaxLoc | ReduceOp::MinLoc => unreachable!("loc ops handled pairwise"),
+    }
+}
+
+macro_rules! fold_loc {
+    ($ty:ty, $op:expr, $acc:expr, $other:expr) => {{
+        let w = std::mem::size_of::<$ty>();
+        for (a, b) in $acc.chunks_exact_mut(2 * w).zip($other.chunks_exact(2 * w)) {
+            let (av, al) = (
+                <$ty>::from_le_bytes(a[..w].try_into().unwrap()),
+                <$ty>::from_le_bytes(a[w..].try_into().unwrap()),
+            );
+            let (bv, bl) = (
+                <$ty>::from_le_bytes(b[..w].try_into().unwrap()),
+                <$ty>::from_le_bytes(b[w..].try_into().unwrap()),
+            );
+            let take_b = match $op {
+                ReduceOp::MaxLoc => bv > av || (bv == av && bl < al),
+                ReduceOp::MinLoc => bv < av || (bv == av && bl < al),
+                _ => unreachable!(),
+            };
+            if take_b {
+                a[..w].copy_from_slice(&bv.to_le_bytes());
+                a[w..].copy_from_slice(&bl.to_le_bytes());
+            }
+        }
+    }};
+}
+
+/// Fold `other` into `acc`, elementwise. Both buffers hold packed
+/// little-endian values of `base` (pairs for loc ops) and must have the
+/// same length, a multiple of the element (pair) width.
+pub fn apply(base: BaseType, op: ReduceOp, acc: &mut [u8], other: &[u8]) {
+    assert_eq!(acc.len(), other.len(), "reduction buffer length mismatch");
+    let unit = if op.is_loc() { 2 * base.size() } else { base.size() };
+    assert_eq!(acc.len() % unit, 0, "reduction buffer not a multiple of the element width");
+    if op.is_loc() {
+        match base {
+            BaseType::Byte => fold_loc!(u8, op, acc, other),
+            BaseType::Int32 => fold_loc!(i32, op, acc, other),
+            BaseType::Int64 => fold_loc!(i64, op, acc, other),
+            BaseType::UInt64 => fold_loc!(u64, op, acc, other),
+            BaseType::Float32 => fold_loc!(f32, op, acc, other),
+            BaseType::Float64 => fold_loc!(f64, op, acc, other),
+        }
+    } else {
+        match base {
+            BaseType::Byte => fold_numeric!(u8, op, acc, other),
+            BaseType::Int32 => fold_numeric!(i32, op, acc, other),
+            BaseType::Int64 => fold_numeric!(i64, op, acc, other),
+            BaseType::UInt64 => fold_numeric!(u64, op, acc, other),
+            BaseType::Float32 => fold_numeric!(f32, op, acc, other),
+            BaseType::Float64 => fold_numeric!(f64, op, acc, other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::{from_bytes, to_bytes};
+
+    fn reduce<T: crate::datatype::MpiScalar>(op: ReduceOp, a: &[T], b: &[T]) -> Vec<T> {
+        let mut acc = to_bytes(a);
+        apply(T::BASE, op, &mut acc, &to_bytes(b));
+        from_bytes(&acc)
+    }
+
+    #[test]
+    fn sum_and_prod() {
+        assert_eq!(reduce(ReduceOp::Sum, &[1i32, 2, 3], &[10, 20, 30]), vec![11, 22, 33]);
+        assert_eq!(reduce(ReduceOp::Prod, &[2f64, 3.0], &[4.0, 5.0]), vec![8.0, 15.0]);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(reduce(ReduceOp::Min, &[5i32, -2], &[3, 7]), vec![3, -2]);
+        assert_eq!(reduce(ReduceOp::Max, &[5f32, -2.0], &[3.0, 7.0]), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn logical_ops() {
+        assert_eq!(reduce(ReduceOp::Land, &[1i32, 1, 0], &[1, 0, 0]), vec![1, 0, 0]);
+        assert_eq!(reduce(ReduceOp::Lor, &[1i32, 0, 0], &[0, 1, 0]), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(reduce(ReduceOp::Band, &[0b1100u64], &[0b1010]), vec![0b1000]);
+        assert_eq!(reduce(ReduceOp::Bor, &[0b1100u64], &[0b1010]), vec![0b1110]);
+    }
+
+    #[test]
+    #[should_panic(expected = "floating-point")]
+    fn bitwise_on_float_panics() {
+        reduce(ReduceOp::Band, &[1.0f64], &[2.0]);
+    }
+
+    #[test]
+    fn maxloc_prefers_lower_location_on_tie() {
+        // Pairs (value, loc).
+        let a = [9i32, 4, 7, 0];
+        let b = [9i32, 2, 8, 1];
+        assert_eq!(reduce(ReduceOp::MaxLoc, &a, &b), vec![9, 2, 8, 1]);
+    }
+
+    #[test]
+    fn minloc() {
+        let a = [3f64, 0.0, 5.0, 0.0];
+        let b = [4f64, 1.0, 2.0, 1.0];
+        assert_eq!(reduce(ReduceOp::MinLoc, &a, &b), vec![3.0, 0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn wrapping_integer_sum() {
+        assert_eq!(reduce(ReduceOp::Sum, &[i32::MAX], &[1]), vec![i32::MIN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut acc = vec![0u8; 4];
+        apply(BaseType::Int32, ReduceOp::Sum, &mut acc, &[0u8; 8]);
+    }
+}

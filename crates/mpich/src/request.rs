@@ -1,0 +1,234 @@
+//! Communication requests (`MPI_Request`): completion objects for
+//! non-blocking operations, built on the kernel's virtual-time
+//! semaphores — the same structure the paper's rendezvous rhandle uses
+//! (a semaphore plus a handle identifying the transaction, §4.2.2).
+
+use std::sync::Arc;
+
+use marcel::Semaphore;
+use parking_lot::Mutex as RealMutex;
+
+use crate::types::Status;
+
+/// Shared completion state of one request.
+pub(crate) struct ReqInner {
+    sem: Semaphore,
+    state: RealMutex<ReqState>,
+}
+
+struct ReqState {
+    result: Option<(Option<Vec<u8>>, Status)>,
+}
+
+impl ReqInner {
+    pub(crate) fn new() -> Arc<ReqInner> {
+        Arc::new(ReqInner {
+            sem: Semaphore::current(0),
+            state: RealMutex::new(ReqState { result: None }),
+        })
+    }
+
+    /// Complete the request: deposit the received data (None for send
+    /// requests) and wake the waiter.
+    pub(crate) fn complete(&self, data: Option<Vec<u8>>, status: Status) {
+        let mut st = self.state.lock();
+        assert!(st.result.is_none(), "request completed twice");
+        st.result = Some((data, status));
+        drop(st);
+        self.sem.release();
+    }
+}
+
+/// Handle to an in-flight non-blocking operation. Consume with
+/// [`Request::wait`]; poll with [`Request::test`].
+pub struct Request {
+    inner: Arc<ReqInner>,
+    /// Whether the completion token was already taken from the
+    /// semaphore (by a successful `test`).
+    signaled: bool,
+}
+
+impl Request {
+    pub(crate) fn new(inner: Arc<ReqInner>) -> Request {
+        Request { inner, signaled: false }
+    }
+
+    /// Block (in virtual time) until the operation completes; returns
+    /// the received data (`None` for sends) and the status.
+    pub fn wait(mut self) -> (Option<Vec<u8>>, Status) {
+        if !self.signaled {
+            self.inner.sem.acquire();
+            self.signaled = true;
+        }
+        self.inner
+            .state
+            .lock()
+            .result
+            .take()
+            .expect("request signaled without a result")
+    }
+
+    /// Wait on a receive request and return the data (panics on a send
+    /// request).
+    pub fn wait_data(self) -> (Vec<u8>, Status) {
+        let (data, status) = self.wait();
+        (data.expect("wait_data on a send request"), status)
+    }
+
+    /// Wait on a send request, discarding the (empty) payload.
+    pub fn wait_send(self) {
+        let (data, _) = self.wait();
+        assert!(data.is_none(), "wait_send on a receive request");
+    }
+
+    /// Non-blocking completion check (`MPI_Test`). After it returns
+    /// true, `wait` returns immediately.
+    pub fn test(&mut self) -> bool {
+        if self.signaled {
+            return true;
+        }
+        if self.inner.sem.try_acquire() {
+            self.signaled = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Wait for every request, in order (`MPI_Waitall`).
+pub fn wait_all(requests: Vec<Request>) -> Vec<(Option<Vec<u8>>, Status)> {
+    requests.into_iter().map(Request::wait).collect()
+}
+
+/// Wait until at least one request completes and return its index plus
+/// result (`MPI_Waitany`). Remaining requests stay pending in `requests`.
+pub fn wait_any(requests: &mut Vec<Request>) -> (usize, Option<Vec<u8>>, Status) {
+    assert!(!requests.is_empty(), "wait_any on an empty request list");
+    let mut backoff = marcel::VirtualDuration::from_micros(1);
+    loop {
+        for (i, r) in requests.iter_mut().enumerate() {
+            if r.test() {
+                let req = requests.remove(i);
+                let (data, status) = req.wait();
+                return (i, data, status);
+            }
+        }
+        marcel::sleep(backoff);
+        let next = backoff * 2;
+        backoff = next.min(marcel::VirtualDuration::from_micros(50));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marcel::{CostModel, Kernel, VirtualDuration};
+
+    #[test]
+    fn wait_blocks_until_complete() {
+        let k = Kernel::new(CostModel::free());
+        let h = k.spawn("main", || {
+            let inner = ReqInner::new();
+            let req = Request::new(inner.clone());
+            marcel::spawn("completer", move || {
+                marcel::advance(VirtualDuration::from_micros(30));
+                inner.complete(
+                    Some(vec![1, 2, 3]),
+                    Status { source: 4, tag: 9, len: 3 },
+                );
+            });
+            let (data, status) = req.wait();
+            (data, status, marcel::now())
+        });
+        k.run().unwrap();
+        let (data, status, t) = h.join_outcome().unwrap();
+        assert_eq!(data, Some(vec![1, 2, 3]));
+        assert_eq!(status.len, 3);
+        assert!(t.as_micros_f64() >= 30.0);
+    }
+
+    #[test]
+    fn test_then_wait() {
+        let k = Kernel::new(CostModel::free());
+        let h = k.spawn("main", || {
+            let inner = ReqInner::new();
+            let mut req = Request::new(inner.clone());
+            assert!(!req.test());
+            inner.complete(None, Status { source: 0, tag: 0, len: 0 });
+            // Completion happened synchronously; test must see it.
+            assert!(req.test());
+            assert!(req.test(), "test is idempotent once signaled");
+            let (data, _) = req.wait();
+            data.is_none()
+        });
+        k.run().unwrap();
+        assert!(h.join_outcome().unwrap());
+    }
+
+    #[test]
+    fn wait_all_in_order() {
+        let k = Kernel::new(CostModel::free());
+        let h = k.spawn("main", || {
+            let mut reqs = Vec::new();
+            for i in 0..3u8 {
+                let inner = ReqInner::new();
+                reqs.push(Request::new(inner.clone()));
+                marcel::spawn(format!("c{i}"), move || {
+                    marcel::advance(VirtualDuration::from_micros((3 - i as u64) * 10));
+                    inner.complete(
+                        Some(vec![i]),
+                        Status { source: i as usize, tag: 0, len: 1 },
+                    );
+                });
+            }
+            wait_all(reqs)
+                .into_iter()
+                .map(|(d, _)| d.unwrap()[0])
+                .collect::<Vec<_>>()
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wait_any_returns_earliest() {
+        let k = Kernel::new(CostModel::free());
+        let h = k.spawn("main", || {
+            let mut reqs = Vec::new();
+            for i in 0..3u8 {
+                let inner = ReqInner::new();
+                reqs.push(Request::new(inner.clone()));
+                let delay = if i == 1 { 5 } else { 500 };
+                marcel::spawn(format!("c{i}"), move || {
+                    marcel::advance(VirtualDuration::from_micros(delay));
+                    inner.complete(None, Status { source: i as usize, tag: 0, len: 0 });
+                });
+            }
+            let (_, _, status) = wait_any(&mut reqs);
+            let remaining = reqs.len();
+            for r in reqs.drain(..) {
+                r.wait();
+            }
+            (status.source, remaining)
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), (1, 2));
+    }
+
+    #[test]
+    fn double_complete_is_rejected() {
+        let k = Kernel::new(CostModel::free());
+        k.spawn("main", || {
+            let inner = ReqInner::new();
+            inner.complete(None, Status { source: 0, tag: 0, len: 0 });
+            inner.complete(None, Status { source: 0, tag: 0, len: 0 });
+        });
+        match k.run() {
+            Err(marcel::SimError::ThreadPanicked(msg)) => {
+                assert!(msg.contains("completed twice"), "{msg}");
+            }
+            other => panic!("expected panic, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! World bootstrap: build the kernel, the Madeleine session, the devices
+//! and the per-rank environments; run one simulated main thread per rank
+//! through `MPI_Init` → user code → `MPI_Finalize`.
+
+use std::sync::Arc;
+
+use marcel::{CostModel, Kernel, SimBarrier, SimError, SimMutex};
+use simnet::{NodeId, Topology};
+
+use crate::adi::{AdiCosts, Device, DeviceSet};
+use crate::comm::{Communicator, MpiEnv};
+use crate::device::{ChMad, ChMadConfig, ChP4, ChP4Costs, ChSelf, SmpPlug};
+use crate::engine::Engine;
+
+/// How ranks are placed on the topology's nodes.
+#[derive(Clone, Debug)]
+pub enum Placement {
+    /// One rank per node, in node order.
+    OneRankPerNode,
+    /// One rank per CPU (SMP nodes host several ranks).
+    OneRankPerCpu,
+    /// Explicit rank -> node map.
+    Explicit(Vec<NodeId>),
+}
+
+/// Which inter-node device carries remote traffic.
+#[derive(Clone, Debug)]
+pub enum RemoteDeviceKind {
+    /// The paper's multi-protocol device over Madeleine.
+    ChMad(ChMadConfig),
+    /// The classical TCP device (Figure 6 baseline). Requires a
+    /// topology where every node pair shares a TCP network.
+    ChP4(ChP4Costs),
+}
+
+/// Full world configuration.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    pub cost_model: CostModel,
+    pub adi: AdiCosts,
+    pub remote: RemoteDeviceKind,
+    /// Allow transitively-connected topologies; inter-node messages
+    /// between nodes without a shared network cross gateway ranks
+    /// (the §6 future-work forwarding extension; ch_mad only).
+    pub forwarding: bool,
+    /// Record the kernel's deterministic event trace (retrieve it with
+    /// `Kernel::take_trace` after `run_world_kernel`).
+    pub trace: bool,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            cost_model: CostModel::calibrated(),
+            adi: AdiCosts::calibrated(),
+            remote: RemoteDeviceKind::ChMad(ChMadConfig::default()),
+            forwarding: false,
+            trace: false,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// Default ch_mad configuration with gateway forwarding enabled.
+    pub fn with_forwarding() -> Self {
+        WorldConfig { forwarding: true, ..WorldConfig::default() }
+    }
+}
+
+impl WorldConfig {
+    pub fn ch_p4() -> Self {
+        WorldConfig {
+            remote: RemoteDeviceKind::ChP4(ChP4Costs::default()),
+            ..WorldConfig::default()
+        }
+    }
+}
+
+/// Run an MPI program: spawn one main thread per rank executing `f` with
+/// that rank's `MPI_COMM_WORLD`, then run the simulation to completion.
+/// Returns the per-rank results in rank order.
+///
+/// ```
+/// use mpich::{run_world, Placement, WorldConfig};
+/// use simnet::{Protocol, Topology};
+///
+/// let results = run_world(
+///     Topology::single_network(4, Protocol::Tcp),
+///     Placement::OneRankPerNode,
+///     WorldConfig::default(),
+///     |comm| comm.allreduce_vec(&[comm.rank() as i64], mpich::ReduceOp::Sum)[0],
+/// )
+/// .unwrap();
+/// assert_eq!(results, vec![6, 6, 6, 6]);
+/// ```
+pub fn run_world<T, F>(
+    topology: Topology,
+    placement: Placement,
+    config: WorldConfig,
+    f: F,
+) -> Result<Vec<T>, SimError>
+where
+    T: Send + 'static,
+    F: Fn(&Communicator) -> T + Send + Sync + 'static,
+{
+    let (results, _) = run_world_kernel(topology, placement, config, f)?;
+    Ok(results)
+}
+
+/// Like [`run_world`], additionally returning the kernel (for end-time
+/// or trace inspection).
+pub fn run_world_kernel<T, F>(
+    topology: Topology,
+    placement: Placement,
+    config: WorldConfig,
+    f: F,
+) -> Result<(Vec<T>, Kernel), SimError>
+where
+    T: Send + 'static,
+    F: Fn(&Communicator) -> T + Send + Sync + 'static,
+{
+    let kernel = Kernel::new(config.cost_model.clone());
+    if config.trace {
+        kernel.enable_trace();
+    }
+    let node_model = topology.node_model().clone();
+    let builder = madeleine::SessionBuilder::new(topology);
+    let builder = match &placement {
+        Placement::OneRankPerNode => builder.one_rank_per_node(),
+        Placement::OneRankPerCpu => builder.one_rank_per_cpu(),
+        Placement::Explicit(map) => builder.place(map.clone()),
+    };
+    let builder = if config.forwarding {
+        assert!(
+            matches!(config.remote, RemoteDeviceKind::ChMad(_)),
+            "forwarding requires the ch_mad device"
+        );
+        builder.allow_forwarding()
+    } else {
+        builder
+    };
+    let session = builder.build(&kernel).expect("invalid topology for an MPI world");
+    let n = session.n_ranks();
+
+    let engines: Vec<Arc<Engine>> = (0..n)
+        .map(|r| Engine::new(&kernel, r, config.adi.clone()))
+        .collect();
+    let rank_node: Vec<usize> = (0..n).map(|r| session.node_of(r).0).collect();
+
+    let remote: Arc<dyn Device> = match &config.remote {
+        RemoteDeviceKind::ChMad(cfg) => ChMad::new(
+            &kernel,
+            session.clone(),
+            engines.clone(),
+            config.adi.clone(),
+            cfg.clone(),
+        ),
+        RemoteDeviceKind::ChP4(costs) => ChP4::new(&kernel, engines.clone(), costs.clone()),
+    };
+    let devices = Arc::new(DeviceSet {
+        ch_self: ChSelf::new(engines.clone(), node_model.clone()),
+        smp_plug: SmpPlug::new(engines.clone(), rank_node.clone(), node_model),
+        remote,
+        rank_node,
+    });
+
+    let ctx_alloc = Arc::new(SimMutex::new(&kernel, 2));
+    // Kernel-level (non-MPI) quiescence barrier: no rank may terminate
+    // its polling threads before EVERY rank has finished its MPI
+    // traffic. The MPI barrier alone is not enough with forwarding:
+    // its own broadcast messages can still be transiting a gateway
+    // whose barrier participation already ended — the gateway's TERM
+    // would kill the polling thread with the relay still in flight.
+    let shutdown = SimBarrier::new(&kernel, n);
+    let f = Arc::new(f);
+    let mut handles = Vec::with_capacity(n);
+    #[allow(clippy::needless_range_loop)]
+    for rank in 0..n {
+        let env = Arc::new(MpiEnv {
+            world_rank: rank,
+            world_size: n,
+            engine: engines[rank].clone(),
+            devices: devices.clone(),
+            ctx_alloc: ctx_alloc.clone(),
+        });
+        let f = f.clone();
+        let shutdown = shutdown.clone();
+        handles.push(kernel.spawn(format!("rank{rank}"), move || {
+            // MPI_Init: start the inter-node device's service threads.
+            let pollers = env.devices.remote.clone().start_rank(rank);
+            let comm = Communicator::world(env.clone());
+            let result = f(&comm);
+            // MPI_Finalize: synchronize at the MPI level, then wait for
+            // global quiescence before terminating the pollers (see the
+            // shutdown barrier's comment above).
+            comm.barrier();
+            shutdown.wait();
+            env.devices.remote.finalize_rank(rank);
+            for p in pollers {
+                p.join();
+            }
+            result
+        }));
+    }
+    kernel.run()?;
+    let results = handles
+        .into_iter()
+        .map(|h| h.join_outcome().expect("rank finished without a result"))
+        .collect();
+    Ok((results, kernel))
+}

@@ -1,0 +1,235 @@
+//! The three protocol/network pairs evaluated in the paper, with link
+//! models calibrated against its Table 1 (raw Madeleine: latency of a
+//! small message, bandwidth of an 8 MB message) and the overhead
+//! decompositions of §5.2–5.4.
+//!
+//! Calibration constraints per protocol (one-way, single packing
+//! operation, dedicated polling thread):
+//!
+//! ```text
+//! send_fixed + wire_latency + poll_cost + recv_fixed  = small-message latency
+//! send_per_byte + wire_per_byte + recv_per_byte       = 1 / bandwidth
+//! ```
+//!
+//! The entire per-byte cost is attributed to the *wire* stage so that a
+//! chunked/pipelined stream over one connection is still bounded by the
+//! physical link rate (the wire is a serial resource, enforced through
+//! `LinkModel::wire_serialization`); senders and receivers pay only
+//! fixed per-message overheads. The observable ping-pong sums are
+//! unaffected by this attribution.
+//!
+//! | protocol | latency target | bandwidth target | extra pack (§5) |
+//! |----------|----------------|------------------|-----------------|
+//! | TCP      | 121 µs         | 11.2 MB/s        | 21 µs           |
+//! | SISCI    | 4.4 µs         | 82.6 MB/s        | 6.5 µs          |
+//! | BIP      | 9.2 µs         | 122 MB/s         | 4.5 µs          |
+
+use crate::model::LinkModel;
+use marcel::VirtualDuration;
+
+/// Network protocol identity (the paper's three stacks).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Protocol {
+    /// TCP over 100 Mb/s Fast-Ethernet (DEC 21140 boards).
+    Tcp,
+    /// Dolphin's SISCI API over SCI (D310 boards).
+    Sisci,
+    /// BIP over Myrinet (32-bit LANai 4.3 boards).
+    Bip,
+}
+
+impl Protocol {
+    pub const ALL: [Protocol; 3] = [Protocol::Tcp, Protocol::Sisci, Protocol::Bip];
+
+    /// Short lowercase name, as used in channel identifiers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Tcp => "tcp",
+            Protocol::Sisci => "sisci",
+            Protocol::Bip => "bip",
+        }
+    }
+
+    /// Calibrated default link model (see module docs for targets).
+    pub fn model(self) -> LinkModel {
+        match self {
+            Protocol::Tcp => LinkModel {
+                name: "TCP/Fast-Ethernet",
+                send_fixed: VirtualDuration::from_micros_f64(40.0),
+                send_per_byte_ns: 0.0,
+                wire_latency: VirtualDuration::from_micros_f64(60.0),
+                wire_per_byte_ns: 85.15,
+                recv_fixed: VirtualDuration::from_micros_f64(14.3),
+                recv_per_byte_ns: 0.0,
+                poll_cost: VirtualDuration::from_micros_f64(6.0),
+                extra_segment: VirtualDuration::from_micros_f64(21.0),
+                eager_copy_per_byte_ns: 10.2,
+                internal_switch: None,
+                jitter: None,
+            },
+            Protocol::Sisci => LinkModel {
+                name: "SISCI/SCI",
+                send_fixed: VirtualDuration::from_micros_f64(1.1),
+                send_per_byte_ns: 0.0,
+                wire_latency: VirtualDuration::from_micros_f64(1.6),
+                wire_per_byte_ns: 11.546,
+                recv_fixed: VirtualDuration::from_micros_f64(1.1),
+                recv_per_byte_ns: 0.0,
+                poll_cost: VirtualDuration::from_micros_f64(0.3),
+                extra_segment: VirtualDuration::from_micros_f64(6.5),
+                eager_copy_per_byte_ns: 10.0,
+                internal_switch: None,
+                jitter: None,
+            },
+            Protocol::Bip => LinkModel {
+                name: "BIP/Myrinet",
+                send_fixed: VirtualDuration::from_micros_f64(2.4),
+                send_per_byte_ns: 0.0,
+                wire_latency: VirtualDuration::from_micros_f64(4.0),
+                wire_per_byte_ns: 7.817,
+                recv_fixed: VirtualDuration::from_micros_f64(2.0),
+                recv_per_byte_ns: 0.0,
+                poll_cost: VirtualDuration::from_micros_f64(0.5),
+                extra_segment: VirtualDuration::from_micros_f64(4.5),
+                eager_copy_per_byte_ns: 10.0,
+                // BIP switches internal protocols around 1 KB — the
+                // "particular point for 1 KB messages" of Fig. 8b.
+                internal_switch: Some((1024, VirtualDuration::from_micros_f64(10.0))),
+                jitter: None,
+            },
+        }
+    }
+
+    /// The eager→rendezvous switch point the paper determined
+    /// experimentally for this network (§4.2.2): TCP 64 KB, SCI 8 KB,
+    /// Myrinet 7 KB.
+    pub fn switch_point(self) -> usize {
+        match self {
+            Protocol::Tcp => 64 * 1024,
+            Protocol::Sisci => 8 * 1024,
+            Protocol::Bip => 7 * 1024,
+        }
+    }
+
+    /// Priority used when several networks connect the same pair of
+    /// nodes: pick the highest-bandwidth one.
+    pub fn transfer_priority(self) -> u32 {
+        match self {
+            Protocol::Bip => 3,
+            Protocol::Sisci => 2,
+            Protocol::Tcp => 1,
+        }
+    }
+
+    /// Priority used by the ADI single-switch-point *election* (§4.2.2):
+    /// "the network with the most influent switch point value is SCI",
+    /// otherwise the most performant network's value is used.
+    pub fn election_priority(self) -> u32 {
+        match self {
+            Protocol::Sisci => 3,
+            Protocol::Bip => 2,
+            Protocol::Tcp => 1,
+        }
+    }
+}
+
+/// The single switch point elected for a `ch_mad` device that supports
+/// `protocols` (§4.2.2 of the paper): SCI's value when SCI is present,
+/// otherwise the most performant supported network's value.
+pub fn elect_switch_point(protocols: &[Protocol]) -> usize {
+    protocols
+        .iter()
+        .max_by_key(|p| p.election_priority())
+        .map(|p| p.switch_point())
+        .expect("electing a switch point requires at least one protocol")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_latency_matches_table_1() {
+        // Table 1 latency targets. The analytic model excludes the
+        // Madeleine pack/unpack call CPU (~0.25us), so the hardware-only
+        // figure sits slightly *below* the target; the end-to-end check
+        // lives in the madeleine crate.
+        for (p, target_us) in [
+            (Protocol::Tcp, 121.0),
+            (Protocol::Sisci, 4.4),
+            (Protocol::Bip, 9.2),
+        ] {
+            let got = p.model().oneway_latency(4).as_micros_f64();
+            assert!(got <= target_us, "{}: {got}us exceeds target {target_us}us", p.name());
+            let err = (got - target_us).abs() / target_us;
+            assert!(err < 0.08, "{}: latency {got}us vs target {target_us}us", p.name());
+        }
+    }
+
+    #[test]
+    fn calibration_bandwidth_matches_table_1() {
+        // Table 1 bandwidth targets, within 2%.
+        for (p, target) in [
+            (Protocol::Tcp, 11.2),
+            (Protocol::Sisci, 82.6),
+            (Protocol::Bip, 122.0),
+        ] {
+            let got = p.model().asymptotic_bandwidth_mb_s();
+            let err = (got - target).abs() / target;
+            assert!(err < 0.02, "{}: bandwidth {got} vs target {target}", p.name());
+        }
+    }
+
+    #[test]
+    fn extra_segment_costs_match_section_5() {
+        assert_eq!(Protocol::Tcp.model().extra_segment.as_micros_f64(), 21.0);
+        assert_eq!(Protocol::Sisci.model().extra_segment.as_micros_f64(), 6.5);
+        assert_eq!(Protocol::Bip.model().extra_segment.as_micros_f64(), 4.5);
+    }
+
+    #[test]
+    fn switch_points_match_section_4() {
+        assert_eq!(Protocol::Tcp.switch_point(), 65536);
+        assert_eq!(Protocol::Sisci.switch_point(), 8192);
+        assert_eq!(Protocol::Bip.switch_point(), 7168);
+    }
+
+    #[test]
+    fn switch_point_election_prefers_sci() {
+        use Protocol::*;
+        assert_eq!(elect_switch_point(&[Tcp, Sisci, Bip]), 8192);
+        assert_eq!(elect_switch_point(&[Sisci, Bip]), 8192);
+        assert_eq!(elect_switch_point(&[Tcp, Bip]), 7168);
+        assert_eq!(elect_switch_point(&[Tcp]), 65536);
+        assert_eq!(elect_switch_point(&[Bip]), 7168);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one protocol")]
+    fn election_requires_a_protocol() {
+        elect_switch_point(&[]);
+    }
+
+    #[test]
+    fn tcp_poll_is_much_more_expensive_than_sci() {
+        // §3.3: per-protocol polling frequency exists because TCP only
+        // offers the expensive select call.
+        let tcp = Protocol::Tcp.model().poll_cost;
+        let sci = Protocol::Sisci.model().poll_cost;
+        assert!(tcp.as_nanos() >= 10 * sci.as_nanos());
+    }
+
+    #[test]
+    fn transfer_priority_orders_by_bandwidth() {
+        let mut all = Protocol::ALL;
+        all.sort_by_key(|p| std::cmp::Reverse(p.transfer_priority()));
+        assert_eq!(all, [Protocol::Bip, Protocol::Sisci, Protocol::Tcp]);
+    }
+
+    #[test]
+    fn bip_has_the_1kb_quirk() {
+        let m = Protocol::Bip.model();
+        let (t, _) = m.internal_switch.unwrap();
+        assert_eq!(t, 1024);
+    }
+}

@@ -1,0 +1,497 @@
+//! Cluster topology: nodes, intra-node cost model, and the networks that
+//! connect node subsets ("clusters of clusters", the paper's motivating
+//! configuration).
+//!
+//! The current MPICH/Madeleine prototype cannot forward packets across
+//! heterogeneous networks (paper §6: "all nodes have to be connected
+//! two-by-two by a direct network link"), so [`Topology::validate`]
+//! enforces exactly that property.
+
+use std::collections::BTreeSet;
+
+use crate::model::{per_byte, LinkModel};
+use crate::protocol::Protocol;
+use marcel::VirtualDuration;
+
+/// Identifier of a physical node (host) in the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a network (one protocol instance over one adapter set).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NetworkId(pub usize);
+
+/// A physical host.
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub name: String,
+    /// Number of processors (the paper's nodes are dual Pentium II).
+    pub cpus: usize,
+}
+
+/// One network: a protocol with a calibrated model, connecting a set of
+/// nodes through one adapter per node.
+#[derive(Clone, Debug)]
+pub struct Network {
+    pub protocol: Protocol,
+    pub model: LinkModel,
+    pub members: BTreeSet<NodeId>,
+}
+
+/// Intra-node costs (loop-back and shared-memory paths, used by the
+/// `ch_self` and `smp_plug` devices).
+#[derive(Clone, Debug)]
+pub struct NodeModel {
+    /// Fixed cost of an intra-process (loop-back) message.
+    pub self_fixed: VirtualDuration,
+    /// Per-byte cost of the loop-back memcpy.
+    pub self_per_byte_ns: f64,
+    /// Fixed cost of an intra-node (shared-memory) message.
+    pub smp_fixed: VirtualDuration,
+    /// Per-byte cost of the shared-memory double copy.
+    pub smp_per_byte_ns: f64,
+}
+
+impl NodeModel {
+    /// Calibrated for a dual Pentium II 450 with ~100 MB/s usable copy
+    /// bandwidth.
+    pub fn calibrated() -> Self {
+        NodeModel {
+            self_fixed: VirtualDuration::from_nanos(700),
+            self_per_byte_ns: 5.0,
+            smp_fixed: VirtualDuration::from_micros(3),
+            smp_per_byte_ns: 9.0,
+        }
+    }
+
+    pub fn self_cost(&self, bytes: usize) -> VirtualDuration {
+        self.self_fixed + per_byte(self.self_per_byte_ns, bytes)
+    }
+
+    pub fn smp_cost(&self, bytes: usize) -> VirtualDuration {
+        self.smp_fixed + per_byte(self.smp_per_byte_ns, bytes)
+    }
+}
+
+impl Default for NodeModel {
+    fn default() -> Self {
+        NodeModel::calibrated()
+    }
+}
+
+/// Errors from [`Topology::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Two nodes share no network: the prototype cannot forward.
+    Disconnected(NodeId, NodeId),
+    /// A network references a node that does not exist.
+    UnknownNode(NetworkId, NodeId),
+    /// A network connects fewer than two nodes.
+    DegenerateNetwork(NetworkId),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::Disconnected(a, b) => write!(
+                f,
+                "nodes {} and {} share no direct network (MPICH/Madeleine cannot forward across gateways)",
+                a.0, b.0
+            ),
+            TopologyError::UnknownNode(n, node) => {
+                write!(f, "network {} references unknown node {}", n.0, node.0)
+            }
+            TopologyError::DegenerateNetwork(n) => {
+                write!(f, "network {} connects fewer than two nodes", n.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The full cluster description.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    networks: Vec<Network>,
+    node_model: NodeModel,
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Topology {
+            nodes: Vec::new(),
+            networks: Vec::new(),
+            node_model: NodeModel::calibrated(),
+        }
+    }
+
+    /// Override the intra-node cost model.
+    pub fn with_node_model(mut self, model: NodeModel) -> Self {
+        self.node_model = model;
+        self
+    }
+
+    /// Add a host; returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, cpus: usize) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { name: name.into(), cpus });
+        id
+    }
+
+    /// Add a network with the protocol's calibrated default model.
+    pub fn add_network(&mut self, protocol: Protocol, members: impl IntoIterator<Item = NodeId>) -> NetworkId {
+        self.add_network_with_model(protocol, protocol.model(), members)
+    }
+
+    /// Add a network with an explicit (e.g. customized) link model.
+    pub fn add_network_with_model(
+        &mut self,
+        protocol: Protocol,
+        model: LinkModel,
+        members: impl IntoIterator<Item = NodeId>,
+    ) -> NetworkId {
+        let id = NetworkId(self.networks.len());
+        self.networks.push(Network {
+            protocol,
+            model,
+            members: members.into_iter().collect(),
+        });
+        id
+    }
+
+    /// Convenience: `n` single-CPU nodes all connected by one network.
+    pub fn single_network(n: usize, protocol: Protocol) -> Self {
+        let mut t = Topology::new();
+        let nodes: Vec<NodeId> = (0..n).map(|i| t.add_node(format!("node{i}"), 1)).collect();
+        t.add_network(protocol, nodes);
+        t
+    }
+
+    /// Convenience: the paper's meta-cluster — one SCI cluster and one
+    /// Myrinet cluster of `per_cluster` dual-CPU nodes each, with
+    /// Fast-Ethernet connecting everything.
+    pub fn meta_cluster(per_cluster: usize) -> Self {
+        let mut t = Topology::new();
+        let sci: Vec<NodeId> = (0..per_cluster).map(|i| t.add_node(format!("sci{i}"), 2)).collect();
+        let myri: Vec<NodeId> = (0..per_cluster).map(|i| t.add_node(format!("myri{i}"), 2)).collect();
+        t.add_network(Protocol::Sisci, sci.clone());
+        t.add_network(Protocol::Bip, myri.clone());
+        t.add_network(Protocol::Tcp, sci.into_iter().chain(myri));
+        t
+    }
+
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    pub fn networks(&self) -> &[Network] {
+        &self.networks
+    }
+
+    pub fn network(&self, id: NetworkId) -> &Network {
+        &self.networks[id.0]
+    }
+
+    pub fn node_model(&self) -> &NodeModel {
+        &self.node_model
+    }
+
+    /// All networks directly connecting `a` and `b` (excludes `a == b`,
+    /// which is intra-node territory).
+    pub fn networks_between(&self, a: NodeId, b: NodeId) -> Vec<NetworkId> {
+        if a == b {
+            return Vec::new();
+        }
+        self.networks
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.members.contains(&a) && n.members.contains(&b))
+            .map(|(i, _)| NetworkId(i))
+            .collect()
+    }
+
+    /// The preferred (highest transfer priority) network between two
+    /// distinct nodes.
+    pub fn best_network_between(&self, a: NodeId, b: NodeId) -> Option<NetworkId> {
+        self.networks_between(a, b)
+            .into_iter()
+            .max_by_key(|id| self.networks[id.0].protocol.transfer_priority())
+    }
+
+    /// Networks a node is attached to.
+    pub fn networks_at(&self, node: NodeId) -> Vec<NetworkId> {
+        self.networks
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.members.contains(&node))
+            .map(|(i, _)| NetworkId(i))
+            .collect()
+    }
+
+    /// The distinct protocols present in the whole configuration.
+    pub fn protocols(&self) -> Vec<Protocol> {
+        let mut ps: Vec<Protocol> = self.networks.iter().map(|n| n.protocol).collect();
+        ps.sort();
+        ps.dedup();
+        ps
+    }
+
+    /// Shortest node path from `a` to `b` over the networks (BFS, ties
+    /// broken by preferring higher-priority protocols for the first
+    /// differing edge and then lower node ids — deterministic). Returns
+    /// the inclusive node sequence, or `None` when disconnected.
+    pub fn node_route(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let n = self.nodes.len();
+        // Neighbour lists, deterministically ordered: by protocol
+        // priority (descending) then node id (ascending).
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[a.0] = true;
+        let mut frontier = std::collections::VecDeque::from([a]);
+        while let Some(u) = frontier.pop_front() {
+            let mut nets = self.networks_at(u);
+            nets.sort_by_key(|id| {
+                std::cmp::Reverse(self.networks[id.0].protocol.transfer_priority())
+            });
+            for net in nets {
+                let mut members: Vec<NodeId> =
+                    self.networks[net.0].members.iter().copied().collect();
+                members.sort_unstable();
+                for v in members {
+                    if !visited[v.0] {
+                        visited[v.0] = true;
+                        prev[v.0] = Some(u);
+                        frontier.push_back(v);
+                    }
+                }
+            }
+            if visited[b.0] {
+                break;
+            }
+        }
+        if !visited[b.0] {
+            return None;
+        }
+        let mut path = vec![b];
+        let mut cur = b;
+        while let Some(p) = prev[cur.0] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path.first(), Some(&a));
+        Some(path)
+    }
+
+    /// Weaker validation for forwarding-enabled sessions (the extension
+    /// implementing the paper's §6 future work): every node pair must be
+    /// *reachable*, possibly through gateway nodes, rather than directly
+    /// connected.
+    pub fn validate_connected(&self) -> Result<(), TopologyError> {
+        self.validate_networks()?;
+        for b in 1..self.nodes.len() {
+            if self.node_route(NodeId(0), NodeId(b)).is_none() {
+                return Err(TopologyError::Disconnected(NodeId(0), NodeId(b)));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_networks(&self) -> Result<(), TopologyError> {
+        for (i, net) in self.networks.iter().enumerate() {
+            if net.members.len() < 2 {
+                return Err(TopologyError::DegenerateNetwork(NetworkId(i)));
+            }
+            for m in &net.members {
+                if m.0 >= self.nodes.len() {
+                    return Err(TopologyError::UnknownNode(NetworkId(i), *m));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enforce the prototype's structural requirements (see module docs).
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        self.validate_networks()?;
+        for a in 0..self.nodes.len() {
+            for b in (a + 1)..self.nodes.len() {
+                if self.networks_between(NodeId(a), NodeId(b)).is_empty() {
+                    return Err(TopologyError::Disconnected(NodeId(a), NodeId(b)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_network_validates() {
+        let t = Topology::single_network(4, Protocol::Tcp);
+        t.validate().unwrap();
+        assert_eq!(t.nodes().len(), 4);
+        assert_eq!(t.protocols(), vec![Protocol::Tcp]);
+    }
+
+    #[test]
+    fn meta_cluster_is_fully_connected() {
+        let t = Topology::meta_cluster(3);
+        t.validate().unwrap();
+        assert_eq!(t.nodes().len(), 6);
+        assert_eq!(
+            t.protocols(),
+            vec![Protocol::Tcp, Protocol::Sisci, Protocol::Bip]
+        );
+    }
+
+    #[test]
+    fn best_network_prefers_fast_protocol() {
+        let t = Topology::meta_cluster(2);
+        // Within the SCI cluster: SCI preferred over TCP.
+        let best = t.best_network_between(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(t.network(best).protocol, Protocol::Sisci);
+        // Across clusters: only TCP.
+        let best = t.best_network_between(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(t.network(best).protocol, Protocol::Tcp);
+        // Within the Myrinet cluster: BIP preferred.
+        let best = t.best_network_between(NodeId(2), NodeId(3)).unwrap();
+        assert_eq!(t.network(best).protocol, Protocol::Bip);
+    }
+
+    #[test]
+    fn disconnected_pair_is_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", 1);
+        let b = t.add_node("b", 1);
+        let c = t.add_node("c", 1);
+        t.add_network(Protocol::Sisci, [a, b]);
+        t.add_network(Protocol::Bip, [b, c]);
+        // a and c share no network; b would need to forward — unsupported.
+        assert_eq!(t.validate(), Err(TopologyError::Disconnected(a, c)));
+    }
+
+    #[test]
+    fn degenerate_network_is_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", 1);
+        t.add_network(Protocol::Tcp, [a]);
+        assert!(matches!(t.validate(), Err(TopologyError::DegenerateNetwork(_))));
+    }
+
+    #[test]
+    fn unknown_member_is_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", 1);
+        t.add_network(Protocol::Tcp, [a, NodeId(7)]);
+        assert!(matches!(t.validate(), Err(TopologyError::UnknownNode(_, NodeId(7)))));
+    }
+
+    #[test]
+    fn networks_between_same_node_is_empty() {
+        let t = Topology::single_network(2, Protocol::Tcp);
+        assert!(t.networks_between(NodeId(0), NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn networks_at_lists_attachments() {
+        let t = Topology::meta_cluster(2);
+        // SCI node 0 is on SCI + TCP.
+        let nets = t.networks_at(NodeId(0));
+        let protos: Vec<Protocol> = nets.iter().map(|n| t.network(*n).protocol).collect();
+        assert!(protos.contains(&Protocol::Sisci));
+        assert!(protos.contains(&Protocol::Tcp));
+        assert!(!protos.contains(&Protocol::Bip));
+    }
+
+    #[test]
+    fn node_model_costs() {
+        let m = NodeModel::calibrated();
+        assert_eq!(m.self_cost(0), m.self_fixed);
+        assert!(m.smp_cost(1024) > m.smp_cost(0));
+        assert!(m.self_cost(4096) < m.smp_cost(4096), "loop-back beats shm copy");
+    }
+}
+
+#[cfg(test)]
+mod route_tests {
+    use super::*;
+
+    /// Chain: a -SCI- b -BIP- c (no common network for a and c).
+    fn chain() -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_node("a", 1);
+        let b = t.add_node("b", 1);
+        let c = t.add_node("c", 1);
+        t.add_network(Protocol::Sisci, [a, b]);
+        t.add_network(Protocol::Bip, [b, c]);
+        t
+    }
+
+    #[test]
+    fn route_through_gateway() {
+        let t = chain();
+        assert_eq!(
+            t.node_route(NodeId(0), NodeId(2)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(2)])
+        );
+        assert_eq!(t.node_route(NodeId(0), NodeId(0)), Some(vec![NodeId(0)]));
+        assert_eq!(
+            t.node_route(NodeId(2), NodeId(0)),
+            Some(vec![NodeId(2), NodeId(1), NodeId(0)])
+        );
+    }
+
+    #[test]
+    fn direct_route_is_single_hop() {
+        let t = Topology::meta_cluster(2);
+        let r = t.node_route(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(r.len(), 2, "TCP connects them directly: {r:?}");
+    }
+
+    #[test]
+    fn connected_validation_accepts_chains() {
+        let t = chain();
+        assert!(t.validate().is_err(), "strict validation rejects the chain");
+        t.validate_connected().unwrap();
+    }
+
+    #[test]
+    fn connected_validation_rejects_islands() {
+        let mut t = chain();
+        let d = t.add_node("d", 1);
+        let e = t.add_node("e", 1);
+        t.add_network(Protocol::Tcp, [d, e]);
+        assert!(t.validate_connected().is_err());
+    }
+
+    #[test]
+    fn route_is_deterministic() {
+        // Diamond: two equal-length routes; the tie-break must be stable.
+        let mut t = Topology::new();
+        let a = t.add_node("a", 1);
+        let b1 = t.add_node("b1", 1);
+        let b2 = t.add_node("b2", 1);
+        let c = t.add_node("c", 1);
+        t.add_network(Protocol::Sisci, [a, b1]);
+        t.add_network(Protocol::Sisci, [a, b2]);
+        t.add_network(Protocol::Bip, [b1, c]);
+        t.add_network(Protocol::Bip, [b2, c]);
+        let r1 = t.node_route(NodeId(0), NodeId(3)).unwrap();
+        let r2 = t.node_route(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(r1.len(), 3);
+    }
+}

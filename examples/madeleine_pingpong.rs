@@ -1,0 +1,97 @@
+//! Using the Madeleine library directly — the paper's Figure 2 example
+//! (a size header sent `receive_EXPRESS`, the bulk payload
+//! `receive_CHEAPER`), followed by a latency/bandwidth sweep over the
+//! three simulated networks reproducing Table 1.
+//!
+//! ```sh
+//! cargo run --example madeleine_pingpong
+//! ```
+
+use bytes::Bytes;
+use madeleine::{ReceiveMode, SendMode, Session};
+use marcel::{CostModel, Kernel};
+use simnet::Protocol;
+
+/// The Figure 2 pattern: the receiver learns the size from an EXPRESS
+/// header before allocating for the CHEAPER body.
+fn figure2_demo() {
+    let kernel = Kernel::new(CostModel::calibrated());
+    let session = Session::single_network(&kernel, 2, Protocol::Sisci);
+    let channel = session.channels()[0].clone();
+    let (tx, rx) = (channel.endpoint(0), channel.endpoint(1));
+    kernel.spawn("sender", move || {
+        let array: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut conn = tx.begin_packing(1);
+        let size = (array.len() as u32).to_le_bytes();
+        conn.pack(&size, SendMode::Cheaper, ReceiveMode::Express);
+        conn.pack(&array, SendMode::Cheaper, ReceiveMode::Cheaper);
+        conn.end_packing();
+    });
+    let h = kernel.spawn("receiver", move || {
+        let mut conn = rx.begin_unpacking().expect("channel open");
+        let mut size = [0u8; 4];
+        conn.unpack(&mut size, SendMode::Cheaper, ReceiveMode::Express);
+        let n = u32::from_le_bytes(size) as usize;
+        // Size known -> allocate, then extract the payload cheaply.
+        let mut array = vec![0u8; n];
+        conn.unpack(&mut array, SendMode::Cheaper, ReceiveMode::Cheaper);
+        conn.end_unpacking();
+        (n, array[12345], marcel::now())
+    });
+    kernel.run().expect("figure-2 demo runs");
+    let (n, sample, at) = h.join_outcome().unwrap();
+    println!("figure-2 demo: received {n} bytes (sample byte {sample}) at t+{at}");
+}
+
+/// A raw Madeleine ping-pong over one protocol: one pack per message.
+fn sweep(protocol: Protocol) {
+    let kernel = Kernel::new(CostModel::calibrated());
+    let session = Session::single_network(&kernel, 2, protocol);
+    let channel = session.channels()[0].clone();
+    let (tx, rx) = (channel.endpoint(0), channel.endpoint(1));
+    let rx_closer = channel.endpoint(1);
+    let h = kernel.spawn("rank0", move || {
+        let mut rows = Vec::new();
+        for size in [4usize, 1024, 64 * 1024, 8 << 20] {
+            let payload = Bytes::from(vec![0u8; size]);
+            let iters = 3;
+            let t0 = marcel::now();
+            for _ in 0..iters {
+                let mut conn = tx.begin_packing(1);
+                conn.pack_bytes(payload.clone(), SendMode::Cheaper, ReceiveMode::Cheaper);
+                conn.end_packing();
+                let mut back = tx.begin_unpacking().unwrap();
+                back.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
+                back.end_unpacking();
+            }
+            let oneway = (marcel::now() - t0) / (2 * iters);
+            let mb_s = size as f64 / (1 << 20) as f64 / oneway.as_secs_f64();
+            rows.push((size, oneway.as_micros_f64(), mb_s));
+        }
+        // All exchanges done: shut rank1's echo loop down.
+        rx_closer.close_incoming();
+        rows
+    });
+    kernel.spawn("rank1", move || loop {
+        // Echo everything back until rank0 closes the incoming side.
+        let Some(mut conn) = rx.begin_unpacking() else { break };
+        let data = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
+        conn.end_unpacking();
+        let mut reply = rx.begin_packing(0);
+        reply.pack_bytes(data, SendMode::Cheaper, ReceiveMode::Cheaper);
+        reply.end_packing();
+    });
+    kernel.run().expect("sweep runs to completion");
+    println!("\n{} (raw Madeleine, one pack per message):", protocol.name());
+    println!("{:>10} {:>12} {:>10}", "bytes", "oneway(us)", "MB/s");
+    for (size, us, mb) in h.join_outcome().unwrap() {
+        println!("{size:>10} {us:>12.2} {mb:>10.2}");
+    }
+}
+
+fn main() {
+    figure2_demo();
+    for protocol in Protocol::ALL {
+        sweep(protocol);
+    }
+}
