@@ -73,8 +73,14 @@ impl NativeMpi {
         let sources = (0..2)
             .map(|r| PollSource::new(kernel, ProcId(r as u32), model.link.poll_cost))
             .collect();
-        let floors = (0..2).map(|_| SimMutex::new(kernel, VirtualTime::ZERO)).collect();
-        Arc::new(NativeMpi { model, sources, floors })
+        let floors = (0..2)
+            .map(|_| SimMutex::new(kernel, VirtualTime::ZERO))
+            .collect();
+        Arc::new(NativeMpi {
+            model,
+            sources,
+            floors,
+        })
     }
 
     pub fn model(&self) -> &NativeMpiModel {
@@ -102,7 +108,10 @@ impl NativeMpi {
             self.send_raw(from, CTRL_LEN, NativeMsg::RndvReq(data.len()));
             // Wait for the acknowledgement before the bulk transfer.
             match self.sources[from].poll_wait() {
-                Some(Polled { payload: NativeMsg::RndvAck, .. }) => {}
+                Some(Polled {
+                    payload: NativeMsg::RndvAck,
+                    ..
+                }) => {}
                 _ => panic!("{}: expected RndvAck", self.model.name),
             }
             let len = data.len();
@@ -129,7 +138,10 @@ impl NativeMpi {
                 marcel::advance(self.model.link.receiver_occupancy(CTRL_LEN) + self.model.sw_recv);
                 self.send_raw(me, CTRL_LEN, NativeMsg::RndvAck);
                 match self.sources[me].poll_wait() {
-                    Some(Polled { payload: NativeMsg::RndvData(data), .. }) => {
+                    Some(Polled {
+                        payload: NativeMsg::RndvData(data),
+                        ..
+                    }) => {
                         marcel::advance(
                             self.model.link.receiver_occupancy(data.len())
                                 + self.model.sw_recv
@@ -152,7 +164,11 @@ fn per_byte(ns: f64, bytes: usize) -> VirtualDuration {
 /// Run a ping-pong over a native MPI model and return the *one-way*
 /// time per message size (round-trip halved, averaged over `iters`
 /// iterations after one warm-up).
-pub fn pingpong(model: &NativeMpiModel, sizes: &[usize], iters: usize) -> Vec<(usize, VirtualDuration)> {
+pub fn pingpong(
+    model: &NativeMpiModel,
+    sizes: &[usize],
+    iters: usize,
+) -> Vec<(usize, VirtualDuration)> {
     let kernel = Kernel::new(CostModel::calibrated());
     let mpi = NativeMpi::new(&kernel, model.clone());
     let sizes_owned: Vec<usize> = sizes.to_vec();
@@ -232,7 +248,10 @@ mod tests {
         let below = pingpong(&model, &[1024], 3)[0].1;
         let above = pingpong(&model, &[1025], 3)[0].1;
         let delta = above.as_micros_f64() - below.as_micros_f64();
-        assert!(delta > 5.0, "rendezvous handshake not visible: delta {delta}us");
+        assert!(
+            delta > 5.0,
+            "rendezvous handshake not visible: delta {delta}us"
+        );
     }
 
     #[test]

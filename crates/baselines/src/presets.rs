@@ -107,7 +107,10 @@ mod tests {
         let gm = lat(&mpi_gm());
         let pm = lat(&mpich_pm());
         assert!(scampi < smi, "ScaMPI {scampi} < SCI-MPICH {smi}");
-        assert!(smi < 16.0, "SCI-MPICH small latency {smi}us below ch_mad's ~20us");
+        assert!(
+            smi < 16.0,
+            "SCI-MPICH small latency {smi}us below ch_mad's ~20us"
+        );
         assert!(scampi > 3.0 && scampi < 8.0, "ScaMPI latency {scampi}us");
         assert!(pm > 12.0 && pm < 18.0, "MPICH-PM latency {pm}us");
         assert!(gm > 20.0 && gm < 30.0, "MPI-GM latency {gm}us");

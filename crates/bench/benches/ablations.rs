@@ -4,7 +4,7 @@
 //! interesting output is the eprintln comparison).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mpich::{ChMadConfig, RemoteDeviceKind, WorldConfig};
+use mpich::{ChMadConfig, PolicyMode, RemoteDeviceKind, WorldConfig};
 use simnet::{Protocol, Topology};
 
 fn config_with(f: impl FnOnce(&mut ChMadConfig)) -> WorldConfig {
@@ -27,9 +27,7 @@ fn ablation_polling(c: &mut Criterion) {
     };
     let faithful = run(false);
     let oracle = run(true);
-    eprintln!(
-        "[ablation_polling] 4B latency over SCI+TCP: faithful {faithful}, oracle {oracle}"
-    );
+    eprintln!("[ablation_polling] 4B latency over SCI+TCP: faithful {faithful}, oracle {oracle}");
     assert!(faithful > oracle);
     c.bench_function("ablation_polling", |b| b.iter(|| run(false)));
 }
@@ -38,7 +36,12 @@ fn ablation_polling(c: &mut Criterion) {
 fn ablation_short_split(c: &mut Criterion) {
     let run = |split: bool| {
         let cfg = config_with(|c| c.split_short = split);
-        bench::mpi_pingpong(Topology::single_network(2, Protocol::Sisci), cfg, &[4, 4096], 2)
+        bench::mpi_pingpong(
+            Topology::single_network(2, Protocol::Sisci),
+            cfg,
+            &[4, 4096],
+            2,
+        )
     };
     let with = run(true);
     let without = run(false);
@@ -76,7 +79,13 @@ fn ablation_switch_point(c: &mut Criterion) {
 fn ablation_rendezvous(c: &mut Criterion) {
     let run = |rndv: bool| {
         let cfg = config_with(|c| c.rendezvous = rndv);
-        bench::mpi_pingpong(Topology::single_network(2, Protocol::Sisci), cfg, &[1 << 20], 1)[0].1
+        bench::mpi_pingpong(
+            Topology::single_network(2, Protocol::Sisci),
+            cfg,
+            &[1 << 20],
+            1,
+        )[0]
+        .1
     };
     let with = run(true);
     let without = run(false);
@@ -85,5 +94,39 @@ fn ablation_rendezvous(c: &mut Criterion) {
     c.bench_function("ablation_rendezvous", |b| b.iter(|| run(true)));
 }
 
-criterion_group!(benches, ablation_polling, ablation_short_split, ablation_switch_point, ablation_rendezvous);
+/// Ablation 5 — protocol policy: elected single threshold vs per-network
+/// thresholds vs multi-rail striping, on a dual-rail (SCI+BIP) pair.
+fn ablation_policy(c: &mut Criterion) {
+    let run = |mode: PolicyMode| {
+        let cfg = config_with(|c| c.policy = mode);
+        bench::mpi_pingpong(bench::multirail_topology(), cfg, &[7_680, 8 << 20], 1)
+    };
+    let elected = run(PolicyMode::Elected);
+    let per_network = run(PolicyMode::PerNetwork);
+    let striped = run(PolicyMode::Striped);
+    eprintln!(
+        "[ablation_policy] SCI+BIP 7.5KB: elected {} vs per-network {} vs striped {}",
+        elected[0].1, per_network[0].1, striped[0].1
+    );
+    eprintln!(
+        "[ablation_policy] SCI+BIP 8MB: elected {} vs per-network {} vs striped {}",
+        elected[1].1, per_network[1].1, striped[1].1
+    );
+    // 7.5KB sits between BIP's ideal threshold (7KB) and the elected SCI
+    // one (8KB): the per-network policy already switches to rendezvous
+    // on BIP where the elected threshold still forces eager.
+    assert_ne!(elected[0].1, per_network[0].1);
+    // For 8MB the two rails together must beat any single-rail policy.
+    assert!(striped[1].1 < per_network[1].1);
+    c.bench_function("ablation_policy", |b| b.iter(|| run(PolicyMode::Striped)));
+}
+
+criterion_group!(
+    benches,
+    ablation_polling,
+    ablation_short_split,
+    ablation_switch_point,
+    ablation_rendezvous,
+    ablation_policy
+);
 criterion_main!(benches);

@@ -7,12 +7,16 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(4);
     for (name, f) in [
-        ("table1", bench::experiments::table1 as fn(usize) -> bench::Report),
+        (
+            "table1",
+            bench::experiments::table1 as fn(usize) -> bench::Report,
+        ),
         ("table2", bench::experiments::table2),
         ("fig6", bench::experiments::fig6),
         ("fig7", bench::experiments::fig7),
         ("fig8", bench::experiments::fig8),
         ("fig9", bench::experiments::fig9),
+        ("multirail", bench::experiments::multirail),
     ] {
         eprintln!(">>> running {name} (iters = {iters})");
         f(iters).emit(true, true);

@@ -14,16 +14,21 @@ use simnet::{Protocol, Topology};
 type CollFn = fn(&mpich::Communicator, usize) -> ();
 
 fn run_collective(topology: Topology, f: CollFn, size: usize, iters: usize) -> VirtualDuration {
-    let results = run_world(topology, Placement::OneRankPerNode, WorldConfig::default(), move |comm| {
-        f(comm, size); // warm-up
-        comm.barrier();
-        let t0 = marcel::now();
-        for _ in 0..iters {
-            f(comm, size);
-        }
-        comm.barrier();
-        (marcel::now() - t0) / iters as u64
-    })
+    let results = run_world(
+        topology,
+        Placement::OneRankPerNode,
+        WorldConfig::default(),
+        move |comm| {
+            f(comm, size); // warm-up
+            comm.barrier();
+            let t0 = marcel::now();
+            for _ in 0..iters {
+                f(comm, size);
+            }
+            comm.barrier();
+            (marcel::now() - t0) / iters as u64
+        },
+    )
     .expect("collective world completes");
     // The slowest rank's view bounds the operation.
     results.into_iter().max().unwrap()
@@ -45,7 +50,10 @@ fn alltoall(comm: &mpich::Communicator, size: usize) {
 }
 
 fn main() {
-    let iters: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
     let sizes = [64usize, 1024, 16 * 1024, 256 * 1024, 1 << 20];
     let mut r = Report::new(
         "collectives",
@@ -62,7 +70,12 @@ fn main() {
             .collect();
         let sci: bench::Series = sizes
             .iter()
-            .map(|&s| (s, run_collective(Topology::single_network(6, Protocol::Sisci), f, s, iters)))
+            .map(|&s| {
+                (
+                    s,
+                    run_collective(Topology::single_network(6, Protocol::Sisci), f, s, iters),
+                )
+            })
             .collect();
         r.add_series(format!("{name}/meta"), &meta);
         r.add_series(format!("{name}/sci"), &sci);

@@ -24,7 +24,10 @@ fn chain() -> Topology {
 fn forwarded_pingpong(chunk: usize, sizes: &[usize], iters: usize) -> bench::Series {
     let cfg = WorldConfig {
         forwarding: true,
-        remote: RemoteDeviceKind::ChMad(ChMadConfig { fwd_chunk: chunk, ..ChMadConfig::default() }),
+        remote: RemoteDeviceKind::ChMad(ChMadConfig {
+            fwd_chunk: chunk,
+            ..ChMadConfig::default()
+        }),
         ..WorldConfig::default()
     };
     let sizes: Vec<usize> = sizes.to_vec();
@@ -60,7 +63,10 @@ fn forwarded_pingpong(chunk: usize, sizes: &[usize], iters: usize) -> bench::Ser
 }
 
 fn main() {
-    let iters: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
     let sizes: Vec<usize> = (0..=22).map(|p| 1usize << p).collect();
     let mut r = Report::new(
         "forwarding",

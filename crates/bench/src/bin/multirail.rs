@@ -1,0 +1,10 @@
+//! "Figure 10" (extension beyond the paper): multi-rail striping.
+//! `cargo run -p bench --bin multirail --release [-- <iters>]`.
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    bench::experiments::multirail(iters).emit(false, true);
+}

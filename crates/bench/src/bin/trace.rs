@@ -8,9 +8,14 @@ use mpich::{run_world_kernel, Placement, WorldConfig};
 use simnet::{Protocol, Topology};
 
 fn main() {
-    let bytes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
-    let mut cfg = WorldConfig::default();
-    cfg.trace = true;
+    let bytes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let cfg = WorldConfig {
+        trace: true,
+        ..WorldConfig::default()
+    };
     let (_, kernel) = run_world_kernel(
         Topology::single_network(2, Protocol::Sisci),
         Placement::OneRankPerNode,

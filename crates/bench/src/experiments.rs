@@ -1,12 +1,12 @@
 //! One constructor per paper experiment: runs the workloads and packages
 //! measured series plus the paper's explicit numbers as anchors.
 
-use mpich::WorldConfig;
+use mpich::{ChMadConfig, PolicyMode, RemoteDeviceKind, WorldConfig};
 use simnet::{Protocol, Topology};
 
 use crate::pingpong::{
     bandwidth_mb_s, bandwidth_sizes, fig9_topology, latency_sizes, mpi_pingpong,
-    raw_madeleine_pingpong,
+    multirail_topology, raw_madeleine_pingpong,
 };
 use crate::report::{Anchor, Report};
 
@@ -24,10 +24,23 @@ fn ch_mad_world() -> WorldConfig {
     WorldConfig::default()
 }
 
+fn ch_mad_policy(mode: PolicyMode) -> WorldConfig {
+    WorldConfig {
+        remote: RemoteDeviceKind::ChMad(ChMadConfig {
+            policy: mode,
+            ..ChMadConfig::default()
+        }),
+        ..WorldConfig::default()
+    }
+}
+
 /// Table 1: raw Madeleine latency and 8 MB bandwidth over the three
 /// protocols.
 pub fn table1(iters: usize) -> Report {
-    let mut r = Report::new("table1", "Latency and bandwidth for various network protocols (raw Madeleine)");
+    let mut r = Report::new(
+        "table1",
+        "Latency and bandwidth for various network protocols (raw Madeleine)",
+    );
     for (proto, lat_target, bw_target) in [
         (Protocol::Tcp, 121.0, 11.2),
         (Protocol::Bip, 9.2, 122.0),
@@ -90,31 +103,72 @@ pub fn table2(iters: usize) -> Report {
 /// Figure 6: TCP/Fast-Ethernet — ch_mad vs ch_p4 vs raw Madeleine.
 pub fn fig6(iters: usize) -> Report {
     let sizes = lat_and_bw_sizes();
-    let mut r = Report::new("fig6", "TCP/Fast-Ethernet: ch_mad vs ch_p4 vs raw Madeleine");
-    let ch_mad = mpi_pingpong(Topology::single_network(2, Protocol::Tcp), ch_mad_world(), &sizes, iters);
-    let ch_p4 = mpi_pingpong(Topology::single_network(2, Protocol::Tcp), WorldConfig::ch_p4(), &sizes, iters);
+    let mut r = Report::new(
+        "fig6",
+        "TCP/Fast-Ethernet: ch_mad vs ch_p4 vs raw Madeleine",
+    );
+    let ch_mad = mpi_pingpong(
+        Topology::single_network(2, Protocol::Tcp),
+        ch_mad_world(),
+        &sizes,
+        iters,
+    );
+    let ch_p4 = mpi_pingpong(
+        Topology::single_network(2, Protocol::Tcp),
+        WorldConfig::ch_p4(),
+        &sizes,
+        iters,
+    );
     let raw = raw_madeleine_pingpong(Protocol::Tcp, &sizes, iters);
     r.add_series("ch_mad", &ch_mad);
     r.add_series("ch_p4", &ch_p4);
     r.add_series("raw_Madeleine", &raw);
-    r.add_anchor(Anchor::new("raw Madeleine 4B latency (text)", 121.0, r.us_at("raw_Madeleine", 4), "us"));
-    r.add_anchor(Anchor::new("ch_mad 4B latency (text)", 148.0, r.us_at("ch_mad", 4), "us"));
+    r.add_anchor(Anchor::new(
+        "raw Madeleine 4B latency (text)",
+        121.0,
+        r.us_at("raw_Madeleine", 4),
+        "us",
+    ));
+    r.add_anchor(Anchor::new(
+        "ch_mad 4B latency (text)",
+        148.0,
+        r.us_at("ch_mad", 4),
+        "us",
+    ));
     r.add_anchor(Anchor::new(
         "ch_mad overhead over raw Madeleine at 4B (max 28us)",
         28.0,
         r.us_at("ch_mad", 4) - r.us_at("raw_Madeleine", 4),
         "us",
     ));
-    r.add_anchor(Anchor::new("ch_p4 1MB bandwidth ceiling", 10.0, r.mb_s_at("ch_p4", 1 << 20), "MB"));
-    r.add_anchor(Anchor::new("ch_mad 1MB bandwidth (exceeds 11)", 11.0, r.mb_s_at("ch_mad", 1 << 20), "MB"));
+    r.add_anchor(Anchor::new(
+        "ch_p4 1MB bandwidth ceiling",
+        10.0,
+        r.mb_s_at("ch_p4", 1 << 20),
+        "MB",
+    ));
+    r.add_anchor(Anchor::new(
+        "ch_mad 1MB bandwidth (exceeds 11)",
+        11.0,
+        r.mb_s_at("ch_mad", 1 << 20),
+        "MB",
+    ));
     r
 }
 
 /// Figure 7: SISCI/SCI — ch_mad vs ScaMPI vs SCI-MPICH vs raw Madeleine.
 pub fn fig7(iters: usize) -> Report {
     let sizes = lat_and_bw_sizes();
-    let mut r = Report::new("fig7", "SISCI/SCI: ch_mad vs ScaMPI vs SCI-MPICH vs raw Madeleine");
-    let ch_mad = mpi_pingpong(Topology::single_network(2, Protocol::Sisci), ch_mad_world(), &sizes, iters);
+    let mut r = Report::new(
+        "fig7",
+        "SISCI/SCI: ch_mad vs ScaMPI vs SCI-MPICH vs raw Madeleine",
+    );
+    let ch_mad = mpi_pingpong(
+        Topology::single_network(2, Protocol::Sisci),
+        ch_mad_world(),
+        &sizes,
+        iters,
+    );
     let scampi = baselines::pingpong(&baselines::scampi(), &sizes, iters);
     let smi = baselines::pingpong(&baselines::sci_mpich(), &sizes, iters);
     let raw = raw_madeleine_pingpong(Protocol::Sisci, &sizes, iters);
@@ -122,8 +176,18 @@ pub fn fig7(iters: usize) -> Report {
     r.add_series("ScaMPI", &scampi);
     r.add_series("SCI-MPICH", &smi);
     r.add_series("raw_Madeleine", &raw);
-    r.add_anchor(Anchor::new("raw Madeleine small latency (text: 4.5us)", 4.5, r.us_at("raw_Madeleine", 4), "us"));
-    r.add_anchor(Anchor::new("ch_mad small latency (text: ~20us)", 20.0, r.us_at("ch_mad", 4), "us"));
+    r.add_anchor(Anchor::new(
+        "raw Madeleine small latency (text: 4.5us)",
+        4.5,
+        r.us_at("raw_Madeleine", 4),
+        "us",
+    ));
+    r.add_anchor(Anchor::new(
+        "ch_mad small latency (text: ~20us)",
+        20.0,
+        r.us_at("ch_mad", 4),
+        "us",
+    ));
     r.add_anchor(Anchor::new(
         "ch_mad overhead over raw Madeleine (text: 15us)",
         15.0,
@@ -139,7 +203,9 @@ pub fn fig7(iters: usize) -> Report {
     r.add_anchor(Anchor::new(
         "ch_mad / best native ratio at 64KB (ch_mad wins: >1)",
         1.2,
-        r.mb_s_at("ch_mad", 64 * 1024) / r.mb_s_at("ScaMPI", 64 * 1024).max(r.mb_s_at("SCI-MPICH", 64 * 1024)),
+        r.mb_s_at("ch_mad", 64 * 1024)
+            / r.mb_s_at("ScaMPI", 64 * 1024)
+                .max(r.mb_s_at("SCI-MPICH", 64 * 1024)),
         "x",
     ));
     r
@@ -148,8 +214,16 @@ pub fn fig7(iters: usize) -> Report {
 /// Figure 8: BIP/Myrinet — ch_mad vs MPI-GM vs MPICH-PM vs raw Madeleine.
 pub fn fig8(iters: usize) -> Report {
     let sizes = lat_and_bw_sizes();
-    let mut r = Report::new("fig8", "BIP/Myrinet: ch_mad vs MPI-GM vs MPICH-PM vs raw Madeleine");
-    let ch_mad = mpi_pingpong(Topology::single_network(2, Protocol::Bip), ch_mad_world(), &sizes, iters);
+    let mut r = Report::new(
+        "fig8",
+        "BIP/Myrinet: ch_mad vs MPI-GM vs MPICH-PM vs raw Madeleine",
+    );
+    let ch_mad = mpi_pingpong(
+        Topology::single_network(2, Protocol::Bip),
+        ch_mad_world(),
+        &sizes,
+        iters,
+    );
     let gm = baselines::pingpong(&baselines::mpi_gm(), &sizes, iters);
     let pm = baselines::pingpong(&baselines::mpich_pm(), &sizes, iters);
     let raw = raw_madeleine_pingpong(Protocol::Bip, &sizes, iters);
@@ -157,8 +231,18 @@ pub fn fig8(iters: usize) -> Report {
     r.add_series("MPI-GM", &gm);
     r.add_series("MPI-PM", &pm);
     r.add_series("raw_Madeleine", &raw);
-    r.add_anchor(Anchor::new("raw Madeleine small latency (text: 9us)", 9.0, r.us_at("raw_Madeleine", 4), "us"));
-    r.add_anchor(Anchor::new("ch_mad small latency (text: ~20us)", 20.0, r.us_at("ch_mad", 4), "us"));
+    r.add_anchor(Anchor::new(
+        "raw Madeleine small latency (text: 9us)",
+        9.0,
+        r.us_at("raw_Madeleine", 4),
+        "us",
+    ));
+    r.add_anchor(Anchor::new(
+        "ch_mad small latency (text: ~20us)",
+        20.0,
+        r.us_at("ch_mad", 4),
+        "us",
+    ));
     r.add_anchor(Anchor::new(
         "ch_mad overhead over raw Madeleine (text: 11us)",
         11.0,
@@ -184,7 +268,10 @@ pub fn fig8(iters: usize) -> Report {
 /// polling thread (all traffic on SCI).
 pub fn fig9(iters: usize) -> Report {
     let sizes = lat_and_bw_sizes();
-    let mut r = Report::new("fig9", "SCI alone vs SCI + TCP polling thread (all traffic over SCI)");
+    let mut r = Report::new(
+        "fig9",
+        "SCI alone vs SCI + TCP polling thread (all traffic over SCI)",
+    );
     let sci_only = mpi_pingpong(fig9_topology(false), ch_mad_world(), &sizes, iters);
     let sci_tcp = mpi_pingpong(fig9_topology(true), ch_mad_world(), &sizes, iters);
     r.add_series("SCI_thread_only", &sci_only);
@@ -199,6 +286,79 @@ pub fn fig9(iters: usize) -> Report {
         "1MB bandwidth ratio with/without TCP thread (close to 1)",
         0.97,
         r.mb_s_at("SCI_thread_+_TCP_thread", 1 << 20) / r.mb_s_at("SCI_thread_only", 1 << 20),
+        "x",
+    ));
+    r
+}
+
+/// "Figure 10" (extension beyond the paper): multi-rail striping. Two
+/// nodes share BOTH SCI and Myrinet; rendezvous DATA striped across the
+/// two rails (weighted by calibrated link bandwidth) must beat the best
+/// single rail for large messages.
+pub fn multirail(iters: usize) -> Report {
+    let sizes: Vec<usize> = (0..=23).map(|p| 1usize << p).collect(); // up to 8 MB
+    let mut r = Report::new(
+        "multirail",
+        "Multi-rail striping over SCI+BIP: each rail alone vs dual-rail policies",
+    );
+    let sci = mpi_pingpong(
+        Topology::single_network(2, Protocol::Sisci),
+        ch_mad_world(),
+        &sizes,
+        iters,
+    );
+    let bip = mpi_pingpong(
+        Topology::single_network(2, Protocol::Bip),
+        ch_mad_world(),
+        &sizes,
+        iters,
+    );
+    let elected = mpi_pingpong(
+        multirail_topology(),
+        ch_mad_policy(PolicyMode::Elected),
+        &sizes,
+        iters,
+    );
+    let per_network = mpi_pingpong(
+        multirail_topology(),
+        ch_mad_policy(PolicyMode::PerNetwork),
+        &sizes,
+        iters,
+    );
+    let striped = mpi_pingpong(
+        multirail_topology(),
+        ch_mad_policy(PolicyMode::Striped),
+        &sizes,
+        iters,
+    );
+    r.add_series("SCI_only", &sci);
+    r.add_series("BIP_only", &bip);
+    r.add_series("dual_rail_elected", &elected);
+    r.add_series("dual_rail_per_network", &per_network);
+    r.add_series("dual_rail_striped", &striped);
+    let best_single = r.mb_s_at("SCI_only", MB8).max(r.mb_s_at("BIP_only", MB8));
+    r.add_anchor(Anchor::new(
+        "best single rail 8MB bandwidth (BIP, Table 2: 115)",
+        115.0,
+        best_single,
+        "MB",
+    ));
+    r.add_anchor(Anchor::new(
+        "striped 8MB bandwidth (SCI 82.6 + BIP 122 wires)",
+        190.0,
+        r.mb_s_at("dual_rail_striped", MB8),
+        "MB",
+    ));
+    r.add_anchor(Anchor::new(
+        "striped / best single rail at 8MB (acceptance: >= 1.5)",
+        1.67,
+        r.mb_s_at("dual_rail_striped", MB8) / best_single,
+        "x",
+    ));
+    r.add_anchor(Anchor::new(
+        "non-striped dual rail rides BIP (ratio to BIP_only ~ 1)",
+        1.0,
+        r.mb_s_at("dual_rail_per_network", MB8) / r.mb_s_at("BIP_only", MB8),
         "x",
     ));
     r
@@ -224,5 +384,26 @@ mod tests {
         assert_eq!(r.series.len(), 2);
         // The TCP polling thread must cost something at small sizes.
         assert!(r.us_at("SCI_thread_+_TCP_thread", 4) > r.us_at("SCI_thread_only", 4));
+    }
+
+    #[test]
+    fn multirail_striping_beats_best_single_rail() {
+        let r = multirail(1);
+        assert_eq!(r.series.len(), 5);
+        let best_single = r.mb_s_at("SCI_only", MB8).max(r.mb_s_at("BIP_only", MB8));
+        let striped = r.mb_s_at("dual_rail_striped", MB8);
+        // The acceptance bar: striping exceeds the best single rail's
+        // 8 MB ping-pong bandwidth by >= 50%.
+        assert!(
+            striped >= 1.5 * best_single,
+            "striped {striped:.1} MB/s vs best single rail {best_single:.1} MB/s"
+        );
+        // Without striping, the dual-rail pair just rides BIP.
+        let per_network = r.mb_s_at("dual_rail_per_network", MB8);
+        let bip = r.mb_s_at("BIP_only", MB8);
+        assert!(
+            (per_network / bip - 1.0).abs() < 0.05,
+            "{per_network} vs {bip}"
+        );
     }
 }

@@ -10,7 +10,8 @@
 //! | `fig7`   | Figure 7   | SCI: ch_mad vs ScaMPI vs SCI-MPICH vs raw Madeleine |
 //! | `fig8`   | Figure 8   | Myrinet: ch_mad vs MPI-GM vs MPICH-PM vs raw Madeleine |
 //! | `fig9`   | Figure 9   | SCI alone vs SCI + TCP polling thread |
-//! | `all`    | everything | runs the six experiments back to back |
+//! | `multirail` | "Fig 10" (extension) | multi-rail striping: SCI+BIP dual rail vs each rail alone |
+//! | `all`    | everything | runs the seven experiments back to back |
 //!
 //! Criterion benches (`cargo bench`) wrap the same harnesses
 //! (`benches/experiments.rs`) plus the design-choice ablations from
@@ -22,6 +23,6 @@ pub mod report;
 
 pub use pingpong::{
     bandwidth_mb_s, bandwidth_sizes, fig9_topology, latency_sizes, mpi_pingpong,
-    raw_madeleine_pingpong, Series,
+    multirail_topology, raw_madeleine_pingpong, Series,
 };
 pub use report::{Anchor, NamedSeries, Report};

@@ -128,6 +128,19 @@ pub fn fig9_topology(with_tcp: bool) -> Topology {
     t
 }
 
+/// The topology of the multi-rail striping experiment ("Fig. 10", an
+/// extension beyond the paper): two nodes connected by BOTH SCI and
+/// Myrinet. With the striped policy, rendezvous DATA splits across the
+/// two rails; otherwise all traffic rides the faster one (BIP).
+pub fn multirail_topology() -> Topology {
+    let mut t = Topology::new();
+    let a = t.add_node("a", 2);
+    let b = t.add_node("b", 2);
+    t.add_network(Protocol::Sisci, [a, b]);
+    t.add_network(Protocol::Bip, [a, b]);
+    t
+}
+
 /// The paper's standard sweep for transfer-time plots (1 B – 1 KB).
 pub fn latency_sizes() -> Vec<usize> {
     let mut v = vec![1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
@@ -163,5 +176,11 @@ mod tests {
         fig9_topology(false).validate().unwrap();
         fig9_topology(true).validate().unwrap();
         assert_eq!(fig9_topology(true).protocols().len(), 2);
+    }
+
+    #[test]
+    fn multirail_topology_validates() {
+        multirail_topology().validate().unwrap();
+        assert_eq!(multirail_topology().protocols().len(), 2);
     }
 }

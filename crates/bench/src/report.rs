@@ -6,12 +6,11 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use marcel::VirtualDuration;
-use serde::Serialize;
 
 use crate::pingpong::{bandwidth_mb_s, Series};
 
 /// One named measured series of an experiment.
-#[derive(Serialize, Clone)]
+#[derive(Clone)]
 pub struct NamedSeries {
     pub name: String,
     /// (bytes, one-way nanoseconds) samples.
@@ -29,7 +28,7 @@ impl NamedSeries {
 
 /// An explicit number the paper states (in a table or in the text),
 /// paired with our measurement.
-#[derive(Serialize, Clone)]
+#[derive(Clone)]
 pub struct Anchor {
     pub what: String,
     pub paper: f64,
@@ -39,7 +38,12 @@ pub struct Anchor {
 
 impl Anchor {
     pub fn new(what: impl Into<String>, paper: f64, measured: f64, unit: &'static str) -> Anchor {
-        Anchor { what: what.into(), paper, measured, unit }
+        Anchor {
+            what: what.into(),
+            paper,
+            measured,
+            unit,
+        }
     }
 
     pub fn deviation_pct(&self) -> f64 {
@@ -51,7 +55,7 @@ impl Anchor {
 }
 
 /// A full experiment report.
-#[derive(Serialize, Clone)]
+#[derive(Clone)]
 pub struct Report {
     pub experiment: String,
     pub title: String,
@@ -81,7 +85,10 @@ impl Report {
 
     /// Print the transfer-time view (µs per one-way message).
     pub fn print_time_table(&self) {
-        println!("\n== {} — {} : one-way transfer time (us) ==", self.experiment, self.title);
+        println!(
+            "\n== {} — {} : one-way transfer time (us) ==",
+            self.experiment, self.title
+        );
         self.print_table(
             |_size, ns| VirtualDuration::from_nanos(ns).as_micros_f64(),
             "us",
@@ -91,7 +98,10 @@ impl Report {
 
     /// Print the bandwidth view (MB/s).
     pub fn print_bandwidth_table(&self) {
-        println!("\n== {} — {} : bandwidth (MB/s) ==", self.experiment, self.title);
+        println!(
+            "\n== {} — {} : bandwidth (MB/s) ==",
+            self.experiment, self.title
+        );
         self.print_table(
             |size, ns| bandwidth_mb_s(size, VirtualDuration::from_nanos(ns)),
             "MB/s",
@@ -161,8 +171,47 @@ impl Report {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.experiment));
         let mut f = std::fs::File::create(&path)?;
-        f.write_all(serde_json::to_string_pretty(self).expect("report serializes").as_bytes())?;
+        f.write_all(self.to_json().as_bytes())?;
         Ok(path)
+    }
+
+    /// Hand-rolled JSON emission (the build has no serde available).
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": {},\n",
+            json_str(&self.experiment)
+        ));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str("  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            let samples: Vec<String> = s
+                .samples
+                .iter()
+                .map(|(n, ns)| format!("[{n}, {ns}]"))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"samples\": [{}]}}{}\n",
+                json_str(&s.name),
+                samples.join(", "),
+                if i + 1 < self.series.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"anchors\": [\n");
+        for (i, a) in self.anchors.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"what\": {}, \"paper\": {}, \"measured\": {}, \"unit\": {}}}{}\n",
+                json_str(&a.what),
+                json_num(a.paper),
+                json_num(a.measured),
+                json_str(a.unit),
+                if i + 1 < self.anchors.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     /// Write gnuplot-ready data files (one `.dat` per series, columns:
@@ -193,7 +242,10 @@ impl Report {
                     bandwidth_mb_s(*bytes, d)
                 )?;
             }
-            plot_lines.push(format!("'{safe}.dat' using 1:3 with linespoints title \"{}\"", s.name));
+            plot_lines.push(format!(
+                "'{safe}.dat' using 1:3 with linespoints title \"{}\"",
+                s.name
+            ));
         }
         let script = dir.join("plot.gp");
         let mut f = std::fs::File::create(&script)?;
@@ -252,6 +304,32 @@ fn truncate(s: &str, n: usize) -> &str {
     &s[..s.len().min(n)]
 }
 
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,10 +357,7 @@ mod tests {
     #[test]
     fn gnuplot_files_written() {
         let mut r = Report::new("unit_gp", "test");
-        r.add_series(
-            "a b/c",
-            &vec![(1024, VirtualDuration::from_micros(100))],
-        );
+        r.add_series("a b/c", &vec![(1024, VirtualDuration::from_micros(100))]);
         std::env::set_var("BENCH_JSON_DIR", std::env::temp_dir().join("bench-gp-test"));
         let script = r.write_gnuplot().unwrap();
         let text = std::fs::read_to_string(&script).unwrap();
@@ -298,7 +373,10 @@ mod tests {
         let mut r = Report::new("unit_json", "test");
         r.add_series("s", &vec![(1, VirtualDuration::from_nanos(10))]);
         r.add_anchor(Anchor::new("a", 1.0, 1.1, "us"));
-        std::env::set_var("BENCH_JSON_DIR", std::env::temp_dir().join("bench-json-test"));
+        std::env::set_var(
+            "BENCH_JSON_DIR",
+            std::env::temp_dir().join("bench-json-test"),
+        );
         let path = r.write_json().unwrap();
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.contains("unit_json"));

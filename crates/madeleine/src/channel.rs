@@ -93,14 +93,23 @@ impl Channel {
         let mut sources = HashMap::new();
         let mut conns = HashMap::new();
         for &r in &members {
-            sources.insert(r, PollSource::new(kernel, ProcId(r as u32), model.poll_cost));
+            sources.insert(
+                r,
+                PollSource::new(kernel, ProcId(r as u32), model.poll_cost),
+            );
         }
         for &a in &members {
             for &b in &members {
                 conns.insert(
                     (a, b),
                     Connection {
-                        state: SimMutex::new(kernel, ConnState { floor: VirtualTime::ZERO, seq: 0 }),
+                        state: SimMutex::new(
+                            kernel,
+                            ConnState {
+                                floor: VirtualTime::ZERO,
+                                seq: 0,
+                            },
+                        ),
                     },
                 );
             }
@@ -125,6 +134,12 @@ impl Channel {
 
     pub fn model(&self) -> &LinkModel {
         &self.model
+    }
+
+    /// The channel's weight when striping a transfer across several
+    /// rails: its link's calibrated asymptotic bandwidth.
+    pub fn stripe_weight(&self) -> f64 {
+        self.model.asymptotic_bandwidth_mb_s()
     }
 
     pub fn members(&self) -> &[usize] {

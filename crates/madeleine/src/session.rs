@@ -74,7 +74,10 @@ impl SessionBuilder {
         } else {
             self.topology.validate()?;
         }
-        assert!(!self.placement.is_empty(), "session needs at least one rank");
+        assert!(
+            !self.placement.is_empty(),
+            "session needs at least one rank"
+        );
         for (rank, node) in self.placement.iter().enumerate() {
             assert!(
                 node.0 < self.topology.nodes().len(),
@@ -117,10 +120,7 @@ impl SessionBuilder {
     }
 }
 
-fn member_ranks(
-    placement: &[NodeId],
-    members: &std::collections::BTreeSet<NodeId>,
-) -> Vec<usize> {
+fn member_ranks(placement: &[NodeId], members: &std::collections::BTreeSet<NodeId>) -> Vec<usize> {
     placement
         .iter()
         .enumerate()
@@ -142,11 +142,7 @@ pub struct Session {
 impl Session {
     /// Shortcut: `n` ranks, one per node, over a single network of the
     /// given protocol.
-    pub fn single_network(
-        kernel: &Kernel,
-        n: usize,
-        protocol: Protocol,
-    ) -> Arc<Session> {
+    pub fn single_network(kernel: &Kernel, n: usize, protocol: Protocol) -> Arc<Session> {
         SessionBuilder::new(Topology::single_network(n, protocol))
             .one_rank_per_node()
             .build(kernel)
@@ -211,6 +207,12 @@ impl Session {
     /// rule: the fastest network both nodes share).
     pub fn best_channel_between(&self, a: usize, b: usize) -> Option<Arc<Channel>> {
         self.channels_between(a, b).into_iter().next()
+    }
+
+    /// Number of distinct direct rails (networks) connecting two ranks
+    /// — the multi-rail condition for striped transfers.
+    pub fn n_rails_between(&self, a: usize, b: usize) -> usize {
+        self.channels_between(a, b).len()
     }
 
     /// Endpoint of `rank` on the primary channel of `net`.
@@ -299,10 +301,22 @@ mod tests {
             .one_rank_per_node()
             .build(&k)
             .unwrap();
-        assert_eq!(s.best_channel_between(0, 1).unwrap().protocol(), Protocol::Sisci);
-        assert_eq!(s.best_channel_between(2, 3).unwrap().protocol(), Protocol::Bip);
-        assert_eq!(s.best_channel_between(0, 2).unwrap().protocol(), Protocol::Tcp);
-        assert_eq!(s.best_channel_between(1, 3).unwrap().protocol(), Protocol::Tcp);
+        assert_eq!(
+            s.best_channel_between(0, 1).unwrap().protocol(),
+            Protocol::Sisci
+        );
+        assert_eq!(
+            s.best_channel_between(2, 3).unwrap().protocol(),
+            Protocol::Bip
+        );
+        assert_eq!(
+            s.best_channel_between(0, 2).unwrap().protocol(),
+            Protocol::Tcp
+        );
+        assert_eq!(
+            s.best_channel_between(1, 3).unwrap().protocol(),
+            Protocol::Tcp
+        );
     }
 
     #[test]
@@ -374,7 +388,10 @@ mod forwarding_tests {
         let c = t.add_node("c", 1);
         t.add_network(Protocol::Sisci, [a, b]);
         t.add_network(Protocol::Bip, [b, c]);
-        assert!(SessionBuilder::new(t).one_rank_per_node().build(&k).is_err());
+        assert!(SessionBuilder::new(t)
+            .one_rank_per_node()
+            .build(&k)
+            .is_err());
     }
 
     #[test]
@@ -384,7 +401,11 @@ mod forwarding_tests {
         assert_eq!(s.route_between(0, 3), Some(vec![0, 1, 3]));
         assert_eq!(s.route_between(3, 0), Some(vec![3, 1, 0]));
         assert_eq!(s.route_between(0, 2), Some(vec![0, 2]));
-        assert_eq!(s.route_between(1, 2), Some(vec![1, 2]), "same node is direct");
+        assert_eq!(
+            s.route_between(1, 2),
+            Some(vec![1, 2]),
+            "same node is direct"
+        );
     }
 
     #[test]

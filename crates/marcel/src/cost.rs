@@ -109,7 +109,10 @@ mod tests {
     #[test]
     fn oracle_polling_zeroes_cycles() {
         let c = CostModel::calibrated().with_oracle_polling();
-        assert_eq!(c.scaled_cycle(VirtualDuration::from_micros(5)), VirtualDuration::ZERO);
+        assert_eq!(
+            c.scaled_cycle(VirtualDuration::from_micros(5)),
+            VirtualDuration::ZERO
+        );
     }
 
     #[test]

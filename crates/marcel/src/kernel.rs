@@ -172,7 +172,11 @@ impl Sched {
     pub(crate) fn record(&mut self, tid: Tid, what: impl FnOnce() -> String) {
         if let Some(trace) = &mut self.trace {
             let time = self.threads[tid.0].vtime;
-            trace.push(TraceEvent { time, tid: tid.0, what: what() });
+            trace.push(TraceEvent {
+                time,
+                tid: tid.0,
+                what: what(),
+            });
         }
     }
 
@@ -256,7 +260,11 @@ impl Shared {
             self.cv.notify_all();
             return;
         }
-        let msg = format!("no runnable thread among {} live:\n{}", sched.live, sched.dump());
+        let msg = format!(
+            "no runnable thread among {} live:\n{}",
+            sched.live,
+            sched.dump()
+        );
         sched.deadlock = Some(msg);
         self.cv.notify_all();
     }

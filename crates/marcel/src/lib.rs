@@ -46,7 +46,6 @@ pub use kernel::{Kernel, ProcId, SimError, TraceEvent};
 pub use poll::{PollSource, Polled};
 pub use sync::{OneShot, Queue, Semaphore, SimBarrier, SimCondvar, SimMutex, SimRwLock};
 pub use thread::{
-    advance, advance_to, in_simulation, name, now, sleep, sleep_until, spawn, yield_now,
-    JoinHandle,
+    advance, advance_to, in_simulation, name, now, sleep, sleep_until, spawn, yield_now, JoinHandle,
 };
 pub use time::{VirtualDuration, VirtualTime};

@@ -115,7 +115,10 @@ impl<T: Send + 'static> PollSource<T> {
     /// delivered in `(arrival, post order)` order.
     pub fn post(&self, arrival: VirtualTime, payload: T) {
         let (shared, me) = current();
-        debug_assert!(Arc::ptr_eq(&shared, &self.shared), "source used across kernels");
+        debug_assert!(
+            Arc::ptr_eq(&shared, &self.shared),
+            "source used across kernels"
+        );
         let mut sched = shared.state.lock();
         assert!(
             !sched.sources[self.id.0].closed,
@@ -137,7 +140,9 @@ impl<T: Send + 'static> PollSource<T> {
         }
         if let Some(w) = sched.sources[self.id.0].waiter.take() {
             let proc = sched.sources[self.id.0].proc;
-            let cycle = shared.cost.scaled_cycle(Shared::polling_cycle(&sched, proc));
+            let cycle = shared
+                .cost
+                .scaled_cycle(Shared::polling_cycle(&sched, proc));
             let (head_arrival, _, head) = sched.sources[self.id.0]
                 .queue
                 .pop_front()
@@ -163,7 +168,9 @@ impl<T: Send + 'static> PollSource<T> {
         sched.sources[self.id.0].attached = true;
         let proc = sched.sources[self.id.0].proc;
         if let Some((arrival, _, payload)) = sched.sources[self.id.0].queue.pop_front() {
-            let cycle = shared.cost.scaled_cycle(Shared::polling_cycle(&sched, proc));
+            let cycle = shared
+                .cost
+                .scaled_cycle(Shared::polling_cycle(&sched, proc));
             let slot = &mut sched.threads[me.0];
             let notice = std::cmp::max(arrival, slot.vtime) + cycle;
             slot.vtime = notice;
@@ -189,7 +196,10 @@ impl<T: Send + 'static> PollSource<T> {
         sched.record(me, || format!("polled src#{} (waited)", self.id.0));
         let payload = sched.threads[me.0].wake_payload.take();
         drop(sched);
-        payload.map(|p| *p.downcast::<Polled<T>>().expect("poll source type confusion"))
+        payload.map(|p| {
+            *p.downcast::<Polled<T>>()
+                .expect("poll source type confusion")
+        })
     }
 
     /// One explicit poll attempt: charges this source's own poll cost and
@@ -335,7 +345,9 @@ mod tests {
         let h = k.spawn("poller", move || {
             // Wait until everything is posted.
             advance(us(100));
-            (0..3).map(|_| rx.poll_wait().unwrap().payload).collect::<Vec<_>>()
+            (0..3)
+                .map(|_| rx.poll_wait().unwrap().payload)
+                .collect::<Vec<_>>()
         });
         k.spawn("sender", move || {
             src.post(VirtualTime(30_000), "late");

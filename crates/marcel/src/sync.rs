@@ -53,7 +53,10 @@ impl Semaphore {
     /// is zero.
     pub fn acquire(&self) {
         let (shared, me) = current();
-        debug_assert!(Arc::ptr_eq(&shared, &self.shared), "semaphore used across kernels");
+        debug_assert!(
+            Arc::ptr_eq(&shared, &self.shared),
+            "semaphore used across kernels"
+        );
         let mut sched = shared.state.lock();
         let op = shared.cost.sem_op;
         sched.threads[me.0].vtime += op;
@@ -290,13 +293,21 @@ impl<T: Send + 'static> OneShot<T> {
     /// Block until the value is deposited and take it.
     pub fn take(&self) -> T {
         self.sem.acquire();
-        self.slot.lock().take().expect("OneShot woken without a value")
+        self.slot
+            .lock()
+            .take()
+            .expect("OneShot woken without a value")
     }
 
     /// Non-blocking take.
     pub fn try_take(&self) -> Option<T> {
         if self.sem.try_acquire() {
-            Some(self.slot.lock().take().expect("OneShot counted without a value"))
+            Some(
+                self.slot
+                    .lock()
+                    .take()
+                    .expect("OneShot counted without a value"),
+            )
         } else {
             None
         }
@@ -341,12 +352,20 @@ impl<T: Send + 'static> Queue<T> {
     /// Block until an element is available.
     pub fn pop(&self) -> T {
         self.sem.acquire();
-        self.buf.lock().pop_front().expect("queue semaphore out of sync")
+        self.buf
+            .lock()
+            .pop_front()
+            .expect("queue semaphore out of sync")
     }
 
     pub fn try_pop(&self) -> Option<T> {
         if self.sem.try_acquire() {
-            Some(self.buf.lock().pop_front().expect("queue semaphore out of sync"))
+            Some(
+                self.buf
+                    .lock()
+                    .pop_front()
+                    .expect("queue semaphore out of sync"),
+            )
         } else {
             None
         }
@@ -389,7 +408,10 @@ impl SimBarrier {
     pub fn new(kernel: &Kernel, parties: usize) -> Self {
         assert!(parties > 0, "a barrier needs at least one party");
         SimBarrier {
-            state: Arc::new(RealMutex::new(BarrierState { waiting: 0, generation: 0 })),
+            state: Arc::new(RealMutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+            })),
             sem: Semaphore::new(kernel, 0),
             parties,
         }
@@ -398,7 +420,10 @@ impl SimBarrier {
     pub fn current(parties: usize) -> Self {
         assert!(parties > 0, "a barrier needs at least one party");
         SimBarrier {
-            state: Arc::new(RealMutex::new(BarrierState { waiting: 0, generation: 0 })),
+            state: Arc::new(RealMutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+            })),
             sem: Semaphore::current(0),
             parties,
         }
@@ -478,16 +503,21 @@ impl<T: Send + 'static> SimRwLock<T> {
             }
         }
         self.gate.release();
-        SimRwReadGuard { lock: self, inner: Some(self.data.read()) }
+        SimRwReadGuard {
+            lock: self,
+            inner: Some(self.data.read()),
+        }
     }
 
     pub fn write(&self) -> SimRwWriteGuard<'_, T> {
         self.gate.acquire();
         self.excl.acquire();
         self.gate.release();
-        SimRwWriteGuard { lock: self, inner: Some(self.data.write()) }
+        SimRwWriteGuard {
+            lock: self,
+            inner: Some(self.data.write()),
+        }
     }
-
 }
 
 impl<T> SimRwLock<T> {
@@ -870,6 +900,9 @@ mod tests {
         let w_done = writer.join_outcome().unwrap();
         let (value, r_done) = reader.join_outcome().unwrap();
         assert_eq!(value, 42, "reader must observe the write");
-        assert!(r_done >= w_done, "reader finished at {r_done}, writer at {w_done}");
+        assert!(
+            r_done >= w_done,
+            "reader finished at {r_done}, writer at {w_done}"
+        );
     }
 }

@@ -222,8 +222,14 @@ mod tests {
         assert_eq!(t.as_nanos(), 10_000);
         let d = (t + VirtualDuration::from_micros(5)) - t;
         assert_eq!(d, VirtualDuration::from_micros(5));
-        assert_eq!(VirtualDuration::from_micros(3) * 4, VirtualDuration::from_micros(12));
-        assert_eq!(VirtualDuration::from_micros(12) / 4, VirtualDuration::from_micros(3));
+        assert_eq!(
+            VirtualDuration::from_micros(3) * 4,
+            VirtualDuration::from_micros(12)
+        );
+        assert_eq!(
+            VirtualDuration::from_micros(12) / 4,
+            VirtualDuration::from_micros(3)
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use marcel::{JoinHandle, VirtualDuration};
+use simnet::{elect_switch_point, Protocol};
 
 use crate::types::Envelope;
 
@@ -70,17 +71,103 @@ impl Default for AdiCosts {
     }
 }
 
+/// How a device maps message size to a transfer mode. The historical
+/// ADI reserved exactly one integer per `MPID_Device` for the
+/// eager→rendezvous switch point (§4.2.2), forcing multi-network
+/// devices to *elect* a single compromise value. `ProtocolPolicy`
+/// lifts that limitation: the threshold is resolved per (device, peer,
+/// channel), with the election kept as a compatibility mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PolicyMode {
+    /// The paper's single elected threshold for every network: SCI's
+    /// 8 KB when SCI is present, else the fastest network's (§4.2.2).
+    Elected,
+    /// Each channel uses its own network's experimentally ideal
+    /// threshold (TCP 64 KB, SCI 8 KB, BIP 7 KB).
+    #[default]
+    PerNetwork,
+    /// Per-network thresholds, plus rendezvous DATA striped across all
+    /// rails when several networks connect the same rank pair.
+    Striped,
+}
+
+/// The resolved protocol policy of one device: mode, the elected
+/// fallback value, and an optional flat override (ablations).
+#[derive(Clone, Debug)]
+pub struct ProtocolPolicy {
+    mode: PolicyMode,
+    override_threshold: Option<usize>,
+    elected: usize,
+}
+
+impl ProtocolPolicy {
+    /// Policy for a device supporting `protocols`. The elected value is
+    /// precomputed so `Elected` mode never re-runs the election.
+    pub fn new(
+        mode: PolicyMode,
+        protocols: &[Protocol],
+        override_threshold: Option<usize>,
+    ) -> ProtocolPolicy {
+        ProtocolPolicy {
+            mode,
+            override_threshold,
+            elected: elect_switch_point(protocols),
+        }
+    }
+
+    /// Policy of devices whose transfers copy either way (loop-back,
+    /// shared memory, buffered TCP): eager at every size.
+    pub fn always_eager() -> ProtocolPolicy {
+        ProtocolPolicy {
+            mode: PolicyMode::PerNetwork,
+            override_threshold: Some(usize::MAX),
+            elected: usize::MAX,
+        }
+    }
+
+    pub fn mode(&self) -> PolicyMode {
+        self.mode
+    }
+
+    /// The single value the paper's election rule produces for this
+    /// device (§4.2.2).
+    pub fn elected_threshold(&self) -> usize {
+        self.elected
+    }
+
+    /// The eager→rendezvous threshold for a message that will ride a
+    /// channel of `protocol`. `None` (protocol unknown, e.g. no direct
+    /// channel resolved yet) falls back to the elected value.
+    pub fn threshold(&self, protocol: Option<Protocol>) -> usize {
+        if let Some(t) = self.override_threshold {
+            return t;
+        }
+        match self.mode {
+            PolicyMode::Elected => self.elected,
+            PolicyMode::PerNetwork | PolicyMode::Striped => {
+                protocol.map(|p| p.switch_point()).unwrap_or(self.elected)
+            }
+        }
+    }
+
+    /// Whether rendezvous DATA should be striped across every rail
+    /// connecting the pair.
+    pub fn stripes(&self) -> bool {
+        self.mode == PolicyMode::Striped
+    }
+}
+
 /// A communication device. Receiving happens through the device's own
 /// polling threads delivering into the per-rank [`crate::engine::Engine`];
 /// this trait only carries the operations the generic layer initiates.
 pub trait Device: Send + Sync {
     fn name(&self) -> &'static str;
 
-    /// The device's single eager→rendezvous switch point. The ADI's
-    /// `MPID_Device` reserves exactly one integer for this (§4.2.2) —
-    /// the reproduction keeps that limitation on purpose; multi-network
-    /// devices must *elect* one value.
-    fn switch_point(&self) -> usize;
+    /// The device's protocol policy: how message size and channel
+    /// protocol map to eager vs rendezvous (and whether rendezvous
+    /// DATA is striped). Replaces the ADI's historical single
+    /// switch-point integer.
+    fn policy(&self) -> &ProtocolPolicy;
 
     /// Blocking send of one MPI message (the device picks eager or
     /// rendezvous internally). `from`/`dst` are world ranks. With
@@ -142,22 +229,27 @@ impl DeviceSet {
 mod tests {
     use super::*;
 
-    struct Dummy(&'static str);
+    struct Dummy(&'static str, ProtocolPolicy);
+    impl Dummy {
+        fn new(name: &'static str) -> Dummy {
+            Dummy(name, ProtocolPolicy::always_eager())
+        }
+    }
     impl Device for Dummy {
         fn name(&self) -> &'static str {
             self.0
         }
-        fn switch_point(&self) -> usize {
-            0
+        fn policy(&self) -> &ProtocolPolicy {
+            &self.1
         }
         fn send(&self, _: usize, _: usize, _: Envelope, _: Bytes, _: bool) {}
     }
 
     fn set() -> DeviceSet {
         DeviceSet {
-            ch_self: Arc::new(Dummy("ch_self")),
-            smp_plug: Arc::new(Dummy("smp_plug")),
-            remote: Arc::new(Dummy("ch_mad")),
+            ch_self: Arc::new(Dummy::new("ch_self")),
+            smp_plug: Arc::new(Dummy::new("smp_plug")),
+            remote: Arc::new(Dummy::new("ch_mad")),
             // Ranks 0,1 on node 0; rank 2 on node 1.
             rank_node: vec![0, 0, 1],
         }
@@ -178,7 +270,73 @@ mod tests {
     fn calibrated_costs_total_single_digit_microseconds() {
         let c = AdiCosts::calibrated();
         let total = c.send_setup + c.demux + c.post_recv + c.complete;
-        assert!(total.as_micros_f64() < 5.0, "ADI costs should stay small: {total}");
+        assert!(
+            total.as_micros_f64() < 5.0,
+            "ADI costs should stay small: {total}"
+        );
         assert!(total.as_micros_f64() > 2.0);
+    }
+
+    #[test]
+    fn elected_mode_picks_sci_when_present() {
+        // §4.2.2: "the network with the most influent switch point
+        // value is SCI" — its 8 KB wins over both BIP's and TCP's.
+        use Protocol::*;
+        for protocols in [vec![Tcp, Sisci, Bip], vec![Sisci, Bip], vec![Tcp, Sisci]] {
+            let p = ProtocolPolicy::new(PolicyMode::Elected, &protocols, None);
+            assert_eq!(p.elected_threshold(), 8 * 1024, "{protocols:?}");
+            // In Elected mode every channel sees the same value.
+            for proto in protocols {
+                assert_eq!(p.threshold(Some(proto)), 8 * 1024);
+            }
+        }
+    }
+
+    #[test]
+    fn elected_mode_falls_back_to_fastest_network() {
+        // Without SCI, the most performant supported network's value is
+        // elected: BIP's 7 KB over TCP's 64 KB.
+        let p = ProtocolPolicy::new(PolicyMode::Elected, &[Protocol::Tcp, Protocol::Bip], None);
+        assert_eq!(p.elected_threshold(), 7 * 1024);
+        assert_eq!(p.threshold(Some(Protocol::Tcp)), 7 * 1024);
+        let tcp_only = ProtocolPolicy::new(PolicyMode::Elected, &[Protocol::Tcp], None);
+        assert_eq!(tcp_only.elected_threshold(), 64 * 1024);
+    }
+
+    #[test]
+    fn per_network_mode_uses_each_networks_ideal_threshold() {
+        for mode in [PolicyMode::PerNetwork, PolicyMode::Striped] {
+            let p = ProtocolPolicy::new(mode, &Protocol::ALL, None);
+            assert_eq!(p.threshold(Some(Protocol::Tcp)), 64 * 1024);
+            assert_eq!(p.threshold(Some(Protocol::Sisci)), 8 * 1024);
+            assert_eq!(p.threshold(Some(Protocol::Bip)), 7 * 1024);
+            // Unknown channel: the elected compromise value.
+            assert_eq!(p.threshold(None), 8 * 1024);
+        }
+        assert!(!ProtocolPolicy::new(PolicyMode::PerNetwork, &Protocol::ALL, None).stripes());
+        assert!(ProtocolPolicy::new(PolicyMode::Striped, &Protocol::ALL, None).stripes());
+    }
+
+    #[test]
+    fn override_beats_every_mode() {
+        for mode in [
+            PolicyMode::Elected,
+            PolicyMode::PerNetwork,
+            PolicyMode::Striped,
+        ] {
+            let p = ProtocolPolicy::new(mode, &Protocol::ALL, Some(1234));
+            for proto in Protocol::ALL {
+                assert_eq!(p.threshold(Some(proto)), 1234);
+            }
+            assert_eq!(p.threshold(None), 1234);
+        }
+    }
+
+    #[test]
+    fn always_eager_never_switches() {
+        let p = ProtocolPolicy::always_eager();
+        assert_eq!(p.threshold(None), usize::MAX);
+        assert_eq!(p.threshold(Some(Protocol::Tcp)), usize::MAX);
+        assert!(!p.stripes());
     }
 }

@@ -18,7 +18,10 @@ impl CartComm {
     /// ranks keep their identity).
     pub fn create(comm: &Communicator, dims: &[usize], periodic: &[bool]) -> CartComm {
         assert_eq!(dims.len(), periodic.len(), "dims/periodic length mismatch");
-        assert!(!dims.is_empty(), "a Cartesian topology needs at least one dimension");
+        assert!(
+            !dims.is_empty(),
+            "a Cartesian topology needs at least one dimension"
+        );
         let cells: usize = dims.iter().product();
         assert_eq!(
             cells,

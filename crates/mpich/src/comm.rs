@@ -53,7 +53,12 @@ impl Communicator {
     pub fn world(env: Arc<MpiEnv>) -> Communicator {
         let group = Group::world(env.world_size);
         let local = env.world_rank;
-        Communicator { env, group, context: 0, local }
+        Communicator {
+            env,
+            group,
+            context: 0,
+            local,
+        }
     }
 
     pub fn rank(&self) -> usize {
@@ -89,7 +94,11 @@ impl Communicator {
             .group
             .local_rank(status.source)
             .expect("status source outside the communicator (context leak)");
-        Status { source, tag: status.tag, len: status.len }
+        Status {
+            source,
+            tag: status.tag,
+            len: status.len,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -111,7 +120,12 @@ impl Communicator {
     ) {
         let from = self.env.world_rank;
         let dst = self.world_of(dst_local);
-        let env = Envelope { src: from, tag, context, len: data.len() };
+        let env = Envelope {
+            src: from,
+            tag,
+            context,
+            len: data.len(),
+        };
         let device = self.env.devices.select(from, dst).clone();
         device.send(from, dst, env, data, sync);
     }
@@ -176,7 +190,14 @@ impl Communicator {
         let len = data.len();
         marcel::spawn(format!("rank{my_world}-issend"), move || {
             comm.send_ctx_mode(Bytes::from(data), dst, tag, comm.context, true);
-            req.complete(None, Status { source: my_world, tag, len });
+            req.complete(
+                None,
+                Status {
+                    source: my_world,
+                    tag,
+                    len,
+                },
+            );
         });
         Request::new(inner)
     }
@@ -191,7 +212,14 @@ impl Communicator {
         let len = data.len();
         marcel::spawn(format!("rank{my_world}-isend"), move || {
             comm.send_ctx(Bytes::from(data), dst, tag, comm.context);
-            req.complete(None, Status { source: my_world, tag, len });
+            req.complete(
+                None,
+                Status {
+                    source: my_world,
+                    tag,
+                    len,
+                },
+            );
         });
         Request::new(inner)
     }
@@ -234,7 +262,7 @@ impl Communicator {
         src: Option<usize>,
         recv_tag: Option<Tag>,
     ) -> (Vec<u8>, Status) {
-        let recv = self.irecv(cap, src, recv_tag, );
+        let recv = self.irecv(cap, src, recv_tag);
         let send = self.isend(data.to_vec(), dst, send_tag);
         let (bytes, status) = recv.wait_data();
         send.wait_send();
@@ -276,7 +304,12 @@ impl Communicator {
         };
         let st = self.env.engine.probe(spec);
         let (data, status) = self
-            .irecv_ctx(st.len, self.group.local_rank(st.source), Some(st.tag), context)
+            .irecv_ctx(
+                st.len,
+                self.group.local_rank(st.source),
+                Some(st.tag),
+                context,
+            )
             .wait_data();
         (data, self.localize(status))
     }
@@ -298,7 +331,11 @@ impl Communicator {
         tag: Option<Tag>,
     ) -> (Vec<T>, Status) {
         let (bytes, status) = self.recv(count * T::BASE.size(), src, tag);
-        assert_eq!(bytes.len(), count * T::BASE.size(), "typed receive length mismatch");
+        assert_eq!(
+            bytes.len(),
+            count * T::BASE.size(),
+            "typed receive length mismatch"
+        );
         (from_bytes(&bytes), status)
     }
 
@@ -328,7 +365,11 @@ impl Communicator {
         tag: Option<Tag>,
     ) -> Status {
         let (bytes, status) = self.recv(datatype.size() * count, src, tag);
-        assert_eq!(bytes.len(), datatype.size() * count, "typed receive length mismatch");
+        assert_eq!(
+            bytes.len(),
+            datatype.size() * count,
+            "typed receive length mismatch"
+        );
         datatype.unpack(buf, &bytes, count);
         status
     }
@@ -345,7 +386,12 @@ impl Communicator {
 
     /// `MPI_Recv_init`: build a persistent receive.
     pub fn recv_init(&self, cap: usize, src: Option<usize>, tag: Option<Tag>) -> PersistentRecv {
-        PersistentRecv { comm: self.clone(), cap, src, tag }
+        PersistentRecv {
+            comm: self.clone(),
+            cap,
+            src,
+            tag,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -462,7 +508,14 @@ impl PersistentSend {
         let len = data.len();
         marcel::spawn(format!("rank{my_world}-psend"), move || {
             comm.send_ctx(data, dst, tag, comm.context);
-            req.complete(None, Status { source: my_world, tag, len });
+            req.complete(
+                None,
+                Status {
+                    source: my_world,
+                    tag,
+                    len,
+                },
+            );
         });
         Request::new(inner)
     }

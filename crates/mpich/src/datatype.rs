@@ -36,7 +36,10 @@ impl BaseType {
 pub enum Datatype {
     Base(BaseType),
     /// `count` consecutive copies of `inner`.
-    Contiguous { count: usize, inner: Arc<Datatype> },
+    Contiguous {
+        count: usize,
+        inner: Arc<Datatype>,
+    },
     /// `count` blocks of `blocklen` elements, consecutive blocks
     /// `stride` *elements* apart (MPI_Type_vector).
     Vector {
@@ -76,12 +79,32 @@ impl Datatype {
         Arc::new(Datatype::Contiguous { count, inner })
     }
 
-    pub fn vector(count: usize, blocklen: usize, stride: isize, inner: Arc<Datatype>) -> Arc<Datatype> {
-        Arc::new(Datatype::Vector { count, blocklen, stride, inner })
+    pub fn vector(
+        count: usize,
+        blocklen: usize,
+        stride: isize,
+        inner: Arc<Datatype>,
+    ) -> Arc<Datatype> {
+        Arc::new(Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+            inner,
+        })
     }
 
-    pub fn hvector(count: usize, blocklen: usize, stride_bytes: isize, inner: Arc<Datatype>) -> Arc<Datatype> {
-        Arc::new(Datatype::Hvector { count, blocklen, stride_bytes, inner })
+    pub fn hvector(
+        count: usize,
+        blocklen: usize,
+        stride_bytes: isize,
+        inner: Arc<Datatype>,
+    ) -> Arc<Datatype> {
+        Arc::new(Datatype::Hvector {
+            count,
+            blocklen,
+            stride_bytes,
+            inner,
+        })
     }
 
     pub fn indexed(blocks: Vec<(usize, isize)>, inner: Arc<Datatype>) -> Arc<Datatype> {
@@ -97,8 +120,18 @@ impl Datatype {
         match self {
             Datatype::Base(b) => b.size(),
             Datatype::Contiguous { count, inner } => count * inner.size(),
-            Datatype::Vector { count, blocklen, inner, .. }
-            | Datatype::Hvector { count, blocklen, inner, .. } => count * blocklen * inner.size(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                inner,
+                ..
+            }
+            | Datatype::Hvector {
+                count,
+                blocklen,
+                inner,
+                ..
+            } => count * blocklen * inner.size(),
             Datatype::Indexed { blocks, inner } => {
                 blocks.iter().map(|(len, _)| len * inner.size()).sum()
             }
@@ -133,7 +166,12 @@ impl Datatype {
                     inner.walk(base + i as isize * ext, f);
                 }
             }
-            Datatype::Vector { count, blocklen, stride, inner } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
                 let ext = inner.extent() as isize;
                 for i in 0..*count {
                     let block_base = base + i as isize * stride * ext;
@@ -142,7 +180,12 @@ impl Datatype {
                     }
                 }
             }
-            Datatype::Hvector { count, blocklen, stride_bytes, inner } => {
+            Datatype::Hvector {
+                count,
+                blocklen,
+                stride_bytes,
+                inner,
+            } => {
                 let ext = inner.extent() as isize;
                 for i in 0..*count {
                     let block_base = base + i as isize * stride_bytes;
@@ -253,7 +296,11 @@ pub fn to_bytes<T: MpiScalar>(data: &[T]) -> Vec<u8> {
 /// Deserialize little-endian bytes to a scalar vector.
 pub fn from_bytes<T: MpiScalar>(bytes: &[u8]) -> Vec<T> {
     let w = T::BASE.size();
-    assert_eq!(bytes.len() % w, 0, "byte length not a multiple of the scalar width");
+    assert_eq!(
+        bytes.len() % w,
+        0,
+        "byte length not a multiple of the scalar width"
+    );
     bytes.chunks_exact(w).map(T::read_le).collect()
 }
 

@@ -19,19 +19,26 @@
 //!   OK_TO_SEND(sync_address) → DATA(sync_address, zero-copy body);
 //!   the OK_TO_SEND is sent from a freshly spawned thread because *a
 //!   polling thread must never send* (§4.2.3);
-//! * the ADI reserves a single integer for the switch point, so one
-//!   value is **elected** for all networks (SCI's 8 KB when SCI is
-//!   present, else the fastest network's; §4.2.2).
+//! * the eager→rendezvous threshold is resolved per channel through a
+//!   [`ProtocolPolicy`]: by default each network uses its own ideal
+//!   value; [`PolicyMode::Elected`] reproduces the historical ADI
+//!   limitation — one integer per device, **elected** for all networks
+//!   (SCI's 8 KB when SCI is present, else the fastest network's;
+//!   §4.2.2);
+//! * with [`PolicyMode::Striped`], rendezvous DATA between ranks that
+//!   share several networks is split into contiguous spans striped
+//!   across all rails, weighted by each link's calibrated bandwidth;
+//!   the receiver reassembles them through the engine's out-of-order
+//!   chunk path.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::{BufMut, Bytes, BytesMut};
-use madeleine::{Endpoint, ReceiveMode, SendMode, Session};
+use madeleine::{Channel, Endpoint, ReceiveMode, SendMode, Session};
 use marcel::{JoinHandle, Kernel, OneShot, SimMutex};
-use simnet::elect_switch_point;
 
-use crate::adi::{AdiCosts, Device};
+use crate::adi::{AdiCosts, Device, PolicyMode, ProtocolPolicy};
 use crate::device::packet::Packet;
 use crate::engine::Engine;
 use crate::types::Envelope;
@@ -53,8 +60,11 @@ pub struct ChMadConfig {
     /// Enable the rendezvous transfer mode. `false` forces eager for
     /// every size (ablation: shows what zero-copy buys).
     pub rendezvous: bool,
-    /// Override the elected switch point (used by the switch-point
-    /// ablation bench).
+    /// How the eager→rendezvous threshold is resolved per channel, and
+    /// whether rendezvous DATA is striped across rails.
+    pub policy: PolicyMode,
+    /// Flat threshold override for every channel, beating `policy`
+    /// (used by the switch-point ablation bench).
     pub switch_point_override: Option<usize>,
     /// Chunk size for rendezvous DATA on *forwarded* (multi-hop) routes.
     /// Chunking lets consecutive hops pipeline, so the end-to-end
@@ -68,6 +78,7 @@ impl Default for ChMadConfig {
         ChMadConfig {
             split_short: true,
             rendezvous: true,
+            policy: PolicyMode::default(),
             switch_point_override: None,
             fwd_chunk: 128 * 1024,
         }
@@ -89,7 +100,7 @@ pub struct ChMad {
     engines: Vec<Arc<Engine>>,
     costs: AdiCosts,
     config: ChMadConfig,
-    switch_point: usize,
+    policy: ProtocolPolicy,
     ranks: Vec<RankState>,
 }
 
@@ -102,14 +113,15 @@ impl ChMad {
         config: ChMadConfig,
     ) -> Arc<ChMad> {
         let protocols = session.topology().protocols();
-        let switch_point = config
-            .switch_point_override
-            .unwrap_or_else(|| elect_switch_point(&protocols));
+        let policy = ProtocolPolicy::new(config.policy, &protocols, config.switch_point_override);
         let ranks = (0..session.n_ranks())
             .map(|_| RankState {
                 pending: SimMutex::new(
                     kernel,
-                    PendingRndv { next_token: 1, waiting: HashMap::new() },
+                    PendingRndv {
+                        next_token: 1,
+                        waiting: HashMap::new(),
+                    },
                 ),
             })
             .collect();
@@ -118,7 +130,7 @@ impl ChMad {
             engines,
             costs,
             config,
-            switch_point,
+            policy,
             ranks,
         })
     }
@@ -128,17 +140,31 @@ impl ChMad {
         &self.session
     }
 
-    fn endpoint_to(&self, from: usize, dst: usize) -> Endpoint {
-        let channel = self
-            .session
+    fn channel_to(&self, from: usize, dst: usize) -> Arc<Channel> {
+        self.session
             .best_channel_between(from, dst)
             .unwrap_or_else(|| {
                 panic!(
                     "no direct network between ranks {from} and {dst}: \
                      enable forwarding to cross gateways"
                 )
-            });
-        channel.endpoint(from)
+            })
+    }
+
+    fn endpoint_to(&self, from: usize, dst: usize) -> Endpoint {
+        self.channel_to(from, dst).endpoint(from)
+    }
+
+    /// The eager→rendezvous threshold for a message from `from` to
+    /// `dst`, resolved against the protocol of the channel the first
+    /// hop will ride (the policy is per channel, not per device).
+    fn threshold_to(&self, from: usize, dst: usize) -> usize {
+        let (next, _) = self.session.next_hop(from, dst);
+        let protocol = self
+            .session
+            .best_channel_between(from, next)
+            .map(|c| c.protocol());
+        self.policy.threshold(protocol)
     }
 
     /// Ship one ch_mad packet (header + optional body) toward
@@ -150,7 +176,10 @@ impl ChMad {
         let mut conn = ep.begin_packing(next);
         if !is_final {
             conn.pack_bytes(
-                Packet::Fwd { final_dst: final_dst as u32 }.encode(),
+                Packet::Fwd {
+                    final_dst: final_dst as u32,
+                }
+                .encode(),
                 SendMode::Cheaper,
                 ReceiveMode::Express,
             );
@@ -165,15 +194,16 @@ impl ChMad {
     }
 
     /// Eager mode: one message, optimized for latency at the price of an
-    /// intermediate copy on the receiving side.
-    fn send_eager(&self, from: usize, dst: usize, env: Envelope, data: Bytes) {
+    /// intermediate copy on the receiving side. `threshold` is the
+    /// channel's resolved switch point (sizes the naive inline buffer).
+    fn send_eager(&self, from: usize, dst: usize, env: Envelope, data: Bytes, threshold: usize) {
         if self.config.split_short {
             self.send_packet(from, dst, Packet::Short { env }.encode(), Some(data));
         } else {
             // Naive ADI short packet: header + MPID_PKT_MAX_DATA_SIZE
             // inline buffer, express in one piece. Everything beyond the
             // payload is null padding on the wire.
-            let inline = Packet::short_header_len() + self.switch_point;
+            let inline = Packet::short_header_len() + threshold;
             let mut buf = BytesMut::with_capacity(inline);
             buf.put_slice(&Packet::Short { env }.encode());
             buf.put_slice(&data);
@@ -197,16 +227,32 @@ impl ChMad {
         self.send_packet(
             from,
             dst,
-            Packet::Request { env, sender_token: token }.encode(),
+            Packet::Request {
+                env,
+                sender_token: token,
+            }
+            .encode(),
             None,
         );
         // 2) Wait for Ok_To_Send: the receiver's sync_address.
         let sync_address = slot.take();
         // 3) Data, straight to the rhandle — no intermediate copies.
-        // Across gateways, split into chunks so the hops pipeline.
         let (_, direct) = self.session.next_hop(from, dst);
+        if direct && self.policy.stripes() {
+            let rails = self.session.channels_between(from, dst);
+            if rails.len() >= 2 && data.len() >= rails.len() {
+                self.send_rndv_striped(from, dst, env, sync_address, data, &rails);
+                return;
+            }
+        }
+        // Single-rail path. Across gateways, split into chunks so the
+        // hops pipeline.
         let total = data.len() as u64;
-        let chunk = if direct { usize::MAX } else { self.config.fwd_chunk.max(1) };
+        let chunk = if direct {
+            usize::MAX
+        } else {
+            self.config.fwd_chunk.max(1)
+        };
         let mut offset = 0usize;
         loop {
             let end = data.len().min(offset + chunk);
@@ -214,7 +260,13 @@ impl ChMad {
             self.send_packet(
                 from,
                 dst,
-                Packet::Rndv { env, sync_address, offset: offset as u64, total }.encode(),
+                Packet::Rndv {
+                    env,
+                    sync_address,
+                    offset: offset as u64,
+                    total,
+                }
+                .encode(),
                 Some(body),
             );
             offset = end;
@@ -222,6 +274,75 @@ impl ChMad {
                 break;
             }
         }
+    }
+
+    /// Striped rendezvous DATA: one contiguous span per rail, sized
+    /// proportionally to the rail's calibrated link bandwidth so every
+    /// wire finishes at about the same time. Each span is an ordinary
+    /// `MAD_RNDV_PKT`; the receiver's per-channel polling threads feed
+    /// them into the engine's out-of-order chunk assembly
+    /// ([`Engine::rndv_chunk`]), which completes the request once
+    /// `total` bytes have landed. Sender occupancy is per-message, so
+    /// packing the spans back to back still overlaps their wire time.
+    fn send_rndv_striped(
+        &self,
+        from: usize,
+        dst: usize,
+        env: Envelope,
+        sync_address: u64,
+        data: Bytes,
+        rails: &[Arc<Channel>],
+    ) {
+        let total = data.len() as u64;
+        let weights: Vec<f64> = rails.iter().map(|c| c.stripe_weight()).collect();
+        let weight_sum: f64 = weights.iter().sum();
+        let mut offset = 0usize;
+        for (i, (rail, w)) in rails.iter().zip(&weights).enumerate() {
+            let end = if i + 1 == rails.len() {
+                data.len()
+            } else {
+                let span = (data.len() as f64 * w / weight_sum).round() as usize;
+                data.len().min(offset + span.max(1))
+            };
+            if end <= offset {
+                continue;
+            }
+            self.send_packet_on(
+                rail,
+                from,
+                dst,
+                Packet::Rndv {
+                    env,
+                    sync_address,
+                    offset: offset as u64,
+                    total,
+                }
+                .encode(),
+                Some(data.slice(offset..end)),
+            );
+            offset = end;
+        }
+        assert_eq!(offset, data.len(), "stripes must cover the message");
+    }
+
+    /// Ship one packet on an explicitly chosen channel (striping only —
+    /// the destination must be a direct member of the channel).
+    fn send_packet_on(
+        &self,
+        channel: &Arc<Channel>,
+        from: usize,
+        dst: usize,
+        header: Bytes,
+        body: Option<Bytes>,
+    ) {
+        let mut conn = channel.endpoint(from).begin_packing(dst);
+        conn.pack_bytes(header, SendMode::Cheaper, ReceiveMode::Express);
+        if let Some(body) = body {
+            if !body.is_empty() {
+                conn.pack_bytes(body, SendMode::Cheaper, ReceiveMode::Cheaper);
+            }
+        }
+        conn.end_packing();
     }
 
     /// The polling loop run by one thread per (rank, channel).
@@ -243,9 +364,8 @@ impl ChMad {
                             Bytes::new()
                         }
                     } else {
-                        header.slice(
-                            Packet::short_header_len()..Packet::short_header_len() + env.len,
-                        )
+                        header
+                            .slice(Packet::short_header_len()..Packet::short_header_len() + env.len)
                     };
                     conn.end_unpacking();
                     marcel::advance(touch(self.costs.recv_touch_per_byte_ns, body.len()));
@@ -263,14 +383,21 @@ impl ChMad {
                             ack.send_packet(
                                 rank,
                                 env.src,
-                                Packet::SendOk { sender_token, sync_address }.encode(),
+                                Packet::SendOk {
+                                    sender_token,
+                                    sync_address,
+                                }
+                                .encode(),
                                 None,
                             );
                         });
                     });
                     engine.deliver_rndv_offer(env, respond);
                 }
-                Packet::SendOk { sender_token, sync_address } => {
+                Packet::SendOk {
+                    sender_token,
+                    sync_address,
+                } => {
                     conn.end_unpacking();
                     let slot = self.ranks[rank]
                         .pending
@@ -282,7 +409,12 @@ impl ChMad {
                         });
                     slot.put(sync_address);
                 }
-                Packet::Rndv { env, sync_address, offset, total } => {
+                Packet::Rndv {
+                    env,
+                    sync_address,
+                    offset,
+                    total,
+                } => {
                     let body = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
                     conn.end_unpacking();
                     marcel::advance(touch(self.costs.recv_touch_per_byte_ns, body.len()));
@@ -320,13 +452,14 @@ impl Device for ChMad {
         "ch_mad"
     }
 
-    fn switch_point(&self) -> usize {
-        self.switch_point
+    fn policy(&self) -> &ProtocolPolicy {
+        &self.policy
     }
 
     fn send(&self, from: usize, dst: usize, env: Envelope, data: Bytes, sync: bool) {
         marcel::advance(self.costs.send_setup);
-        if sync || (self.config.rendezvous && env.len > self.switch_point) {
+        let threshold = self.threshold_to(from, dst);
+        if sync || (self.config.rendezvous && env.len > threshold) {
             assert!(
                 !sync || self.config.rendezvous,
                 "synchronous sends require the rendezvous mode"
@@ -334,10 +467,10 @@ impl Device for ChMad {
             self.send_rndv(from, dst, env, data);
         } else {
             assert!(
-                self.config.split_short || env.len <= self.switch_point,
+                self.config.split_short || env.len <= threshold,
                 "eager message larger than the inline short buffer"
             );
-            self.send_eager(from, dst, env, data);
+            self.send_eager(from, dst, env, data, threshold);
         }
     }
 
@@ -361,7 +494,11 @@ impl Device for ChMad {
         for channel in self.session.channels_of_rank(rank) {
             let ep = channel.endpoint(rank);
             let mut conn = ep.begin_packing(rank);
-            conn.pack_bytes(Packet::Term.encode(), SendMode::Cheaper, ReceiveMode::Express);
+            conn.pack_bytes(
+                Packet::Term.encode(),
+                SendMode::Cheaper,
+                ReceiveMode::Express,
+            );
             conn.end_packing();
         }
     }

@@ -11,7 +11,7 @@ use bytes::Bytes;
 use marcel::{JoinHandle, Kernel, PollSource, ProcId, SimMutex, VirtualDuration, VirtualTime};
 use simnet::{LinkModel, Protocol};
 
-use crate::adi::Device;
+use crate::adi::{Device, ProtocolPolicy};
 use crate::engine::Engine;
 use crate::types::Envelope;
 
@@ -39,6 +39,9 @@ pub struct ChP4 {
     costs: ChP4Costs,
     sources: Vec<PollSource<(Envelope, Bytes)>>,
     floors: HashMap<(usize, usize), SimMutex<VirtualTime>>,
+    /// p4's large-message protocol still copies through socket buffers;
+    /// modelled as eager at every size.
+    policy: ProtocolPolicy,
 }
 
 impl ChP4 {
@@ -54,7 +57,14 @@ impl ChP4 {
                 floors.insert((a, b), SimMutex::new(kernel, VirtualTime::ZERO));
             }
         }
-        Arc::new(ChP4 { engines, model, costs, sources, floors })
+        Arc::new(ChP4 {
+            engines,
+            model,
+            costs,
+            sources,
+            floors,
+            policy: ProtocolPolicy::always_eager(),
+        })
     }
 
     fn poll_loop(&self, rank: usize) {
@@ -73,21 +83,22 @@ impl Device for ChP4 {
         "ch_p4"
     }
 
-    fn switch_point(&self) -> usize {
-        // p4's large-message protocol still copies through socket
-        // buffers; modelled as eager at every size.
-        usize::MAX
+    fn policy(&self) -> &ProtocolPolicy {
+        &self.policy
     }
 
     fn send(&self, from: usize, dst: usize, env: Envelope, data: Bytes, sync: bool) {
-        assert!(!sync, "the ch_p4 baseline does not implement synchronous sends");
+        assert!(
+            !sync,
+            "the ch_p4 baseline does not implement synchronous sends"
+        );
         marcel::advance(self.costs.sw_send);
         let floor = &self.floors[&(from, dst)];
         let mut floor = floor.lock();
         marcel::advance(self.model.sender_occupancy(data.len(), 1));
         let mut arrival = self.model.arrival(marcel::now(), data.len());
-        let min = *floor
-            + (self.model.wire_serialization(data.len()) + VirtualDuration::from_nanos(1));
+        let min =
+            *floor + (self.model.wire_serialization(data.len()) + VirtualDuration::from_nanos(1));
         if arrival < min {
             arrival = min;
         }

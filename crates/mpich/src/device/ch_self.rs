@@ -7,18 +7,24 @@ use std::sync::Arc;
 use bytes::Bytes;
 use simnet::NodeModel;
 
-use crate::adi::Device;
+use crate::adi::{Device, ProtocolPolicy};
 use crate::engine::Engine;
 use crate::types::Envelope;
 
 pub struct ChSelf {
     engines: Vec<Arc<Engine>>,
     node_model: NodeModel,
+    /// Loop-back copies either way; eager always.
+    policy: ProtocolPolicy,
 }
 
 impl ChSelf {
     pub fn new(engines: Vec<Arc<Engine>>, node_model: NodeModel) -> Arc<ChSelf> {
-        Arc::new(ChSelf { engines, node_model })
+        Arc::new(ChSelf {
+            engines,
+            node_model,
+            policy: ProtocolPolicy::always_eager(),
+        })
     }
 }
 
@@ -27,9 +33,8 @@ impl Device for ChSelf {
         "ch_self"
     }
 
-    fn switch_point(&self) -> usize {
-        // Loop-back copies either way; eager always.
-        usize::MAX
+    fn policy(&self) -> &ProtocolPolicy {
+        &self.policy
     }
 
     fn send(&self, from: usize, dst: usize, env: Envelope, data: Bytes, sync: bool) {
@@ -70,14 +75,23 @@ mod tests {
             let dev = ChSelf::new(vec![engine.clone()], NodeModel::calibrated());
             let req = ReqInner::new();
             engine.post_recv(
-                MatchSpec { src: Some(0), tag: Some(1), context: 0 },
+                MatchSpec {
+                    src: Some(0),
+                    tag: Some(1),
+                    context: 0,
+                },
                 16,
                 req.clone(),
             );
             dev.send(
                 0,
                 0,
-                Envelope { src: 0, tag: 1, context: 0, len: 3 },
+                Envelope {
+                    src: 0,
+                    tag: 1,
+                    context: 0,
+                    len: 3,
+                },
                 Bytes::from_static(&[1, 2, 3]),
                 false,
             );
@@ -104,7 +118,12 @@ mod tests {
             dev.send(
                 0,
                 1,
-                Envelope { src: 0, tag: 0, context: 0, len: 0 },
+                Envelope {
+                    src: 0,
+                    tag: 0,
+                    context: 0,
+                    len: 0,
+                },
                 Bytes::new(),
                 false,
             );

@@ -27,11 +27,19 @@ pub enum Packet {
     /// Rendezvous-mode request (`MAD_REQUEST_PKT`).
     Request { env: Envelope, sender_token: u64 },
     /// Rendezvous acknowledgement (`MAD_SENDOK_PKT`).
-    SendOk { sender_token: u64, sync_address: u64 },
+    SendOk {
+        sender_token: u64,
+        sync_address: u64,
+    },
     /// Rendezvous-mode data message (`MAD_RNDV_PKT`). `offset`/`total`
     /// support chunked transfers across forwarding gateways (a direct
     /// transfer is the single chunk `offset = 0, total = env.len`).
-    Rndv { env: Envelope, sync_address: u64, offset: u64, total: u64 },
+    Rndv {
+        env: Envelope,
+        sync_address: u64,
+        offset: u64,
+        total: u64,
+    },
     /// Program-termination message (`MAD_TERM_PKT`).
     Term,
     /// Forwarding wrapper (`MAD_FWD_PKT`, the §6 future-work extension):
@@ -59,7 +67,15 @@ fn get_env(b: &[u8]) -> (Envelope, &[u8]) {
     let tag = i32::from_le_bytes(b[4..8].try_into().unwrap());
     let context = u32::from_le_bytes(b[8..12].try_into().unwrap());
     let len = u64::from_le_bytes(b[12..20].try_into().unwrap()) as usize;
-    (Envelope { src, tag, context, len }, &b[20..])
+    (
+        Envelope {
+            src,
+            tag,
+            context,
+            len,
+        },
+        &b[20..],
+    )
 }
 
 fn get_u64(b: &[u8]) -> (u64, &[u8]) {
@@ -80,12 +96,20 @@ impl Packet {
                 put_env(&mut buf, env);
                 buf.put_u64_le(*sender_token);
             }
-            Packet::SendOk { sender_token, sync_address } => {
+            Packet::SendOk {
+                sender_token,
+                sync_address,
+            } => {
                 buf.put_u8(T_SENDOK);
                 buf.put_u64_le(*sender_token);
                 buf.put_u64_le(*sync_address);
             }
-            Packet::Rndv { env, sync_address, offset, total } => {
+            Packet::Rndv {
+                env,
+                sync_address,
+                offset,
+                total,
+            } => {
                 buf.put_u8(T_RNDV);
                 put_env(&mut buf, env);
                 buf.put_u64_le(*sync_address);
@@ -119,14 +143,22 @@ impl Packet {
             T_SENDOK => {
                 let (sender_token, rest) = get_u64(&bytes[1..]);
                 let (sync_address, _) = get_u64(rest);
-                Packet::SendOk { sender_token, sync_address }
+                Packet::SendOk {
+                    sender_token,
+                    sync_address,
+                }
             }
             T_RNDV => {
                 let (env, rest) = get_env(&bytes[1..]);
                 let (sync_address, rest) = get_u64(rest);
                 let (offset, rest) = get_u64(rest);
                 let (total, _) = get_u64(rest);
-                Packet::Rndv { env, sync_address, offset, total }
+                Packet::Rndv {
+                    env,
+                    sync_address,
+                    offset,
+                    total,
+                }
             }
             T_TERM => Packet::Term,
             T_FWD => Packet::Fwd {
@@ -148,16 +180,32 @@ mod tests {
     use super::*;
 
     fn env() -> Envelope {
-        Envelope { src: 7, tag: -3, context: 42, len: 1234 }
+        Envelope {
+            src: 7,
+            tag: -3,
+            context: 42,
+            len: 1234,
+        }
     }
 
     #[test]
     fn round_trip_all_types() {
         let packets = [
             Packet::Short { env: env() },
-            Packet::Request { env: env(), sender_token: 0xdead_beef },
-            Packet::SendOk { sender_token: 1, sync_address: u64::MAX },
-            Packet::Rndv { env: env(), sync_address: 99, offset: 1 << 40, total: u64::MAX },
+            Packet::Request {
+                env: env(),
+                sender_token: 0xdead_beef,
+            },
+            Packet::SendOk {
+                sender_token: 1,
+                sync_address: u64::MAX,
+            },
+            Packet::Rndv {
+                env: env(),
+                sync_address: 99,
+                offset: 1 << 40,
+                total: u64::MAX,
+            },
             Packet::Term,
             Packet::Fwd { final_dst: 12345 },
         ];
@@ -186,9 +234,20 @@ mod tests {
         // header is tiny; make sure it stays that way.
         for p in [
             Packet::Short { env: env() },
-            Packet::Request { env: env(), sender_token: 0 },
-            Packet::SendOk { sender_token: 0, sync_address: 0 },
-            Packet::Rndv { env: env(), sync_address: 0, offset: 0, total: 0 },
+            Packet::Request {
+                env: env(),
+                sender_token: 0,
+            },
+            Packet::SendOk {
+                sender_token: 0,
+                sync_address: 0,
+            },
+            Packet::Rndv {
+                env: env(),
+                sync_address: 0,
+                offset: 0,
+                total: 0,
+            },
             Packet::Term,
             Packet::Fwd { final_dst: 0 },
         ] {

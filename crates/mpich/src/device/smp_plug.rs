@@ -8,7 +8,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use simnet::NodeModel;
 
-use crate::adi::Device;
+use crate::adi::{Device, ProtocolPolicy};
 use crate::engine::Engine;
 use crate::types::Envelope;
 
@@ -17,6 +17,8 @@ pub struct SmpPlug {
     /// rank -> node index, to enforce intra-node use only.
     rank_node: Vec<usize>,
     node_model: NodeModel,
+    /// Shared-memory transfers copy either way; eager always.
+    policy: ProtocolPolicy,
 }
 
 impl SmpPlug {
@@ -25,7 +27,12 @@ impl SmpPlug {
         rank_node: Vec<usize>,
         node_model: NodeModel,
     ) -> Arc<SmpPlug> {
-        Arc::new(SmpPlug { engines, rank_node, node_model })
+        Arc::new(SmpPlug {
+            engines,
+            rank_node,
+            node_model,
+            policy: ProtocolPolicy::always_eager(),
+        })
     }
 }
 
@@ -34,9 +41,8 @@ impl Device for SmpPlug {
         "smp_plug"
     }
 
-    fn switch_point(&self) -> usize {
-        // Shared-memory transfers copy either way; eager always.
-        usize::MAX
+    fn policy(&self) -> &ProtocolPolicy {
+        &self.policy
     }
 
     fn send(&self, from: usize, dst: usize, env: Envelope, data: Bytes, sync: bool) {
@@ -80,12 +86,25 @@ mod tests {
             let e1 = Engine::new(&k2, 1, AdiCosts::free());
             let dev = SmpPlug::new(vec![e0, e1.clone()], vec![0, 0], NodeModel::calibrated());
             let req = ReqInner::new();
-            e1.post_recv(MatchSpec { src: Some(0), tag: None, context: 0 }, 1 << 20, req.clone());
+            e1.post_recv(
+                MatchSpec {
+                    src: Some(0),
+                    tag: None,
+                    context: 0,
+                },
+                1 << 20,
+                req.clone(),
+            );
             let n = 64 * 1024;
             dev.send(
                 0,
                 1,
-                Envelope { src: 0, tag: 0, context: 0, len: n },
+                Envelope {
+                    src: 0,
+                    tag: 0,
+                    context: 0,
+                    len: n,
+                },
                 Bytes::from(vec![5u8; n]),
                 false,
             );
@@ -109,7 +128,18 @@ mod tests {
             let e0 = Engine::new(&k2, 0, AdiCosts::free());
             let e1 = Engine::new(&k2, 1, AdiCosts::free());
             let dev = SmpPlug::new(vec![e0, e1], vec![0, 1], NodeModel::calibrated());
-            dev.send(0, 1, Envelope { src: 0, tag: 0, context: 0, len: 0 }, Bytes::new(), false);
+            dev.send(
+                0,
+                1,
+                Envelope {
+                    src: 0,
+                    tag: 0,
+                    context: 0,
+                    len: 0,
+                },
+                Bytes::new(),
+                false,
+            );
         });
         match k.run() {
             Err(marcel::SimError::ThreadPanicked(msg)) => {

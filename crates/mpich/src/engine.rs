@@ -114,7 +114,11 @@ impl Engine {
     }
 
     fn status_of(env: &Envelope) -> Status {
-        Status { source: env.src, tag: env.tag, len: env.len }
+        Status {
+            source: env.src,
+            tag: env.tag,
+            len: env.len,
+        }
     }
 
     /// Post a receive. If a matching unexpected message is buffered it
@@ -139,12 +143,15 @@ impl Engine {
                     Self::check_cap(&unexp.env, cap);
                     let token = st.next_rhandle;
                     st.next_rhandle += 1;
-                    st.rndv.insert(token, RndvSlot {
-                        req,
-                        total: unexp.env.len,
-                        buf: Vec::new(),
-                        received: 0,
-                    });
+                    st.rndv.insert(
+                        token,
+                        RndvSlot {
+                            req,
+                            total: unexp.env.len,
+                            buf: Vec::new(),
+                            received: 0,
+                        },
+                    );
                     drop(st);
                     respond(token);
                 }
@@ -165,7 +172,9 @@ impl Engine {
             drop(st);
             marcel::advance(per_byte(copy_ns, data.len()));
             marcel::advance(self.costs.complete);
-            posted.req.complete(Some(data.to_vec()), Self::status_of(&env));
+            posted
+                .req
+                .complete(Some(data.to_vec()), Self::status_of(&env));
         } else {
             st.unexpected.push_back(Unexpected {
                 env,
@@ -184,12 +193,15 @@ impl Engine {
             Self::check_cap(&env, posted.cap);
             let token = st.next_rhandle;
             st.next_rhandle += 1;
-            st.rndv.insert(token, RndvSlot {
-                req: posted.req,
-                total: env.len,
-                buf: Vec::new(),
-                received: 0,
-            });
+            st.rndv.insert(
+                token,
+                RndvSlot {
+                    req: posted.req,
+                    total: env.len,
+                    buf: Vec::new(),
+                    received: 0,
+                },
+            );
             drop(st);
             respond(token);
         } else {
@@ -219,7 +231,10 @@ impl Engine {
                 panic!("unknown rendezvous rhandle {token} on rank {}", self.rank)
             });
             assert_eq!(slot.total, total, "rendezvous total changed mid-flight");
-            assert!(offset + data.len() <= total, "rendezvous chunk out of bounds");
+            assert!(
+                offset + data.len() <= total,
+                "rendezvous chunk out of bounds"
+            );
             if slot.buf.is_empty() && offset == 0 && data.len() == total {
                 // Whole-message fast path: adopt the buffer.
                 slot.buf = data.to_vec();
@@ -280,11 +295,20 @@ mod tests {
     use marcel::{CostModel, Kernel};
 
     fn env(src: usize, tag: i32, len: usize) -> Envelope {
-        Envelope { src, tag, context: 0, len }
+        Envelope {
+            src,
+            tag,
+            context: 0,
+            len,
+        }
     }
 
     fn spec(src: Option<usize>, tag: Option<i32>) -> MatchSpec {
-        MatchSpec { src, tag, context: 0 }
+        MatchSpec {
+            src,
+            tag,
+            context: 0,
+        }
     }
 
     fn with_engine(f: impl FnOnce(Arc<Engine>) + Send + 'static) {
@@ -457,10 +481,45 @@ mod tests {
             e.rndv_chunk(token, env(1, 0, 10), 7, 10, Bytes::from_static(&[8, 9, 10]));
             let mut r = Request::new(req);
             assert!(!r.test(), "incomplete assembly must not complete");
-            e.rndv_chunk(token, env(1, 0, 10), 0, 10, Bytes::from_static(&[1, 2, 3, 4]));
+            e.rndv_chunk(
+                token,
+                env(1, 0, 10),
+                0,
+                10,
+                Bytes::from_static(&[1, 2, 3, 4]),
+            );
             let (data, status) = r.wait();
             assert_eq!(data.unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
             assert_eq!(status.len, 10);
+        });
+    }
+
+    #[test]
+    fn striped_spans_assemble_even_when_first_starts_at_zero() {
+        // A 2-rail stripe delivers exactly two spans, and the offset-0
+        // span may land first while covering only part of the message —
+        // the whole-message fast path must not adopt it.
+        with_engine(|e| {
+            let req = ReqInner::new();
+            e.post_recv(spec(Some(1), Some(0)), 64, req.clone());
+            let fired = std::sync::Arc::new(parking_lot::Mutex::new(None));
+            let f2 = fired.clone();
+            e.deliver_rndv_offer(env(1, 0, 8), Box::new(move |t| *f2.lock() = Some(t)));
+            let token = fired.lock().expect("responder fired");
+            e.rndv_chunk(
+                token,
+                env(1, 0, 8),
+                0,
+                8,
+                Bytes::from_static(&[1, 2, 3, 4, 5]),
+            );
+            let mut r = Request::new(req);
+            assert!(!r.test(), "partial offset-0 span must not complete");
+            e.rndv_chunk(token, env(1, 0, 8), 5, 8, Bytes::from_static(&[6, 7, 8]));
+            let (data, status) = r.wait();
+            assert_eq!(data.unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+            assert_eq!(status.len, 8);
+            assert_eq!(e.depths(), (0, 0, 0));
         });
     }
 

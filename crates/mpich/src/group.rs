@@ -13,7 +13,9 @@ pub struct Group {
 impl Group {
     /// The group of all `n` world ranks, in order.
     pub fn world(n: usize) -> Arc<Group> {
-        Arc::new(Group { ranks: (0..n).collect() })
+        Arc::new(Group {
+            ranks: (0..n).collect(),
+        })
     }
 
     /// Build from an explicit rank list (must be distinct).
@@ -88,14 +90,24 @@ impl Group {
     /// `self`'s order.
     pub fn intersection(&self, other: &Group) -> Arc<Group> {
         Arc::new(Group {
-            ranks: self.ranks.iter().filter(|r| other.contains(**r)).copied().collect(),
+            ranks: self
+                .ranks
+                .iter()
+                .filter(|r| other.contains(**r))
+                .copied()
+                .collect(),
         })
     }
 
     /// `MPI_Group_difference`: members of `self` not in `other`.
     pub fn difference(&self, other: &Group) -> Arc<Group> {
         Arc::new(Group {
-            ranks: self.ranks.iter().filter(|r| !other.contains(**r)).copied().collect(),
+            ranks: self
+                .ranks
+                .iter()
+                .filter(|r| !other.contains(**r))
+                .copied()
+                .collect(),
         })
     }
 

@@ -47,7 +47,7 @@ pub mod request;
 pub mod types;
 pub mod world;
 
-pub use adi::{AdiCosts, Device, DeviceSet, Locality};
+pub use adi::{AdiCosts, Device, DeviceSet, Locality, PolicyMode, ProtocolPolicy};
 pub use cart::CartComm;
 pub use comm::{CommRequest, Communicator, MpiEnv, PersistentRecv, PersistentSend};
 pub use datatype::{from_bytes, to_bytes, BaseType, Datatype, MpiScalar};

@@ -69,7 +69,11 @@ macro_rules! impl_int {
                 self != 0
             }
             fn from_bool(b: bool) -> Self {
-                if b { 1 } else { 0 }
+                if b {
+                    1
+                } else {
+                    0
+                }
             }
             fn band(self, o: Self) -> Self {
                 self & o
@@ -94,7 +98,11 @@ macro_rules! impl_float {
                 self != 0.0
             }
             fn from_bool(b: bool) -> Self {
-                if b { 1.0 } else { 0.0 }
+                if b {
+                    1.0
+                } else {
+                    0.0
+                }
             }
             fn band(self, _: Self) -> Self {
                 panic!("bitwise reduction on a floating-point type")
@@ -118,10 +126,18 @@ fn fold_one<T: Num>(op: ReduceOp, x: T, y: T) -> T {
         ReduceOp::Sum => x.add(y),
         ReduceOp::Prod => x.mul(y),
         ReduceOp::Min => {
-            if y < x { y } else { x }
+            if y < x {
+                y
+            } else {
+                x
+            }
         }
         ReduceOp::Max => {
-            if y > x { y } else { x }
+            if y > x {
+                y
+            } else {
+                x
+            }
         }
         ReduceOp::Land => T::from_bool(x.is_true() && y.is_true()),
         ReduceOp::Lor => T::from_bool(x.is_true() || y.is_true()),
@@ -161,8 +177,16 @@ macro_rules! fold_loc {
 /// same length, a multiple of the element (pair) width.
 pub fn apply(base: BaseType, op: ReduceOp, acc: &mut [u8], other: &[u8]) {
     assert_eq!(acc.len(), other.len(), "reduction buffer length mismatch");
-    let unit = if op.is_loc() { 2 * base.size() } else { base.size() };
-    assert_eq!(acc.len() % unit, 0, "reduction buffer not a multiple of the element width");
+    let unit = if op.is_loc() {
+        2 * base.size()
+    } else {
+        base.size()
+    };
+    assert_eq!(
+        acc.len() % unit,
+        0,
+        "reduction buffer not a multiple of the element width"
+    );
     if op.is_loc() {
         match base {
             BaseType::Byte => fold_loc!(u8, op, acc, other),
@@ -197,25 +221,43 @@ mod tests {
 
     #[test]
     fn sum_and_prod() {
-        assert_eq!(reduce(ReduceOp::Sum, &[1i32, 2, 3], &[10, 20, 30]), vec![11, 22, 33]);
-        assert_eq!(reduce(ReduceOp::Prod, &[2f64, 3.0], &[4.0, 5.0]), vec![8.0, 15.0]);
+        assert_eq!(
+            reduce(ReduceOp::Sum, &[1i32, 2, 3], &[10, 20, 30]),
+            vec![11, 22, 33]
+        );
+        assert_eq!(
+            reduce(ReduceOp::Prod, &[2f64, 3.0], &[4.0, 5.0]),
+            vec![8.0, 15.0]
+        );
     }
 
     #[test]
     fn min_max() {
         assert_eq!(reduce(ReduceOp::Min, &[5i32, -2], &[3, 7]), vec![3, -2]);
-        assert_eq!(reduce(ReduceOp::Max, &[5f32, -2.0], &[3.0, 7.0]), vec![5.0, 7.0]);
+        assert_eq!(
+            reduce(ReduceOp::Max, &[5f32, -2.0], &[3.0, 7.0]),
+            vec![5.0, 7.0]
+        );
     }
 
     #[test]
     fn logical_ops() {
-        assert_eq!(reduce(ReduceOp::Land, &[1i32, 1, 0], &[1, 0, 0]), vec![1, 0, 0]);
-        assert_eq!(reduce(ReduceOp::Lor, &[1i32, 0, 0], &[0, 1, 0]), vec![1, 1, 0]);
+        assert_eq!(
+            reduce(ReduceOp::Land, &[1i32, 1, 0], &[1, 0, 0]),
+            vec![1, 0, 0]
+        );
+        assert_eq!(
+            reduce(ReduceOp::Lor, &[1i32, 0, 0], &[0, 1, 0]),
+            vec![1, 1, 0]
+        );
     }
 
     #[test]
     fn bitwise_ops() {
-        assert_eq!(reduce(ReduceOp::Band, &[0b1100u64], &[0b1010]), vec![0b1000]);
+        assert_eq!(
+            reduce(ReduceOp::Band, &[0b1100u64], &[0b1010]),
+            vec![0b1000]
+        );
         assert_eq!(reduce(ReduceOp::Bor, &[0b1100u64], &[0b1010]), vec![0b1110]);
     }
 

@@ -50,7 +50,10 @@ pub struct Request {
 
 impl Request {
     pub(crate) fn new(inner: Arc<ReqInner>) -> Request {
-        Request { inner, signaled: false }
+        Request {
+            inner,
+            signaled: false,
+        }
     }
 
     /// Block (in virtual time) until the operation completes; returns
@@ -135,7 +138,11 @@ mod tests {
                 marcel::advance(VirtualDuration::from_micros(30));
                 inner.complete(
                     Some(vec![1, 2, 3]),
-                    Status { source: 4, tag: 9, len: 3 },
+                    Status {
+                        source: 4,
+                        tag: 9,
+                        len: 3,
+                    },
                 );
             });
             let (data, status) = req.wait();
@@ -155,7 +162,14 @@ mod tests {
             let inner = ReqInner::new();
             let mut req = Request::new(inner.clone());
             assert!(!req.test());
-            inner.complete(None, Status { source: 0, tag: 0, len: 0 });
+            inner.complete(
+                None,
+                Status {
+                    source: 0,
+                    tag: 0,
+                    len: 0,
+                },
+            );
             // Completion happened synchronously; test must see it.
             assert!(req.test());
             assert!(req.test(), "test is idempotent once signaled");
@@ -178,7 +192,11 @@ mod tests {
                     marcel::advance(VirtualDuration::from_micros((3 - i as u64) * 10));
                     inner.complete(
                         Some(vec![i]),
-                        Status { source: i as usize, tag: 0, len: 1 },
+                        Status {
+                            source: i as usize,
+                            tag: 0,
+                            len: 1,
+                        },
                     );
                 });
             }
@@ -202,7 +220,14 @@ mod tests {
                 let delay = if i == 1 { 5 } else { 500 };
                 marcel::spawn(format!("c{i}"), move || {
                     marcel::advance(VirtualDuration::from_micros(delay));
-                    inner.complete(None, Status { source: i as usize, tag: 0, len: 0 });
+                    inner.complete(
+                        None,
+                        Status {
+                            source: i as usize,
+                            tag: 0,
+                            len: 0,
+                        },
+                    );
                 });
             }
             let (_, _, status) = wait_any(&mut reqs);
@@ -221,8 +246,22 @@ mod tests {
         let k = Kernel::new(CostModel::free());
         k.spawn("main", || {
             let inner = ReqInner::new();
-            inner.complete(None, Status { source: 0, tag: 0, len: 0 });
-            inner.complete(None, Status { source: 0, tag: 0, len: 0 });
+            inner.complete(
+                None,
+                Status {
+                    source: 0,
+                    tag: 0,
+                    len: 0,
+                },
+            );
+            inner.complete(
+                None,
+                Status {
+                    source: 0,
+                    tag: 0,
+                    len: 0,
+                },
+            );
         });
         match k.run() {
             Err(marcel::SimError::ThreadPanicked(msg)) => {

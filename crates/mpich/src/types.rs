@@ -48,7 +48,11 @@ pub struct Status {
 
 impl fmt::Display for Status {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Status{{src={}, tag={}, len={}}}", self.source, self.tag, self.len)
+        write!(
+            f,
+            "Status{{src={}, tag={}, len={}}}",
+            self.source, self.tag, self.len
+        )
     }
 }
 
@@ -57,12 +61,21 @@ mod tests {
     use super::*;
 
     fn env(src: usize, tag: Tag, context: u32) -> Envelope {
-        Envelope { src, tag, context, len: 0 }
+        Envelope {
+            src,
+            tag,
+            context,
+            len: 0,
+        }
     }
 
     #[test]
     fn exact_match() {
-        let spec = MatchSpec { src: Some(2), tag: Some(7), context: 1 };
+        let spec = MatchSpec {
+            src: Some(2),
+            tag: Some(7),
+            context: 1,
+        };
         assert!(spec.matches(&env(2, 7, 1)));
         assert!(!spec.matches(&env(3, 7, 1)));
         assert!(!spec.matches(&env(2, 8, 1)));
@@ -71,15 +84,30 @@ mod tests {
 
     #[test]
     fn wildcards() {
-        let any_src = MatchSpec { src: None, tag: Some(7), context: 1 };
+        let any_src = MatchSpec {
+            src: None,
+            tag: Some(7),
+            context: 1,
+        };
         assert!(any_src.matches(&env(0, 7, 1)));
         assert!(any_src.matches(&env(9, 7, 1)));
         assert!(!any_src.matches(&env(9, 6, 1)));
-        let any_tag = MatchSpec { src: Some(1), tag: None, context: 1 };
+        let any_tag = MatchSpec {
+            src: Some(1),
+            tag: None,
+            context: 1,
+        };
         assert!(any_tag.matches(&env(1, 0, 1)));
         assert!(any_tag.matches(&env(1, 999, 1)));
-        let any_any = MatchSpec { src: None, tag: None, context: 1 };
+        let any_any = MatchSpec {
+            src: None,
+            tag: None,
+            context: 1,
+        };
         assert!(any_any.matches(&env(5, 5, 1)));
-        assert!(!any_any.matches(&env(5, 5, 2)), "context is never wildcarded");
+        assert!(
+            !any_any.matches(&env(5, 5, 2)),
+            "context is never wildcarded"
+        );
     }
 }

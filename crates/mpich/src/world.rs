@@ -63,7 +63,10 @@ impl Default for WorldConfig {
 impl WorldConfig {
     /// Default ch_mad configuration with gateway forwarding enabled.
     pub fn with_forwarding() -> Self {
-        WorldConfig { forwarding: true, ..WorldConfig::default() }
+        WorldConfig {
+            forwarding: true,
+            ..WorldConfig::default()
+        }
     }
 }
 
@@ -139,7 +142,9 @@ where
     } else {
         builder
     };
-    let session = builder.build(&kernel).expect("invalid topology for an MPI world");
+    let session = builder
+        .build(&kernel)
+        .expect("invalid topology for an MPI world");
     let n = session.n_ranks();
 
     let engines: Vec<Arc<Engine>> = (0..n)

@@ -117,9 +117,12 @@ impl LinkModel {
     pub fn jitter_delay(&self, sequence: u64, bytes: usize) -> VirtualDuration {
         match self.jitter {
             None => VirtualDuration::ZERO,
-            Some(Jitter { amplitude_ns: 0, .. }) => VirtualDuration::ZERO,
+            Some(Jitter {
+                amplitude_ns: 0, ..
+            }) => VirtualDuration::ZERO,
             Some(Jitter { amplitude_ns, seed }) => {
-                let h = splitmix64(seed ^ sequence.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ bytes as u64);
+                let h =
+                    splitmix64(seed ^ sequence.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ bytes as u64);
                 VirtualDuration::from_nanos(h % amplitude_ns)
             }
         }
@@ -200,7 +203,10 @@ mod tests {
         assert_eq!(m.sender_occupancy(0, 1), VirtualDuration::from_micros(2));
         assert_eq!(m.sender_occupancy(0, 2), VirtualDuration::from_micros(6));
         assert_eq!(m.sender_occupancy(0, 3), VirtualDuration::from_micros(10));
-        assert_eq!(m.sender_occupancy(100, 1), VirtualDuration::from_nanos(2_100));
+        assert_eq!(
+            m.sender_occupancy(100, 1),
+            VirtualDuration::from_nanos(2_100)
+        );
     }
 
     #[test]

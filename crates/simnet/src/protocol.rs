@@ -160,9 +160,17 @@ mod tests {
             (Protocol::Bip, 9.2),
         ] {
             let got = p.model().oneway_latency(4).as_micros_f64();
-            assert!(got <= target_us, "{}: {got}us exceeds target {target_us}us", p.name());
+            assert!(
+                got <= target_us,
+                "{}: {got}us exceeds target {target_us}us",
+                p.name()
+            );
             let err = (got - target_us).abs() / target_us;
-            assert!(err < 0.08, "{}: latency {got}us vs target {target_us}us", p.name());
+            assert!(
+                err < 0.08,
+                "{}: latency {got}us vs target {target_us}us",
+                p.name()
+            );
         }
     }
 
@@ -176,7 +184,11 @@ mod tests {
         ] {
             let got = p.model().asymptotic_bandwidth_mb_s();
             let err = (got - target).abs() / target;
-            assert!(err < 0.02, "{}: bandwidth {got} vs target {target}", p.name());
+            assert!(
+                err < 0.02,
+                "{}: bandwidth {got} vs target {target}",
+                p.name()
+            );
         }
     }
 

@@ -136,12 +136,19 @@ impl Topology {
     /// Add a host; returns its id.
     pub fn add_node(&mut self, name: impl Into<String>, cpus: usize) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { name: name.into(), cpus });
+        self.nodes.push(Node {
+            name: name.into(),
+            cpus,
+        });
         id
     }
 
     /// Add a network with the protocol's calibrated default model.
-    pub fn add_network(&mut self, protocol: Protocol, members: impl IntoIterator<Item = NodeId>) -> NetworkId {
+    pub fn add_network(
+        &mut self,
+        protocol: Protocol,
+        members: impl IntoIterator<Item = NodeId>,
+    ) -> NetworkId {
         self.add_network_with_model(protocol, protocol.model(), members)
     }
 
@@ -174,8 +181,12 @@ impl Topology {
     /// Fast-Ethernet connecting everything.
     pub fn meta_cluster(per_cluster: usize) -> Self {
         let mut t = Topology::new();
-        let sci: Vec<NodeId> = (0..per_cluster).map(|i| t.add_node(format!("sci{i}"), 2)).collect();
-        let myri: Vec<NodeId> = (0..per_cluster).map(|i| t.add_node(format!("myri{i}"), 2)).collect();
+        let sci: Vec<NodeId> = (0..per_cluster)
+            .map(|i| t.add_node(format!("sci{i}"), 2))
+            .collect();
+        let myri: Vec<NodeId> = (0..per_cluster)
+            .map(|i| t.add_node(format!("myri{i}"), 2))
+            .collect();
         t.add_network(Protocol::Sisci, sci.clone());
         t.add_network(Protocol::Bip, myri.clone());
         t.add_network(Protocol::Tcp, sci.into_iter().chain(myri));
@@ -388,7 +399,10 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node("a", 1);
         t.add_network(Protocol::Tcp, [a]);
-        assert!(matches!(t.validate(), Err(TopologyError::DegenerateNetwork(_))));
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::DegenerateNetwork(_))
+        ));
     }
 
     #[test]
@@ -396,7 +410,10 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node("a", 1);
         t.add_network(Protocol::Tcp, [a, NodeId(7)]);
-        assert!(matches!(t.validate(), Err(TopologyError::UnknownNode(_, NodeId(7)))));
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::UnknownNode(_, NodeId(7)))
+        ));
     }
 
     #[test]
@@ -421,7 +438,10 @@ mod tests {
         let m = NodeModel::calibrated();
         assert_eq!(m.self_cost(0), m.self_fixed);
         assert!(m.smp_cost(1024) > m.smp_cost(0));
-        assert!(m.self_cost(4096) < m.smp_cost(4096), "loop-back beats shm copy");
+        assert!(
+            m.self_cost(4096) < m.smp_cost(4096),
+            "loop-back beats shm copy"
+        );
     }
 }
 

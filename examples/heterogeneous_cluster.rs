@@ -16,7 +16,7 @@ const ITERATIONS: usize = 50;
 
 fn main() {
     let topology = Topology::meta_cluster(2); // 4 nodes
-    // Show which network each neighbouring pair will use.
+                                              // Show which network each neighbouring pair will use.
     println!("halo links (rank pair -> network):");
     for a in 0..3usize {
         let b = a + 1;
@@ -91,7 +91,10 @@ fn main() {
         println!("{me:>4}  {heat:>10.4}  {residual:>14.6}");
     }
     let residuals: Vec<f64> = results.iter().map(|(_, _, r)| *r).collect();
-    assert!(residuals.windows(2).all(|w| w[0] == w[1]), "allreduce agreement");
+    assert!(
+        residuals.windows(2).all(|w| w[0] == w[1]),
+        "allreduce agreement"
+    );
     println!(
         "\n{} Jacobi iterations across 2 clusters took {:.3} ms of virtual time",
         ITERATIONS,

@@ -74,7 +74,9 @@ fn sweep(protocol: Protocol) {
     });
     kernel.spawn("rank1", move || loop {
         // Echo everything back until rank0 closes the incoming side.
-        let Some(mut conn) = rx.begin_unpacking() else { break };
+        let Some(mut conn) = rx.begin_unpacking() else {
+            break;
+        };
         let data = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
         conn.end_unpacking();
         let mut reply = rx.begin_packing(0);
@@ -82,7 +84,10 @@ fn sweep(protocol: Protocol) {
         reply.end_packing();
     });
     kernel.run().expect("sweep runs to completion");
-    println!("\n{} (raw Madeleine, one pack per message):", protocol.name());
+    println!(
+        "\n{} (raw Madeleine, one pack per message):",
+        protocol.name()
+    );
     println!("{:>10} {:>12} {:>10}", "bytes", "oneway(us)", "MB/s");
     for (size, us, mb) in h.join_outcome().unwrap() {
         println!("{size:>10} {us:>12.2} {mb:>10.2}");

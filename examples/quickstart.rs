@@ -38,14 +38,8 @@ fn main() {
             let right = (me + 1) % n;
             let left = (me + n - 1) % n;
             let token = [me as i64 + 1];
-            let (incoming, _) = comm.sendrecv(
-                &mpich::to_bytes(&token),
-                right,
-                7,
-                64,
-                Some(left),
-                Some(7),
-            );
+            let (incoming, _) =
+                comm.sendrecv(&mpich::to_bytes(&token), right, 7, 64, Some(left), Some(7));
             let from_left: Vec<i64> = mpich::from_bytes(&incoming);
 
             // 2) A collective across the heterogeneous machine.
@@ -63,6 +57,8 @@ fn main() {
         println!("{me:>4}  {tok:>15}  {total:>15}  {us:>15.1}");
     }
     let n = results.len() as i64;
-    assert!(results.iter().all(|(_, _, total, _)| *total == n * (n + 1) / 2));
+    assert!(results
+        .iter()
+        .all(|(_, _, total, _)| *total == n * (n + 1) / 2));
     println!("\nall ranks agree: sum(1..={n}) = {}", n * (n + 1) / 2);
 }

@@ -23,7 +23,9 @@ fn main() {
             let n = comm.size();
             // 1) Local keys (deterministic per rank).
             let mut rng = StdRng::seed_from_u64(0xBEEF ^ me as u64);
-            let mut keys: Vec<i64> = (0..KEYS_PER_RANK).map(|_| rng.gen_range(0..1_000_000)).collect();
+            let mut keys: Vec<i64> = (0..KEYS_PER_RANK)
+                .map(|_| rng.gen_range(0..1_000_000))
+                .collect();
             keys.sort_unstable();
             // Model the local sort cost (~n log n comparisons at ~5ns).
             marcel::advance(marcel::VirtualDuration::from_nanos(
@@ -32,9 +34,7 @@ fn main() {
 
             // 2) Sample splitters: every rank contributes n-1 samples;
             //    rank 0 picks global splitters and broadcasts them.
-            let samples: Vec<i64> = (1..n)
-                .map(|i| keys[i * KEYS_PER_RANK / n])
-                .collect();
+            let samples: Vec<i64> = (1..n).map(|i| keys[i * KEYS_PER_RANK / n]).collect();
             let gathered = comm.gather_vec(0, &samples);
             let splitters = comm.bcast_vec::<i64>(
                 0,
@@ -61,7 +61,10 @@ fn main() {
             let incoming = comm.alltoall_bytes(parts);
 
             // 4) Merge the received runs.
-            let mut mine: Vec<i64> = incoming.iter().flat_map(|p| mpich::from_bytes::<i64>(p)).collect();
+            let mut mine: Vec<i64> = incoming
+                .iter()
+                .flat_map(|p| mpich::from_bytes::<i64>(p))
+                .collect();
             mine.sort_unstable();
 
             // 5) Verify the global order: my max <= next rank's min.

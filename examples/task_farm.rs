@@ -79,7 +79,11 @@ fn main() {
     println!("units completed per worker (master view):");
     let mut total = 0;
     for (w, count) in per_worker.iter().enumerate().skip(1) {
-        let cluster = if w <= 2 { "SCI cluster " } else { "Myrinet/TCP" };
+        let cluster = if w <= 2 {
+            "SCI cluster "
+        } else {
+            "Myrinet/TCP"
+        };
         println!("  worker {w} [{cluster}]: {count:>3} units");
         total += count;
     }
@@ -90,12 +94,13 @@ fn main() {
     }
     let sci: usize = per_worker[1..=2].iter().sum();
     let far: usize = per_worker[3..].iter().sum();
-    println!(
-        "\nSCI-cluster workers: {sci} units; cross-cluster (TCP) workers: {far} units"
-    );
+    println!("\nSCI-cluster workers: {sci} units; cross-cluster (TCP) workers: {far} units");
     println!(
         "total virtual time: {:.3} ms",
         kernel.end_time().as_secs_f64() * 1e3
     );
-    println!("\nlow-latency workers get more units: {}", sci / 2 >= far / 3);
+    println!(
+        "\nlow-latency workers get more units: {}",
+        sci / 2 >= far / 3
+    );
 }

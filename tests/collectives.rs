@@ -140,8 +140,11 @@ fn gather_variable_sizes() {
 #[test]
 fn scatter_distributes_parts() {
     let results = world(4, |comm| {
-        let parts = (comm.rank() == 1)
-            .then(|| (0..4).map(|d| vec![d as u8; d * 10 + 1]).collect::<Vec<_>>());
+        let parts = (comm.rank() == 1).then(|| {
+            (0..4)
+                .map(|d| vec![d as u8; d * 10 + 1])
+                .collect::<Vec<_>>()
+        });
         comm.scatter_bytes(1, parts)
     });
     for (r, part) in results.iter().enumerate() {
@@ -270,7 +273,9 @@ fn split_by_key_reorders() {
 fn nested_split_of_dup() {
     let results = hetero_world(|comm| {
         let dup = comm.dup();
-        let half = dup.split((comm.rank() / 4) as i32, comm.rank() as i32).unwrap();
+        let half = dup
+            .split((comm.rank() / 4) as i32, comm.rank() as i32)
+            .unwrap();
         let sum = half.allreduce_vec(&[comm.rank() as i64], ReduceOp::Sum)[0];
         (half.size(), sum)
     });
@@ -353,13 +358,15 @@ fn hierarchical_allreduce_via_node_split() {
     let results = hetero_world(|comm| {
         let node_comm = comm.split_by_node();
         let node_total = node_comm.reduce_vec(0, &[comm.rank() as i64], ReduceOp::Sum);
-        let leaders = comm.split(if node_comm.rank() == 0 { 0 } else { -1 }, comm.rank() as i32);
+        let leaders = comm.split(
+            if node_comm.rank() == 0 { 0 } else { -1 },
+            comm.rank() as i32,
+        );
         let global = match (&node_total, &leaders) {
             (Some(t), Some(lc)) => Some(lc.allreduce_vec(t, ReduceOp::Sum)[0]),
             _ => None,
         };
-        let global = node_comm.bcast_vec::<i64>(0, global.map(|g| vec![g]))[0];
-        global
+        node_comm.bcast_vec::<i64>(0, global.map(|g| vec![g]))[0]
     });
     assert_eq!(results, vec![28; 8]); // 0+..+7
 }

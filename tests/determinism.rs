@@ -141,8 +141,10 @@ fn pingpong_time_is_independent_of_unrelated_history() {
 
 #[test]
 fn world_trace_capture() {
-    let mut cfg = WorldConfig::default();
-    cfg.trace = true;
+    let cfg = WorldConfig {
+        trace: true,
+        ..WorldConfig::default()
+    };
     let (_, kernel) = run_world_kernel(
         Topology::single_network(2, Protocol::Bip),
         Placement::OneRankPerNode,
@@ -160,11 +162,16 @@ fn world_trace_capture() {
     assert!(!trace.is_empty(), "trace must record events");
     // Spawns of both rank mains and their pollers are recorded.
     let spawns = trace.iter().filter(|e| e.what == "spawn").count();
-    assert!(spawns >= 4, "expected rank mains + pollers, got {spawns} spawns");
+    assert!(
+        spawns >= 4,
+        "expected rank mains + pollers, got {spawns} spawns"
+    );
     // Events are recorded in a deterministic order: re-run matches.
     let rerun = {
-        let mut cfg = WorldConfig::default();
-        cfg.trace = true;
+        let cfg = WorldConfig {
+            trace: true,
+            ..WorldConfig::default()
+        };
         let (_, kernel) = run_world_kernel(
             Topology::single_network(2, Protocol::Bip),
             Placement::OneRankPerNode,

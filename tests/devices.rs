@@ -3,7 +3,7 @@
 //! serves every network at near-native speed, with locality devices
 //! (`ch_self`, `smp_plug`) below it.
 
-use mpich::{run_world, ChMadConfig, Placement, RemoteDeviceKind, WorldConfig};
+use mpich::{run_world, ChMadConfig, Placement, PolicyMode, RemoteDeviceKind, WorldConfig};
 use simnet::{NodeId, Protocol, Topology};
 
 /// One-way time of a single 4 KB exchange between two given ranks of a
@@ -49,7 +49,10 @@ fn locality_hierarchy_self_smp_remote() {
     let sci_t = pair_oneway(topo(), Placement::OneRankPerCpu, 0, 2, n);
     let tcp_t = pair_oneway(topo(), Placement::OneRankPerCpu, 0, 4, n);
     assert!(self_t < smp_t, "loop-back {self_t} < shared memory {smp_t}");
-    assert!(smp_t < tcp_t, "shared memory {smp_t} < cross-cluster TCP {tcp_t}");
+    assert!(
+        smp_t < tcp_t,
+        "shared memory {smp_t} < cross-cluster TCP {tcp_t}"
+    );
     assert!(sci_t < tcp_t, "SCI {sci_t} < cross-cluster TCP {tcp_t}");
 }
 
@@ -96,7 +99,10 @@ fn no_distinction_between_intra_and_inter_cluster_links() {
     // Same protocol path, so times are within a polling cycle of each
     // other (the meta-cluster ranks poll more channels).
     let delta = (cross.as_micros_f64() - tcp_only.as_micros_f64()).abs();
-    assert!(delta < 10.0, "cross-cluster {cross} vs plain TCP {tcp_only}");
+    assert!(
+        delta < 10.0,
+        "cross-cluster {cross} vs plain TCP {tcp_only}"
+    );
 }
 
 #[test]
@@ -108,65 +114,111 @@ fn disconnected_topology_is_rejected_up_front() {
     t.add_network(Protocol::Sisci, [a, b]);
     t.add_network(Protocol::Bip, [b, c]);
     let result = std::panic::catch_unwind(|| {
-        run_world(t, Placement::OneRankPerNode, WorldConfig::default(), |_comm| ()).unwrap()
+        run_world(
+            t,
+            Placement::OneRankPerNode,
+            WorldConfig::default(),
+            |_comm| (),
+        )
+        .unwrap()
     });
-    assert!(result.is_err(), "gateway-requiring topology must be refused");
+    assert!(
+        result.is_err(),
+        "gateway-requiring topology must be refused"
+    );
 }
 
-#[test]
-fn switch_point_election_is_visible_in_device() {
-    // In a hybrid SCI+Myrinet configuration, the Myrinet pair must use
-    // SCI's 8 KB switch point (§4.2.2), NOT Myrinet's 7 KB: a 7.5 KB
-    // message between Myrinet nodes goes eager.
+/// One-way 7.5 KB exchange between the Myrinet pair of a hybrid
+/// SCI+Myrinet+TCP configuration, under the given ch_mad config.
+fn hybrid_bip_pair_oneway(cfg: ChMadConfig) -> marcel::VirtualDuration {
     let mut t = Topology::new();
     let nodes: Vec<NodeId> = (0..4).map(|i| t.add_node(format!("n{i}"), 1)).collect();
     t.add_network(Protocol::Sisci, [nodes[0], nodes[1]]);
     t.add_network(Protocol::Bip, [nodes[2], nodes[3]]);
     t.add_network(Protocol::Tcp, nodes.clone());
-
-    // 7.5 KB sits between BIP's own 7 KB switch point and the elected
-    // 8 KB one. With election, it is eager (one message); forcing BIP's
-    // native value would make it rendezvous (3 messages). Compare
-    // against an explicit override to prove the elected path is taken.
-    let n = 7_680;
-    let elected = pair_oneway(t.clone(), Placement::OneRankPerNode, 2, 3, n);
-    let forced = {
-        let cfg = WorldConfig {
-            remote: RemoteDeviceKind::ChMad(ChMadConfig {
-                switch_point_override: Some(Protocol::Bip.switch_point()),
-                ..ChMadConfig::default()
-            }),
-            ..WorldConfig::default()
-        };
-        let results = run_world(t, Placement::OneRankPerNode, cfg, move |comm| {
-            if comm.rank() == 2 {
-                let payload = vec![7u8; n];
-                comm.send(&payload, 3, 0);
-                comm.recv(n, Some(3), Some(0));
-                let t0 = marcel::now();
-                comm.send(&payload, 3, 0);
-                comm.recv(n, Some(3), Some(0));
-                Some((marcel::now() - t0) / 2)
-            } else if comm.rank() == 3 {
-                for _ in 0..2 {
-                    let (d, _) = comm.recv(n, Some(2), Some(0));
-                    comm.send(&d, 2, 0);
-                }
-                None
-            } else {
-                None
-            }
-        })
-        .unwrap();
-        results.into_iter().flatten().next().unwrap()
+    let world = WorldConfig {
+        remote: RemoteDeviceKind::ChMad(cfg),
+        ..WorldConfig::default()
     };
-    assert_ne!(elected, forced, "election must change the 7.5KB transfer mode");
+    // 7.5 KB sits between BIP's own 7 KB switch point and the elected
+    // 8 KB one, so the policy mode decides the transfer mode.
+    let n = 7_680;
+    let results = run_world(t, Placement::OneRankPerNode, world, move |comm| {
+        if comm.rank() == 2 {
+            let payload = vec![7u8; n];
+            comm.send(&payload, 3, 0);
+            comm.recv(n, Some(3), Some(0));
+            let t0 = marcel::now();
+            comm.send(&payload, 3, 0);
+            comm.recv(n, Some(3), Some(0));
+            Some((marcel::now() - t0) / 2)
+        } else if comm.rank() == 3 {
+            for _ in 0..2 {
+                let (d, _) = comm.recv(n, Some(2), Some(0));
+                comm.send(&d, 2, 0);
+            }
+            None
+        } else {
+            None
+        }
+    })
+    .unwrap();
+    results.into_iter().flatten().next().unwrap()
+}
+
+#[test]
+fn switch_point_election_is_visible_in_device() {
+    // In Elected compatibility mode, the Myrinet pair must use SCI's
+    // 8 KB switch point (§4.2.2), NOT Myrinet's 7 KB: the 7.5 KB
+    // message goes eager (one message). Forcing BIP's native value
+    // makes it rendezvous (3 messages).
+    let elected = hybrid_bip_pair_oneway(ChMadConfig {
+        policy: PolicyMode::Elected,
+        ..ChMadConfig::default()
+    });
+    let forced = hybrid_bip_pair_oneway(ChMadConfig {
+        policy: PolicyMode::Elected,
+        switch_point_override: Some(Protocol::Bip.switch_point()),
+        ..ChMadConfig::default()
+    });
+    assert_ne!(
+        elected, forced,
+        "election must change the 7.5KB transfer mode"
+    );
     // In this model the rendezvous handshake is cheaper than the eager
     // copy it avoids at 7.5 KB (see examples/switch_point_tuning: the
     // true crossover sits near 2.6 KB on BIP), so the elected-eager
     // path is the *slower* one — the single elected switch point is a
     // compromise, exactly the ADI limitation §4.2.2 describes.
-    assert!(elected > forced, "eager {elected} vs forced-rendezvous {forced}");
+    assert!(
+        elected > forced,
+        "eager {elected} vs forced-rendezvous {forced}"
+    );
+}
+
+#[test]
+fn per_network_default_uses_the_channels_own_threshold() {
+    // The default policy resolves the threshold per channel: the
+    // Myrinet pair uses BIP's native 7 KB value, so 7.5 KB goes
+    // rendezvous — identical to overriding with BIP's switch point,
+    // and different from the Elected compromise.
+    let default = hybrid_bip_pair_oneway(ChMadConfig::default());
+    let bip_native = hybrid_bip_pair_oneway(ChMadConfig {
+        switch_point_override: Some(Protocol::Bip.switch_point()),
+        ..ChMadConfig::default()
+    });
+    let elected = hybrid_bip_pair_oneway(ChMadConfig {
+        policy: PolicyMode::Elected,
+        ..ChMadConfig::default()
+    });
+    assert_eq!(
+        default, bip_native,
+        "per-network must match BIP's own threshold"
+    );
+    assert!(
+        elected > default,
+        "elected eager {elected} vs per-network rendezvous {default}"
+    );
 }
 
 #[test]
@@ -194,7 +246,10 @@ fn more_attached_channels_slow_detection() {
     let p1 = one_tcp.as_micros_f64() - sci.as_micros_f64();
     let p2 = two_tcp.as_micros_f64() - one_tcp.as_micros_f64();
     assert!((4.0..9.0).contains(&p1), "first TCP polling penalty {p1}us");
-    assert!((4.0..9.0).contains(&p2), "second TCP polling penalty {p2}us");
+    assert!(
+        (4.0..9.0).contains(&p2),
+        "second TCP polling penalty {p2}us"
+    );
 }
 
 #[test]

@@ -236,5 +236,8 @@ fn direct_pairs_ignore_forwarding_machinery() {
         .next()
         .unwrap()
     };
-    assert_eq!(run(WorldConfig::default()), run(WorldConfig::with_forwarding()));
+    assert_eq!(
+        run(WorldConfig::default()),
+        run(WorldConfig::with_forwarding())
+    );
 }

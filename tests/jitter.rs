@@ -33,7 +33,9 @@ fn pair_fifo_survives_heavy_jitter() {
                 }
                 Vec::new()
             } else {
-                (0..30).map(|_| comm.recv(8, Some(0), Some(0)).0[0]).collect()
+                (0..30)
+                    .map(|_| comm.recv(8, Some(0), Some(0)).0[0])
+                    .collect()
             }
         },
     )

@@ -2,7 +2,9 @@
 //! order, poll-source semantics and synchronization primitives under
 //! randomized (seeded) workloads.
 
-use marcel::{CostModel, Kernel, PollSource, ProcId, Semaphore, SimMutex, VirtualDuration, VirtualTime};
+use marcel::{
+    CostModel, Kernel, PollSource, ProcId, Semaphore, SimMutex, VirtualDuration, VirtualTime,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

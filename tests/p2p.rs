@@ -32,8 +32,22 @@ fn blocking_send_recv_roundtrip() {
     });
     assert_eq!(results[0].0, vec![5, 4, 3, 2, 1]);
     assert_eq!(results[1].0, vec![1, 2, 3, 4, 5]);
-    assert_eq!(results[1].1, Status { source: 0, tag: 42, len: 5 });
-    assert_eq!(results[0].1, Status { source: 1, tag: 43, len: 5 });
+    assert_eq!(
+        results[1].1,
+        Status {
+            source: 0,
+            tag: 42,
+            len: 5
+        }
+    );
+    assert_eq!(
+        results[0].1,
+        Status {
+            source: 1,
+            tag: 43,
+            len: 5
+        }
+    );
 }
 
 #[test]
@@ -175,14 +189,7 @@ fn sendrecv_swaps_without_deadlock() {
     let results = two_ranks(|comm| {
         let me = comm.rank();
         let other = 1 - me;
-        let (incoming, status) = comm.sendrecv(
-            &[me as u8; 64],
-            other,
-            3,
-            64,
-            Some(other),
-            Some(3),
-        );
+        let (incoming, status) = comm.sendrecv(&[me as u8; 64], other, 3, 64, Some(other), Some(3));
         assert_eq!(status.source, other);
         incoming[0]
     });
@@ -277,7 +284,10 @@ fn large_message_integrity_through_rendezvous() {
         } else {
             let (data, status) = comm.recv(n, Some(0), Some(0));
             assert_eq!(status.len, n);
-            assert!(data.iter().enumerate().all(|(i, &b)| b == (i * 31 % 251) as u8));
+            assert!(data
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b == (i * 31 % 251) as u8));
             data.len() as u64
         }
     });
@@ -537,5 +547,9 @@ fn ssend_through_smp_plug() {
         },
     )
     .unwrap();
-    assert!(results[0].as_secs_f64() >= 0.003, "smp ssend synchronous: {}", results[0]);
+    assert!(
+        results[0].as_secs_f64() >= 0.003,
+        "smp ssend synchronous: {}",
+        results[0]
+    );
 }

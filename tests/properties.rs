@@ -22,8 +22,7 @@ fn arb_datatype() -> impl Strategy<Value = Arc<Datatype>> {
     ];
     base.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (1usize..4, inner.clone())
-                .prop_map(|(count, t)| Datatype::contiguous(count, t)),
+            (1usize..4, inner.clone()).prop_map(|(count, t)| Datatype::contiguous(count, t)),
             (1usize..3, 1usize..3, 0isize..4, inner.clone()).prop_map(
                 |(count, blocklen, gap, t)| {
                     // stride >= blocklen keeps displacements non-negative.
@@ -34,8 +33,11 @@ fn arb_datatype() -> impl Strategy<Value = Arc<Datatype>> {
                 let stride = (t.extent() as isize + gap * 2).max(1);
                 Datatype::hvector(count, 1, stride, t)
             }),
-            (proptest::collection::vec((1usize..3, 0isize..5), 1..3), inner).prop_map(
-                |(mut blocks, t)| {
+            (
+                proptest::collection::vec((1usize..3, 0isize..5), 1..3),
+                inner
+            )
+                .prop_map(|(mut blocks, t)| {
                     // Make displacements non-overlapping and ascending.
                     let mut cursor = 0isize;
                     for (len, displ) in blocks.iter_mut() {
@@ -43,8 +45,7 @@ fn arb_datatype() -> impl Strategy<Value = Arc<Datatype>> {
                         cursor = *displ + *len as isize;
                     }
                     Datatype::indexed(blocks, t)
-                }
-            ),
+                }),
         ]
     })
 }
@@ -289,5 +290,63 @@ proptest! {
             },
         ).expect("world completes");
         prop_assert!(results[1]);
+    }
+
+    // Neither the protocol policy (elected / per-network / striped) nor
+    // the rail count may change delivered bytes or per-connection
+    // ordering: run the same tagged message sequence over a dual-rail
+    // SCI+BIP pair under every policy mode.
+    #[test]
+    fn delivery_independent_of_protocol_policy(
+        lens in proptest::collection::vec(0usize..40_000, 1..5),
+        mode in prop_oneof![
+            Just(mpich::PolicyMode::Elected),
+            Just(mpich::PolicyMode::PerNetwork),
+            Just(mpich::PolicyMode::Striped),
+        ],
+    ) {
+        use mpich::{run_world, ChMadConfig, Placement, RemoteDeviceKind, WorldConfig};
+        use simnet::Topology;
+        let cfg = WorldConfig {
+            remote: RemoteDeviceKind::ChMad(ChMadConfig {
+                policy: mode,
+                ..ChMadConfig::default()
+            }),
+            ..WorldConfig::default()
+        };
+        let mut topology = Topology::new();
+        let a = topology.add_node("a", 2);
+        let b = topology.add_node("b", 2);
+        topology.add_network(Protocol::Sisci, [a, b]);
+        topology.add_network(Protocol::Bip, [a, b]);
+        let lens_in = lens.clone();
+        let results = run_world(
+            topology,
+            Placement::OneRankPerNode,
+            cfg,
+            move |comm| {
+                if comm.rank() == 0 {
+                    for (seq, &len) in lens_in.iter().enumerate() {
+                        let payload: Vec<u8> =
+                            (0..len).map(|i| ((i + seq) % 251) as u8).collect();
+                        comm.send(&payload, 1, seq as i32);
+                    }
+                    true
+                } else {
+                    // Messages must arrive in send order with their
+                    // bytes intact, whatever policy carried them.
+                    lens_in.iter().enumerate().all(|(seq, &len)| {
+                        let (data, status) = comm.recv(len, Some(0), None);
+                        status.tag == seq as i32
+                            && data.len() == len
+                            && data
+                                .iter()
+                                .enumerate()
+                                .all(|(i, &v)| v == ((i + seq) % 251) as u8)
+                    })
+                }
+            },
+        ).expect("world completes");
+        prop_assert!(results[1], "policy {:?} corrupted delivery", mode);
     }
 }

@@ -6,7 +6,6 @@
 
 use bench::experiments;
 
-
 fn within(value: f64, target: f64, tol: f64) -> bool {
     (value - target).abs() <= target * tol
 }
@@ -66,10 +65,16 @@ fn fig6_tcp_shape() {
     assert!(r.mb_s_at("ch_p4", 1 << 20) < 10.2);
     assert!(r.mb_s_at("ch_mad", 1 << 20) > 11.0);
     let ratio = r.mb_s_at("ch_mad", 1 << 20) / r.mb_s_at("raw_Madeleine", 1 << 20);
-    assert!(ratio > 0.97, "ch_mad delivers ~all of Madeleine's TCP bandwidth: {ratio}");
+    assert!(
+        ratio > 0.97,
+        "ch_mad delivers ~all of Madeleine's TCP bandwidth: {ratio}"
+    );
     // (d) similar bandwidth below the switch point.
     let below = r.mb_s_at("ch_mad", 16 * 1024) / r.mb_s_at("ch_p4", 16 * 1024);
-    assert!((0.9..1.1).contains(&below), "below 64KB ch_mad~ch_p4: {below}");
+    assert!(
+        (0.9..1.1).contains(&below),
+        "below 64KB ch_mad~ch_p4: {below}"
+    );
 }
 
 #[test]
@@ -110,8 +115,14 @@ fn fig8_myrinet_shape() {
     }
     // (b) MPI-GM definitely outperformed on bandwidth by both.
     for n in [8 * 1024usize, 64 * 1024, 1 << 20] {
-        assert!(r.mb_s_at("ch_mad", n) > 1.3 * r.mb_s_at("MPI-GM", n), "at {n}");
-        assert!(r.mb_s_at("MPI-PM", n) > 1.3 * r.mb_s_at("MPI-GM", n), "at {n}");
+        assert!(
+            r.mb_s_at("ch_mad", n) > 1.3 * r.mb_s_at("MPI-GM", n),
+            "at {n}"
+        );
+        assert!(
+            r.mb_s_at("MPI-PM", n) > 1.3 * r.mb_s_at("MPI-GM", n),
+            "at {n}"
+        );
     }
     // (c) the BIP 1KB internal-switch notch: bandwidth at 1KB sags
     // below the log-log trend of its neighbours.
@@ -119,7 +130,10 @@ fn fig8_myrinet_shape() {
     let bw1k = r.mb_s_at("ch_mad", 1024);
     let bw2k = r.mb_s_at("ch_mad", 2048);
     let trend = (bw512 * bw2k).sqrt();
-    assert!(bw1k < 0.95 * trend, "1KB notch missing: {bw512} {bw1k} {bw2k}");
+    assert!(
+        bw1k < 0.95 * trend,
+        "1KB notch missing: {bw512} {bw1k} {bw2k}"
+    );
     // (d) PM wins below 4KB and above 256KB; comparable in between.
     assert!(r.mb_s_at("MPI-PM", 2048) > r.mb_s_at("ch_mad", 2048));
     assert!(r.mb_s_at("MPI-PM", 1 << 20) > r.mb_s_at("ch_mad", 1 << 20));
@@ -138,10 +152,13 @@ fn fig9_multiprotocol_impact_shape() {
     }
     // ...roughly one TCP poll (6us) at small sizes.
     let penalty = both(4) - alone(4);
-    assert!((4.0..9.0).contains(&penalty), "small-message penalty {penalty}us");
+    assert!(
+        (4.0..9.0).contains(&penalty),
+        "small-message penalty {penalty}us"
+    );
     // (b) the penalty is bounded: large-message bandwidth converges.
-    let ratio = r.mb_s_at("SCI_thread_+_TCP_thread", 1 << 20)
-        / r.mb_s_at("SCI_thread_only", 1 << 20);
+    let ratio =
+        r.mb_s_at("SCI_thread_+_TCP_thread", 1 << 20) / r.mb_s_at("SCI_thread_only", 1 << 20);
     assert!(ratio > 0.97, "1MB bandwidth ratio {ratio}");
     // (c) and the multi-protocol configuration still crushes actually
     // *using* TCP: even the penalized SCI latency is far below TCP's.
@@ -157,10 +174,16 @@ fn summary_crossover_sizes() {
     let r7 = experiments::fig7(1);
     let pre = r7.mb_s_at("ch_mad", 8192);
     let post = r7.mb_s_at("ch_mad", 16384);
-    assert!(post / pre > 1.4, "SCI discontinuity at 8KB: {pre} -> {post}");
+    assert!(
+        post / pre > 1.4,
+        "SCI discontinuity at 8KB: {pre} -> {post}"
+    );
 
     let r6 = experiments::fig6(1);
     let pre = r6.mb_s_at("ch_mad", 65536);
     let post = r6.mb_s_at("ch_mad", 131072);
-    assert!(post / pre > 1.05, "TCP discontinuity at 64KB: {pre} -> {post}");
+    assert!(
+        post / pre > 1.05,
+        "TCP discontinuity at 64KB: {pre} -> {post}"
+    );
 }

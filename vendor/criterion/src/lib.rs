@@ -1,0 +1,166 @@
+//! Minimal, API-compatible stand-in for the `criterion` benchmark
+//! harness, vendored so the workspace builds without network access.
+//!
+//! No statistical machinery: each benchmark runs a small fixed number
+//! of timed iterations and prints the mean wall-clock time. Enough to
+//! execute `cargo bench` targets and eyeball relative costs; not a
+//! substitute for real criterion when precision matters.
+
+use std::time::Instant;
+
+const WARMUP_ITERS: u64 = 2;
+const DEFAULT_SAMPLES: u64 = 10;
+
+/// Drives one benchmark body (`b.iter(...)`).
+pub struct Bencher {
+    samples: u64,
+    /// Mean nanoseconds per iteration, recorded by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(body());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(body());
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// Prevent the optimizer from deleting a benchmark body's result.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level harness handle, one per `criterion_group!` function.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut body: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_ns: 0.0,
+        };
+        body(&mut b);
+        report(name, b.mean_ns);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks (`c.benchmark_group(...)`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_ns: 0.0,
+        };
+        body(&mut b);
+        report(&format!("{}/{}", self.name, name), b.mean_ns);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, mean_ns: f64) {
+    let (value, unit) = if mean_ns >= 1e9 {
+        (mean_ns / 1e9, "s")
+    } else if mean_ns >= 1e6 {
+        (mean_ns / 1e6, "ms")
+    } else if mean_ns >= 1e3 {
+        (mean_ns / 1e3, "µs")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("bench {name:<48} {value:>10.3} {unit}/iter");
+}
+
+/// Collect benchmark functions into one group-runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.sample_size(3).bench_function("smoke", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        let mut runs = 0u64;
+        g.sample_size(2)
+            .bench_function("inner", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs >= 2);
+    }
+}

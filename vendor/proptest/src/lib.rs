@@ -1,0 +1,436 @@
+//! Minimal, API-compatible stand-in for the `proptest` crate, vendored
+//! so the workspace builds without network access.
+//!
+//! Provided surface (exactly what this repository's property tests
+//! use): the [`Strategy`] trait with `prop_map`/`prop_recursive`,
+//! range and tuple strategies, `Just`, `any`, `prop_oneof!`,
+//! `collection::vec`, the `proptest!` test-harness macro with
+//! `ProptestConfig::with_cases`, and `prop_assert!`-family macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case
+//! reports its inputs via the panic message only) and a fixed
+//! deterministic per-test seed derived from the test name, so runs are
+//! reproducible.
+
+use std::rc::Rc;
+
+/// Deterministic per-test random source (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Seed derived from a test's fully qualified name.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy: 'static {
+    type Value: 'static;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a cloneable, reference-counted strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng| s.sample(rng)))
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng| f(s.sample(rng))))
+    }
+
+    /// Recursive strategies: `f` receives a strategy for the inner
+    /// value and wraps it one level deeper. `depth` bounds nesting;
+    /// `_desired_size`/`_branch` are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..depth {
+            let deeper = f(cur).boxed();
+            let leaf = base.clone();
+            // Each level flips between stopping (leaf) and recursing,
+            // so sampled structures vary in depth up to `depth`.
+            cur = BoxedStrategy(Rc::new(move |rng| {
+                if rng.next_u64() & 1 == 0 {
+                    leaf.sample(rng)
+                } else {
+                    deeper.sample(rng)
+                }
+            }));
+        }
+        cur
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy producing one constant value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Full-domain strategies for primitives (`any::<T>()`).
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mix finite values with specials, like the real crate's
+        // `any::<f64>()` which explores edge cases.
+        match rng.next_u64() % 8 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> impl Strategy<Value = T> {
+    AnyStrategy::<T>(std::marker::PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+/// A uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! of zero strategies");
+        let idx = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[idx].sample(rng)
+    }
+}
+
+pub mod collection {
+    use super::{BoxedStrategy, Strategy};
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`]: an exact count or a half-open range.
+    pub trait IntoSizeRange {
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> BoxedStrategy<Vec<S::Value>> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty vec size range");
+        let element = element.boxed();
+        BoxedStrategy(std::rc::Rc::new(move |rng| {
+            let span = (hi - lo) as u64;
+            let len = lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| element.sample(rng)).collect()
+        }))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// The test-harness macro: each `fn` becomes a `#[test]` that samples
+/// its strategies `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let described = format!(
+                        concat!("case ", "{}", $(" ", stringify!($arg), "={:?}",)*),
+                        case $(, &$arg)*
+                    );
+                    let ran = {
+                        // `prop_assume!` rejects a case by returning
+                        // `false` from this closure.
+                        #[allow(unused_mut)]
+                        let mut body = move || -> bool { $body; true };
+                        let outcome = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(&mut body),
+                        );
+                        match outcome {
+                            Ok(ran) => ran,
+                            Err(payload) => {
+                                eprintln!("proptest failure in {}: {}",
+                                          stringify!($name), described);
+                                ::std::panic::resume_unwind(payload);
+                            }
+                        }
+                    };
+                    let _ = ran;
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Uniform choice among the listed strategies (all must share a value
+/// type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Reject the current case (counts as neither pass nor fail).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        let s = (0usize..10, -5i64..5);
+        for _ in 0..100 {
+            let (a, b) = s.sample(&mut rng);
+            assert!(a < 10);
+            assert!((-5..5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size() {
+        let mut rng = TestRng::from_seed(4);
+        let s = collection::vec(0u8..8, 2..5);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 5);
+            assert!(v.iter().all(|&x| x < 8));
+        }
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(inner) => 1 + depth(inner),
+            }
+        }
+        let s = Just(Tree::Leaf)
+            .prop_recursive(4, 8, 1, |inner| inner.prop_map(|t| Tree::Node(Box::new(t))));
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..100 {
+            assert!(depth(&s.sample(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn harness_macro_runs(x in 0usize..100, flag in any::<bool>()) {
+            prop_assume!(x != 99);
+            prop_assert!(x < 99);
+            let _ = flag;
+        }
+    }
+}
