@@ -17,6 +17,7 @@ fn main() {
         ("fig8", bench::experiments::fig8),
         ("fig9", bench::experiments::fig9),
         ("multirail", bench::experiments::multirail),
+        ("degraded", bench::experiments::degraded),
     ] {
         eprintln!(">>> running {name} (iters = {iters})");
         f(iters).emit(true, true);

@@ -1,0 +1,11 @@
+//! Degraded-rail experiment (robustness extension): dual-rail striping
+//! with faults injected on the Myrinet rail.
+//! `cargo run -p bench --bin degraded --release [-- <iters>]`.
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    bench::experiments::degraded(iters).emit(false, true);
+}

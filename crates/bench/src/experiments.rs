@@ -1,12 +1,13 @@
 //! One constructor per paper experiment: runs the workloads and packages
 //! measured series plus the paper's explicit numbers as anchors.
 
+use marcel::VirtualTime;
 use mpich::{ChMadConfig, PolicyMode, RemoteDeviceKind, WorldConfig};
-use simnet::{Protocol, Topology};
+use simnet::{FaultPlan, Protocol, Topology};
 
 use crate::pingpong::{
     bandwidth_mb_s, bandwidth_sizes, fig9_topology, latency_sizes, mpi_pingpong,
-    multirail_topology, raw_madeleine_pingpong,
+    mpi_pingpong_counters, multirail_topology, raw_madeleine_pingpong,
 };
 use crate::report::{Anchor, Report};
 
@@ -364,6 +365,92 @@ pub fn multirail(iters: usize) -> Report {
     r
 }
 
+/// Degraded-rail experiment (robustness extension, no paper analogue):
+/// the dual-rail striped ping-pong of "Fig. 10" re-run with faults
+/// injected on the Myrinet rail. A lossy rail pays a retransmission
+/// tax; a rail that is hard down from the start is detected (attempts
+/// exhausted), declared dead, and the pair falls back to the SCI wire
+/// alone. The fault seed is fixed so the report is reproducible.
+pub fn degraded(iters: usize) -> Report {
+    const SEED: u64 = 0xBEEF;
+    let sizes = [4usize, 1 << 20, MB8];
+    let faulted = |plan: Option<FaultPlan>| {
+        let mut t = Topology::new();
+        let a = t.add_node("a", 2);
+        let b = t.add_node("b", 2);
+        t.add_network(Protocol::Sisci, [a, b]);
+        match plan {
+            Some(p) => t.add_network_with_fault(Protocol::Bip, p, [a, b]),
+            None => t.add_network(Protocol::Bip, [a, b]),
+        };
+        t
+    };
+    let mut r = Report::new(
+        "degraded",
+        "Dual-rail striping under faults: clean vs lossy BIP vs BIP hard down",
+    );
+    let (clean, _, _) = mpi_pingpong_counters(
+        faulted(None),
+        ch_mad_policy(PolicyMode::Striped),
+        &sizes,
+        iters,
+    );
+    let (lossy, lossy_c, _) = mpi_pingpong_counters(
+        faulted(Some(FaultPlan::new(SEED).with_loss(0.05))),
+        ch_mad_policy(PolicyMode::Striped),
+        &sizes,
+        iters,
+    );
+    let (dead, dead_c, dead_failovers) = mpi_pingpong_counters(
+        faulted(Some(FaultPlan::new(SEED).link_down_from(VirtualTime(0)))),
+        ch_mad_policy(PolicyMode::Striped),
+        &sizes,
+        iters,
+    );
+    r.add_series("dual_rail_clean", &clean);
+    r.add_series("BIP_5pct_loss", &lossy);
+    r.add_series("BIP_hard_down", &dead);
+    r.add_anchor(Anchor::new(
+        "clean striped 8MB bandwidth (Fig 10 target)",
+        190.0,
+        r.mb_s_at("dual_rail_clean", MB8),
+        "MB",
+    ));
+    r.add_anchor(Anchor::new(
+        "lossy rail 8MB bandwidth / clean (retransmit tax < 1)",
+        0.95,
+        r.mb_s_at("BIP_5pct_loss", MB8) / r.mb_s_at("dual_rail_clean", MB8),
+        "x",
+    ));
+    r.add_anchor(Anchor::new(
+        "hard-down 8MB bandwidth (falls back to the SCI wire)",
+        82.6,
+        r.mb_s_at("BIP_hard_down", MB8),
+        "MB",
+    ));
+    r.add_anchor(Anchor::new(
+        "lossy rail retransmissions over the sweep (nonzero)",
+        2.0,
+        lossy_c.retransmits as f64,
+        "n",
+    ));
+    // Only the first sender storms the dead rail; the reverse
+    // direction inherits the shared dead-pair set and never tries it.
+    r.add_anchor(Anchor::new(
+        "hard-down rail failovers (first sender discovers)",
+        1.0,
+        dead_failovers as f64,
+        "n",
+    ));
+    r.add_anchor(Anchor::new(
+        "hard-down rank pairs declared dead",
+        1.0,
+        dead_c.dead_pairs as f64,
+        "n",
+    ));
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,5 +492,32 @@ mod tests {
             (per_network / bip - 1.0).abs() < 0.05,
             "{per_network} vs {bip}"
         );
+    }
+
+    #[test]
+    fn degraded_rail_smoke() {
+        let r = degraded(1);
+        assert_eq!(r.series.len(), 3);
+        let clean = r.mb_s_at("dual_rail_clean", MB8);
+        let lossy = r.mb_s_at("BIP_5pct_loss", MB8);
+        let dead = r.mb_s_at("BIP_hard_down", MB8);
+        // A lossy rail can only slow the pair down.
+        assert!(lossy <= clean, "lossy {lossy:.1} vs clean {clean:.1}");
+        // A dead rail costs the striping win: bandwidth drops to
+        // roughly the SCI wire alone (clean striped is ~2.3x SCI).
+        assert!(
+            dead < 0.6 * clean && dead > 60.0,
+            "hard-down {dead:.1} MB/s vs clean striped {clean:.1} MB/s"
+        );
+        let measured = |what: &str| {
+            r.anchors
+                .iter()
+                .find(|a| a.what.contains(what))
+                .expect("anchor present")
+                .measured
+        };
+        assert!(measured("retransmissions") > 0.0);
+        assert!(measured("failovers") >= 1.0);
+        assert!(measured("declared dead") >= 1.0);
     }
 }

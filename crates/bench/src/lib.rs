@@ -11,7 +11,8 @@
 //! | `fig8`   | Figure 8   | Myrinet: ch_mad vs MPI-GM vs MPICH-PM vs raw Madeleine |
 //! | `fig9`   | Figure 9   | SCI alone vs SCI + TCP polling thread |
 //! | `multirail` | "Fig 10" (extension) | multi-rail striping: SCI+BIP dual rail vs each rail alone |
-//! | `all`    | everything | runs the seven experiments back to back |
+//! | `degraded` | robustness (extension) | dual-rail striping with a lossy or hard-down Myrinet rail |
+//! | `all`    | everything | runs the eight experiments back to back |
 //!
 //! Criterion benches (`cargo bench`) wrap the same harnesses
 //! (`benches/experiments.rs`) plus the design-choice ablations from
@@ -23,6 +24,6 @@ pub mod report;
 
 pub use pingpong::{
     bandwidth_mb_s, bandwidth_sizes, fig9_topology, latency_sizes, mpi_pingpong,
-    multirail_topology, raw_madeleine_pingpong, Series,
+    mpi_pingpong_counters, multirail_topology, raw_madeleine_pingpong, Series,
 };
 pub use report::{Anchor, NamedSeries, Report};

@@ -3,9 +3,9 @@
 //! warm-up round.
 
 use bytes::Bytes;
-use madeleine::{ReceiveMode, SendMode, Session};
+use madeleine::{FaultCounters, ReceiveMode, SendMode, Session};
 use marcel::{CostModel, Kernel, VirtualDuration};
-use mpich::{run_world, Placement, WorldConfig};
+use mpich::{run_world_full, Placement, WorldConfig};
 use simnet::{Protocol, Topology};
 
 /// A measured series: (message size, one-way time).
@@ -27,42 +27,56 @@ pub fn mpi_pingpong(
     sizes: &[usize],
     iters: usize,
 ) -> Series {
+    mpi_pingpong_counters(topology, config, sizes, iters).0
+}
+
+/// Like [`mpi_pingpong`], additionally returning the session's
+/// reliable-delivery counters and failover count — the degraded-rail
+/// experiment reports them next to the bandwidth figures.
+pub fn mpi_pingpong_counters(
+    topology: Topology,
+    config: WorldConfig,
+    sizes: &[usize],
+    iters: usize,
+) -> (Series, FaultCounters, u64) {
     let sizes: Vec<usize> = sizes.to_vec();
-    let results = run_world(topology, Placement::OneRankPerNode, config, move |comm| {
-        assert!(comm.size() >= 2, "ping-pong needs two ranks");
-        if comm.rank() == 0 {
-            let mut out = Series::new();
-            for &n in &sizes {
-                let data = vec![0u8; n];
-                comm.send(&data, 1, 0);
-                comm.recv(n, Some(1), Some(0));
-                let t0 = marcel::now();
-                for _ in 0..iters {
+    let (results, _kernel, session) =
+        run_world_full(topology, Placement::OneRankPerNode, config, move |comm| {
+            assert!(comm.size() >= 2, "ping-pong needs two ranks");
+            if comm.rank() == 0 {
+                let mut out = Series::new();
+                for &n in &sizes {
+                    let data = vec![0u8; n];
                     comm.send(&data, 1, 0);
-                    let (back, _) = comm.recv(n, Some(1), Some(0));
-                    assert_eq!(back.len(), n);
+                    comm.recv(n, Some(1), Some(0));
+                    let t0 = marcel::now();
+                    for _ in 0..iters {
+                        comm.send(&data, 1, 0);
+                        let (back, _) = comm.recv(n, Some(1), Some(0));
+                        assert_eq!(back.len(), n);
+                    }
+                    out.push((n, (marcel::now() - t0) / (2 * iters as u64)));
                 }
-                out.push((n, (marcel::now() - t0) / (2 * iters as u64)));
-            }
-            Some(out)
-        } else if comm.rank() == 1 {
-            for &n in &sizes {
-                for _ in 0..iters + 1 {
-                    let (data, _) = comm.recv(n, Some(0), Some(0));
-                    comm.send(&data, 0, 0);
+                Some(out)
+            } else if comm.rank() == 1 {
+                for &n in &sizes {
+                    for _ in 0..iters + 1 {
+                        let (data, _) = comm.recv(n, Some(0), Some(0));
+                        comm.send(&data, 0, 0);
+                    }
                 }
+                None
+            } else {
+                None
             }
-            None
-        } else {
-            None
-        }
-    })
-    .expect("ping-pong world failed");
-    results
+        })
+        .expect("ping-pong world failed");
+    let series = results
         .into_iter()
         .flatten()
         .next()
-        .expect("rank 0 produced the series")
+        .expect("rank 0 produced the series");
+    (series, session.fault_counters(), session.failovers())
 }
 
 /// Ping-pong on the raw Madeleine interface (one packing operation per
@@ -71,13 +85,14 @@ pub fn raw_madeleine_pingpong(protocol: Protocol, sizes: &[usize], iters: usize)
     let kernel = Kernel::new(CostModel::calibrated());
     let session = Session::single_network(&kernel, 2, protocol);
     let channel = session.channels()[0].clone();
-    let (e0, e1) = (channel.endpoint(0), channel.endpoint(1));
+    let e0 = channel.endpoint(0).expect("rank 0 is a member");
+    let e1 = channel.endpoint(1).expect("rank 1 is a member");
     let sizes0: Vec<usize> = sizes.to_vec();
     let h = kernel.spawn("rank0", move || {
         let exchange = |payload: &Bytes, n: usize| {
-            let mut conn = e0.begin_packing(1);
+            let mut conn = e0.begin_packing(1).expect("rank 1 is a member");
             conn.pack_bytes(payload.clone(), SendMode::Cheaper, ReceiveMode::Cheaper);
-            conn.end_packing();
+            conn.end_packing().expect("fault-free send");
             let mut conn = e0.begin_unpacking().expect("open channel");
             let back = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
             conn.end_unpacking();
@@ -103,9 +118,9 @@ pub fn raw_madeleine_pingpong(protocol: Protocol, sizes: &[usize], iters: usize)
                 let data = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
                 conn.end_unpacking();
                 assert_eq!(data.len(), n);
-                let mut conn = e1.begin_packing(0);
+                let mut conn = e1.begin_packing(0).expect("rank 0 is a member");
                 conn.pack_bytes(data, SendMode::Cheaper, ReceiveMode::Cheaper);
-                conn.end_packing();
+                conn.end_packing().expect("fault-free send");
             }
         }
     });

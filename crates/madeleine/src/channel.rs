@@ -30,13 +30,15 @@
 //!   receiver's fixed drain cost; each `unpack` charges the per-byte
 //!   drain cost of its block.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex};
 
 use bytes::Bytes;
 use marcel::{Kernel, PollSource, ProcId, SimMutex, VirtualDuration, VirtualTime};
-use simnet::{LinkModel, Protocol};
+use simnet::{Fate, FaultPlan, LinkModel, Protocol};
 
+use crate::error::ChannelError;
 use crate::message::{Block, WireMessage};
 use crate::modes::{ReceiveMode, SendMode};
 
@@ -49,8 +51,23 @@ pub const PACK_CALL_CPU: VirtualDuration = VirtualDuration::from_nanos(120);
 /// per-connection arrivals strictly monotone (FIFO on the wire).
 const FIFO_EPSILON: VirtualDuration = VirtualDuration::from_nanos(1);
 
-/// Sender-side state of one point-to-point connection: the FIFO floor
-/// and the message sequence number (drives deterministic jitter).
+/// Retransmit budget of the reliable sublayer: a connection that makes
+/// this many transmission attempts without one delivery is declared
+/// dead ([`ChannelError::LinkDead`]).
+pub const MAX_SEND_ATTEMPTS: u32 = 30;
+
+/// Retransmission timeout before attempt `attempt + 1` (1-based
+/// argument): 100 µs base, doubling per attempt, capped at 5 ms.
+fn rto_for(attempt: u32) -> VirtualDuration {
+    let exp = attempt.saturating_sub(1).min(6);
+    VirtualDuration::from_nanos((100_000u64 << exp).min(5_000_000))
+}
+
+/// Sender-side state of one point-to-point connection: the FIFO floor,
+/// the wire sequence number (one per transmission *attempt* — drives
+/// deterministic jitter and the fault plan's loss stream) and the
+/// logical message number (one per message — carried on the wire for
+/// receiver-side dedup/reorder).
 struct Connection {
     state: SimMutex<ConnState>,
 }
@@ -59,6 +76,60 @@ struct Connection {
 struct ConnState {
     floor: VirtualTime,
     seq: u64,
+    msg_seq: u64,
+}
+
+/// Receiver-side reliable-delivery state for one rank's incoming side.
+#[derive(Default)]
+struct RecvState {
+    /// In-order messages released from the stash, consumed before the
+    /// poll source is asked for more.
+    ready: VecDeque<WireMessage>,
+    /// Per-sender dedup/reorder tracking.
+    peers: HashMap<usize, PeerRecv>,
+}
+
+#[derive(Default)]
+struct PeerRecv {
+    /// Next logical message number expected from this sender.
+    expected: u64,
+    /// Early (out-of-order) messages keyed by logical number.
+    stash: BTreeMap<u64, WireMessage>,
+}
+
+#[derive(Default)]
+struct AtomicCounters {
+    retransmits: AtomicU64,
+    drops: AtomicU64,
+    duplicates: AtomicU64,
+    deferrals: AtomicU64,
+    dead_pairs: AtomicU64,
+}
+
+/// Snapshot of a channel's reliable-delivery counters (all zero on a
+/// fault-free channel).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Transmission attempts beyond the first per message.
+    pub retransmits: u64,
+    /// Attempts the fault plan dropped on the wire.
+    pub drops: u64,
+    /// Received messages discarded as duplicates.
+    pub duplicates: u64,
+    /// Attempts postponed by a finite link-down window.
+    pub deferrals: u64,
+    /// Ordered rank pairs declared dead.
+    pub dead_pairs: u64,
+}
+
+impl std::ops::AddAssign for FaultCounters {
+    fn add_assign(&mut self, rhs: FaultCounters) {
+        self.retransmits += rhs.retransmits;
+        self.drops += rhs.drops;
+        self.duplicates += rhs.duplicates;
+        self.deferrals += rhs.deferrals;
+        self.dead_pairs += rhs.dead_pairs;
+    }
 }
 
 /// A Madeleine channel: one protocol, a set of member ranks, one
@@ -67,36 +138,52 @@ pub struct Channel {
     name: String,
     protocol: Protocol,
     model: Arc<LinkModel>,
+    /// Deterministic fault injection for this channel's network (None =
+    /// perfectly reliable wire, the paper's assumption).
+    fault: Option<FaultPlan>,
     /// Member ranks (session-global indices), sorted.
     members: Vec<usize>,
     /// rank -> incoming source.
     sources: HashMap<usize, PollSource<WireMessage>>,
+    /// rank -> receiver-side dedup/reorder state. A host-level mutex is
+    /// safe here: it is never held across a kernel operation, so it
+    /// charges no virtual time (the fault-free path stays bit-identical
+    /// to the unreliable channel).
+    recv: HashMap<usize, StdMutex<RecvState>>,
     /// (from, to) -> connection.
     conns: HashMap<(usize, usize), Connection>,
+    /// Ordered pairs whose retransmit budget was exhausted.
+    dead: StdMutex<HashSet<(usize, usize)>>,
+    counters: AtomicCounters,
 }
 
 impl Channel {
-    /// Build a channel over `protocol` with the given link `model`
-    /// connecting `members` (rank indices). Connections include the
-    /// loop-back pair (rank, rank), which the `ch_mad` shutdown path
-    /// uses to deliver its TERM packet to the local polling thread.
+    /// Build a channel over `protocol` with the given link `model` and
+    /// optional fault plan, connecting `members` (rank indices).
+    /// Connections include the loop-back pair (rank, rank), which the
+    /// `ch_mad` shutdown path uses to deliver its TERM packet to the
+    /// local polling thread (loop-back never traverses the wire, so the
+    /// fault plan does not apply to it).
     pub fn new(
         kernel: &Kernel,
         name: impl Into<String>,
         protocol: Protocol,
         model: LinkModel,
+        fault: Option<FaultPlan>,
         members: impl IntoIterator<Item = usize>,
     ) -> Arc<Channel> {
         let mut members: Vec<usize> = members.into_iter().collect();
         members.sort_unstable();
         members.dedup();
         let mut sources = HashMap::new();
+        let mut recv = HashMap::new();
         let mut conns = HashMap::new();
         for &r in &members {
             sources.insert(
                 r,
                 PollSource::new(kernel, ProcId(r as u32), model.poll_cost),
             );
+            recv.insert(r, StdMutex::new(RecvState::default()));
         }
         for &a in &members {
             for &b in &members {
@@ -108,6 +195,7 @@ impl Channel {
                             ConnState {
                                 floor: VirtualTime::ZERO,
                                 seq: 0,
+                                msg_seq: 0,
                             },
                         ),
                     },
@@ -118,9 +206,13 @@ impl Channel {
             name: name.into(),
             protocol,
             model: Arc::new(model),
+            fault,
             members,
             sources,
+            recv,
             conns,
+            dead: StdMutex::new(HashSet::new()),
+            counters: AtomicCounters::default(),
         })
     }
 
@@ -150,17 +242,90 @@ impl Channel {
         self.sources.contains_key(&rank)
     }
 
+    /// The fault plan attached to this channel's network, if any.
+    pub fn fault(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Snapshot of the reliable-delivery counters.
+    pub fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            retransmits: self.counters.retransmits.load(Ordering::Relaxed),
+            drops: self.counters.drops.load(Ordering::Relaxed),
+            duplicates: self.counters.duplicates.load(Ordering::Relaxed),
+            deferrals: self.counters.deferrals.load(Ordering::Relaxed),
+            dead_pairs: self.counters.dead_pairs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the ordered pair `(from, to)` exhausted its retransmit
+    /// budget (see [`ChannelError::LinkDead`]). A dead pair stays dead.
+    pub fn is_dead_pair(&self, from: usize, to: usize) -> bool {
+        self.dead.lock().unwrap().contains(&(from, to))
+    }
+
+    fn mark_dead(&self, from: usize, to: usize) {
+        if self.dead.lock().unwrap().insert((from, to)) {
+            self.counters.dead_pairs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// The view of this channel from `rank`.
-    pub fn endpoint(self: &Arc<Self>, rank: usize) -> Endpoint {
-        assert!(
-            self.is_member(rank),
-            "rank {rank} is not a member of channel '{}'",
-            self.name
-        );
-        Endpoint {
+    pub fn endpoint(self: &Arc<Self>, rank: usize) -> Result<Endpoint, ChannelError> {
+        if !self.is_member(rank) {
+            return Err(ChannelError::NotMember {
+                rank,
+                channel: self.name.clone(),
+            });
+        }
+        Ok(Endpoint {
             channel: self.clone(),
             rank,
-        }
+        })
+    }
+
+    /// Next in-order message previously released from the reorder stash.
+    fn take_ready(&self, rank: usize) -> Option<WireMessage> {
+        self.recv[&rank].lock().unwrap().ready.pop_front()
+    }
+
+    /// Receiver-side accept decision for a polled message: `Some` to
+    /// deliver it now, `None` when it was discarded as a duplicate or
+    /// stashed for later (out-of-order).
+    fn accept(&self, rank: usize, msg: WireMessage) -> Option<WireMessage> {
+        let mut st = self.recv[&rank].lock().unwrap();
+        let peer = st.peers.entry(msg.from).or_default();
+        let released = match msg.seq.cmp(&peer.expected) {
+            std::cmp::Ordering::Less => {
+                self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            std::cmp::Ordering::Greater => {
+                if peer.stash.insert(msg.seq, msg).is_some() {
+                    self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                }
+                return None;
+            }
+            std::cmp::Ordering::Equal => {
+                peer.expected += 1;
+                let mut released = Vec::new();
+                while let Some(m) = peer.stash.remove(&peer.expected) {
+                    peer.expected += 1;
+                    released.push(m);
+                }
+                released
+            }
+        };
+        st.ready.extend(released);
+        Some(msg)
+    }
+
+    /// Test hook: post a raw wire message (arbitrary `seq`) straight to
+    /// `to`'s incoming source, bypassing the sender-side sublayer — how
+    /// the reorder/dedup unit tests forge duplicates and gaps.
+    #[cfg(test)]
+    pub(crate) fn post_raw(&self, to: usize, at: VirtualTime, msg: WireMessage) {
+        self.sources[&to].post(at, msg);
     }
 }
 
@@ -181,41 +346,62 @@ impl Endpoint {
     }
 
     /// `mad_begin_packing`: open an outgoing message to `remote`.
-    pub fn begin_packing(&self, remote: usize) -> PackingConnection {
-        assert!(
-            self.channel.is_member(remote),
-            "rank {remote} is not a member of channel '{}'",
-            self.channel.name
-        );
-        PackingConnection {
+    pub fn begin_packing(&self, remote: usize) -> Result<PackingConnection, ChannelError> {
+        if !self.channel.is_member(remote) {
+            return Err(ChannelError::NotMember {
+                rank: remote,
+                channel: self.channel.name.clone(),
+            });
+        }
+        Ok(PackingConnection {
             endpoint: self.clone(),
             remote,
             blocks: Vec::new(),
             finished: false,
-        }
-    }
-
-    /// `mad_begin_unpacking`: block until a message is noticed on this
-    /// rank's incoming side. Returns `None` once the source is closed
-    /// and drained (session shutdown).
-    pub fn begin_unpacking(&self) -> Option<UnpackingConnection> {
-        let polled = self.source().poll_wait()?;
-        marcel::advance(self.channel.model.recv_fixed);
-        Some(UnpackingConnection {
-            endpoint: self.clone(),
-            message: polled.payload,
-            cursor: 0,
-            finished: false,
         })
     }
 
+    /// `mad_begin_unpacking`: block until an in-order message is noticed
+    /// on this rank's incoming side (duplicates are discarded, early
+    /// messages stashed — see the reliable sublayer). Returns `None`
+    /// once the source is closed and drained (session shutdown).
+    pub fn begin_unpacking(&self) -> Option<UnpackingConnection> {
+        loop {
+            let message = match self.channel.take_ready(self.rank) {
+                Some(m) => m,
+                None => {
+                    let polled = self.source().poll_wait()?;
+                    match self.channel.accept(self.rank, polled.payload) {
+                        Some(m) => m,
+                        None => continue, // duplicate dropped or stashed
+                    }
+                }
+            };
+            marcel::advance(self.channel.model.recv_fixed);
+            return Some(UnpackingConnection {
+                endpoint: self.clone(),
+                message,
+                cursor: 0,
+                finished: false,
+            });
+        }
+    }
+
     /// One non-blocking poll attempt (charges the protocol's poll cost).
+    /// Returns `None` when nothing deliverable is pending — including
+    /// when the one polled message was a duplicate or out of order.
     pub fn try_begin_unpacking(&self) -> Option<UnpackingConnection> {
-        let polled = self.source().try_poll()?;
+        let message = match self.channel.take_ready(self.rank) {
+            Some(m) => m,
+            None => {
+                let polled = self.source().try_poll()?;
+                self.channel.accept(self.rank, polled.payload)?
+            }
+        };
         marcel::advance(self.channel.model.recv_fixed);
         Some(UnpackingConnection {
             endpoint: self.clone(),
-            message: polled.payload,
+            message,
             cursor: 0,
             finished: false,
         })
@@ -239,9 +425,12 @@ impl Endpoint {
         self.source().close();
     }
 
-    /// Number of queued (arrived or in-flight) incoming messages.
+    /// Number of queued (arrived or in-flight) incoming messages,
+    /// including in-order messages already released from the reorder
+    /// stash but not yet consumed.
     pub fn backlog(&self) -> usize {
-        self.source().backlog()
+        let ready = self.channel.recv[&self.rank].lock().unwrap().ready.len();
+        self.source().backlog() + ready
     }
 
     fn source(&self) -> &PollSource<WireMessage> {
@@ -291,33 +480,130 @@ impl PackingConnection {
     /// occupancy (including one `extra_segment` per pack beyond the
     /// first) and posts the message with its wire arrival time,
     /// preserving per-connection FIFO order.
-    pub fn end_packing(mut self) {
+    ///
+    /// On a channel with a [`FaultPlan`] this is the sender half of the
+    /// reliable sublayer: attempts the plan drops are retransmitted
+    /// after an exponentially backed-off virtual-time timeout, attempts
+    /// inside a finite link-down window wait the window out, and a lost
+    /// acknowledgement forces a deliberate duplicate (exercising the
+    /// receiver's dedup). Exhausting [`MAX_SEND_ATTEMPTS`] without one
+    /// delivery declares the pair dead and returns
+    /// [`ChannelError::LinkDead`]. Loop-back messages never touch the
+    /// wire and bypass the plan.
+    pub fn end_packing(mut self) -> Result<(), ChannelError> {
         self.finished = true;
-        let channel = &self.endpoint.channel;
+        let channel = self.endpoint.channel.clone();
         let model = &channel.model;
         let total: usize = self.blocks.iter().map(|b| b.data.len()).sum();
         let segments = self.blocks.len().max(1);
-        let conn = &channel.conns[&(self.endpoint.rank, self.remote)];
+        let from = self.endpoint.rank;
+        let to = self.remote;
+        let blocks = std::mem::take(&mut self.blocks);
+        let conn = &channel.conns[&(from, to)];
         let mut state = conn.state.lock();
         marcel::advance(model.sender_occupancy(total, segments));
-        let now = marcel::now();
-        let mut arrival = model.arrival(now, total) + model.jitter_delay(state.seq, total);
-        state.seq += 1;
-        // The wire is a serial resource: this message cannot arrive
-        // sooner than one full wire-serialization after the previous
-        // message on the connection.
-        let min_arrival = state.floor + (model.wire_serialization(total) + FIFO_EPSILON);
-        if arrival < min_arrival {
-            arrival = min_arrival;
-        }
-        state.floor = arrival;
-        let message = WireMessage {
-            from: self.endpoint.rank,
-            blocks: std::mem::take(&mut self.blocks),
-            arrival,
+        let msg_seq = state.msg_seq;
+        state.msg_seq += 1;
+
+        // Fast path — no fault plan, or loop-back (which never touches
+        // the wire): identical timing to the original unreliable
+        // channel, one attempt, no extra kernel operations.
+        let plan = if from == to {
+            None
+        } else {
+            channel.fault.as_ref()
         };
-        channel.sources[&self.remote].post(arrival, message);
-        drop(state);
+        let Some(plan) = plan else {
+            let now = marcel::now();
+            let mut arrival = model.arrival(now, total) + model.jitter_delay(state.seq, total);
+            state.seq += 1;
+            // The wire is a serial resource: this message cannot arrive
+            // sooner than one full wire-serialization after the previous
+            // message on the connection.
+            let min_arrival = state.floor + (model.wire_serialization(total) + FIFO_EPSILON);
+            if arrival < min_arrival {
+                arrival = min_arrival;
+            }
+            state.floor = arrival;
+            let message = WireMessage {
+                from,
+                seq: msg_seq,
+                blocks,
+                arrival,
+            };
+            channel.sources[&to].post(arrival, message);
+            drop(state);
+            return Ok(());
+        };
+
+        // Reliable path. The connection guard is held across the whole
+        // exchange (including virtual-time sleeps — SimMutex blocks
+        // contenders in virtual time, so that is safe): the wire is a
+        // serial resource and a sender does not interleave messages on
+        // one connection mid-retransmit.
+        let mut attempts: u32 = 0;
+        let mut delivered = false;
+        loop {
+            let now = marcel::now();
+            let wire_seq = state.seq;
+            match plan.fate(wire_seq, total, now) {
+                Fate::Defer(until) => {
+                    // Link down but coming back: no attempt consumed,
+                    // nothing occupies the wire; wait the window out.
+                    channel.counters.deferrals.fetch_add(1, Ordering::Relaxed);
+                    marcel::sleep_until(until);
+                }
+                Fate::Drop => {
+                    state.seq += 1;
+                    attempts += 1;
+                    channel.counters.drops.fetch_add(1, Ordering::Relaxed);
+                    if attempts >= MAX_SEND_ATTEMPTS {
+                        if delivered {
+                            return Ok(());
+                        }
+                        channel.mark_dead(from, to);
+                        return Err(ChannelError::LinkDead {
+                            channel: channel.name.clone(),
+                            from,
+                            to,
+                            attempts,
+                        });
+                    }
+                    channel.counters.retransmits.fetch_add(1, Ordering::Relaxed);
+                    marcel::sleep(rto_for(attempts));
+                }
+                Fate::Deliver => {
+                    state.seq += 1;
+                    attempts += 1;
+                    let mut arrival = model.arrival(now, total)
+                        + model.jitter_delay(wire_seq, total)
+                        + plan.extra_delay(now);
+                    let min_arrival =
+                        state.floor + (model.wire_serialization(total) + FIFO_EPSILON);
+                    if arrival < min_arrival {
+                        arrival = min_arrival;
+                    }
+                    state.floor = arrival;
+                    let message = WireMessage {
+                        from,
+                        seq: msg_seq,
+                        blocks: blocks.clone(),
+                        arrival,
+                    };
+                    channel.sources[&to].post(arrival, message);
+                    delivered = true;
+                    if plan.ack_lost(wire_seq, total) && attempts < MAX_SEND_ATTEMPTS {
+                        // The delivery's acknowledgement vanished: the
+                        // sender cannot tell and retransmits a
+                        // duplicate after the timeout.
+                        channel.counters.retransmits.fetch_add(1, Ordering::Relaxed);
+                        marcel::sleep(rto_for(attempts));
+                        continue;
+                    }
+                    return Ok(());
+                }
+            }
+        }
     }
 }
 
@@ -433,5 +719,158 @@ impl Drop for UnpackingConnection {
                 self.message.from
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marcel::{CostModel, Kernel};
+
+    fn forged(from: usize, seq: u64, tag: u8) -> WireMessage {
+        WireMessage {
+            from,
+            seq,
+            blocks: vec![Block {
+                data: Bytes::from(vec![tag]),
+                send_mode: SendMode::Cheaper,
+                recv_mode: ReceiveMode::Cheaper,
+            }],
+            arrival: VirtualTime(1_000),
+        }
+    }
+
+    fn unpack_one(ep: &Endpoint) -> u8 {
+        let mut conn = ep.begin_unpacking().expect("source open");
+        let mut b = [0u8; 1];
+        conn.unpack(&mut b, SendMode::Cheaper, ReceiveMode::Cheaper);
+        conn.end_unpacking();
+        b[0]
+    }
+
+    fn channel(k: &Kernel, fault: Option<FaultPlan>) -> Arc<Channel> {
+        Channel::new(
+            k,
+            "test",
+            Protocol::Sisci,
+            Protocol::Sisci.model(),
+            fault,
+            [0, 1],
+        )
+    }
+
+    #[test]
+    fn out_of_order_messages_release_in_seq_order() {
+        let k = Kernel::new(CostModel::free());
+        let ch = channel(&k, None);
+        let rx = ch.endpoint(1).unwrap();
+        let ch2 = ch.clone();
+        let h = k.spawn("rx", move || {
+            // Forge a gap: logical message 1 arrives before message 0.
+            ch2.post_raw(1, VirtualTime(1_000), forged(0, 1, b'B'));
+            ch2.post_raw(1, VirtualTime(2_000), forged(0, 0, b'A'));
+            let first = unpack_one(&rx);
+            let backlog_between = rx.backlog();
+            let second = unpack_one(&rx);
+            (first, second, backlog_between)
+        });
+        k.run().unwrap();
+        // Message 1 was stashed, then released behind message 0 — and the
+        // released-but-unconsumed message counts toward the backlog.
+        assert_eq!(h.join_outcome().unwrap(), (b'A', b'B', 1));
+        assert_eq!(ch.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn duplicate_of_delivered_message_is_discarded() {
+        let k = Kernel::new(CostModel::free());
+        let ch = channel(&k, None);
+        let rx = ch.endpoint(1).unwrap();
+        let ch2 = ch.clone();
+        let h = k.spawn("rx", move || {
+            ch2.post_raw(1, VirtualTime(1_000), forged(0, 0, b'A'));
+            ch2.post_raw(1, VirtualTime(2_000), forged(0, 0, b'A')); // retransmit
+            ch2.post_raw(1, VirtualTime(3_000), forged(0, 1, b'B'));
+            (unpack_one(&rx), unpack_one(&rx))
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), (b'A', b'B'));
+        assert_eq!(ch.counters().duplicates, 1);
+    }
+
+    #[test]
+    fn duplicate_of_stashed_message_is_counted_once() {
+        let k = Kernel::new(CostModel::free());
+        let ch = channel(&k, None);
+        let rx = ch.endpoint(1).unwrap();
+        let ch2 = ch.clone();
+        let h = k.spawn("rx", move || {
+            ch2.post_raw(1, VirtualTime(1_000), forged(0, 1, b'B'));
+            ch2.post_raw(1, VirtualTime(2_000), forged(0, 1, b'B')); // dup in stash
+            ch2.post_raw(1, VirtualTime(3_000), forged(0, 0, b'A'));
+            (unpack_one(&rx), unpack_one(&rx))
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), (b'A', b'B'));
+        assert_eq!(ch.counters().duplicates, 1);
+    }
+
+    #[test]
+    fn exhausted_retransmits_declare_the_pair_dead() {
+        let k = Kernel::new(CostModel::free());
+        // Loss of 1.0: every attempt is dropped on the wire.
+        let ch = channel(&k, Some(FaultPlan::new(7).with_loss(1.0)));
+        let tx = ch.endpoint(0).unwrap();
+        let h = k.spawn("tx", move || {
+            let mut conn = tx.begin_packing(1).unwrap();
+            conn.pack(&[9], SendMode::Cheaper, ReceiveMode::Cheaper);
+            conn.end_packing()
+        });
+        k.run().unwrap();
+        match h.join_outcome().unwrap() {
+            Err(ChannelError::LinkDead {
+                from, to, attempts, ..
+            }) => {
+                assert_eq!((from, to, attempts), (0, 1, MAX_SEND_ATTEMPTS));
+            }
+            other => panic!("expected LinkDead, got {other:?}"),
+        }
+        assert!(ch.is_dead_pair(0, 1));
+        assert!(!ch.is_dead_pair(1, 0));
+        let c = ch.counters();
+        assert_eq!(c.drops, MAX_SEND_ATTEMPTS as u64);
+        assert_eq!(c.dead_pairs, 1);
+    }
+
+    #[test]
+    fn lost_acks_force_duplicates_the_receiver_dedups() {
+        let k = Kernel::new(CostModel::free());
+        // Every delivery's acknowledgement vanishes: the sender keeps
+        // retransmitting until the attempt budget runs out, then
+        // (having delivered at least once) reports success.
+        let ch = channel(&k, Some(FaultPlan::new(3).with_ack_loss(1.0)));
+        let tx = ch.endpoint(0).unwrap();
+        let rx = ch.endpoint(1).unwrap();
+        k.spawn("tx", move || {
+            let mut conn = tx.begin_packing(1).unwrap();
+            conn.pack(&[5], SendMode::Cheaper, ReceiveMode::Cheaper);
+            conn.end_packing().unwrap();
+        });
+        let h = k.spawn("rx", move || {
+            let first = unpack_one(&rx);
+            // Let every duplicate arrive, then drain them: each poll
+            // consumes one and the dedup layer discards it.
+            marcel::advance(VirtualDuration::from_millis(1_000));
+            while rx.backlog() > 0 {
+                assert!(rx.try_begin_unpacking().is_none(), "duplicate leaked");
+            }
+            first
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), 5);
+        let c = ch.counters();
+        assert_eq!(c.duplicates, MAX_SEND_ATTEMPTS as u64 - 1);
+        assert_eq!(c.retransmits, MAX_SEND_ATTEMPTS as u64 - 1);
+        assert_eq!(c.dead_pairs, 0);
     }
 }

@@ -1,0 +1,110 @@
+//! Typed errors for library-level failures.
+//!
+//! The paper's prototype aborts on any misuse or link failure; the
+//! reproduction's robustness sublayer instead surfaces typed errors so
+//! the `ch_mad` device above can fail over to a surviving rail.
+
+use simnet::TopologyError;
+
+/// Errors from channel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The rank is not a member of the channel.
+    NotMember { rank: usize, channel: String },
+    /// The reliable sublayer exhausted its retransmit budget without a
+    /// single successful delivery: the connection is declared dead.
+    LinkDead {
+        channel: String,
+        from: usize,
+        to: usize,
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::NotMember { rank, channel } => {
+                write!(f, "rank {rank} is not a member of channel '{channel}'")
+            }
+            ChannelError::LinkDead {
+                channel,
+                from,
+                to,
+                attempts,
+            } => write!(
+                f,
+                "link dead on channel '{channel}': {from} -> {to} gave up after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Errors from session construction and operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MadError {
+    /// The topology failed validation.
+    Topology(TopologyError),
+    /// The session has no ranks placed.
+    EmptyPlacement,
+    /// A rank was placed on a node the topology does not contain.
+    RankOnUnknownNode { rank: usize, node: usize },
+    /// A channel-level failure.
+    Channel(ChannelError),
+}
+
+impl std::fmt::Display for MadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MadError::Topology(e) => write!(f, "invalid topology: {e}"),
+            MadError::EmptyPlacement => write!(f, "session needs at least one rank"),
+            MadError::RankOnUnknownNode { rank, node } => {
+                write!(f, "rank {rank} placed on unknown node {node}")
+            }
+            MadError::Channel(e) => write!(f, "channel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MadError::Topology(e) => Some(e),
+            MadError::Channel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for MadError {
+    fn from(e: TopologyError) -> Self {
+        MadError::Topology(e)
+    }
+}
+
+impl From<ChannelError> for MadError {
+    fn from(e: ChannelError) -> Self {
+        MadError::Channel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parties() {
+        let e = ChannelError::LinkDead {
+            channel: "BIP#1".into(),
+            from: 0,
+            to: 1,
+            attempts: 30,
+        };
+        let s = e.to_string();
+        assert!(s.contains("BIP#1") && s.contains("0 -> 1") && s.contains("30"));
+        let m: MadError = e.into();
+        assert!(m.to_string().contains("channel error"));
+    }
+}

@@ -20,11 +20,16 @@
 //! costs the protocol's measured `extra_segment` (§5.2–5.4).
 
 pub mod channel;
+pub mod error;
 pub mod message;
 pub mod modes;
 pub mod session;
 
-pub use channel::{Channel, Endpoint, PackingConnection, UnpackingConnection, PACK_CALL_CPU};
+pub use channel::{
+    Channel, Endpoint, FaultCounters, PackingConnection, UnpackingConnection, MAX_SEND_ATTEMPTS,
+    PACK_CALL_CPU,
+};
+pub use error::{ChannelError, MadError};
 pub use message::{Block, WireMessage};
 pub use modes::{ReceiveMode, SendMode};
 pub use session::{Session, SessionBuilder};
@@ -50,16 +55,16 @@ mod tests {
         let k = Kernel::new(CostModel::calibrated());
         let s = Session::single_network(&k, 2, Protocol::Tcp);
         let ch = s.channels()[0].clone();
-        let tx = ch.endpoint(0);
-        let rx = ch.endpoint(1);
+        let tx = ch.endpoint(0).unwrap();
+        let rx = ch.endpoint(1).unwrap();
         let payload: Vec<u8> = (0..777u32).map(|i| (i % 251) as u8).collect();
         let expected = payload.clone();
         k.spawn("sender", move || {
-            let mut conn = tx.begin_packing(1);
+            let mut conn = tx.begin_packing(1).unwrap();
             let size = (payload.len() as u32).to_le_bytes();
             conn.pack(&size, SendMode::Cheaper, ReceiveMode::Express);
             conn.pack(&payload, SendMode::Cheaper, ReceiveMode::Cheaper);
-            conn.end_packing();
+            conn.end_packing().unwrap();
         });
         let h = k.spawn("receiver", move || {
             let mut conn = rx.begin_unpacking().unwrap();
@@ -87,12 +92,12 @@ mod tests {
             let k = Kernel::new(CostModel::free());
             let s = Session::single_network(&k, 2, proto);
             let ch = s.channels()[0].clone();
-            let tx = ch.endpoint(0);
-            let rx = ch.endpoint(1);
+            let tx = ch.endpoint(0).unwrap();
+            let rx = ch.endpoint(1).unwrap();
             k.spawn("sender", move || {
-                let mut conn = tx.begin_packing(1);
+                let mut conn = tx.begin_packing(1).unwrap();
                 conn.pack(&[1, 2, 3, 4], SendMode::Cheaper, ReceiveMode::Cheaper);
-                conn.end_packing();
+                conn.end_packing().unwrap();
             });
             let h = k.spawn("receiver", move || {
                 let mut conn = rx.begin_unpacking().unwrap();
@@ -135,14 +140,14 @@ mod tests {
         let k = Kernel::new(CostModel::free());
         let s = Session::single_network(&k, 2, proto);
         let ch = s.channels()[0].clone();
-        let tx = ch.endpoint(0);
-        let rx = ch.endpoint(1);
+        let tx = ch.endpoint(0).unwrap();
+        let rx = ch.endpoint(1).unwrap();
         k.spawn("sender", move || {
-            let mut conn = tx.begin_packing(1);
+            let mut conn = tx.begin_packing(1).unwrap();
             for _ in 0..segments {
                 conn.pack(&[0u8; 4], SendMode::Cheaper, ReceiveMode::Express);
             }
-            conn.end_packing();
+            conn.end_packing().unwrap();
         });
         let h = k.spawn("receiver", move || {
             let mut conn = rx.begin_unpacking().unwrap();
@@ -162,17 +167,17 @@ mod tests {
         let k = Kernel::new(CostModel::free());
         let s = Session::single_network(&k, 2, Protocol::Bip);
         let ch = s.channels()[0].clone();
-        let tx = ch.endpoint(0);
-        let rx = ch.endpoint(1);
+        let tx = ch.endpoint(0).unwrap();
+        let rx = ch.endpoint(1).unwrap();
         // A big message followed by a tiny one: the tiny one must NOT
         // overtake on the same connection.
         k.spawn("sender", move || {
-            let mut big = tx.begin_packing(1);
+            let mut big = tx.begin_packing(1).unwrap();
             big.pack(&vec![1u8; 100_000], SendMode::Cheaper, ReceiveMode::Cheaper);
-            big.end_packing();
-            let mut small = tx.begin_packing(1);
+            big.end_packing().unwrap();
+            let mut small = tx.begin_packing(1).unwrap();
             small.pack(&[2u8], SendMode::Cheaper, ReceiveMode::Cheaper);
-            small.end_packing();
+            small.end_packing().unwrap();
         });
         let h = k.spawn("receiver", move || {
             let mut order = Vec::new();
@@ -199,16 +204,16 @@ mod tests {
             .build(&k)
             .unwrap();
         let (cha, chb) = (s.channels()[0].clone(), s.channels()[1].clone());
-        let (txa, txb) = (cha.endpoint(0), chb.endpoint(0));
-        let rxb = chb.endpoint(1);
-        let rxa = cha.endpoint(1);
+        let (txa, txb) = (cha.endpoint(0).unwrap(), chb.endpoint(0).unwrap());
+        let rxb = chb.endpoint(1).unwrap();
+        let rxa = cha.endpoint(1).unwrap();
         k.spawn("sender", move || {
-            let mut m = txb.begin_packing(1);
+            let mut m = txb.begin_packing(1).unwrap();
             m.pack(&[9], SendMode::Cheaper, ReceiveMode::Cheaper);
-            m.end_packing();
-            let mut m = txa.begin_packing(1);
+            m.end_packing().unwrap();
+            let mut m = txa.begin_packing(1).unwrap();
             m.pack(&[7], SendMode::Cheaper, ReceiveMode::Cheaper);
-            m.end_packing();
+            m.end_packing().unwrap();
         });
         let h = k.spawn("receiver", move || {
             // Read channel A first even though B's message left first.
@@ -229,12 +234,12 @@ mod tests {
         let k = Kernel::new(CostModel::free());
         let s = Session::single_network(&k, 2, Protocol::Tcp);
         let ch = s.channels()[0].clone();
-        let tx = ch.endpoint(0);
-        let rx = ch.endpoint(1);
+        let tx = ch.endpoint(0).unwrap();
+        let rx = ch.endpoint(1).unwrap();
         k.spawn("sender", move || {
-            let mut conn = tx.begin_packing(1);
+            let mut conn = tx.begin_packing(1).unwrap();
             conn.pack(&[0u8; 8], SendMode::Cheaper, ReceiveMode::Cheaper);
-            conn.end_packing();
+            conn.end_packing().unwrap();
         });
         k.spawn("receiver", move || {
             let mut conn = rx.begin_unpacking().unwrap();
@@ -251,8 +256,8 @@ mod tests {
         let k = Kernel::new(CostModel::free());
         let s = Session::single_network(&k, 2, Protocol::Tcp);
         let ch = s.channels()[0].clone();
-        let rx = ch.endpoint(1);
-        let rx2 = ch.endpoint(1);
+        let rx = ch.endpoint(1).unwrap();
+        let rx2 = ch.endpoint(1).unwrap();
         let h = k.spawn("receiver", move || rx.begin_unpacking().is_none());
         k.spawn("closer", move || {
             marcel::advance(marcel::VirtualDuration::from_micros(5));
@@ -268,11 +273,11 @@ mod tests {
         let k = Kernel::new(CostModel::free());
         let s = Session::single_network(&k, 2, Protocol::Tcp);
         let ch = s.channels()[0].clone();
-        let ep = ch.endpoint(0);
+        let ep = ch.endpoint(0).unwrap();
         let h = k.spawn("rank0", move || {
-            let mut m = ep.begin_packing(0);
+            let mut m = ep.begin_packing(0).unwrap();
             m.pack(&[42], SendMode::Cheaper, ReceiveMode::Express);
-            m.end_packing();
+            m.end_packing().unwrap();
             let mut conn = ep.begin_unpacking().unwrap();
             let v = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Express)[0];
             conn.end_unpacking();
@@ -289,15 +294,15 @@ mod tests {
         let k = Kernel::new(CostModel::free());
         let s = Session::single_network(&k, 2, Protocol::Sisci);
         let ch = s.channels()[0].clone();
-        let tx = ch.endpoint(0);
-        let rx = ch.endpoint(1);
+        let tx = ch.endpoint(0).unwrap();
+        let rx = ch.endpoint(1).unwrap();
         let h = k.spawn("sender", move || {
             let data = vec![0u8; 100_000];
             let t0 = marcel::now();
-            let mut conn = tx.begin_packing(1);
+            let mut conn = tx.begin_packing(1).unwrap();
             conn.pack(&data, SendMode::Safer, ReceiveMode::Cheaper);
             let after_pack = marcel::now() - t0;
-            conn.end_packing();
+            conn.end_packing().unwrap();
             after_pack
         });
         k.spawn("receiver", move || {
@@ -321,17 +326,17 @@ mod tests {
             let k = Kernel::new(CostModel::free());
             let s = Session::single_network(&k, 2, proto);
             let ch = s.channels()[0].clone();
-            let tx = ch.endpoint(0);
-            let rx = ch.endpoint(1);
+            let tx = ch.endpoint(0).unwrap();
+            let rx = ch.endpoint(1).unwrap();
             let n = 8 * (1 << 20);
             k.spawn("sender", move || {
-                let mut conn = tx.begin_packing(1);
+                let mut conn = tx.begin_packing(1).unwrap();
                 conn.pack_bytes(
                     bytes::Bytes::from(vec![0u8; n]),
                     SendMode::Cheaper,
                     ReceiveMode::Cheaper,
                 );
-                conn.end_packing();
+                conn.end_packing().unwrap();
             });
             let h = k.spawn("receiver", move || {
                 let mut conn = rx.begin_unpacking().unwrap();

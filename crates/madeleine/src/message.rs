@@ -25,6 +25,10 @@ pub struct Block {
 pub struct WireMessage {
     /// Sending rank (session-global index).
     pub from: usize,
+    /// Per-connection logical message number (reliable-delivery
+    /// sublayer): every retransmission of one message carries the same
+    /// `seq`, which is what lets the receiver dedup and reorder.
+    pub seq: u64,
     /// Blocks in packing order.
     pub blocks: Vec<Block>,
     /// Wire arrival time at the receiving adapter.
@@ -51,6 +55,7 @@ mod tests {
     fn totals() {
         let msg = WireMessage {
             from: 3,
+            seq: 0,
             blocks: vec![
                 Block {
                     data: Bytes::from_static(&[1, 2, 3, 4]),

@@ -3,12 +3,14 @@
 //! allows several channels over the same protocol, e.g. to split the
 //! traffic of two software modules; §3.1).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use marcel::Kernel;
-use simnet::{NetworkId, NodeId, Protocol, Topology, TopologyError};
+use simnet::{NetworkId, NodeId, Protocol, Topology};
 
-use crate::channel::{Channel, Endpoint};
+use crate::channel::{Channel, Endpoint, FaultCounters};
+use crate::error::{ChannelError, MadError};
 
 /// Declarative session description; build with [`SessionBuilder::build`].
 pub struct SessionBuilder {
@@ -68,22 +70,19 @@ impl SessionBuilder {
     }
 
     /// Validate the topology and instantiate channels and connections.
-    pub fn build(self, kernel: &Kernel) -> Result<Arc<Session>, TopologyError> {
+    pub fn build(self, kernel: &Kernel) -> Result<Arc<Session>, MadError> {
         if self.forwarding {
             self.topology.validate_connected()?;
         } else {
             self.topology.validate()?;
         }
-        assert!(
-            !self.placement.is_empty(),
-            "session needs at least one rank"
-        );
+        if self.placement.is_empty() {
+            return Err(MadError::EmptyPlacement);
+        }
         for (rank, node) in self.placement.iter().enumerate() {
-            assert!(
-                node.0 < self.topology.nodes().len(),
-                "rank {rank} placed on unknown node {}",
-                node.0
-            );
+            if node.0 >= self.topology.nodes().len() {
+                return Err(MadError::RankOnUnknownNode { rank, node: node.0 });
+            }
         }
         let mut channels = Vec::new();
         let mut network_channel = Vec::new();
@@ -94,6 +93,7 @@ impl SessionBuilder {
                 format!("{}#{}", net.protocol.name(), i),
                 net.protocol,
                 net.model.clone(),
+                net.fault.clone(),
                 members,
             );
             network_channel.push(channels.len());
@@ -107,6 +107,7 @@ impl SessionBuilder {
                 name,
                 net.protocol,
                 net.model.clone(),
+                net.fault.clone(),
                 members,
             ));
         }
@@ -116,6 +117,8 @@ impl SessionBuilder {
             channels,
             network_channel,
             forwarding: self.forwarding,
+            failovers: AtomicU64::new(0),
+            rndv_reissues: AtomicU64::new(0),
         }))
     }
 }
@@ -137,6 +140,10 @@ pub struct Session {
     /// network index -> index into `channels` (the primary channel).
     network_channel: Vec<usize>,
     forwarding: bool,
+    /// Device-level events recorded through the session so benches and
+    /// tests can observe robustness behaviour.
+    failovers: AtomicU64,
+    rndv_reissues: AtomicU64,
 }
 
 impl Session {
@@ -203,6 +210,17 @@ impl Session {
         out
     }
 
+    /// Like [`Session::channels_between`], but excluding channels whose
+    /// `(a, b)` pair was declared dead by the reliable sublayer — the
+    /// surviving rails the `ch_mad` device re-resolves its protocol
+    /// policy against after a failure.
+    pub fn live_channels_between(&self, a: usize, b: usize) -> Vec<Arc<Channel>> {
+        self.channels_between(a, b)
+            .into_iter()
+            .filter(|c| !c.is_dead_pair(a, b) && !c.is_dead_pair(b, a))
+            .collect()
+    }
+
     /// The preferred channel between two ranks (the `ch_mad` selection
     /// rule: the fastest network both nodes share).
     pub fn best_channel_between(&self, a: usize, b: usize) -> Option<Arc<Channel>> {
@@ -216,8 +234,37 @@ impl Session {
     }
 
     /// Endpoint of `rank` on the primary channel of `net`.
-    pub fn endpoint(&self, net: NetworkId, rank: usize) -> Endpoint {
+    pub fn endpoint(&self, net: NetworkId, rank: usize) -> Result<Endpoint, ChannelError> {
         self.channel_for_network(net).endpoint(rank)
+    }
+
+    /// Aggregate reliable-delivery counters across every channel.
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        for c in &self.channels {
+            total += c.counters();
+        }
+        total
+    }
+
+    /// Record that a device moved traffic off a dead rail.
+    pub fn note_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record that an in-flight rendezvous REQUEST was re-issued.
+    pub fn note_rndv_reissue(&self) {
+        self.rndv_reissues.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of rail failovers recorded by devices.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Number of rendezvous REQUEST re-issues recorded by devices.
+    pub fn rndv_reissues(&self) -> u64 {
+        self.rndv_reissues.load(Ordering::Relaxed)
     }
 
     /// Whether forwarding across gateway nodes is enabled.

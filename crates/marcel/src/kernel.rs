@@ -95,6 +95,9 @@ pub(crate) enum TState {
     Running,
     /// Waiting on a semaphore.
     BlockedSem(SemId),
+    /// Waiting on a semaphore with a deadline: wakes at the deadline
+    /// (empty-handed) if no release arrives first.
+    BlockedSemTimeout(SemId, VirtualTime),
     /// Waiting for another thread to finish.
     BlockedJoin(Tid),
     /// Waiting in `poll_wait` on a source with an empty queue.
@@ -111,6 +114,9 @@ impl TState {
             TState::Ready => "ready".into(),
             TState::Running => "running".into(),
             TState::BlockedSem(s) => format!("blocked on semaphore #{}", s.0),
+            TState::BlockedSemTimeout(s, dl) => {
+                format!("blocked on semaphore #{} until {dl}", s.0)
+            }
             TState::BlockedJoin(t) => format!("joining thread #{}", t.0),
             TState::BlockedPoll(s) => format!("poll-waiting on source #{}", s.0),
             TState::Sleeping(t) => format!("sleeping until {t}"),
@@ -223,6 +229,9 @@ impl Shared {
             let key = match t.state {
                 TState::Ready => t.vtime,
                 TState::Sleeping(wake) => wake,
+                // A timed semaphore waiter is due at its deadline; an
+                // earlier release makes it Ready through `make_ready`.
+                TState::BlockedSemTimeout(_, deadline) => deadline,
                 _ => continue,
             };
             if best.is_none_or(|(bt, bi)| (key, i) < (bt, bi)) {
@@ -235,12 +244,23 @@ impl Shared {
     /// Make `next` the running thread (waking it from Sleeping if needed)
     /// and notify every parked OS thread so the right one resumes.
     fn commit(&self, sched: &mut Sched, next: Tid) {
-        let slot = &mut sched.threads[next.0];
-        if let TState::Sleeping(wake) = slot.state {
-            if wake > slot.vtime {
-                slot.vtime = wake;
+        let wake = match sched.threads[next.0].state {
+            TState::Sleeping(wake) => Some((None, wake)),
+            // Scheduled *at the deadline*: the wait timed out. Leave the
+            // semaphore's queue so a later release can't also grant us.
+            TState::BlockedSemTimeout(sid, deadline) => Some((Some(sid), deadline)),
+            _ => None,
+        };
+        if let Some((timed_out_sem, at)) = wake {
+            if let Some(sid) = timed_out_sem {
+                sched.sems[sid.0].waiters.retain(|t| *t != next);
+            }
+            let slot = &mut sched.threads[next.0];
+            if at > slot.vtime {
+                slot.vtime = at;
             }
         }
+        let slot = &mut sched.threads[next.0];
         slot.state = TState::Running;
         sched.running = Some(next);
         self.cv.notify_all();

@@ -14,6 +14,7 @@ use parking_lot::Mutex as RealMutex;
 
 use crate::kernel::{Kernel, SemId, SemState, Shared, TState};
 use crate::thread::current;
+use crate::time::VirtualDuration;
 
 /// A counting semaphore with FIFO waiter wake-up (deterministic).
 ///
@@ -71,6 +72,40 @@ impl Semaphore {
         }
     }
 
+    /// P operation with a virtual-time deadline: blocks until a release
+    /// grants the count or `timeout` elapses, whichever comes first.
+    /// Returns `true` when the count was taken, `false` on timeout.
+    ///
+    /// Grant vs. timeout is decided deterministically by the kernel: a
+    /// release marks the popped waiter with a wake payload, while a
+    /// deadline wake-up removes the waiter from the semaphore queue
+    /// inside the scheduler commit, so the two outcomes can never both
+    /// happen.
+    pub fn acquire_timeout(&self, timeout: VirtualDuration) -> bool {
+        let (shared, me) = current();
+        debug_assert!(
+            Arc::ptr_eq(&shared, &self.shared),
+            "semaphore used across kernels"
+        );
+        let mut sched = shared.state.lock();
+        let op = shared.cost.sem_op;
+        sched.threads[me.0].vtime += op;
+        let sem = &mut sched.sems[self.id.0];
+        if sem.count > 0 {
+            sem.count -= 1;
+            shared.reschedule(&mut sched, me);
+            return true;
+        }
+        let deadline = sched.threads[me.0].vtime + timeout;
+        sched.sems[self.id.0].waiters.push_back(me);
+        sched.record(me, || {
+            format!("P sem#{} blocks until {deadline}", self.id.0)
+        });
+        shared.block(&mut sched, me, TState::BlockedSemTimeout(self.id, deadline));
+        // Resumed: a release left a grant marker; a timeout did not.
+        sched.threads[me.0].wake_payload.take().is_some()
+    }
+
     /// Non-blocking P: returns whether the count was successfully taken.
     pub fn try_acquire(&self) -> bool {
         let (shared, me) = current();
@@ -102,6 +137,11 @@ impl Semaphore {
             // The woken thread becomes runnable after the cross-thread
             // wake latency plus a context switch to it.
             let at = releaser_clock + wake + ctx;
+            // A timed waiter needs a grant marker so it can tell this
+            // wake-up apart from its own deadline firing.
+            if matches!(sched.threads[w.0].state, TState::BlockedSemTimeout(_, _)) {
+                sched.threads[w.0].wake_payload = Some(Box::new(()));
+            }
             Shared::make_ready(&mut sched, w, at);
             sched.record(me, || format!("V sem#{} wakes #{}", self.id.0, w.0));
         } else {
@@ -297,6 +337,22 @@ impl<T: Send + 'static> OneShot<T> {
             .lock()
             .take()
             .expect("OneShot woken without a value")
+    }
+
+    /// Block until the value is deposited or `timeout` virtual time
+    /// elapses. Returns `None` on timeout (the slot stays armed: a later
+    /// `put` can still complete a subsequent `take`/`wait_timeout`).
+    pub fn wait_timeout(&self, timeout: VirtualDuration) -> Option<T> {
+        if self.sem.acquire_timeout(timeout) {
+            Some(
+                self.slot
+                    .lock()
+                    .take()
+                    .expect("OneShot woken without a value"),
+            )
+        } else {
+            None
+        }
     }
 
     /// Non-blocking take.
@@ -664,6 +720,96 @@ mod tests {
         });
         k.run().unwrap();
         assert_eq!(h.join_outcome().unwrap(), (true, false, true));
+    }
+
+    #[test]
+    fn acquire_timeout_expires_at_deadline() {
+        let k = Kernel::new(CostModel::free());
+        let sem = Semaphore::new(&k, 0);
+        let h = k.spawn("waiter", move || {
+            let got = sem.acquire_timeout(VirtualDuration::from_micros(40));
+            (got, now())
+        });
+        k.run().unwrap();
+        let (got, t) = h.join_outcome().unwrap();
+        assert!(!got, "nobody released: must time out");
+        assert_eq!(t, VirtualTime(40_000));
+    }
+
+    #[test]
+    fn acquire_timeout_granted_before_deadline() {
+        let k = Kernel::new(CostModel::free());
+        let sem = Semaphore::new(&k, 0);
+        let s2 = sem.clone();
+        let h = k.spawn("waiter", move || {
+            let got = s2.acquire_timeout(VirtualDuration::from_micros(500));
+            (got, now())
+        });
+        k.spawn("releaser", move || {
+            advance(VirtualDuration::from_micros(20));
+            sem.release();
+        });
+        k.run().unwrap();
+        let (got, t) = h.join_outcome().unwrap();
+        assert!(got, "release arrived well before the deadline");
+        assert_eq!(t, VirtualTime(20_000));
+    }
+
+    #[test]
+    fn acquire_timeout_with_available_count_is_immediate() {
+        let k = Kernel::new(CostModel::free());
+        let sem = Semaphore::new(&k, 1);
+        let h = k.spawn("t", move || {
+            let a = sem.acquire_timeout(VirtualDuration::from_micros(10));
+            let b = sem.acquire_timeout(VirtualDuration::from_micros(10));
+            (a, b, now())
+        });
+        k.run().unwrap();
+        let (a, b, t) = h.join_outcome().unwrap();
+        assert!(a && !b);
+        assert_eq!(t, VirtualTime(10_000), "only the second wait sleeps");
+    }
+
+    #[test]
+    fn timed_out_waiter_does_not_steal_later_release() {
+        // w1 times out at 10us; w2 waits forever. The release at 50us
+        // must go to w2, not to the long-gone w1.
+        let k = Kernel::new(CostModel::free());
+        let sem = Semaphore::new(&k, 0);
+        let (s1, s2) = (sem.clone(), sem.clone());
+        let h1 = k.spawn("w1", move || {
+            s1.acquire_timeout(VirtualDuration::from_micros(10))
+        });
+        let h2 = k.spawn("w2", move || {
+            advance(VirtualDuration::from_micros(1));
+            s2.acquire();
+            now()
+        });
+        k.spawn("rel", move || {
+            advance(VirtualDuration::from_micros(50));
+            sem.release();
+        });
+        k.run().unwrap();
+        assert!(!h1.join_outcome().unwrap());
+        assert_eq!(h2.join_outcome().unwrap(), VirtualTime(50_000));
+    }
+
+    #[test]
+    fn oneshot_wait_timeout_then_put_still_delivers() {
+        let k = Kernel::new(CostModel::free());
+        let slot = OneShot::<u64>::new(&k);
+        let s2 = slot.clone();
+        let h = k.spawn("taker", move || {
+            let first = s2.wait_timeout(VirtualDuration::from_micros(5));
+            let second = s2.wait_timeout(VirtualDuration::from_micros(100));
+            (first, second)
+        });
+        k.spawn("putter", move || {
+            advance(VirtualDuration::from_micros(30));
+            slot.put(7);
+        });
+        k.run().unwrap();
+        assert_eq!(h.join_outcome().unwrap(), (None, Some(7)));
     }
 
     #[test]

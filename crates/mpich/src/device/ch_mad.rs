@@ -35,7 +35,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::{BufMut, Bytes, BytesMut};
-use madeleine::{Channel, Endpoint, ReceiveMode, SendMode, Session};
+use madeleine::{
+    Channel, ChannelError, Endpoint, ReceiveMode, SendMode, Session, UnpackingConnection,
+};
 use marcel::{JoinHandle, Kernel, OneShot, SimMutex};
 
 use crate::adi::{AdiCosts, Device, PolicyMode, ProtocolPolicy};
@@ -91,8 +93,23 @@ struct PendingRndv {
     waiting: HashMap<u64, OneShot<u64>>,
 }
 
+/// Receiver-side progress of one rendezvous REQUEST, keyed by
+/// `(sender rank, sender_token)`. The sender re-issues its REQUEST
+/// (same token) when no OK_TO_SEND arrives in time, so the receiver
+/// must recognize re-issues instead of matching them against a second
+/// receive.
+enum RndvProgress {
+    /// Offered to the engine; the responder has not fired yet (no
+    /// matching receive posted so far). A re-issue is simply dropped.
+    Offered,
+    /// Acknowledged with this sync_address. A re-issue means the sender
+    /// may have missed the OK_TO_SEND: acknowledge again.
+    Acked(u64),
+}
+
 struct RankState {
     pending: SimMutex<PendingRndv>,
+    seen: SimMutex<HashMap<(usize, u64), RndvProgress>>,
 }
 
 pub struct ChMad {
@@ -102,6 +119,11 @@ pub struct ChMad {
     config: ChMadConfig,
     policy: ProtocolPolicy,
     ranks: Vec<RankState>,
+    /// Whether any channel carries a fault plan. On a fault-free session
+    /// every robustness path below (REQUEST re-issue timers, failover
+    /// retries) is bypassed, keeping the timing identical to a build
+    /// without the reliability sublayer.
+    has_faults: bool,
 }
 
 impl ChMad {
@@ -123,8 +145,10 @@ impl ChMad {
                         waiting: HashMap::new(),
                     },
                 ),
+                seen: SimMutex::new(kernel, HashMap::new()),
             })
             .collect();
+        let has_faults = session.channels().iter().any(|c| c.fault().is_some());
         Arc::new(ChMad {
             session,
             engines,
@@ -132,6 +156,7 @@ impl ChMad {
             config,
             policy,
             ranks,
+            has_faults,
         })
     }
 
@@ -140,29 +165,18 @@ impl ChMad {
         &self.session
     }
 
-    fn channel_to(&self, from: usize, dst: usize) -> Arc<Channel> {
-        self.session
-            .best_channel_between(from, dst)
-            .unwrap_or_else(|| {
-                panic!(
-                    "no direct network between ranks {from} and {dst}: \
-                     enable forwarding to cross gateways"
-                )
-            })
-    }
-
-    fn endpoint_to(&self, from: usize, dst: usize) -> Endpoint {
-        self.channel_to(from, dst).endpoint(from)
-    }
-
     /// The eager→rendezvous threshold for a message from `from` to
     /// `dst`, resolved against the protocol of the channel the first
-    /// hop will ride (the policy is per channel, not per device).
+    /// hop will ride (the policy is per channel, not per device). The
+    /// resolution excludes rails declared dead by the reliable
+    /// sublayer: after a failover the policy follows the traffic to
+    /// the surviving rail's protocol.
     fn threshold_to(&self, from: usize, dst: usize) -> usize {
         let (next, _) = self.session.next_hop(from, dst);
         let protocol = self
             .session
-            .best_channel_between(from, next)
+            .live_channels_between(from, next)
+            .first()
             .map(|c| c.protocol());
         self.policy.threshold(protocol)
     }
@@ -170,27 +184,35 @@ impl ChMad {
     /// Ship one ch_mad packet (header + optional body) toward
     /// `final_dst`, wrapping it in a `MAD_FWD_PKT` when the next hop is
     /// a gateway (§6 future-work extension).
+    ///
+    /// Rails are tried in transfer-priority order among the surviving
+    /// (non-dead) channels of the hop; a [`ChannelError::LinkDead`]
+    /// fails the send over to the next rail. Only when every rail
+    /// between the pair is dead does the device give up — that is an
+    /// unsurvivable fault plan, outside the robustness contract.
     fn send_packet(&self, from: usize, final_dst: usize, header: Bytes, body: Option<Bytes>) {
         let (next, is_final) = self.session.next_hop(from, final_dst);
-        let ep = self.endpoint_to(from, next);
-        let mut conn = ep.begin_packing(next);
-        if !is_final {
-            conn.pack_bytes(
-                Packet::Fwd {
-                    final_dst: final_dst as u32,
+        let fwd = (!is_final).then(|| {
+            Packet::Fwd {
+                final_dst: final_dst as u32,
+            }
+            .encode()
+        });
+        let rails = self.session.live_channels_between(from, next);
+        let n_rails = rails.len();
+        for (i, rail) in rails.into_iter().enumerate() {
+            match self.send_packet_on(&rail, from, next, fwd.clone(), header.clone(), body.clone())
+            {
+                Ok(()) => return,
+                Err(err) => {
+                    self.session.note_failover();
+                    if i + 1 == n_rails {
+                        panic!("rank {from}: every rail to rank {next} is dead (last: {err})");
+                    }
                 }
-                .encode(),
-                SendMode::Cheaper,
-                ReceiveMode::Express,
-            );
-        }
-        conn.pack_bytes(header, SendMode::Cheaper, ReceiveMode::Express);
-        if let Some(body) = body {
-            if !body.is_empty() {
-                conn.pack_bytes(body, SendMode::Cheaper, ReceiveMode::Cheaper);
             }
         }
-        conn.end_packing();
+        panic!("rank {from}: no live rail to rank {next}");
     }
 
     /// Eager mode: one message, optimized for latency at the price of an
@@ -223,23 +245,40 @@ impl ChMad {
             pending.waiting.insert(token, slot.clone());
             (token, slot)
         };
+        let request = Packet::Request {
+            env,
+            sender_token: token,
+        }
+        .encode();
         // 1) Request.
-        self.send_packet(
-            from,
-            dst,
-            Packet::Request {
-                env,
-                sender_token: token,
+        self.send_packet(from, dst, request.clone(), None);
+        // 2) Wait for Ok_To_Send: the receiver's sync_address. On a
+        //    faulty session the wait carries a timeout: if no reply
+        //    lands (the REQUEST or its OK_TO_SEND may be transiting a
+        //    rail that just died), the REQUEST is re-issued with the
+        //    *same* token — the receiver dedups re-issues, so at most
+        //    one receive is ever matched. A fault-free session waits
+        //    unconditionally (no timer, identical timing to PR 1).
+        let sync_address = if self.has_faults {
+            let mut timeout = VirtualDuration::from_millis(30);
+            loop {
+                if let Some(addr) = slot.wait_timeout(timeout) {
+                    break addr;
+                }
+                self.session.note_rndv_reissue();
+                self.send_packet(from, dst, request.clone(), None);
+                // Exponential backoff, capped: a receiver may simply
+                // not have posted its receive yet, which is not an
+                // error — keep probing at a bounded rate.
+                timeout = (timeout + timeout).min(VirtualDuration::from_millis(1_000));
             }
-            .encode(),
-            None,
-        );
-        // 2) Wait for Ok_To_Send: the receiver's sync_address.
-        let sync_address = slot.take();
+        } else {
+            slot.take()
+        };
         // 3) Data, straight to the rhandle — no intermediate copies.
         let (_, direct) = self.session.next_hop(from, dst);
         if direct && self.policy.stripes() {
-            let rails = self.session.channels_between(from, dst);
+            let rails = self.session.live_channels_between(from, dst);
             if rails.len() >= 2 && data.len() >= rails.len() {
                 self.send_rndv_striped(from, dst, env, sync_address, data, &rails);
                 return;
@@ -307,42 +346,56 @@ impl ChMad {
             if end <= offset {
                 continue;
             }
-            self.send_packet_on(
-                rail,
-                from,
-                dst,
-                Packet::Rndv {
-                    env,
-                    sync_address,
-                    offset: offset as u64,
-                    total,
-                }
-                .encode(),
-                Some(data.slice(offset..end)),
-            );
+            let header = Packet::Rndv {
+                env,
+                sync_address,
+                offset: offset as u64,
+                total,
+            }
+            .encode();
+            let body = data.slice(offset..end);
+            if self
+                .send_packet_on(rail, from, dst, None, header.clone(), Some(body.clone()))
+                .is_err()
+            {
+                // The rail died mid-stripe (zero deliveries of this
+                // span — a partially acknowledged span returns Ok).
+                // Migrate the span to the surviving rails; the
+                // receiver's out-of-order chunk assembly does not care
+                // which wire a span rides.
+                self.session.note_failover();
+                self.send_packet(from, dst, header, Some(body));
+            }
             offset = end;
         }
         assert_eq!(offset, data.len(), "stripes must cover the message");
     }
 
-    /// Ship one packet on an explicitly chosen channel (striping only —
-    /// the destination must be a direct member of the channel).
+    /// Ship one packet on an explicitly chosen channel; the destination
+    /// must be a direct member of the channel. `Err` means the reliable
+    /// sublayer declared the pair dead with this packet undelivered —
+    /// the caller decides how to re-route.
     fn send_packet_on(
         &self,
         channel: &Arc<Channel>,
         from: usize,
         dst: usize,
+        fwd: Option<Bytes>,
         header: Bytes,
         body: Option<Bytes>,
-    ) {
-        let mut conn = channel.endpoint(from).begin_packing(dst);
+    ) -> Result<(), ChannelError> {
+        let ep = channel.endpoint(from)?;
+        let mut conn = ep.begin_packing(dst)?;
+        if let Some(fwd) = fwd {
+            conn.pack_bytes(fwd, SendMode::Cheaper, ReceiveMode::Express);
+        }
         conn.pack_bytes(header, SendMode::Cheaper, ReceiveMode::Express);
         if let Some(body) = body {
             if !body.is_empty() {
                 conn.pack_bytes(body, SendMode::Cheaper, ReceiveMode::Cheaper);
             }
         }
-        conn.end_packing();
+        conn.end_packing()
     }
 
     /// The polling loop run by one thread per (rank, channel).
@@ -350,100 +403,180 @@ impl ChMad {
         let engine = &self.engines[rank];
         let eager_copy_ns = ep.channel().model().eager_copy_per_byte_ns;
         loop {
-            let Some(mut conn) = ep.begin_unpacking() else {
+            let Some(conn) = ep.begin_unpacking() else {
                 break;
             };
-            let header = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Express);
-            marcel::advance(self.costs.demux);
-            match Packet::decode(&header) {
-                Packet::Short { env } => {
-                    let body = if self.config.split_short {
-                        if conn.remaining_blocks() > 0 {
-                            conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper)
-                        } else {
-                            Bytes::new()
+            if !self.handle_message(rank, conn, engine, eager_copy_ns) {
+                // TERM noticed. Messages may still be queued behind it
+                // (or in flight): late retransmissions, or traffic the
+                // application never received. Finalize must not strand
+                // them — drain the backlog before terminating.
+                while ep.backlog() > 0 {
+                    match ep.try_begin_unpacking() {
+                        Some(conn) => {
+                            self.handle_message(rank, conn, engine, eager_copy_ns);
                         }
-                    } else {
-                        header
-                            .slice(Packet::short_header_len()..Packet::short_header_len() + env.len)
-                    };
-                    conn.end_unpacking();
-                    marcel::advance(touch(self.costs.recv_touch_per_byte_ns, body.len()));
-                    engine.deliver_eager(env, body, eager_copy_ns);
-                }
-                Packet::Request { env, sender_token } => {
-                    conn.end_unpacking();
-                    let this = self.clone();
-                    let respond: crate::engine::RndvResponder = Box::new(move |sync_address| {
-                        // A polling thread must never send (§4.2.3):
-                        // the acknowledgement goes out from a dedicated
-                        // short-lived thread.
-                        let ack = this.clone();
-                        marcel::spawn(format!("rank{rank}-rndv-ack"), move || {
-                            ack.send_packet(
-                                rank,
-                                env.src,
-                                Packet::SendOk {
-                                    sender_token,
-                                    sync_address,
-                                }
-                                .encode(),
-                                None,
-                            );
-                        });
-                    });
-                    engine.deliver_rndv_offer(env, respond);
-                }
-                Packet::SendOk {
-                    sender_token,
-                    sync_address,
-                } => {
-                    conn.end_unpacking();
-                    let slot = self.ranks[rank]
-                        .pending
-                        .lock()
-                        .waiting
-                        .remove(&sender_token)
-                        .unwrap_or_else(|| {
-                            panic!("rank {rank}: Ok_To_Send for unknown token {sender_token}")
-                        });
-                    slot.put(sync_address);
-                }
-                Packet::Rndv {
-                    env,
-                    sync_address,
-                    offset,
-                    total,
-                } => {
-                    let body = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
-                    conn.end_unpacking();
-                    marcel::advance(touch(self.costs.recv_touch_per_byte_ns, body.len()));
-                    engine.rndv_chunk(sync_address, env, offset as usize, total as usize, body);
-                }
-                Packet::Term => {
-                    conn.end_unpacking();
-                    break;
-                }
-                Packet::Fwd { final_dst } => {
-                    // Relay: read the wrapped header and optional body,
-                    // then ship them one hop closer to the destination.
-                    // A polling thread must never send (§4.2.3), so the
-                    // relay runs on its own short-lived thread.
-                    let inner = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Express);
-                    let body = (conn.remaining_blocks() > 0)
-                        .then(|| conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper));
-                    conn.end_unpacking();
-                    if let Some(b) = &body {
-                        marcel::advance(touch(self.costs.recv_touch_per_byte_ns, b.len()));
+                        // Nothing arrived yet (or the poll consumed a
+                        // duplicate): let in-flight arrivals land.
+                        None => marcel::sleep(VirtualDuration::from_micros(10)),
                     }
-                    let dev = self.clone();
-                    marcel::spawn(format!("rank{rank}-fwd"), move || {
-                        dev.send_packet(rank, final_dst as usize, inner, body);
-                    });
                 }
+                break;
             }
         }
         ep.detach_polling();
+    }
+
+    /// Demultiplex and handle one incoming ch_mad packet. Returns
+    /// `false` when the packet was the TERM marker.
+    fn handle_message(
+        self: &Arc<Self>,
+        rank: usize,
+        mut conn: UnpackingConnection,
+        engine: &Arc<Engine>,
+        eager_copy_ns: f64,
+    ) -> bool {
+        let header = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Express);
+        marcel::advance(self.costs.demux);
+        match Packet::decode(&header) {
+            Packet::Short { env } => {
+                let body = if self.config.split_short {
+                    if conn.remaining_blocks() > 0 {
+                        conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper)
+                    } else {
+                        Bytes::new()
+                    }
+                } else {
+                    header.slice(Packet::short_header_len()..Packet::short_header_len() + env.len)
+                };
+                conn.end_unpacking();
+                marcel::advance(touch(self.costs.recv_touch_per_byte_ns, body.len()));
+                engine.deliver_eager(env, body, eager_copy_ns);
+            }
+            Packet::Request { env, sender_token } => {
+                conn.end_unpacking();
+                self.handle_request(rank, env, sender_token, engine);
+            }
+            Packet::SendOk {
+                sender_token,
+                sync_address,
+            } => {
+                conn.end_unpacking();
+                let slot = self.ranks[rank]
+                    .pending
+                    .lock()
+                    .waiting
+                    .remove(&sender_token);
+                match slot {
+                    Some(slot) => slot.put(sync_address),
+                    // A re-issued REQUEST can draw a second OK_TO_SEND
+                    // after the first already completed the handshake.
+                    None => debug_assert!(
+                        self.has_faults,
+                        "rank {rank}: Ok_To_Send for unknown token {sender_token}"
+                    ),
+                }
+            }
+            Packet::Rndv {
+                env,
+                sync_address,
+                offset,
+                total,
+            } => {
+                let body = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
+                conn.end_unpacking();
+                marcel::advance(touch(self.costs.recv_touch_per_byte_ns, body.len()));
+                engine.rndv_chunk(sync_address, env, offset as usize, total as usize, body);
+            }
+            Packet::Term => {
+                conn.end_unpacking();
+                return false;
+            }
+            Packet::Fwd { final_dst } => {
+                // Relay: read the wrapped header and optional body,
+                // then ship them one hop closer to the destination.
+                // A polling thread must never send (§4.2.3), so the
+                // relay runs on its own short-lived thread.
+                let inner = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Express);
+                let body = (conn.remaining_blocks() > 0)
+                    .then(|| conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper));
+                conn.end_unpacking();
+                if let Some(b) = &body {
+                    marcel::advance(touch(self.costs.recv_touch_per_byte_ns, b.len()));
+                }
+                let dev = self.clone();
+                marcel::spawn(format!("rank{rank}-fwd"), move || {
+                    dev.send_packet(rank, final_dst as usize, inner, body);
+                });
+            }
+        }
+        true
+    }
+
+    /// Handle a rendezvous REQUEST, deduplicating re-issues of the same
+    /// `(sender, token)` transaction.
+    fn handle_request(
+        self: &Arc<Self>,
+        rank: usize,
+        env: Envelope,
+        sender_token: u64,
+        engine: &Arc<Engine>,
+    ) {
+        let key = (env.src, sender_token);
+        let mut seen = self.ranks[rank].seen.lock();
+        match seen.get(&key) {
+            // Re-issue before the receive posted: the original offer is
+            // still queued in the engine and will answer when matched.
+            Some(RndvProgress::Offered) => {}
+            // Re-issue after the acknowledgement: the sender may have
+            // missed the OK_TO_SEND — acknowledge again (the sender
+            // ignores the duplicate if the first did arrive).
+            Some(RndvProgress::Acked(sync)) => {
+                let sync_address = *sync;
+                drop(seen);
+                let ack = self.clone();
+                marcel::spawn(format!("rank{rank}-rndv-reack"), move || {
+                    ack.send_packet(
+                        rank,
+                        env.src,
+                        Packet::SendOk {
+                            sender_token,
+                            sync_address,
+                        }
+                        .encode(),
+                        None,
+                    );
+                });
+            }
+            None => {
+                seen.insert(key, RndvProgress::Offered);
+                drop(seen);
+                let this = self.clone();
+                let respond: crate::engine::RndvResponder = Box::new(move |sync_address| {
+                    this.ranks[rank]
+                        .seen
+                        .lock()
+                        .insert(key, RndvProgress::Acked(sync_address));
+                    // A polling thread must never send (§4.2.3): the
+                    // acknowledgement goes out from a dedicated
+                    // short-lived thread.
+                    let ack = this.clone();
+                    marcel::spawn(format!("rank{rank}-rndv-ack"), move || {
+                        ack.send_packet(
+                            rank,
+                            env.src,
+                            Packet::SendOk {
+                                sender_token,
+                                sync_address,
+                            }
+                            .encode(),
+                            None,
+                        );
+                    });
+                });
+                engine.deliver_rndv_offer(env, respond);
+            }
+        }
     }
 }
 
@@ -479,7 +612,9 @@ impl Device for ChMad {
             .channels_of_rank(rank)
             .into_iter()
             .map(|channel| {
-                let ep = channel.endpoint(rank);
+                let ep = channel
+                    .endpoint(rank)
+                    .expect("channels_of_rank returned a channel without the rank");
                 ep.attach_polling();
                 let dev = self.clone();
                 let name = channel.name().to_string();
@@ -492,14 +627,21 @@ impl Device for ChMad {
 
     fn finalize_rank(&self, rank: usize) {
         for channel in self.session.channels_of_rank(rank) {
-            let ep = channel.endpoint(rank);
-            let mut conn = ep.begin_packing(rank);
+            // TERM rides the loop-back connection, which never touches
+            // the wire: it cannot be lost or declared dead, so the TERM
+            // path stays correct however many rails have failed.
+            let ep = channel
+                .endpoint(rank)
+                .expect("channels_of_rank returned a channel without the rank");
+            let mut conn = ep
+                .begin_packing(rank)
+                .expect("loop-back pair always exists");
             conn.pack_bytes(
                 Packet::Term.encode(),
                 SendMode::Cheaper,
                 ReceiveMode::Express,
             );
-            conn.end_packing();
+            conn.end_packing().expect("loop-back TERM cannot fail");
         }
     }
 }

@@ -282,6 +282,14 @@ impl Engine {
         let st = self.state.lock();
         (st.posted.len(), st.unexpected.len(), st.rndv.len())
     }
+
+    /// Diagnostics: envelopes of the unexpected-message queue, in
+    /// arrival order. Lets shutdown tests verify that messages queued
+    /// behind an early finalize were drained into the engine instead of
+    /// being stranded in a terminated polling loop.
+    pub fn unexpected_envelopes(&self) -> Vec<Envelope> {
+        self.state.lock().unexpected.iter().map(|u| u.env).collect()
+    }
 }
 
 fn per_byte(ns: f64, bytes: usize) -> VirtualDuration {

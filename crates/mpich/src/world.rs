@@ -122,6 +122,24 @@ where
     T: Send + 'static,
     F: Fn(&Communicator) -> T + Send + Sync + 'static,
 {
+    let (results, kernel, _) = run_world_full(topology, placement, config, f)?;
+    Ok((results, kernel))
+}
+
+/// Like [`run_world_kernel`], additionally returning the Madeleine
+/// session — fault-injection tests and benches read the reliability
+/// counters ([`madeleine::Session::fault_counters`],
+/// [`madeleine::Session::failovers`]) off it after the run.
+pub fn run_world_full<T, F>(
+    topology: Topology,
+    placement: Placement,
+    config: WorldConfig,
+    f: F,
+) -> Result<(Vec<T>, Kernel, Arc<madeleine::Session>), SimError>
+where
+    T: Send + 'static,
+    F: Fn(&Communicator) -> T + Send + Sync + 'static,
+{
     let kernel = Kernel::new(config.cost_model.clone());
     if config.trace {
         kernel.enable_trace();
@@ -212,5 +230,5 @@ where
         .into_iter()
         .map(|h| h.join_outcome().expect("rank finished without a result"))
         .collect();
-    Ok((results, kernel))
+    Ok((results, kernel, session))
 }

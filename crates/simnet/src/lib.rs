@@ -12,10 +12,13 @@
 //! `madeleine` crate, which charges the costs computed here to the
 //! virtual clocks of the `marcel` kernel.
 
+pub mod fault;
 pub mod model;
 pub mod protocol;
+pub mod rng;
 pub mod topology;
 
+pub use fault::{Fate, FaultPlan};
 pub use model::{Jitter, LinkModel};
 pub use protocol::{elect_switch_point, Protocol};
 pub use topology::{Network, NetworkId, Node, NodeId, NodeModel, Topology, TopologyError};

@@ -113,7 +113,11 @@ impl LinkModel {
     }
 
     /// Deterministic pseudo-random extra delay for the `sequence`-th
-    /// message of a connection (zero without a jitter model).
+    /// message of a connection (zero without a jitter model). The
+    /// seeding scheme is documented in [`crate::rng`], which this
+    /// shares with [`crate::FaultPlan`]; the hash is reduced to
+    /// `[0, amplitude)` with the unbiased multiply-shift ([`crate::rng::bounded`])
+    /// rather than a biased modulo.
     pub fn jitter_delay(&self, sequence: u64, bytes: usize) -> VirtualDuration {
         match self.jitter {
             None => VirtualDuration::ZERO,
@@ -121,9 +125,8 @@ impl LinkModel {
                 amplitude_ns: 0, ..
             }) => VirtualDuration::ZERO,
             Some(Jitter { amplitude_ns, seed }) => {
-                let h =
-                    splitmix64(seed ^ sequence.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ bytes as u64);
-                VirtualDuration::from_nanos(h % amplitude_ns)
+                let h = crate::rng::message_hash(seed, sequence, bytes);
+                VirtualDuration::from_nanos(crate::rng::bounded(h, amplitude_ns))
             }
         }
     }
@@ -165,15 +168,6 @@ impl LinkModel {
 /// `bytes * ns_per_byte` rounded to whole nanoseconds.
 pub(crate) fn per_byte(ns_per_byte: f64, bytes: usize) -> VirtualDuration {
     VirtualDuration::from_nanos((bytes as f64 * ns_per_byte).round() as u64)
-}
-
-/// SplitMix64: a tiny, high-quality deterministic mixer.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

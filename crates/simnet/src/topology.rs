@@ -9,6 +9,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::fault::FaultPlan;
 use crate::model::{per_byte, LinkModel};
 use crate::protocol::Protocol;
 use marcel::VirtualDuration;
@@ -36,6 +37,9 @@ pub struct Network {
     pub protocol: Protocol,
     pub model: LinkModel,
     pub members: BTreeSet<NodeId>,
+    /// Deterministic fault injection for this network (None = the
+    /// paper's perfectly reliable wire).
+    pub fault: Option<FaultPlan>,
 }
 
 /// Intra-node costs (loop-back and shared-memory paths, used by the
@@ -164,8 +168,27 @@ impl Topology {
             protocol,
             model,
             members: members.into_iter().collect(),
+            fault: None,
         });
         id
+    }
+
+    /// Add a network with the protocol's calibrated model plus a
+    /// deterministic fault plan.
+    pub fn add_network_with_fault(
+        &mut self,
+        protocol: Protocol,
+        fault: FaultPlan,
+        members: impl IntoIterator<Item = NodeId>,
+    ) -> NetworkId {
+        let id = self.add_network(protocol, members);
+        self.networks[id.0].fault = Some(fault);
+        id
+    }
+
+    /// Attach (or replace) the fault plan of an existing network.
+    pub fn set_fault(&mut self, net: NetworkId, fault: FaultPlan) {
+        self.networks[net.0].fault = Some(fault);
     }
 
     /// Convenience: `n` single-CPU nodes all connected by one network.

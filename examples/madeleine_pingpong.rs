@@ -18,14 +18,17 @@ fn figure2_demo() {
     let kernel = Kernel::new(CostModel::calibrated());
     let session = Session::single_network(&kernel, 2, Protocol::Sisci);
     let channel = session.channels()[0].clone();
-    let (tx, rx) = (channel.endpoint(0), channel.endpoint(1));
+    let (tx, rx) = (
+        channel.endpoint(0).expect("member rank"),
+        channel.endpoint(1).expect("member rank"),
+    );
     kernel.spawn("sender", move || {
         let array: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
-        let mut conn = tx.begin_packing(1);
+        let mut conn = tx.begin_packing(1).expect("member rank");
         let size = (array.len() as u32).to_le_bytes();
         conn.pack(&size, SendMode::Cheaper, ReceiveMode::Express);
         conn.pack(&array, SendMode::Cheaper, ReceiveMode::Cheaper);
-        conn.end_packing();
+        conn.end_packing().expect("fault-free send");
     });
     let h = kernel.spawn("receiver", move || {
         let mut conn = rx.begin_unpacking().expect("channel open");
@@ -48,8 +51,11 @@ fn sweep(protocol: Protocol) {
     let kernel = Kernel::new(CostModel::calibrated());
     let session = Session::single_network(&kernel, 2, protocol);
     let channel = session.channels()[0].clone();
-    let (tx, rx) = (channel.endpoint(0), channel.endpoint(1));
-    let rx_closer = channel.endpoint(1);
+    let (tx, rx) = (
+        channel.endpoint(0).expect("member rank"),
+        channel.endpoint(1).expect("member rank"),
+    );
+    let rx_closer = channel.endpoint(1).expect("member rank");
     let h = kernel.spawn("rank0", move || {
         let mut rows = Vec::new();
         for size in [4usize, 1024, 64 * 1024, 8 << 20] {
@@ -57,9 +63,9 @@ fn sweep(protocol: Protocol) {
             let iters = 3;
             let t0 = marcel::now();
             for _ in 0..iters {
-                let mut conn = tx.begin_packing(1);
+                let mut conn = tx.begin_packing(1).expect("member rank");
                 conn.pack_bytes(payload.clone(), SendMode::Cheaper, ReceiveMode::Cheaper);
-                conn.end_packing();
+                conn.end_packing().expect("fault-free send");
                 let mut back = tx.begin_unpacking().unwrap();
                 back.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
                 back.end_unpacking();
@@ -79,9 +85,9 @@ fn sweep(protocol: Protocol) {
         };
         let data = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
         conn.end_unpacking();
-        let mut reply = rx.begin_packing(0);
+        let mut reply = rx.begin_packing(0).expect("member rank");
         reply.pack_bytes(data, SendMode::Cheaper, ReceiveMode::Cheaper);
-        reply.end_packing();
+        reply.end_packing().expect("fault-free send");
     });
     kernel.run().expect("sweep runs to completion");
     println!(

@@ -1,0 +1,306 @@
+//! Fault-injection tests: the robustness extension end to end.
+//!
+//! The paper assumes perfectly reliable networks; these tests exercise
+//! the reproduction's reliability sublayer (madeleine retransmit/dedup)
+//! and ch_mad's dynamic rail failover under deterministic, seeded
+//! fault plans. The master seed comes from the `FAULT_SEED` environment
+//! variable (CI runs the suite under several seeds); unset, a fixed
+//! default keeps local runs reproducible.
+
+use bytes::Bytes;
+use madeleine::SessionBuilder;
+use marcel::{CostModel, Kernel, VirtualDuration, VirtualTime};
+use mpich::{
+    run_world, run_world_full, AdiCosts, ChMad, ChMadConfig, Device, Engine, Envelope, Placement,
+    PolicyMode, RemoteDeviceKind, WorldConfig,
+};
+use proptest::prelude::*;
+use simnet::{FaultPlan, Protocol, Topology};
+
+/// Master seed: `FAULT_SEED` env var, or a fixed default.
+fn fault_seed() -> u64 {
+    std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF00D)
+}
+
+/// Deterministic payload of message `i` from rank `src`.
+fn payload(src: usize, i: usize, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|k| {
+            (src as u8)
+                .wrapping_mul(31)
+                .wrapping_add((i as u8).wrapping_mul(17))
+                .wrapping_add(k as u8)
+        })
+        .collect()
+}
+
+/// Two nodes joined by BOTH an SCI rail and a Myrinet rail, each rail
+/// carrying its own (decorrelated) copy of `plan` when given.
+fn multirail(plan: Option<FaultPlan>) -> Topology {
+    let mut t = Topology::new();
+    let a = t.add_node("a", 2);
+    let b = t.add_node("b", 2);
+    let sci = t.add_network(Protocol::Sisci, [a, b]);
+    let bip = t.add_network(Protocol::Bip, [a, b]);
+    if let Some(plan) = plan {
+        let mut sci_plan = plan.clone();
+        sci_plan.seed ^= 0x5C1_5C1;
+        t.set_fault(sci, sci_plan);
+        t.set_fault(bip, plan);
+    }
+    t
+}
+
+/// Sizes straddling the eager→rendezvous switch points of both rails
+/// (BIP 7 KB, SCI 8 KB).
+const SIZES: [usize; 5] = [1, 512, 7 * 1024, 9 * 1024, 40 * 1024];
+const TAG: i32 = 7;
+
+/// Exchange `SIZES` in both directions on the same (sender, tag) stream
+/// and return each rank's received payload sequence. Rank 0 sends
+/// first; rank 1 receives first — blocking rendezvous sends in both
+/// directions at once would deadlock by design, faults or not.
+fn run_transfers(topology: Topology) -> Vec<Vec<Vec<u8>>> {
+    run_world(
+        topology,
+        Placement::OneRankPerNode,
+        WorldConfig::default(),
+        move |comm| {
+            let me = comm.rank();
+            let peer = 1 - me;
+            let mut got = Vec::new();
+            if me == 0 {
+                for (i, &n) in SIZES.iter().enumerate() {
+                    comm.send(&payload(me, i, n), peer, TAG);
+                }
+            }
+            for &n in &SIZES {
+                got.push(comm.recv(n, Some(peer), Some(TAG)).0);
+            }
+            if me == 1 {
+                for (i, &n) in SIZES.iter().enumerate() {
+                    comm.send(&payload(me, i, n), peer, TAG);
+                }
+            }
+            got
+        },
+    )
+    .expect("faulted world failed to complete")
+}
+
+fn expected_from(src: usize) -> Vec<Vec<u8>> {
+    SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| payload(src, i, n))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The liveness + integrity property of the reliability sublayer:
+    /// under ANY survivable plan (loss < 1, finite down windows) every
+    /// transfer completes, and payloads arrive intact in per-(sender,
+    /// tag) order — exactly the fault-free sequence.
+    #[test]
+    fn survivable_plans_preserve_payload_and_order(
+        loss_pm in 0u64..600,       // per-mille: loss in [0, 0.6)
+        ack_loss_pm in 0u64..300,   // per-mille: ack loss in [0, 0.3)
+        down_start in 50_000u64..2_000_000,
+        down_len in 10_000u64..500_000,
+        salt in 0u64..u64::MAX,
+    ) {
+        let plan = FaultPlan::new(fault_seed() ^ salt)
+            .with_loss(loss_pm as f64 / 1000.0)
+            .with_ack_loss(ack_loss_pm as f64 / 1000.0)
+            .with_down(VirtualTime(down_start), VirtualTime(down_start + down_len));
+        prop_assert!(plan.is_survivable());
+        let got = run_transfers(multirail(Some(plan)));
+        prop_assert_eq!(&got[0], &expected_from(1), "rank 0's received stream");
+        prop_assert_eq!(&got[1], &expected_from(0), "rank 1's received stream");
+    }
+}
+
+/// One rail of a dual-rail link goes hard down mid-stream: the first
+/// striped rendezvous uses both rails, then the Myrinet rail dies and
+/// the second transfer must detect the dead pair (retransmits
+/// exhausted), fail over, and complete on SCI alone.
+#[test]
+fn rail_hard_down_mid_stream_fails_over() {
+    let mut t = Topology::new();
+    let a = t.add_node("a", 2);
+    let b = t.add_node("b", 2);
+    t.add_network(Protocol::Sisci, [a, b]);
+    t.add_network_with_fault(
+        Protocol::Bip,
+        FaultPlan::new(fault_seed()).link_down_from(VirtualTime(2_000_000)),
+        [a, b],
+    );
+    let config = WorldConfig {
+        remote: RemoteDeviceKind::ChMad(ChMadConfig {
+            policy: PolicyMode::Striped,
+            ..ChMadConfig::default()
+        }),
+        ..WorldConfig::default()
+    };
+    const N: usize = 4 << 20;
+    const MSGS: usize = 2;
+    let (results, _kernel, session) =
+        run_world_full(t, Placement::OneRankPerNode, config, move |comm| {
+            if comm.rank() == 0 {
+                for i in 0..MSGS {
+                    comm.send(&payload(0, i, N), 1, i as i32);
+                }
+                true
+            } else {
+                (0..MSGS).all(|i| comm.recv(N, Some(0), Some(i as i32)).0 == payload(0, i, N))
+            }
+        })
+        .expect("failover world failed to complete");
+    assert_eq!(results, vec![true, true], "payloads survived the failover");
+    assert!(
+        session.failovers() >= 1,
+        "expected at least one rail failover, got {}",
+        session.failovers()
+    );
+    let c = session.fault_counters();
+    assert!(c.dead_pairs >= 1, "BIP pair should be declared dead: {c:?}");
+    assert!(
+        c.drops >= madeleine::MAX_SEND_ATTEMPTS as u64,
+        "every attempt on the dead rail drops: {c:?}"
+    );
+    assert!(
+        c.retransmits >= madeleine::MAX_SEND_ATTEMPTS as u64 - 1,
+        "the dead rail is retried to exhaustion: {c:?}"
+    );
+}
+
+/// Bit-identical replay: the same seed gives the same results, the same
+/// virtual end time, and the same fault counters — the whole point of
+/// plan-as-pure-data fault injection.
+#[test]
+fn faulted_runs_are_seed_deterministic() {
+    let run = || {
+        let plan = FaultPlan::new(fault_seed())
+            .with_loss(0.25)
+            .with_ack_loss(0.25)
+            .with_down(VirtualTime(100_000), VirtualTime(400_000));
+        let sizes: Vec<usize> = SIZES.to_vec();
+        let (results, kernel, session) = run_world_full(
+            multirail(Some(plan)),
+            Placement::OneRankPerNode,
+            WorldConfig::default(),
+            move |comm| {
+                let me = comm.rank();
+                let peer = 1 - me;
+                if me == 0 {
+                    for (i, &n) in sizes.iter().enumerate() {
+                        comm.send(&payload(me, i, n), peer, TAG);
+                    }
+                    Vec::new()
+                } else {
+                    sizes
+                        .iter()
+                        .map(|&n| comm.recv(n, Some(peer), Some(TAG)).0)
+                        .collect()
+                }
+            },
+        )
+        .expect("deterministic faulted world failed");
+        (
+            results,
+            kernel.end_time(),
+            session.fault_counters(),
+            session.failovers(),
+            session.rndv_reissues(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// A rank that finalizes with peer messages still in flight must not
+/// strand them: the polling loop notices TERM first (the degradation
+/// window delays every data arrival by 5 ms while loop-back TERM is
+/// immune), then drains the backlog into the engine's unexpected queue
+/// before terminating.
+#[test]
+fn finalize_drains_in_flight_backlog() {
+    let kernel = Kernel::new(CostModel::calibrated());
+    let mut t = Topology::new();
+    let a = t.add_node("a", 1);
+    let b = t.add_node("b", 1);
+    t.add_network_with_fault(
+        Protocol::Sisci,
+        FaultPlan::new(fault_seed()).with_degraded(
+            VirtualTime(0),
+            VirtualTime(10_000_000),
+            VirtualDuration::from_millis(5),
+        ),
+        [a, b],
+    );
+    let session = SessionBuilder::new(t)
+        .one_rank_per_node()
+        .build(&kernel)
+        .expect("valid 2-rank topology");
+    let engines: Vec<_> = (0..2)
+        .map(|r| Engine::new(&kernel, r, AdiCosts::calibrated()))
+        .collect();
+    let dev = ChMad::new(
+        &kernel,
+        session,
+        engines.clone(),
+        AdiCosts::calibrated(),
+        ChMadConfig::default(),
+    );
+    const MSGS: usize = 10;
+    const LEN: usize = 64;
+    let sender = dev.clone();
+    kernel.spawn("rank0", move || {
+        let pollers = sender.clone().start_rank(0);
+        for i in 0..MSGS {
+            let env = Envelope {
+                src: 0,
+                tag: i as i32,
+                context: 0,
+                len: LEN,
+            };
+            sender.send(0, 1, env, Bytes::from(payload(0, i, LEN)), false);
+        }
+        sender.finalize_rank(0);
+        for p in pollers {
+            p.join();
+        }
+    });
+    let receiver = dev.clone();
+    let engine1 = engines[1].clone();
+    let h = kernel.spawn("rank1", move || {
+        let pollers = receiver.clone().start_rank(1);
+        // Finalize at 1 ms: all ten sends are posted (the sender needs
+        // only microseconds of CPU) but none has arrived yet — the
+        // degradation window holds every arrival until ~5 ms.
+        marcel::advance(VirtualDuration::from_millis(1));
+        receiver.finalize_rank(1);
+        for p in pollers {
+            p.join();
+        }
+        (engine1.depths(), engine1.unexpected_envelopes())
+    });
+    kernel.run().expect("finalize-under-backlog run failed");
+    let ((posted, unexpected, rndv), envelopes) = h.join_outcome().expect("rank1 finished");
+    assert_eq!(posted, 0);
+    assert_eq!(rndv, 0);
+    assert_eq!(
+        unexpected, MSGS,
+        "every in-flight message was drained into the engine"
+    );
+    let tags: Vec<i32> = envelopes.iter().map(|e| e.tag).collect();
+    assert_eq!(
+        tags,
+        (0..MSGS as i32).collect::<Vec<_>>(),
+        "drained messages keep their send order"
+    );
+}

@@ -173,22 +173,22 @@ proptest! {
         let session = Session::single_network(&kernel, 3, Protocol::Bip);
         let channel = session.channels()[0].clone();
         let spawn_sender = |rank: usize, lens: Vec<usize>| {
-            let ep = channel.endpoint(rank);
+            let ep = channel.endpoint(rank).expect("member rank");
             kernel.spawn(format!("sender{rank}"), move || {
                 for (i, len) in lens.iter().enumerate() {
                     let mut payload = vec![rank as u8; len + 2];
                     payload[0] = i as u8;
                     payload[1] = rank as u8;
-                    let mut conn = ep.begin_packing(2);
+                    let mut conn = ep.begin_packing(2).expect("member rank");
                     conn.pack_bytes(Bytes::from(payload), SendMode::Cheaper, ReceiveMode::Cheaper);
-                    conn.end_packing();
+                    conn.end_packing().expect("fault-free send");
                 }
             });
         };
         spawn_sender(0, lens_a.clone());
         spawn_sender(1, lens_b.clone());
         let total = lens_a.len() + lens_b.len();
-        let rx = channel.endpoint(2);
+        let rx = channel.endpoint(2).expect("member rank");
         let h = kernel.spawn("receiver", move || {
             let mut next = [0u8; 2];
             for _ in 0..total {
@@ -217,18 +217,18 @@ proptest! {
         let kernel = Kernel::new(CostModel::calibrated());
         let session = Session::single_network(&kernel, 2, Protocol::Tcp);
         let channel = session.channels()[0].clone();
-        let tx = channel.endpoint(0);
-        let rx = channel.endpoint(1);
+        let tx = channel.endpoint(0).expect("member rank");
+        let rx = channel.endpoint(1).expect("member rank");
         let blocks_tx = blocks.clone();
         kernel.spawn("sender", move || {
-            let mut conn = tx.begin_packing(1);
+            let mut conn = tx.begin_packing(1).expect("member rank");
             for (i, (len, express, safer)) in blocks_tx.iter().enumerate() {
                 let payload: Vec<u8> = (0..*len).map(|j| ((i * 37 + j) % 256) as u8).collect();
                 let send = if *safer { SendMode::Safer } else { SendMode::Cheaper };
                 let recv = if *express { ReceiveMode::Express } else { ReceiveMode::Cheaper };
                 conn.pack(&payload, send, recv);
             }
-            conn.end_packing();
+            conn.end_packing().expect("fault-free send");
         });
         let blocks_rx = blocks.clone();
         let h = kernel.spawn("receiver", move || {
