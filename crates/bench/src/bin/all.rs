@@ -18,6 +18,7 @@ fn main() {
         ("fig9", bench::experiments::fig9),
         ("multirail", bench::experiments::multirail),
         ("degraded", bench::experiments::degraded),
+        ("overhead", bench::experiments::overhead),
     ] {
         eprintln!(">>> running {name} (iters = {iters})");
         f(iters).emit(true, true);

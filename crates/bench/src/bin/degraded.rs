@@ -1,5 +1,8 @@
 //! Degraded-rail experiment (robustness extension): dual-rail striping
-//! with faults injected on the Myrinet rail.
+//! with faults injected on the Myrinet rail. Alongside the bandwidth
+//! tables it prints each scenario's per-channel reliability counters,
+//! showing the faulted BIP rail absorbing the retransmissions while
+//! the SCI rail stays clean.
 //! `cargo run -p bench --bin degraded --release [-- <iters>]`.
 
 fn main() {
@@ -7,5 +10,19 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(4);
-    bench::experiments::degraded(iters).emit(false, true);
+    let (report, channels) = bench::experiments::degraded_with_channels(iters);
+    report.emit(false, true);
+    println!("\nper-channel reliability counters");
+    println!(
+        "{:<16} {:<10} {:>11} {:>7} {:>10} {:>9} {:>10}",
+        "scenario", "channel", "retransmits", "drops", "duplicates", "deferrals", "dead_pairs"
+    );
+    for (scenario, chans) in &channels {
+        for (name, c) in chans {
+            println!(
+                "{:<16} {:<10} {:>11} {:>7} {:>10} {:>9} {:>10}",
+                scenario, name, c.retransmits, c.drops, c.duplicates, c.deferrals, c.dead_pairs
+            );
+        }
+    }
 }

@@ -1,0 +1,78 @@
+//! §5 overhead decomposition: where do the ~28/15/11 µs that ch_mad
+//! adds over raw Madeleine go? Reproduces the paper's packing-vs-
+//! handling split (§5.2–5.4) from span measurements: the pack-span
+//! growth is the packing overhead (the header's second packing
+//! operation), and the setup/handle spans plus the poll-detection
+//! delta compose the handling overhead.
+//!
+//! `cargo run -p bench --bin overhead --release [-- <iters> [--hists]]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iters: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(8);
+    let dump_hists = args.iter().any(|a| a == "--hists");
+
+    let rows = bench::experiments::overhead_rows(iters);
+
+    println!(
+        "== overhead — §5 decomposition of the ch_mad - raw Madeleine gap at 4 B (us, one-way) =="
+    );
+    println!(
+        "{:>8} {:>9} {:>9} {:>8} | {:>8} {:>9} {:>8} | {:>7} {:>6} {:>7} {:>8} {:>9}",
+        "proto",
+        "raw",
+        "ch_mad",
+        "total",
+        "packing",
+        "handling",
+        "overlap",
+        "setup",
+        "post",
+        "handle",
+        "detect+",
+        "paper p/h"
+    );
+    for (row, &(_, pack_t, handle_t, _)) in
+        rows.iter().zip(bench::experiments::OVERHEAD_TARGETS.iter())
+    {
+        println!(
+            "{:>8} {:>9.2} {:>9.2} {:>8.2} | {:>8.2} {:>9.2} {:>8.2} | {:>7.2} {:>6.2} {:>7.2} {:>8.2} {:>4.1}/{:<4.1}",
+            row.protocol.name(),
+            row.raw_us,
+            row.mpi_us,
+            row.total_us(),
+            row.packing_us(),
+            row.handling_us(),
+            row.overlap_us(),
+            row.setup_us,
+            row.post_us,
+            row.handle_us,
+            row.detect_mpi_us - row.detect_raw_us,
+            pack_t,
+            handle_t,
+        );
+    }
+    println!(
+        "\npacking  = pack-span(ch_mad) - pack-span(raw)   [the header's second packing operation]\n\
+         handling = setup + post + handle - raw unpack work beyond recv_fixed + poll-detect delta\n\
+         overlap  = packing + handling - total          [handling work hidden by the flight (posting),\n\
+                                                         minus costs outside spans (header wire bytes)]"
+    );
+
+    if dump_hists {
+        for row in &rows {
+            println!(
+                "\n---- {} : raw Madeleine registry ----\n{}",
+                row.protocol.name(),
+                row.raw_metrics
+            );
+            println!(
+                "---- {} : ch_mad registry ----\n{}",
+                row.protocol.name(),
+                row.mpi_metrics
+            );
+        }
+    }
+
+    bench::experiments::overhead_report(&rows).emit(false, false);
+}

@@ -1,22 +1,27 @@
 //! Timeline tool: run one ch_mad ping-pong with kernel tracing enabled
-//! and print the event timeline — a window into the paper's Figure 4
-//! message flows (eager and rendezvous) as they actually execute.
+//! and print the typed event timeline — a window into the paper's
+//! Figure 4 message flows (eager and rendezvous) as they actually
+//! execute. With `--chrome <path>` the same trace is also exported as
+//! Chrome trace-event JSON (loadable in Perfetto / `chrome://tracing`):
+//! one virtual process per cluster node, one thread per Marcel tid.
 //!
-//! `cargo run -p bench --bin trace [-- <bytes>]`
+//! `cargo run -p bench --bin trace [-- <bytes>] [--chrome <path>]`
 
-use mpich::{run_world_kernel, Placement, WorldConfig};
+use mpich::{run_world_full, thread_metas, Placement, WorldConfig};
 use simnet::{Protocol, Topology};
 
 fn main() {
-    let bytes: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bytes: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(4);
+    let chrome_path = args
+        .iter()
+        .position(|a| a == "--chrome")
+        .map(|i| args.get(i + 1).expect("--chrome needs a path").clone());
     let cfg = WorldConfig {
         trace: true,
         ..WorldConfig::default()
     };
-    let (_, kernel) = run_world_kernel(
+    let (_, kernel, session) = run_world_full(
         Topology::single_network(2, Protocol::Sisci),
         Placement::OneRankPerNode,
         cfg,
@@ -48,4 +53,10 @@ fn main() {
         kernel.end_time(),
         kernel.end_time().as_micros_f64() / 2.0
     );
+    if let Some(path) = chrome_path {
+        let metas = thread_metas(&kernel, &session);
+        let json = marcel::chrome_trace_json(&trace, &metas);
+        std::fs::write(&path, json).expect("write chrome trace");
+        println!("[chrome] {path} (open in Perfetto or chrome://tracing)");
+    }
 }

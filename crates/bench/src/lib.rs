@@ -12,7 +12,9 @@
 //! | `fig9`   | Figure 9   | SCI alone vs SCI + TCP polling thread |
 //! | `multirail` | "Fig 10" (extension) | multi-rail striping: SCI+BIP dual rail vs each rail alone |
 //! | `degraded` | robustness (extension) | dual-rail striping with a lossy or hard-down Myrinet rail |
-//! | `all`    | everything | runs the eight experiments back to back |
+//! | `overhead` | §5.2–5.4 | packing-vs-handling decomposition of the ch_mad gap, from span measurements |
+//! | `trace`  | Figure 4   | typed event timeline of one ping-pong; `--chrome` writes Perfetto JSON |
+//! | `all`    | everything | runs the nine experiments back to back |
 //!
 //! Criterion benches (`cargo bench`) wrap the same harnesses
 //! (`benches/experiments.rs`) plus the design-choice ablations from
@@ -24,6 +26,7 @@ pub mod report;
 
 pub use pingpong::{
     bandwidth_mb_s, bandwidth_sizes, fig9_topology, latency_sizes, mpi_pingpong,
-    mpi_pingpong_counters, multirail_topology, raw_madeleine_pingpong, Series,
+    mpi_pingpong_counters, mpi_pingpong_metrics, mpi_pingpong_session, multirail_topology,
+    raw_madeleine_pingpong, raw_madeleine_pingpong_metrics, Series,
 };
 pub use report::{Anchor, NamedSeries, Report};

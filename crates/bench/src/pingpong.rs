@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use madeleine::{FaultCounters, ReceiveMode, SendMode, Session};
-use marcel::{CostModel, Kernel, VirtualDuration};
+use marcel::{CostModel, Kernel, MetricsSnapshot, VirtualDuration};
 use mpich::{run_world_full, Placement, WorldConfig};
 use simnet::{Protocol, Topology};
 
@@ -39,6 +39,20 @@ pub fn mpi_pingpong_counters(
     sizes: &[usize],
     iters: usize,
 ) -> (Series, FaultCounters, u64) {
+    let (series, session) = mpi_pingpong_session(topology, config, sizes, iters);
+    (series, session.fault_counters(), session.failovers())
+}
+
+/// Like [`mpi_pingpong`], additionally returning the finished Madeleine
+/// session itself — callers that want the per-channel reliability
+/// breakdown ([`Session::per_channel_counters`]) rather than the
+/// aggregate totals read it off after the run.
+pub fn mpi_pingpong_session(
+    topology: Topology,
+    config: WorldConfig,
+    sizes: &[usize],
+    iters: usize,
+) -> (Series, std::sync::Arc<Session>) {
     let sizes: Vec<usize> = sizes.to_vec();
     let (results, _kernel, session) =
         run_world_full(topology, Placement::OneRankPerNode, config, move |comm| {
@@ -76,7 +90,66 @@ pub fn mpi_pingpong_counters(
         .flatten()
         .next()
         .expect("rank 0 produced the series");
-    (series, session.fault_counters(), session.failovers())
+    (series, session)
+}
+
+/// Like [`mpi_pingpong`], additionally returning the metrics-registry
+/// snapshot covering the *measured* iterations only: rank 0 resets the
+/// registry after each size's warm-up exchange and snapshots it right
+/// after its timed loop, before the Finalize barrier — so span
+/// histograms (`span/pack/...`, `span/handle/...`) are not polluted by
+/// warm-up first-message effects or shutdown traffic. With several
+/// sizes the snapshot covers only the last size's iterations; the
+/// overhead bench calls this with a single size.
+pub fn mpi_pingpong_metrics(
+    topology: Topology,
+    config: WorldConfig,
+    sizes: &[usize],
+    iters: usize,
+) -> (Series, MetricsSnapshot) {
+    let sizes: Vec<usize> = sizes.to_vec();
+    let (results, _kernel, _session) =
+        run_world_full(topology, Placement::OneRankPerNode, config, move |comm| {
+            assert!(comm.size() >= 2, "ping-pong needs two ranks");
+            if comm.rank() == 0 {
+                let mut out = Series::new();
+                for &n in &sizes {
+                    let data = vec![0u8; n];
+                    comm.send(&data, 1, 0);
+                    comm.recv(n, Some(1), Some(0));
+                    marcel::obs::reset_metrics();
+                    let t0 = marcel::now();
+                    for _ in 0..iters {
+                        comm.send(&data, 1, 0);
+                        let (back, _) = comm.recv(n, Some(1), Some(0));
+                        assert_eq!(back.len(), n);
+                    }
+                    out.push((n, (marcel::now() - t0) / (2 * iters as u64)));
+                }
+                let snap = marcel::obs::with_metrics(|m| m.snapshot()).unwrap_or_default();
+                // Release rank 1 only after the snapshot: its Finalize
+                // traffic must not leak into the measured histograms.
+                comm.send(&[0u8], 1, 1);
+                Some((out, snap))
+            } else if comm.rank() == 1 {
+                for &n in &sizes {
+                    for _ in 0..iters + 1 {
+                        let (data, _) = comm.recv(n, Some(0), Some(0));
+                        comm.send(&data, 0, 0);
+                    }
+                }
+                comm.recv(1, Some(0), Some(1));
+                None
+            } else {
+                None
+            }
+        })
+        .expect("ping-pong world failed");
+    results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("rank 0 produced the series")
 }
 
 /// Ping-pong on the raw Madeleine interface (one packing operation per
@@ -109,6 +182,66 @@ pub fn raw_madeleine_pingpong(protocol: Protocol, sizes: &[usize], iters: usize)
             out.push((n, (marcel::now() - t0) / (2 * iters as u64)));
         }
         out
+    });
+    let sizes1: Vec<usize> = sizes.to_vec();
+    kernel.spawn("rank1", move || {
+        for &n in &sizes1 {
+            for _ in 0..iters + 1 {
+                let mut conn = e1.begin_unpacking().expect("open channel");
+                let data = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
+                conn.end_unpacking();
+                assert_eq!(data.len(), n);
+                let mut conn = e1.begin_packing(0).expect("rank 0 is a member");
+                conn.pack_bytes(data, SendMode::Cheaper, ReceiveMode::Cheaper);
+                conn.end_packing().expect("fault-free send");
+            }
+        }
+    });
+    kernel.run().expect("raw madeleine ping-pong failed");
+    h.join_outcome().expect("rank0 series")
+}
+
+/// Like [`raw_madeleine_pingpong`], additionally returning the
+/// metrics-registry snapshot covering the measured iterations (reset
+/// after each size's warm-up, snapshot right after rank 0's timed
+/// loop). Used as the baseline of the §5 overhead decomposition: its
+/// `span/pack/...` and `span/unpack/...` histograms are the cost of
+/// one bare Madeleine packing/unpacking operation, without any MPI
+/// layer on top.
+pub fn raw_madeleine_pingpong_metrics(
+    protocol: Protocol,
+    sizes: &[usize],
+    iters: usize,
+) -> (Series, MetricsSnapshot) {
+    let kernel = Kernel::new(CostModel::calibrated());
+    let session = Session::single_network(&kernel, 2, protocol);
+    let channel = session.channels()[0].clone();
+    let e0 = channel.endpoint(0).expect("rank 0 is a member");
+    let e1 = channel.endpoint(1).expect("rank 1 is a member");
+    let sizes0: Vec<usize> = sizes.to_vec();
+    let h = kernel.spawn("rank0", move || {
+        let exchange = |payload: &Bytes, n: usize| {
+            let mut conn = e0.begin_packing(1).expect("rank 1 is a member");
+            conn.pack_bytes(payload.clone(), SendMode::Cheaper, ReceiveMode::Cheaper);
+            conn.end_packing().expect("fault-free send");
+            let mut conn = e0.begin_unpacking().expect("open channel");
+            let back = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
+            conn.end_unpacking();
+            assert_eq!(back.len(), n);
+        };
+        let mut out = Series::new();
+        for &n in &sizes0 {
+            let payload = Bytes::from(vec![0u8; n]);
+            exchange(&payload, n); // warm-up
+            marcel::obs::reset_metrics();
+            let t0 = marcel::now();
+            for _ in 0..iters {
+                exchange(&payload, n);
+            }
+            out.push((n, (marcel::now() - t0) / (2 * iters as u64)));
+        }
+        let snap = marcel::obs::with_metrics(|m| m.snapshot()).unwrap_or_default();
+        (out, snap)
     });
     let sizes1: Vec<usize> = sizes.to_vec();
     kernel.spawn("rank1", move || {

@@ -35,8 +35,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex as StdMutex};
 
 use bytes::Bytes;
+use marcel::obs::{self, ActiveSpan, Event, SpanKind};
 use marcel::{Kernel, PollSource, ProcId, SimMutex, VirtualDuration, VirtualTime};
-use simnet::{Fate, FaultPlan, LinkModel, Protocol};
+use simnet::{Fate, FaultPlan, LinkModel, NetUtilization, Protocol};
 
 use crate::error::ChannelError;
 use crate::message::{Block, WireMessage};
@@ -135,7 +136,7 @@ impl std::ops::AddAssign for FaultCounters {
 /// A Madeleine channel: one protocol, a set of member ranks, one
 /// incoming message source per member, one connection per ordered pair.
 pub struct Channel {
-    name: String,
+    name: Arc<str>,
     protocol: Protocol,
     model: Arc<LinkModel>,
     /// Deterministic fault injection for this channel's network (None =
@@ -155,6 +156,9 @@ pub struct Channel {
     /// Ordered pairs whose retransmit budget was exhausted.
     dead: StdMutex<HashSet<(usize, usize)>>,
     counters: AtomicCounters,
+    /// Wire-level utilization of this channel's network (loop-back
+    /// messages never touch the wire and are not counted).
+    util: NetUtilization,
 }
 
 impl Channel {
@@ -172,6 +176,7 @@ impl Channel {
         fault: Option<FaultPlan>,
         members: impl IntoIterator<Item = usize>,
     ) -> Arc<Channel> {
+        let name: Arc<str> = Arc::from(name.into());
         let mut members: Vec<usize> = members.into_iter().collect();
         members.sort_unstable();
         members.dedup();
@@ -203,7 +208,7 @@ impl Channel {
             }
         }
         Arc::new(Channel {
-            name: name.into(),
+            name,
             protocol,
             model: Arc::new(model),
             fault,
@@ -213,11 +218,18 @@ impl Channel {
             conns,
             dead: StdMutex::new(HashSet::new()),
             counters: AtomicCounters::default(),
+            util: NetUtilization::new(),
         })
     }
 
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The channel name as a cheaply clonable `Arc<str>` — the tag the
+    /// typed trace events carry.
+    pub fn name_tag(&self) -> Arc<str> {
+        self.name.clone()
     }
 
     pub fn protocol(&self) -> Protocol {
@@ -258,6 +270,14 @@ impl Channel {
         }
     }
 
+    /// Wire-level utilization of this channel's network: messages and
+    /// payload bytes actually injected (loop-back excluded). The same
+    /// numbers are mirrored into the metrics registry under
+    /// `net/{channel}/messages` and `net/{channel}/bytes`.
+    pub fn utilization(&self) -> &NetUtilization {
+        &self.util
+    }
+
     /// Whether the ordered pair `(from, to)` exhausted its retransmit
     /// budget (see [`ChannelError::LinkDead`]). A dead pair stays dead.
     pub fn is_dead_pair(&self, from: usize, to: usize) -> bool {
@@ -267,7 +287,29 @@ impl Channel {
     fn mark_dead(&self, from: usize, to: usize) {
         if self.dead.lock().unwrap().insert((from, to)) {
             self.counters.dead_pairs.fetch_add(1, Ordering::Relaxed);
+            self.metric("dead_pairs", 1);
         }
+    }
+
+    /// Mirror one reliable-sublayer counter increment into the ambient
+    /// metrics registry as `chan/{name}/{which}` (no-op off-simulation).
+    fn metric(&self, which: &str, delta: u64) {
+        obs::counter_add(&format!("chan/{}/{which}", self.name), delta);
+    }
+
+    /// Span/histogram label for this channel: its protocol's short name.
+    fn label(&self) -> &'static str {
+        self.protocol.name()
+    }
+
+    /// Account one wire injection of `bytes` payload bytes: the channel's
+    /// [`NetUtilization`] plus the registry mirror keys.
+    fn record_wire(&self, bytes: usize) {
+        self.util.record(bytes);
+        self.metric("messages", 1);
+        self.metric("bytes", bytes as u64);
+        obs::counter_add(&format!("net/{}/messages", self.name), 1);
+        obs::counter_add(&format!("net/{}/bytes", self.name), bytes as u64);
     }
 
     /// The view of this channel from `rank`.
@@ -275,7 +317,7 @@ impl Channel {
         if !self.is_member(rank) {
             return Err(ChannelError::NotMember {
                 rank,
-                channel: self.name.clone(),
+                channel: self.name.to_string(),
             });
         }
         Ok(Endpoint {
@@ -293,16 +335,19 @@ impl Channel {
     /// deliver it now, `None` when it was discarded as a duplicate or
     /// stashed for later (out-of-order).
     fn accept(&self, rank: usize, msg: WireMessage) -> Option<WireMessage> {
+        let (dup_from, dup_seq) = (msg.from, msg.seq);
         let mut st = self.recv[&rank].lock().unwrap();
         let peer = st.peers.entry(msg.from).or_default();
         let released = match msg.seq.cmp(&peer.expected) {
             std::cmp::Ordering::Less => {
                 self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                self.note_dedup(dup_from, dup_seq);
                 return None;
             }
             std::cmp::Ordering::Greater => {
                 if peer.stash.insert(msg.seq, msg).is_some() {
                     self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                    self.note_dedup(dup_from, dup_seq);
                 }
                 return None;
             }
@@ -318,6 +363,12 @@ impl Channel {
         };
         st.ready.extend(released);
         Some(msg)
+    }
+
+    fn note_dedup(&self, from: usize, seq: u64) {
+        self.metric("dedup_drops", 1);
+        let channel = self.name.clone();
+        obs::emit(move || Event::DedupDrop { channel, from, seq });
     }
 
     /// Test hook: post a raw wire message (arbitrary `seq`) straight to
@@ -350,10 +401,11 @@ impl Endpoint {
         if !self.channel.is_member(remote) {
             return Err(ChannelError::NotMember {
                 rank: remote,
-                channel: self.channel.name.clone(),
+                channel: self.channel.name.to_string(),
             });
         }
         Ok(PackingConnection {
+            span: obs::span_begin(SpanKind::Pack, self.channel.label()),
             endpoint: self.clone(),
             remote,
             blocks: Vec::new(),
@@ -377,13 +429,7 @@ impl Endpoint {
                     }
                 }
             };
-            marcel::advance(self.channel.model.recv_fixed);
-            return Some(UnpackingConnection {
-                endpoint: self.clone(),
-                message,
-                cursor: 0,
-                finished: false,
-            });
+            return Some(self.open_unpacking(message));
         }
     }
 
@@ -398,13 +444,41 @@ impl Endpoint {
                 self.channel.accept(self.rank, polled.payload)?
             }
         };
-        marcel::advance(self.channel.model.recv_fixed);
-        Some(UnpackingConnection {
+        Some(self.open_unpacking(message))
+    }
+
+    /// Shared tail of `begin_unpacking`/`try_begin_unpacking`: observe
+    /// the detection delay (now − wire arrival, the factorized-polling
+    /// cycle the paper's Fig. 9 measures), open the unpack span, emit
+    /// the typed event, then charge the receiver's fixed drain cost.
+    fn open_unpacking(&self, message: WireMessage) -> UnpackingConnection {
+        let channel = &self.channel;
+        let detect = marcel::now().saturating_since(message.arrival);
+        obs::observe_ns(
+            &format!("poll_detect/{}", channel.label()),
+            detect.as_nanos(),
+        );
+        let span = obs::span_begin(SpanKind::Unpack, channel.label());
+        let (name, from, seq, bytes) = (
+            channel.name.clone(),
+            message.from,
+            message.seq,
+            message.total_len(),
+        );
+        obs::emit(move || Event::Unpack {
+            channel: name,
+            from,
+            seq,
+            bytes,
+        });
+        marcel::advance(channel.model.recv_fixed);
+        UnpackingConnection {
             endpoint: self.clone(),
             message,
             cursor: 0,
             finished: false,
-        })
+            span,
+        }
     }
 
     /// Register this endpoint in its rank's factorized polling loop
@@ -444,6 +518,8 @@ pub struct PackingConnection {
     remote: usize,
     blocks: Vec<Block>,
     finished: bool,
+    /// Pack span, open from `begin_packing` to `end_packing`.
+    span: Option<ActiveSpan>,
 }
 
 impl PackingConnection {
@@ -492,6 +568,7 @@ impl PackingConnection {
     /// wire and bypass the plan.
     pub fn end_packing(mut self) -> Result<(), ChannelError> {
         self.finished = true;
+        let mut span = self.span.take();
         let channel = self.endpoint.channel.clone();
         let model = &channel.model;
         let total: usize = self.blocks.iter().map(|b| b.data.len()).sum();
@@ -533,6 +610,18 @@ impl PackingConnection {
             };
             channel.sources[&to].post(arrival, message);
             drop(state);
+            if from != to {
+                channel.record_wire(total);
+            }
+            let name = channel.name.clone();
+            obs::emit(move || Event::Pack {
+                channel: name,
+                to,
+                seq: msg_seq,
+                bytes: total,
+                segments,
+            });
+            obs::span_end(span.take());
             return Ok(());
         };
 
@@ -551,25 +640,37 @@ impl PackingConnection {
                     // Link down but coming back: no attempt consumed,
                     // nothing occupies the wire; wait the window out.
                     channel.counters.deferrals.fetch_add(1, Ordering::Relaxed);
+                    channel.metric("deferrals", 1);
                     marcel::sleep_until(until);
                 }
                 Fate::Drop => {
                     state.seq += 1;
                     attempts += 1;
                     channel.counters.drops.fetch_add(1, Ordering::Relaxed);
+                    channel.metric("drops", 1);
                     if attempts >= MAX_SEND_ATTEMPTS {
                         if delivered {
+                            obs::span_end(span.take());
                             return Ok(());
                         }
                         channel.mark_dead(from, to);
+                        obs::span_end(span.take());
                         return Err(ChannelError::LinkDead {
-                            channel: channel.name.clone(),
+                            channel: channel.name.to_string(),
                             from,
                             to,
                             attempts,
                         });
                     }
                     channel.counters.retransmits.fetch_add(1, Ordering::Relaxed);
+                    channel.metric("retransmits", 1);
+                    let name = channel.name.clone();
+                    obs::emit(move || Event::Retransmit {
+                        channel: name,
+                        to,
+                        seq: msg_seq,
+                        attempt: attempts,
+                    });
                     marcel::sleep(rto_for(attempts));
                 }
                 Fate::Deliver => {
@@ -592,14 +693,32 @@ impl PackingConnection {
                     };
                     channel.sources[&to].post(arrival, message);
                     delivered = true;
+                    channel.record_wire(total);
+                    let name = channel.name.clone();
+                    obs::emit(move || Event::Pack {
+                        channel: name,
+                        to,
+                        seq: msg_seq,
+                        bytes: total,
+                        segments,
+                    });
                     if plan.ack_lost(wire_seq, total) && attempts < MAX_SEND_ATTEMPTS {
                         // The delivery's acknowledgement vanished: the
                         // sender cannot tell and retransmits a
                         // duplicate after the timeout.
                         channel.counters.retransmits.fetch_add(1, Ordering::Relaxed);
+                        channel.metric("retransmits", 1);
+                        let name = channel.name.clone();
+                        obs::emit(move || Event::Retransmit {
+                            channel: name,
+                            to,
+                            seq: msg_seq,
+                            attempt: attempts,
+                        });
                         marcel::sleep(rto_for(attempts));
                         continue;
                     }
+                    obs::span_end(span.take());
                     return Ok(());
                 }
             }
@@ -625,6 +744,8 @@ pub struct UnpackingConnection {
     message: WireMessage,
     cursor: usize,
     finished: bool,
+    /// Unpack span, open from `begin_unpacking` to `end_unpacking`.
+    span: Option<ActiveSpan>,
 }
 
 impl UnpackingConnection {
@@ -708,6 +829,7 @@ impl UnpackingConnection {
             self.message.blocks.len() - self.cursor
         );
         self.finished = true;
+        obs::span_end(self.span.take());
     }
 }
 

@@ -247,14 +247,25 @@ impl Session {
         total
     }
 
+    /// Per-channel reliable-delivery counters, in channel order — the
+    /// breakdown the `degraded` bench reports next to aggregate totals.
+    pub fn per_channel_counters(&self) -> Vec<(String, FaultCounters)> {
+        self.channels
+            .iter()
+            .map(|c| (c.name().to_string(), c.counters()))
+            .collect()
+    }
+
     /// Record that a device moved traffic off a dead rail.
     pub fn note_failover(&self) {
         self.failovers.fetch_add(1, Ordering::Relaxed);
+        marcel::obs::counter_add("chmad/failovers", 1);
     }
 
     /// Record that an in-flight rendezvous REQUEST was re-issued.
     pub fn note_rndv_reissue(&self) {
         self.rndv_reissues.fetch_add(1, Ordering::Relaxed);
+        marcel::obs::counter_add("chmad/rndv_reissues", 1);
     }
 
     /// Number of rail failovers recorded by devices.

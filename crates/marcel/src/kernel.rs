@@ -36,11 +36,13 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::cost::CostModel;
+use crate::obs::{Event, Metrics};
 use crate::time::{VirtualDuration, VirtualTime};
 
 /// Identifier of a simulated thread.
@@ -153,12 +155,13 @@ pub(crate) struct SourceState {
     pub(crate) closed: bool,
 }
 
-/// One entry of the (optional) deterministic event trace.
+/// One entry of the (optional) deterministic event trace. `what` is a
+/// typed [`Event`] whose `Display` reproduces the legacy trace strings.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     pub time: VirtualTime,
     pub tid: usize,
-    pub what: String,
+    pub what: Event,
 }
 
 pub(crate) struct Sched {
@@ -175,7 +178,7 @@ pub(crate) struct Sched {
 }
 
 impl Sched {
-    pub(crate) fn record(&mut self, tid: Tid, what: impl FnOnce() -> String) {
+    pub(crate) fn record(&mut self, tid: Tid, what: impl FnOnce() -> Event) {
         if let Some(trace) = &mut self.trace {
             let time = self.threads[tid.0].vtime;
             trace.push(TraceEvent {
@@ -207,6 +210,12 @@ pub(crate) struct Shared {
     pub(crate) state: Mutex<Sched>,
     pub(crate) cv: Condvar,
     pub(crate) cost: CostModel,
+    /// The kernel's metrics registry (see [`crate::obs`]): always on,
+    /// never touches virtual time.
+    pub(crate) metrics: Arc<Metrics>,
+    /// Fast tracing-enabled check for [`crate::obs::emit`] — avoids the
+    /// scheduler lock on the (default) disabled path.
+    pub(crate) trace_on: AtomicBool,
 }
 
 impl Shared {
@@ -341,7 +350,7 @@ impl Shared {
     pub(crate) fn thread_exit(&self, me: Tid, panic_msg: Option<String>) {
         let mut sched = self.state.lock();
         let vtime = sched.threads[me.0].vtime;
-        sched.record(me, || "exit".to_string());
+        sched.record(me, || Event::Exit);
         sched.threads[me.0].state = TState::Done;
         sched.live -= 1;
         let joiners = std::mem::take(&mut sched.threads[me.0].joiners);
@@ -387,6 +396,8 @@ impl Kernel {
                 }),
                 cv: Condvar::new(),
                 cost,
+                metrics: Arc::new(Metrics::new()),
+                trace_on: AtomicBool::new(false),
             }),
         }
     }
@@ -405,11 +416,53 @@ impl Kernel {
     /// [`Kernel::take_trace`]).
     pub fn enable_trace(&self) {
         self.shared.state.lock().trace = Some(Vec::new());
+        self.shared.trace_on.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.shared.trace_on.load(Ordering::Relaxed)
     }
 
     /// Take the recorded trace (empty if tracing was never enabled).
+    /// Tracing stays armed: events recorded after this call land in a
+    /// fresh buffer instead of silently vanishing.
     pub fn take_trace(&self) -> Vec<TraceEvent> {
-        self.shared.state.lock().trace.take().unwrap_or_default()
+        let mut sched = self.shared.state.lock();
+        match sched.trace.take() {
+            Some(t) => {
+                sched.trace = Some(Vec::new());
+                t
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events recorded so far, without consuming the trace.
+    pub fn trace_len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .trace
+            .as_ref()
+            .map_or(0, |t| t.len())
+    }
+
+    /// Handle to the kernel's metrics registry (see [`crate::obs`]).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.shared.metrics.clone()
+    }
+
+    /// Names of all simulated threads, indexed by tid — the Chrome
+    /// exporter uses them to label (and group) timeline rows.
+    pub fn thread_names(&self) -> Vec<String> {
+        self.shared
+            .state
+            .lock()
+            .threads
+            .iter()
+            .map(|t| t.name.clone())
+            .collect()
     }
 
     /// Spawn a simulated thread starting at virtual time zero. Must be
@@ -569,6 +622,33 @@ mod tests {
         let b = run_once();
         assert!(!a.is_empty());
         assert_eq!(a, b);
+        // The trace is typed now: the producer/consumer handshake shows
+        // up as structured semaphore events, not just strings.
+        use crate::obs::Event;
+        assert!(a.iter().any(|e| matches!(e.what, Event::SemBlock { .. })));
+        assert!(a.iter().any(|e| matches!(e.what, Event::SemWake { .. })));
+        assert_eq!(a.iter().filter(|e| e.what == Event::Exit).count(), 2);
+        // And the legacy string view still works through Display.
+        assert!(a.iter().any(|e| e.what == "exit"));
+    }
+
+    #[test]
+    fn take_trace_rearms_and_trace_len_is_nonconsuming() {
+        let k = Kernel::new(CostModel::calibrated());
+        k.enable_trace();
+        k.spawn("a", || thread::advance(VirtualDuration::from_micros(1)));
+        k.run().unwrap();
+        assert!(k.trace_enabled());
+        let n = k.trace_len();
+        assert!(n > 0);
+        assert_eq!(k.trace_len(), n, "trace_len must not consume");
+        let first = k.take_trace();
+        assert_eq!(first.len(), n);
+        // Tracing stayed armed: a second take returns the (empty) fresh
+        // buffer rather than silently disabling tracing.
+        assert!(k.trace_enabled());
+        assert!(k.take_trace().is_empty());
+        assert_eq!(k.trace_len(), 0);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * [`CostModel`] — per-primitive virtual costs, calibrated so that the
 //!   `ch_mad` "message handling" overhead emerges at the magnitude the
 //!   paper reports (≈7 µs).
+//! * [`obs`] — cross-layer observability: typed trace events, begin/end
+//!   spans in virtual time, an always-on metrics registry, and a Chrome
+//!   trace-event JSON exporter. Instrumentation never advances virtual
+//!   time, so tracing on/off cannot change simulation results.
 //!
 //! ```
 //! use marcel::{Kernel, CostModel, VirtualDuration};
@@ -36,6 +40,7 @@
 
 pub mod cost;
 pub mod kernel;
+pub mod obs;
 pub mod poll;
 pub mod sync;
 pub mod thread;
@@ -43,6 +48,10 @@ pub mod time;
 
 pub use cost::CostModel;
 pub use kernel::{Kernel, ProcId, SimError, TraceEvent};
+pub use obs::{
+    chrome_trace_json, validate_spans, ActiveSpan, Event, HistSnapshot, Layer, Metrics,
+    MetricsSnapshot, SpanKind, ThreadMeta,
+};
 pub use poll::{PollSource, Polled};
 pub use sync::{OneShot, Queue, Semaphore, SimBarrier, SimCondvar, SimMutex, SimRwLock};
 pub use thread::{

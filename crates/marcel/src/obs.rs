@@ -1,0 +1,1013 @@
+//! Cross-layer observability: typed trace events, virtual-time spans, a
+//! metrics registry, and exporters.
+//!
+//! # Typed events
+//!
+//! The kernel trace used to be a flat list of format strings. It now
+//! records [`Event`] values: every layer of the stack (marcel kernel,
+//! Madeleine channels, the ch_mad device, the ADI engine) has variants
+//! carrying its own tags (channel, rank, message sequence number, rail),
+//! so a message's life — pack, wire, poll detection, demultiplex,
+//! delivery, completion — is reconstructable end-to-end from one trace.
+//! [`Event`]'s `Display` reproduces the legacy strings byte-for-byte for
+//! the original kernel events, so the human-readable timeline is
+//! unchanged.
+//!
+//! # Spans
+//!
+//! A span is a begin/end pair in *virtual* time ([`span_begin`] /
+//! [`span_end`]). Ends may occur on a different simulated thread than
+//! the begin (e.g. the ch_mad *handling* span starts on the polling
+//! thread and ends when the receiving rank observes completion), which
+//! is why spans carry explicit ids and the Chrome exporter emits them as
+//! async ("b"/"e") events. Every finished span feeds a virtual-time
+//! histogram in the metrics registry — that is what `bench --bin
+//! overhead` measures the paper's §5 packing-vs-handling decomposition
+//! from.
+//!
+//! # Zero cost when disabled
+//!
+//! Instrumentation never advances virtual time and never reschedules:
+//! with tracing off, runs are bit-identical to uninstrumented ones, and
+//! with tracing *on* only host (real) time is spent. Metrics are always
+//! collected (they are pure host-side bookkeeping); trace events are
+//! gated on an atomic flag checked without taking the scheduler lock.
+//!
+//! # Exporters
+//!
+//! [`chrome_trace_json`] renders a trace as Chrome trace-event JSON
+//! (loadable in Perfetto / `chrome://tracing`): one virtual *process*
+//! per cluster node, one *thread* per Marcel tid.
+//! [`MetricsSnapshot`]'s `Display` is the plain-text stats report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::TraceEvent;
+use crate::time::{VirtualDuration, VirtualTime};
+
+/// Which layer of the stack emitted an event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Layer {
+    /// marcel kernel: threads, semaphores, polling.
+    Marcel,
+    /// Madeleine channels: pack/unpack, reliable delivery.
+    Madeleine,
+    /// The ch_mad multi-protocol device: packets, rails, rendezvous.
+    ChMad,
+    /// The ADI message engine: posted/unexpected queues.
+    Adi,
+}
+
+impl Layer {
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Marcel => "marcel",
+            Layer::Madeleine => "madeleine",
+            Layer::ChMad => "ch_mad",
+            Layer::Adi => "adi",
+        }
+    }
+}
+
+/// The kind of a measured span (selects the histogram family).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanKind {
+    /// Madeleine packing: `begin_packing` → `end_packing` returns.
+    Pack,
+    /// Madeleine unpacking: `begin_unpacking` returns → `end_unpacking`.
+    Unpack,
+    /// ch_mad receive-side handling: packet noticed → receiving rank
+    /// observes completion (crosses threads).
+    Handle,
+    /// ch_mad send-side setup: `Device::send` entry → packing begins.
+    Setup,
+    /// One rail's share of a striped rendezvous send.
+    Stripe,
+    /// ADI receive posting: `Engine::post_recv` entry → return (queue
+    /// lock, match attempt against the unexpected queue, enqueue).
+    Post,
+}
+
+impl SpanKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Pack => "pack",
+            SpanKind::Unpack => "unpack",
+            SpanKind::Handle => "handle",
+            SpanKind::Setup => "setup",
+            SpanKind::Stripe => "stripe",
+            SpanKind::Post => "post",
+        }
+    }
+}
+
+/// One typed trace event. The first eight variants are the legacy
+/// kernel events; their `Display` output is byte-identical to the
+/// strings the kernel recorded before events were typed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    // ---- marcel: threads, semaphores, polling ----
+    /// A simulated thread was spawned (recorded with the new thread's tid).
+    Spawn,
+    /// A simulated thread finished.
+    Exit,
+    /// `P` on a semaphore with count 0: the caller blocks.
+    SemBlock { sem: usize },
+    /// Timed `P` blocking until a deadline.
+    SemBlockTimeout { sem: usize, deadline: VirtualTime },
+    /// `V` granted the semaphore to a blocked waiter.
+    SemWake { sem: usize, woken: usize },
+    /// A message post woke the thread blocked in `poll_wait`.
+    PollWake { source: usize },
+    /// `poll_wait` found a message already queued.
+    PollQueued { source: usize },
+    /// `poll_wait` blocked and was woken by a later arrival.
+    PollWaited { source: usize },
+    // ---- madeleine: channels ----
+    /// A packed message was injected into the wire.
+    Pack {
+        channel: Arc<str>,
+        to: usize,
+        seq: u64,
+        bytes: usize,
+        segments: usize,
+    },
+    /// A wire message was accepted by the receiver.
+    Unpack {
+        channel: Arc<str>,
+        from: usize,
+        seq: u64,
+        bytes: usize,
+    },
+    /// The reliable-delivery sublayer re-sent a lost message.
+    Retransmit {
+        channel: Arc<str>,
+        to: usize,
+        seq: u64,
+        attempt: u32,
+    },
+    /// The receiver dropped an already-delivered duplicate.
+    DedupDrop {
+        channel: Arc<str>,
+        from: usize,
+        seq: u64,
+    },
+    // ---- ch_mad: packets, rails, rendezvous ----
+    /// A device packet left on some rail.
+    PacketSent {
+        rank: usize,
+        dst: usize,
+        kind: &'static str,
+        rail: Arc<str>,
+        bytes: usize,
+    },
+    /// A device packet was demultiplexed on the receiving rank.
+    PacketDelivered {
+        rank: usize,
+        src: usize,
+        kind: &'static str,
+    },
+    /// The policy picked a rail for an outgoing packet.
+    RailSelected {
+        rank: usize,
+        dst: usize,
+        rail: Arc<str>,
+        bytes: usize,
+    },
+    /// A send failed over from a dead rail to the next live one.
+    RailFailover {
+        rank: usize,
+        dst: usize,
+        from_rail: Arc<str>,
+        to_rail: Arc<str>,
+    },
+    /// Rendezvous REQUEST issued.
+    RndvRequest {
+        rank: usize,
+        dst: usize,
+        token: u64,
+        bytes: usize,
+    },
+    /// Rendezvous OK_TO_SEND observed by the sender.
+    RndvAck { rank: usize, src: usize, token: u64 },
+    // ---- ADI engine: queues ----
+    /// A receive was posted (depth = posted-queue depth after).
+    RecvPosted { rank: usize, depth: usize },
+    /// An incoming message matched a receive (posted or unexpected).
+    RecvMatched {
+        rank: usize,
+        src: usize,
+        tag: i32,
+        unexpected: bool,
+    },
+    /// An incoming message found no posted receive and was queued.
+    UnexpectedQueued {
+        rank: usize,
+        src: usize,
+        tag: i32,
+        depth: usize,
+    },
+    // ---- spans ----
+    SpanBegin {
+        id: u64,
+        kind: SpanKind,
+        label: &'static str,
+    },
+    SpanEnd {
+        id: u64,
+        kind: SpanKind,
+        label: &'static str,
+    },
+}
+
+impl Event {
+    /// The stack layer this event belongs to.
+    pub fn layer(&self) -> Layer {
+        use Event::*;
+        match self {
+            Spawn
+            | Exit
+            | SemBlock { .. }
+            | SemBlockTimeout { .. }
+            | SemWake { .. }
+            | PollWake { .. }
+            | PollQueued { .. }
+            | PollWaited { .. } => Layer::Marcel,
+            Pack { .. } | Unpack { .. } | Retransmit { .. } | DedupDrop { .. } => Layer::Madeleine,
+            PacketSent { .. }
+            | PacketDelivered { .. }
+            | RailSelected { .. }
+            | RailFailover { .. }
+            | RndvRequest { .. }
+            | RndvAck { .. } => Layer::ChMad,
+            RecvPosted { .. } | RecvMatched { .. } | UnexpectedQueued { .. } => Layer::Adi,
+            SpanBegin { kind, .. } | SpanEnd { kind, .. } => match kind {
+                SpanKind::Pack | SpanKind::Unpack => Layer::Madeleine,
+                SpanKind::Handle | SpanKind::Setup | SpanKind::Stripe => Layer::ChMad,
+                SpanKind::Post => Layer::Adi,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Event::*;
+        match self {
+            // Legacy kernel strings, byte-identical to the pre-typed trace.
+            Spawn => write!(f, "spawn"),
+            Exit => write!(f, "exit"),
+            SemBlock { sem } => write!(f, "P sem#{sem} blocks"),
+            SemBlockTimeout { sem, deadline } => {
+                write!(f, "P sem#{sem} blocks until {deadline}")
+            }
+            SemWake { sem, woken } => write!(f, "V sem#{sem} wakes #{woken}"),
+            PollWake { source } => write!(f, "post->wake src#{source}"),
+            PollQueued { source } => write!(f, "polled src#{source} (queued)"),
+            PollWaited { source } => write!(f, "polled src#{source} (waited)"),
+            // Madeleine.
+            Pack {
+                channel,
+                to,
+                seq,
+                bytes,
+                segments,
+            } => write!(f, "pack {channel}->#{to} seq={seq} {bytes}B x{segments}"),
+            Unpack {
+                channel,
+                from,
+                seq,
+                bytes,
+            } => write!(f, "unpack {channel}<-#{from} seq={seq} {bytes}B"),
+            Retransmit {
+                channel,
+                to,
+                seq,
+                attempt,
+            } => write!(f, "retransmit {channel}->#{to} seq={seq} attempt={attempt}"),
+            DedupDrop { channel, from, seq } => {
+                write!(f, "dedup-drop {channel}<-#{from} seq={seq}")
+            }
+            // ch_mad.
+            PacketSent {
+                rank,
+                dst,
+                kind,
+                rail,
+                bytes,
+            } => write!(f, "packet {kind} #{rank}->#{dst} via {rail} {bytes}B"),
+            PacketDelivered { rank, src, kind } => {
+                write!(f, "packet {kind} #{src}->#{rank} delivered")
+            }
+            RailSelected {
+                rank,
+                dst,
+                rail,
+                bytes,
+            } => write!(f, "rail {rail} selected #{rank}->#{dst} {bytes}B"),
+            RailFailover {
+                rank,
+                dst,
+                from_rail,
+                to_rail,
+            } => write!(f, "rail failover #{rank}->#{dst}: {from_rail} -> {to_rail}"),
+            RndvRequest {
+                rank,
+                dst,
+                token,
+                bytes,
+            } => write!(f, "rndv REQUEST #{rank}->#{dst} token={token} {bytes}B"),
+            RndvAck { rank, src, token } => {
+                write!(f, "rndv OK_TO_SEND #{src}->#{rank} token={token}")
+            }
+            // ADI.
+            RecvPosted { rank, depth } => write!(f, "adi post-recv rank{rank} depth={depth}"),
+            RecvMatched {
+                rank,
+                src,
+                tag,
+                unexpected,
+            } => write!(
+                f,
+                "adi match rank{rank} src=#{src} tag={tag} ({})",
+                if *unexpected { "unexpected" } else { "posted" }
+            ),
+            UnexpectedQueued {
+                rank,
+                src,
+                tag,
+                depth,
+            } => write!(
+                f,
+                "adi unexpected rank{rank} src=#{src} tag={tag} depth={depth}"
+            ),
+            // Spans.
+            SpanBegin { id, kind, label } => {
+                write!(f, "begin {}:{label} span#{id}", kind.name())
+            }
+            SpanEnd { id, kind, label } => write!(f, "end {}:{label} span#{id}", kind.name()),
+        }
+    }
+}
+
+/// String comparison goes through `Display`, so existing code and tests
+/// that matched the stringly trace (`e.what == "spawn"`) keep working.
+impl PartialEq<&str> for Event {
+    fn eq(&self, other: &&str) -> bool {
+        self.to_string() == **other
+    }
+}
+
+impl PartialEq<Event> for &str {
+    fn eq(&self, other: &Event) -> bool {
+        other == self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Summary statistics of one virtual-time histogram.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    /// Log2 buckets: `buckets[i]` counts observations with
+    /// `bit_length(ns) == i` (bucket 0 holds zero-duration samples).
+    pub buckets: [u64; 32],
+}
+
+impl HistSnapshot {
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns() / 1_000.0
+    }
+}
+
+#[derive(Default)]
+struct Store {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    hists: BTreeMap<String, HistSnapshot>,
+}
+
+/// The per-kernel metrics registry: counters, high-water gauges and
+/// virtual-time histograms, keyed by `/`-separated string names.
+///
+/// All updates are pure host-side bookkeeping — they never advance
+/// virtual time or reschedule, so collection is always on and cannot
+/// perturb the simulation. Exactly one simulated thread runs at a time,
+/// so the update order (and therefore every snapshot) is deterministic.
+pub struct Metrics {
+    store: Mutex<Store>,
+    next_span: AtomicU64,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Metrics {
+        Metrics {
+            store: Mutex::new(Store::default()),
+            next_span: AtomicU64::new(1),
+        }
+    }
+
+    /// Add `delta` to the counter `name` (created at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut s = self.store.lock();
+        match s.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                s.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Raise the high-water gauge `name` to `v` if `v` exceeds it.
+    pub fn gauge_max(&self, name: &str, v: u64) {
+        let mut s = self.store.lock();
+        match s.gauges.get_mut(name) {
+            Some(g) => *g = (*g).max(v),
+            None => {
+                s.gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Record one observation into the histogram `name`.
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        let mut s = self.store.lock();
+        let h = s.hists.entry(name.to_string()).or_default();
+        if h.count == 0 {
+            h.min_ns = ns;
+            h.max_ns = ns;
+        } else {
+            h.min_ns = h.min_ns.min(ns);
+            h.max_ns = h.max_ns.max(ns);
+        }
+        h.count += 1;
+        h.sum_ns += ns;
+        let bucket = (64 - ns.leading_zeros()) as usize;
+        h.buckets[bucket.min(31)] += 1;
+    }
+
+    /// Record one observation from a [`VirtualDuration`].
+    pub fn observe(&self, name: &str, d: VirtualDuration) {
+        self.observe_ns(name, d.as_nanos());
+    }
+
+    /// Allocate a fresh span id (deterministic: one simulated thread
+    /// runs at a time).
+    pub fn next_span_id(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Clear all counters, gauges and histograms (span ids keep
+    /// counting). Benchmarks call this between warm-up and the measured
+    /// iterations.
+    pub fn reset(&self) {
+        *self.store.lock() = Store::default();
+    }
+
+    /// Copy the registry's current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let s = self.store.lock();
+        MetricsSnapshot {
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            hists: s.hists.clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of the registry. `Display` renders the
+/// plain-text stats report; `PartialEq` makes determinism testable.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub hists: BTreeMap<String, HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (zero when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// High-water gauge value (zero when never touched).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram summary, if any observation was recorded.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.get(name)
+    }
+
+    /// Counters whose name starts with `prefix`, in sorted order.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "-- counters --")?;
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<44} {v:>12}")?;
+        }
+        writeln!(f, "-- gauges (high-water) --")?;
+        for (k, v) in &self.gauges {
+            writeln!(f, "{k:<44} {v:>12}")?;
+        }
+        writeln!(f, "-- histograms (virtual time, us) --")?;
+        writeln!(
+            f,
+            "{:<44} {:>8} {:>10} {:>10} {:>10}",
+            "name", "count", "mean", "min", "max"
+        )?;
+        for (k, h) in &self.hists {
+            writeln!(
+                f,
+                "{:<44} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+                k,
+                h.count,
+                h.mean_us(),
+                h.min_ns as f64 / 1_000.0,
+                h.max_ns as f64 / 1_000.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ambient emission API (usable from any simulated thread)
+// ---------------------------------------------------------------------------
+
+/// Record a trace event for the calling simulated thread. The closure
+/// only runs when tracing is enabled; outside a simulated thread this is
+/// a no-op. Never advances virtual time.
+pub fn emit(f: impl FnOnce() -> Event) {
+    let Some((shared, me)) = crate::thread::try_current() else {
+        return;
+    };
+    if !shared.trace_on.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut sched = shared.state.lock();
+    sched.record(me, f);
+}
+
+/// Run `f` against the kernel's metrics registry; `None` outside a
+/// simulated thread.
+pub fn with_metrics<R>(f: impl FnOnce(&Metrics) -> R) -> Option<R> {
+    crate::thread::try_current().map(|(shared, _)| f(&shared.metrics))
+}
+
+/// Ambient [`Metrics::counter_add`].
+pub fn counter_add(name: &str, delta: u64) {
+    with_metrics(|m| m.counter_add(name, delta));
+}
+
+/// Ambient [`Metrics::gauge_max`].
+pub fn gauge_max(name: &str, v: u64) {
+    with_metrics(|m| m.gauge_max(name, v));
+}
+
+/// Ambient [`Metrics::observe_ns`].
+pub fn observe_ns(name: &str, ns: u64) {
+    with_metrics(|m| m.observe_ns(name, ns));
+}
+
+/// Ambient [`Metrics::reset`] — benchmarks call this from inside the
+/// simulation between warm-up and the measured iterations.
+pub fn reset_metrics() {
+    with_metrics(|m| m.reset());
+}
+
+/// An open span. `Copy`, so it can be stashed in shared state and ended
+/// on a different simulated thread than it began on.
+#[derive(Clone, Copy, Debug)]
+pub struct ActiveSpan {
+    id: u64,
+    kind: SpanKind,
+    label: &'static str,
+    begin: VirtualTime,
+}
+
+impl ActiveSpan {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Open a span at the calling thread's current virtual time. `label`
+/// selects the histogram (`span/<kind>/<label>`) — by convention the
+/// protocol name. `None` outside a simulated thread.
+pub fn span_begin(kind: SpanKind, label: &'static str) -> Option<ActiveSpan> {
+    let (shared, me) = crate::thread::try_current()?;
+    let mut sched = shared.state.lock();
+    let begin = sched.threads[me.index()].vtime;
+    let id = shared.metrics.next_span_id();
+    if shared.trace_on.load(Ordering::Relaxed) {
+        sched.record(me, || Event::SpanBegin { id, kind, label });
+    }
+    Some(ActiveSpan {
+        id,
+        kind,
+        label,
+        begin,
+    })
+}
+
+/// Like [`span_begin`], but backdated to `begin` (e.g. a wire-arrival
+/// timestamp the observing thread learned after the fact). The trace
+/// event is still recorded at the caller's current time — only the
+/// measured duration is backdated.
+pub fn span_begin_at(
+    kind: SpanKind,
+    label: &'static str,
+    begin: VirtualTime,
+) -> Option<ActiveSpan> {
+    span_begin(kind, label).map(|s| ActiveSpan { begin, ..s })
+}
+
+/// Close a span on the calling thread, feeding its histogram. Accepts
+/// the `Option` from [`span_begin`] so call sites stay unconditional.
+pub fn span_end(span: Option<ActiveSpan>) {
+    let Some(span) = span else { return };
+    let Some((shared, me)) = crate::thread::try_current() else {
+        return;
+    };
+    let end = {
+        let mut sched = shared.state.lock();
+        let end = sched.threads[me.index()].vtime;
+        if shared.trace_on.load(Ordering::Relaxed) {
+            let (id, kind, label) = (span.id, span.kind, span.label);
+            sched.record(me, || Event::SpanEnd { id, kind, label });
+        }
+        end
+    };
+    shared.metrics.observe_ns(
+        &format!("span/{}/{}", span.kind.name(), span.label),
+        end.saturating_since(span.begin).as_nanos(),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Trace validation & export
+// ---------------------------------------------------------------------------
+
+/// Check the span invariant: every `SpanBegin` in `trace` has exactly
+/// one matching `SpanEnd` (same id) and no end lacks a begin.
+// The clippy-suggested collapse would move the map mutations into
+// match guards; the nested form keeps them visible.
+#[allow(clippy::collapsible_match)]
+pub fn validate_spans(trace: &[TraceEvent]) -> Result<(), String> {
+    let mut open: BTreeMap<u64, &'static str> = BTreeMap::new();
+    for e in trace {
+        match &e.what {
+            Event::SpanBegin { id, label, .. } => {
+                if open.insert(*id, label).is_some() {
+                    return Err(format!("span #{id} began twice"));
+                }
+            }
+            Event::SpanEnd { id, .. } => {
+                if open.remove(id).is_none() {
+                    return Err(format!("span #{id} ended without a begin (or twice)"));
+                }
+            }
+            _ => {}
+        }
+    }
+    if open.is_empty() {
+        Ok(())
+    } else {
+        let dangling: Vec<String> = open
+            .iter()
+            .map(|(id, label)| format!("#{id} ({label})"))
+            .collect();
+        Err(format!("unclosed spans: {}", dangling.join(", ")))
+    }
+}
+
+/// Per-tid metadata for the Chrome exporter: the Marcel thread's name
+/// and the virtual "process" (cluster node) it belongs to.
+#[derive(Clone, Debug)]
+pub struct ThreadMeta {
+    pub name: String,
+    pub pid: u32,
+}
+
+/// Render a trace as Chrome trace-event JSON (the "JSON array format"
+/// Perfetto and `chrome://tracing` load). One virtual process per
+/// cluster node, one thread per Marcel tid; spans become async
+/// nestable "b"/"e" pairs (they may cross threads), everything else an
+/// instant "i". Every record carries `ph`, `ts` (virtual µs), `pid` and
+/// `tid`.
+pub fn chrome_trace_json(trace: &[TraceEvent], threads: &[ThreadMeta]) -> String {
+    let mut out = String::new();
+    out.push_str("[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(&line);
+    };
+    // Process/thread name metadata.
+    let mut pids: Vec<u32> = threads.iter().map(|t| t.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in pids {
+        push(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"node{pid}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+    for (tid, meta) in threads.iter().enumerate() {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{},\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                meta.pid,
+                json_str(&meta.name)
+            ),
+            &mut out,
+        );
+    }
+    let fallback = ThreadMeta {
+        name: String::new(),
+        pid: 0,
+    };
+    for e in trace {
+        let meta = threads.get(e.tid).unwrap_or(&fallback);
+        let ts = e.time.as_micros_f64();
+        let line = match &e.what {
+            Event::SpanBegin { id, kind, label } => format!(
+                "{{\"name\":{},\"cat\":{},\"ph\":\"b\",\"id\":{id},\"ts\":{ts},\
+                 \"pid\":{},\"tid\":{}}}",
+                json_str(&format!("{}:{label}", kind.name())),
+                json_str(kind.name()),
+                meta.pid,
+                e.tid
+            ),
+            Event::SpanEnd { id, kind, label } => format!(
+                "{{\"name\":{},\"cat\":{},\"ph\":\"e\",\"id\":{id},\"ts\":{ts},\
+                 \"pid\":{},\"tid\":{}}}",
+                json_str(&format!("{}:{label}", kind.name())),
+                json_str(kind.name()),
+                meta.pid,
+                e.tid
+            ),
+            other => format!(
+                "{{\"name\":{},\"cat\":{},\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
+                 \"pid\":{},\"tid\":{}}}",
+                json_str(&other.to_string()),
+                json_str(other.layer().name()),
+                meta.pid,
+                e.tid
+            ),
+        };
+        push(line, &mut out);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Minimal JSON string escaping (the build has no serde available).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_strings_are_byte_identical() {
+        assert_eq!(Event::Spawn.to_string(), "spawn");
+        assert_eq!(Event::Exit.to_string(), "exit");
+        assert_eq!(Event::SemBlock { sem: 7 }.to_string(), "P sem#7 blocks");
+        assert_eq!(
+            Event::SemBlockTimeout {
+                sem: 2,
+                deadline: VirtualTime(1_500)
+            }
+            .to_string(),
+            "P sem#2 blocks until 1.500us"
+        );
+        assert_eq!(
+            Event::SemWake { sem: 3, woken: 9 }.to_string(),
+            "V sem#3 wakes #9"
+        );
+        assert_eq!(
+            Event::PollWake { source: 4 }.to_string(),
+            "post->wake src#4"
+        );
+        assert_eq!(
+            Event::PollQueued { source: 1 }.to_string(),
+            "polled src#1 (queued)"
+        );
+        assert_eq!(
+            Event::PollWaited { source: 0 }.to_string(),
+            "polled src#0 (waited)"
+        );
+        // And the string comparison shim.
+        assert!(Event::Spawn == "spawn");
+        assert!("exit" == Event::Exit);
+    }
+
+    #[test]
+    fn layers_are_attributed() {
+        assert_eq!(Event::Spawn.layer(), Layer::Marcel);
+        assert_eq!(
+            Event::Pack {
+                channel: "sisci#0".into(),
+                to: 1,
+                seq: 0,
+                bytes: 4,
+                segments: 2
+            }
+            .layer(),
+            Layer::Madeleine
+        );
+        assert_eq!(Event::RecvPosted { rank: 0, depth: 1 }.layer(), Layer::Adi);
+        assert_eq!(
+            Event::SpanBegin {
+                id: 1,
+                kind: SpanKind::Handle,
+                label: "tcp"
+            }
+            .layer(),
+            Layer::ChMad
+        );
+    }
+
+    #[test]
+    fn metrics_registry_counts_and_observes() {
+        let m = Metrics::new();
+        m.counter_add("a/x", 2);
+        m.counter_add("a/x", 3);
+        m.gauge_max("g", 4);
+        m.gauge_max("g", 2);
+        m.observe_ns("h", 1_000);
+        m.observe_ns("h", 3_000);
+        let s = m.snapshot();
+        assert_eq!(s.counter("a/x"), 5);
+        assert_eq!(s.counter("a/missing"), 0);
+        assert_eq!(s.gauge("g"), 4);
+        let h = s.hist("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min_ns, 1_000);
+        assert_eq!(h.max_ns, 3_000);
+        assert!((h.mean_us() - 2.0).abs() < 1e-9);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        let text = s.to_string();
+        assert!(text.contains("a/x"));
+        assert!(text.contains("histograms"));
+    }
+
+    #[test]
+    fn prefix_iteration_is_sorted() {
+        let m = Metrics::new();
+        m.counter_add("chan/tcp#0/bytes", 10);
+        m.counter_add("chan/sisci#0/bytes", 20);
+        m.counter_add("other", 1);
+        let s = m.snapshot();
+        let got: Vec<(&str, u64)> = s.counters_with_prefix("chan/").collect();
+        assert_eq!(
+            got,
+            vec![("chan/sisci#0/bytes", 20), ("chan/tcp#0/bytes", 10)]
+        );
+    }
+
+    #[test]
+    fn span_validation_catches_dangling() {
+        let ev = |what| TraceEvent {
+            time: VirtualTime::ZERO,
+            tid: 0,
+            what,
+        };
+        let good = vec![
+            ev(Event::SpanBegin {
+                id: 1,
+                kind: SpanKind::Pack,
+                label: "tcp",
+            }),
+            ev(Event::SpanEnd {
+                id: 1,
+                kind: SpanKind::Pack,
+                label: "tcp",
+            }),
+        ];
+        assert!(validate_spans(&good).is_ok());
+        let dangling = vec![ev(Event::SpanBegin {
+            id: 2,
+            kind: SpanKind::Handle,
+            label: "bip",
+        })];
+        assert!(validate_spans(&dangling).unwrap_err().contains("#2"));
+        let orphan = vec![ev(Event::SpanEnd {
+            id: 3,
+            kind: SpanKind::Handle,
+            label: "bip",
+        })];
+        assert!(validate_spans(&orphan).is_err());
+    }
+
+    #[test]
+    fn chrome_export_has_required_fields() {
+        let threads = vec![
+            ThreadMeta {
+                name: "rank0".into(),
+                pid: 0,
+            },
+            ThreadMeta {
+                name: "rank1-poll-tcp#0".into(),
+                pid: 1,
+            },
+        ];
+        let trace = vec![
+            TraceEvent {
+                time: VirtualTime(2_000),
+                tid: 0,
+                what: Event::SpanBegin {
+                    id: 1,
+                    kind: SpanKind::Pack,
+                    label: "tcp",
+                },
+            },
+            TraceEvent {
+                time: VirtualTime(9_000),
+                tid: 1,
+                what: Event::SpanEnd {
+                    id: 1,
+                    kind: SpanKind::Pack,
+                    label: "tcp",
+                },
+            },
+            TraceEvent {
+                time: VirtualTime(9_500),
+                tid: 1,
+                what: Event::PollWake { source: 0 },
+            },
+        ];
+        let json = chrome_trace_json(&trace, &threads);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        // Every record carries the required fields.
+        for line in json.lines().filter(|l| l.trim_start().starts_with('{')) {
+            for field in ["\"ph\":", "\"ts\":", "\"pid\":", "\"tid\":"] {
+                assert!(line.contains(field), "missing {field} in {line}");
+            }
+        }
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"ph\":\"e\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("rank1-poll-tcp#0"));
+    }
+}

@@ -154,7 +154,7 @@ impl<T: Send + 'static> PollSource<T> {
                 payload: *head.downcast::<T>().expect("poll source type confusion"),
             }));
             Shared::make_ready(&mut sched, w, notice);
-            sched.record(me, || format!("post->wake src#{}", self.id.0));
+            sched.record(me, || crate::obs::Event::PollWake { source: self.id.0 });
         }
         shared.reschedule(&mut sched, me);
     }
@@ -174,7 +174,7 @@ impl<T: Send + 'static> PollSource<T> {
             let slot = &mut sched.threads[me.0];
             let notice = std::cmp::max(arrival, slot.vtime) + cycle;
             slot.vtime = notice;
-            sched.record(me, || format!("polled src#{} (queued)", self.id.0));
+            sched.record(me, || crate::obs::Event::PollQueued { source: self.id.0 });
             shared.reschedule(&mut sched, me);
             return Some(Polled {
                 arrival,
@@ -193,7 +193,7 @@ impl<T: Send + 'static> PollSource<T> {
         sched.sources[self.id.0].waiter = Some(me);
         shared.block(&mut sched, me, TState::BlockedPoll(self.id));
         // Woken either by a post (payload present) or by close (absent).
-        sched.record(me, || format!("polled src#{} (waited)", self.id.0));
+        sched.record(me, || crate::obs::Event::PollWaited { source: self.id.0 });
         let payload = sched.threads[me.0].wake_payload.take();
         drop(sched);
         payload.map(|p| {

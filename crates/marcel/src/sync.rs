@@ -67,7 +67,7 @@ impl Semaphore {
             shared.reschedule(&mut sched, me);
         } else {
             sem.waiters.push_back(me);
-            sched.record(me, || format!("P sem#{} blocks", self.id.0));
+            sched.record(me, || crate::obs::Event::SemBlock { sem: self.id.0 });
             shared.block(&mut sched, me, TState::BlockedSem(self.id));
         }
     }
@@ -98,8 +98,9 @@ impl Semaphore {
         }
         let deadline = sched.threads[me.0].vtime + timeout;
         sched.sems[self.id.0].waiters.push_back(me);
-        sched.record(me, || {
-            format!("P sem#{} blocks until {deadline}", self.id.0)
+        sched.record(me, || crate::obs::Event::SemBlockTimeout {
+            sem: self.id.0,
+            deadline,
         });
         shared.block(&mut sched, me, TState::BlockedSemTimeout(self.id, deadline));
         // Resumed: a release left a grant marker; a timeout did not.
@@ -143,7 +144,10 @@ impl Semaphore {
                 sched.threads[w.0].wake_payload = Some(Box::new(()));
             }
             Shared::make_ready(&mut sched, w, at);
-            sched.record(me, || format!("V sem#{} wakes #{}", self.id.0, w.0));
+            sched.record(me, || crate::obs::Event::SemWake {
+                sem: self.id.0,
+                woken: w.0,
+            });
         } else {
             sem.count += 1;
         }

@@ -28,6 +28,13 @@ pub(crate) fn current() -> (Arc<Shared>, Tid) {
     })
 }
 
+/// Like [`current`], but `None` outside a simulated thread — the
+/// observability layer uses this so instrumentation degrades to a
+/// no-op in unit tests that run outside a kernel.
+pub(crate) fn try_current() -> Option<(Arc<Shared>, Tid)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
 /// True when the calling OS thread is a simulated thread.
 pub fn in_simulation() -> bool {
     CURRENT.with(|c| c.borrow().is_some())
@@ -102,7 +109,7 @@ where
             wake_payload: None,
         });
         sched.live += 1;
-        sched.record(tid, || "spawn".to_string());
+        sched.record(tid, || crate::obs::Event::Spawn);
         tid
     };
     let os_shared = shared.clone();

@@ -38,6 +38,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 use madeleine::{
     Channel, ChannelError, Endpoint, ReceiveMode, SendMode, Session, UnpackingConnection,
 };
+use marcel::obs::{self, Event, SpanKind};
 use marcel::{JoinHandle, Kernel, OneShot, SimMutex};
 
 use crate::adi::{AdiCosts, Device, PolicyMode, ProtocolPolicy};
@@ -165,20 +166,18 @@ impl ChMad {
         &self.session
     }
 
-    /// The eager→rendezvous threshold for a message from `from` to
-    /// `dst`, resolved against the protocol of the channel the first
-    /// hop will ride (the policy is per channel, not per device). The
-    /// resolution excludes rails declared dead by the reliable
-    /// sublayer: after a failover the policy follows the traffic to
-    /// the surviving rail's protocol.
-    fn threshold_to(&self, from: usize, dst: usize) -> usize {
+    /// The protocol the first hop toward `dst` will ride (the fastest
+    /// surviving rail), used both to resolve the per-channel protocol
+    /// policy and to label setup/handling spans. `None` means the hop
+    /// is node-local. The resolution excludes rails declared dead by
+    /// the reliable sublayer: after a failover the policy follows the
+    /// traffic to the surviving rail's protocol.
+    fn route_protocol(&self, from: usize, dst: usize) -> Option<simnet::Protocol> {
         let (next, _) = self.session.next_hop(from, dst);
-        let protocol = self
-            .session
+        self.session
             .live_channels_between(from, next)
             .first()
-            .map(|c| c.protocol());
-        self.policy.threshold(protocol)
+            .map(|c| c.protocol())
     }
 
     /// Ship one ch_mad packet (header + optional body) toward
@@ -200,12 +199,31 @@ impl ChMad {
         });
         let rails = self.session.live_channels_between(from, next);
         let n_rails = rails.len();
-        for (i, rail) in rails.into_iter().enumerate() {
-            match self.send_packet_on(&rail, from, next, fwd.clone(), header.clone(), body.clone())
-            {
+        for (i, rail) in rails.iter().enumerate() {
+            if i == 0 {
+                let tag = rail.name_tag();
+                let bytes = header.len() + body.as_ref().map_or(0, |b| b.len());
+                obs::emit(move || Event::RailSelected {
+                    rank: from,
+                    dst: next,
+                    rail: tag,
+                    bytes,
+                });
+            }
+            match self.send_packet_on(rail, from, next, fwd.clone(), header.clone(), body.clone()) {
                 Ok(()) => return,
                 Err(err) => {
                     self.session.note_failover();
+                    let from_tag = rail.name_tag();
+                    let to_tag = rails
+                        .get(i + 1)
+                        .map_or_else(|| Arc::from("none"), |r| r.name_tag());
+                    obs::emit(move || Event::RailFailover {
+                        rank: from,
+                        dst: next,
+                        from_rail: from_tag,
+                        to_rail: to_tag,
+                    });
                     if i + 1 == n_rails {
                         panic!("rank {from}: every rail to rank {next} is dead (last: {err})");
                     }
@@ -245,6 +263,13 @@ impl ChMad {
             pending.waiting.insert(token, slot.clone());
             (token, slot)
         };
+        let bytes = data.len();
+        obs::emit(move || Event::RndvRequest {
+            rank: from,
+            dst,
+            token,
+            bytes,
+        });
         let request = Packet::Request {
             env,
             sender_token: token,
@@ -354,6 +379,7 @@ impl ChMad {
             }
             .encode();
             let body = data.slice(offset..end);
+            let stripe = obs::span_begin(SpanKind::Stripe, rail.protocol().name());
             if self
                 .send_packet_on(rail, from, dst, None, header.clone(), Some(body.clone()))
                 .is_err()
@@ -365,7 +391,13 @@ impl ChMad {
                 // which wire a span rides.
                 self.session.note_failover();
                 self.send_packet(from, dst, header, Some(body));
+            } else {
+                obs::counter_add(
+                    &format!("rail/{}/striped_bytes", rail.name()),
+                    (end - offset) as u64,
+                );
             }
+            obs::span_end(stripe);
             offset = end;
         }
         assert_eq!(offset, data.len(), "stripes must cover the message");
@@ -386,6 +418,8 @@ impl ChMad {
     ) -> Result<(), ChannelError> {
         let ep = channel.endpoint(from)?;
         let mut conn = ep.begin_packing(dst)?;
+        let hdr = header.clone();
+        let bytes = header.len() + body.as_ref().map_or(0, |b| b.len());
         if let Some(fwd) = fwd {
             conn.pack_bytes(fwd, SendMode::Cheaper, ReceiveMode::Express);
         }
@@ -395,18 +429,28 @@ impl ChMad {
                 conn.pack_bytes(body, SendMode::Cheaper, ReceiveMode::Cheaper);
             }
         }
-        conn.end_packing()
+        conn.end_packing()?;
+        let tag = channel.name_tag();
+        obs::emit(move || Event::PacketSent {
+            rank: from,
+            dst,
+            kind: Packet::decode(&hdr).kind(),
+            rail: tag,
+            bytes,
+        });
+        Ok(())
     }
 
     /// The polling loop run by one thread per (rank, channel).
     fn poll_loop(self: &Arc<Self>, rank: usize, ep: Endpoint) {
         let engine = &self.engines[rank];
         let eager_copy_ns = ep.channel().model().eager_copy_per_byte_ns;
+        let label = ep.channel().protocol().name();
         loop {
             let Some(conn) = ep.begin_unpacking() else {
                 break;
             };
-            if !self.handle_message(rank, conn, engine, eager_copy_ns) {
+            if !self.handle_message(rank, conn, engine, eager_copy_ns, label) {
                 // TERM noticed. Messages may still be queued behind it
                 // (or in flight): late retransmissions, or traffic the
                 // application never received. Finalize must not strand
@@ -414,7 +458,7 @@ impl ChMad {
                 while ep.backlog() > 0 {
                     match ep.try_begin_unpacking() {
                         Some(conn) => {
-                            self.handle_message(rank, conn, engine, eager_copy_ns);
+                            self.handle_message(rank, conn, engine, eager_copy_ns, label);
                         }
                         // Nothing arrived yet (or the poll consumed a
                         // duplicate): let in-flight arrivals land.
@@ -435,10 +479,16 @@ impl ChMad {
         mut conn: UnpackingConnection,
         engine: &Arc<Engine>,
         eager_copy_ns: f64,
+        label: &'static str,
     ) -> bool {
+        let mut span = obs::span_begin(SpanKind::Handle, label);
+        let src = conn.from();
         let header = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Express);
         marcel::advance(self.costs.demux);
-        match Packet::decode(&header) {
+        let packet = Packet::decode(&header);
+        let kind = packet.kind();
+        obs::emit(move || Event::PacketDelivered { rank, src, kind });
+        let term = match packet {
             Packet::Short { env } => {
                 let body = if self.config.split_short {
                     if conn.remaining_blocks() > 0 {
@@ -451,17 +501,24 @@ impl ChMad {
                 };
                 conn.end_unpacking();
                 marcel::advance(touch(self.costs.recv_touch_per_byte_ns, body.len()));
-                engine.deliver_eager(env, body, eager_copy_ns);
+                engine.deliver_eager_spanned(env, body, eager_copy_ns, span.take());
+                true
             }
             Packet::Request { env, sender_token } => {
                 conn.end_unpacking();
                 self.handle_request(rank, env, sender_token, engine);
+                true
             }
             Packet::SendOk {
                 sender_token,
                 sync_address,
             } => {
                 conn.end_unpacking();
+                obs::emit(move || Event::RndvAck {
+                    rank,
+                    src,
+                    token: sender_token,
+                });
                 let slot = self.ranks[rank]
                     .pending
                     .lock()
@@ -476,6 +533,7 @@ impl ChMad {
                         "rank {rank}: Ok_To_Send for unknown token {sender_token}"
                     ),
                 }
+                true
             }
             Packet::Rndv {
                 env,
@@ -486,11 +544,19 @@ impl ChMad {
                 let body = conn.unpack_bytes(SendMode::Cheaper, ReceiveMode::Cheaper);
                 conn.end_unpacking();
                 marcel::advance(touch(self.costs.recv_touch_per_byte_ns, body.len()));
-                engine.rndv_chunk(sync_address, env, offset as usize, total as usize, body);
+                engine.rndv_chunk_spanned(
+                    sync_address,
+                    env,
+                    offset as usize,
+                    total as usize,
+                    body,
+                    span.take(),
+                );
+                true
             }
             Packet::Term => {
                 conn.end_unpacking();
-                return false;
+                false
             }
             Packet::Fwd { final_dst } => {
                 // Relay: read the wrapped header and optional body,
@@ -508,9 +574,11 @@ impl ChMad {
                 marcel::spawn(format!("rank{rank}-fwd"), move || {
                     dev.send_packet(rank, final_dst as usize, inner, body);
                 });
+                true
             }
-        }
-        true
+        };
+        obs::span_end(span);
+        term
     }
 
     /// Handle a rendezvous REQUEST, deduplicating re-issues of the same
@@ -590,8 +658,12 @@ impl Device for ChMad {
     }
 
     fn send(&self, from: usize, dst: usize, env: Envelope, data: Bytes, sync: bool) {
+        let protocol = self.route_protocol(from, dst);
+        let label = protocol.map_or("local", |p| p.name());
+        let setup = obs::span_begin(SpanKind::Setup, label);
         marcel::advance(self.costs.send_setup);
-        let threshold = self.threshold_to(from, dst);
+        let threshold = self.policy.threshold(protocol);
+        obs::span_end(setup);
         if sync || (self.config.rendezvous && env.len > threshold) {
             assert!(
                 !sync || self.config.rendezvous,

@@ -83,6 +83,18 @@ fn get_u64(b: &[u8]) -> (u64, &[u8]) {
 }
 
 impl Packet {
+    /// Wire-protocol name of the packet kind (trace-event labels).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Packet::Short { .. } => "SHORT",
+            Packet::Request { .. } => "REQUEST",
+            Packet::SendOk { .. } => "SENDOK",
+            Packet::Rndv { .. } => "RNDV",
+            Packet::Term => "TERM",
+            Packet::Fwd { .. } => "FWD",
+        }
+    }
+
     /// Serialize the header.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(53);

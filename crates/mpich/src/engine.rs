@@ -21,6 +21,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use marcel::obs::{self, ActiveSpan, Event, SpanKind};
 use marcel::{Kernel, SimCondvar, SimMutex, VirtualDuration};
 
 use crate::adi::AdiCosts;
@@ -34,8 +35,9 @@ pub type RndvResponder = Box<dyn FnOnce(u64) + Send>;
 
 enum UnexpPayload {
     /// Buffered eager data plus the per-byte cost (ns) of copying it out
-    /// when the receive finally posts.
-    Eager(Bytes, f64),
+    /// when the receive finally posts, and the handling span opened on
+    /// the polling thread (parked here until the receive posts).
+    Eager(Bytes, f64, Option<ActiveSpan>),
     /// A rendezvous offer waiting for its receive.
     Rndv(RndvResponder),
 }
@@ -123,16 +125,22 @@ impl Engine {
 
     /// Post a receive. If a matching unexpected message is buffered it
     /// completes (or initiates the rendezvous reply) immediately;
-    /// otherwise the receive is queued.
+    /// otherwise the receive is queued. The whole call is measured as a
+    /// `post` span — the request-management cost the paper's §5
+    /// "handling" decomposition charges to the ADI (usually overlapped
+    /// with the message flight in a ping-pong).
     pub(crate) fn post_recv(&self, spec: MatchSpec, cap: usize, req: Arc<ReqInner>) {
+        let post_span = obs::span_begin(SpanKind::Post, "adi");
         marcel::advance(self.costs.post_recv);
         let mut st = self.state.lock();
         if let Some(pos) = st.unexpected.iter().position(|u| spec.matches(&u.env)) {
             let unexp = st.unexpected.remove(pos).expect("position just found");
+            self.note_match(&unexp.env, true);
             match unexp.payload {
-                UnexpPayload::Eager(data, copy_ns) => {
+                UnexpPayload::Eager(data, copy_ns, span) => {
                     Self::check_cap(&unexp.env, cap);
                     drop(st);
+                    req.set_handle_span(span);
                     // The copy out of the bounce buffer is paid here, by
                     // the receiving side — the eager mode's cost.
                     marcel::advance(per_byte(copy_ns, data.len()));
@@ -156,29 +164,70 @@ impl Engine {
                     respond(token);
                 }
             }
+            obs::span_end(post_span);
             return;
         }
         st.posted.push_back(Posted { spec, cap, req });
+        let (rank, depth) = (self.rank, st.posted.len());
+        drop(st); // the queue unlock belongs to the posting cost
+        obs::gauge_max(&format!("adi/rank{rank}/posted_hwm"), depth as u64);
+        obs::emit(move || Event::RecvPosted { rank, depth });
+        obs::span_end(post_span);
+    }
+
+    /// Record a match (posted↔incoming) in the trace.
+    fn note_match(&self, env: &Envelope, unexpected: bool) {
+        let (rank, src, tag) = (self.rank, env.src, env.tag);
+        obs::emit(move || Event::RecvMatched {
+            rank,
+            src,
+            tag,
+            unexpected,
+        });
     }
 
     /// Deliver an eager message (called from a device's polling thread
     /// or, for intra-node devices, from the sender's thread).
     pub fn deliver_eager(&self, env: Envelope, data: Bytes, copy_ns: f64) {
+        self.deliver_eager_spanned(env, data, copy_ns, None);
+    }
+
+    /// [`Engine::deliver_eager`] carrying the device's open handling
+    /// span, which rides the request (or the unexpected queue) until the
+    /// receiving rank observes the completion.
+    pub(crate) fn deliver_eager_spanned(
+        &self,
+        env: Envelope,
+        data: Bytes,
+        copy_ns: f64,
+        span: Option<ActiveSpan>,
+    ) {
         debug_assert_eq!(env.len, data.len(), "envelope length out of sync");
         let mut st = self.state.lock();
         if let Some(pos) = st.posted.iter().position(|p| p.spec.matches(&env)) {
             let posted = st.posted.remove(pos).expect("position just found");
             Self::check_cap(&env, posted.cap);
+            self.note_match(&env, false);
             drop(st);
+            posted.req.set_handle_span(span);
             marcel::advance(per_byte(copy_ns, data.len()));
             marcel::advance(self.costs.complete);
             posted
                 .req
                 .complete(Some(data.to_vec()), Self::status_of(&env));
         } else {
+            let (rank, src, tag) = (self.rank, env.src, env.tag);
             st.unexpected.push_back(Unexpected {
                 env,
-                payload: UnexpPayload::Eager(data, copy_ns),
+                payload: UnexpPayload::Eager(data, copy_ns, span),
+            });
+            let depth = st.unexpected.len();
+            obs::gauge_max(&format!("adi/rank{rank}/unexpected_hwm"), depth as u64);
+            obs::emit(move || Event::UnexpectedQueued {
+                rank,
+                src,
+                tag,
+                depth,
             });
             drop(st);
         }
@@ -191,6 +240,7 @@ impl Engine {
         if let Some(pos) = st.posted.iter().position(|p| p.spec.matches(&env)) {
             let posted = st.posted.remove(pos).expect("position just found");
             Self::check_cap(&env, posted.cap);
+            self.note_match(&env, false);
             let token = st.next_rhandle;
             st.next_rhandle += 1;
             st.rndv.insert(
@@ -205,9 +255,18 @@ impl Engine {
             drop(st);
             respond(token);
         } else {
+            let (rank, src, tag) = (self.rank, env.src, env.tag);
             st.unexpected.push_back(Unexpected {
                 env,
                 payload: UnexpPayload::Rndv(respond),
+            });
+            let depth = st.unexpected.len();
+            obs::gauge_max(&format!("adi/rank{rank}/unexpected_hwm"), depth as u64);
+            obs::emit(move || Event::UnexpectedQueued {
+                rank,
+                src,
+                tag,
+                depth,
             });
             drop(st);
         }
@@ -225,6 +284,22 @@ impl Engine {
     /// in any order; the transaction completes when `total` bytes have
     /// been assembled into the rhandle's buffer.
     pub fn rndv_chunk(&self, token: u64, env: Envelope, offset: usize, total: usize, data: Bytes) {
+        self.rndv_chunk_spanned(token, env, offset, total, data, None);
+    }
+
+    /// [`Engine::rndv_chunk`] carrying the device's open handling span.
+    /// The span of the *completing* chunk rides the request to the
+    /// receiving rank; a non-final chunk's span ends here, covering the
+    /// polling thread's share of the work.
+    pub(crate) fn rndv_chunk_spanned(
+        &self,
+        token: u64,
+        env: Envelope,
+        offset: usize,
+        total: usize,
+        data: Bytes,
+        span: Option<ActiveSpan>,
+    ) {
         let mut st = self.state.lock();
         let done = {
             let slot = st.rndv.get_mut(&token).unwrap_or_else(|| {
@@ -251,8 +326,12 @@ impl Engine {
         if done {
             let slot = st.rndv.remove(&token).expect("slot just seen");
             drop(st);
+            slot.req.set_handle_span(span);
             marcel::advance(self.costs.complete);
             slot.req.complete(Some(slot.buf), Self::status_of(&env));
+        } else {
+            drop(st);
+            obs::span_end(span);
         }
     }
 

@@ -58,5 +58,6 @@ pub use op::ReduceOp;
 pub use request::{wait_all, wait_any, Request};
 pub use types::{Envelope, MatchSpec, Status, Tag};
 pub use world::{
-    run_world, run_world_full, run_world_kernel, Placement, RemoteDeviceKind, WorldConfig,
+    run_world, run_world_full, run_world_kernel, thread_metas, Placement, RemoteDeviceKind,
+    WorldConfig,
 };

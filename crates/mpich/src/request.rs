@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use marcel::Semaphore;
+use marcel::{ActiveSpan, Semaphore};
 use parking_lot::Mutex as RealMutex;
 
 use crate::types::Status;
@@ -18,13 +18,20 @@ pub(crate) struct ReqInner {
 
 struct ReqState {
     result: Option<(Option<Vec<u8>>, Status)>,
+    /// Handling span opened on the device's polling thread; ended by
+    /// the receiving rank when `wait` observes the completion, so the
+    /// measured handling latency includes the wake handoff.
+    handle_span: Option<ActiveSpan>,
 }
 
 impl ReqInner {
     pub(crate) fn new() -> Arc<ReqInner> {
         Arc::new(ReqInner {
             sem: Semaphore::current(0),
-            state: RealMutex::new(ReqState { result: None }),
+            state: RealMutex::new(ReqState {
+                result: None,
+                handle_span: None,
+            }),
         })
     }
 
@@ -36,6 +43,18 @@ impl ReqInner {
         st.result = Some((data, status));
         drop(st);
         self.sem.release();
+    }
+
+    /// Attach the cross-thread handling span (no-op when `span` is
+    /// `None` — e.g. the delivery came from an uninstrumented device).
+    pub(crate) fn set_handle_span(&self, span: Option<ActiveSpan>) {
+        if let Some(s) = span {
+            self.state.lock().handle_span = Some(s);
+        }
+    }
+
+    fn take_handle_span(&self) -> Option<ActiveSpan> {
+        self.state.lock().handle_span.take()
     }
 }
 
@@ -63,6 +82,7 @@ impl Request {
             self.inner.sem.acquire();
             self.signaled = true;
         }
+        marcel::obs::span_end(self.inner.take_handle_span());
         self.inner
             .state
             .lock()
@@ -92,6 +112,7 @@ impl Request {
         }
         if self.inner.sem.try_acquire() {
             self.signaled = true;
+            marcel::obs::span_end(self.inner.take_handle_span());
             true
         } else {
             false

@@ -44,8 +44,38 @@ pub struct WorldConfig {
     /// (the §6 future-work forwarding extension; ch_mad only).
     pub forwarding: bool,
     /// Record the kernel's deterministic event trace (retrieve it with
-    /// `Kernel::take_trace` after `run_world_kernel`).
+    /// `Kernel::take_trace` after `run_world_kernel`; export it with
+    /// [`marcel::chrome_trace_json`] and [`thread_metas`]). Tracing
+    /// never advances virtual time, so enabling it cannot change
+    /// results, end times, or any benchmark output. The metrics
+    /// registry ([`Kernel::metrics`]) is always on, independent of
+    /// this flag.
     pub trace: bool,
+}
+
+/// Build the Chrome-exporter thread table for a finished world run: one
+/// entry per Marcel thread (in tid order), each mapped to the virtual
+/// "process" of the cluster node hosting it. The node is recovered from
+/// the `rank{N}` prefix every world thread name carries; kernel-internal
+/// threads (none today) would fall back to node 0.
+pub fn thread_metas(kernel: &Kernel, session: &madeleine::Session) -> Vec<marcel::ThreadMeta> {
+    kernel
+        .thread_names()
+        .into_iter()
+        .map(|name| {
+            let rank = name.strip_prefix("rank").and_then(|rest| {
+                rest.split(|c: char| !c.is_ascii_digit())
+                    .next()?
+                    .parse()
+                    .ok()
+            });
+            let pid = match rank {
+                Some(r) if r < session.n_ranks() => session.node_of(r).0 as u32,
+                _ => 0,
+            };
+            marcel::ThreadMeta { name, pid }
+        })
+        .collect()
 }
 
 impl Default for WorldConfig {
