@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""CI gate for the collective algorithm engine benchmark.
+
+Run after `cargo run --release -p bench --bin collectives -- 2`:
+
+1. the `collectives` report (everything under the default `Seed`
+   policy) must be bit-identical to the committed baseline — the engine
+   refactor must never move a historical number;
+2. the `coll_policy` report's `*/seed` series must match the committed
+   baseline exactly (same guarantee, second report);
+3. the `*/adaptive` series must be *strictly* faster than `*/seed` for
+   every operation at large payloads (>= 256 KB) on the meta-cluster —
+   the headline win of the adaptive engine. Virtual time is
+   deterministic, so strict inequality cannot flake.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+LARGE = 256 * 1024
+RESULTS = Path("target/bench-results")
+BASELINES = Path("ci")
+
+
+def load(path: Path) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def series_map(report: dict) -> dict:
+    return {s["name"]: dict(s["samples"]) for s in report["series"]}
+
+
+def main() -> int:
+    failures = []
+
+    current = load(RESULTS / "collectives.json")
+    baseline = load(BASELINES / "collectives_baseline.json")
+    if current != baseline:
+        failures.append(
+            "collectives.json deviates from ci/collectives_baseline.json "
+            "(Seed policy must keep historical outputs bit-identical)"
+        )
+    else:
+        print("collectives.json: bit-identical to the committed baseline")
+
+    policy = series_map(load(RESULTS / "coll_policy.json"))
+    policy_base = series_map(load(BASELINES / "coll_policy_baseline.json"))
+    for name, samples in policy_base.items():
+        if not name.endswith("/seed"):
+            continue
+        if policy.get(name) != samples:
+            failures.append(f"coll_policy series {name!r} deviates from the baseline")
+        else:
+            print(f"coll_policy {name}: bit-identical to the committed baseline")
+
+    for op in ("bcast", "allreduce", "allgather"):
+        seed = policy[f"{op}/seed"]
+        adaptive = policy[f"{op}/adaptive"]
+        for size in sorted(seed):
+            if size < LARGE:
+                continue
+            if adaptive[size] < seed[size]:
+                speedup = seed[size] / adaptive[size]
+                print(f"{op} @ {size}: adaptive {speedup:.2f}x faster")
+            else:
+                failures.append(
+                    f"{op} @ {size}: adaptive ({adaptive[size]} ns) is not "
+                    f"strictly faster than seed ({seed[size]} ns)"
+                )
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("collective engine gates: all green")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

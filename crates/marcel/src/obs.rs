@@ -61,6 +61,8 @@ pub enum Layer {
     ChMad,
     /// The ADI message engine: posted/unexpected queues.
     Adi,
+    /// The generic MPI layer's collective engine.
+    Coll,
 }
 
 impl Layer {
@@ -70,6 +72,7 @@ impl Layer {
             Layer::Madeleine => "madeleine",
             Layer::ChMad => "ch_mad",
             Layer::Adi => "adi",
+            Layer::Coll => "coll",
         }
     }
 }
@@ -91,6 +94,10 @@ pub enum SpanKind {
     /// ADI receive posting: `Engine::post_recv` entry → return (queue
     /// lock, match attempt against the unexpected queue, enqueue).
     Post,
+    /// One collective operation on one rank: engine entry → result
+    /// available (the label carries the operation name; the selected
+    /// algorithm is recorded in the `coll.<op>.<algorithm>` counters).
+    Coll,
 }
 
 impl SpanKind {
@@ -102,6 +109,7 @@ impl SpanKind {
             SpanKind::Setup => "setup",
             SpanKind::Stripe => "stripe",
             SpanKind::Post => "post",
+            SpanKind::Coll => "coll",
         }
     }
 }
@@ -250,6 +258,7 @@ impl Event {
                 SpanKind::Pack | SpanKind::Unpack => Layer::Madeleine,
                 SpanKind::Handle | SpanKind::Setup | SpanKind::Stripe => Layer::ChMad,
                 SpanKind::Post => Layer::Adi,
+                SpanKind::Coll => Layer::Coll,
             },
         }
     }
@@ -882,6 +891,17 @@ mod tests {
             .layer(),
             Layer::ChMad
         );
+        assert_eq!(
+            Event::SpanEnd {
+                id: 2,
+                kind: SpanKind::Coll,
+                label: "allreduce"
+            }
+            .layer(),
+            Layer::Coll
+        );
+        assert_eq!(Layer::Coll.name(), "coll");
+        assert_eq!(SpanKind::Coll.name(), "coll");
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! The seed's binomial-tree collective kernels, ported verbatim onto
+//! [`Vgroup`] virtual ranks. Under [`super::CollPolicy::Seed`] these run
+//! over the identity group with the original tags, reproducing the
+//! seed's message pattern bit for bit; the hierarchical variants reuse
+//! the same kernels over cluster-member and leader subsets.
+
+use bytes::Bytes;
+
+use super::Vgroup;
+use crate::datatype::BaseType;
+use crate::op::{apply, ReduceOp};
+use crate::types::Tag;
+
+/// Binomial broadcast from virtual rank `root` — O(log n) rounds. The
+/// root passes `Some(data)`; everyone returns the broadcast value.
+pub(crate) fn bcast(g: &Vgroup, root: usize, data: Option<Vec<u8>>, tag: Tag) -> Vec<u8> {
+    let n = g.n();
+    let me = g.me();
+    let rel = (me + n - root) % n;
+    // Receive phase: scan up to the lowest set bit of the relative
+    // rank — that bit identifies the parent. The root (rel == 0)
+    // skips straight past the loop with mask = 2^ceil(log2 n).
+    let mut mask = 1usize;
+    let payload = if me == root {
+        while mask < n {
+            mask <<= 1;
+        }
+        data.expect("bcast root must provide the data")
+    } else {
+        loop {
+            debug_assert!(mask < n);
+            if rel & mask != 0 {
+                let parent = ((rel - mask) + root) % n;
+                break g.recv(parent, tag);
+            }
+            mask <<= 1;
+        }
+    };
+    // Forward phase: send to children at decreasing bit distances.
+    mask >>= 1;
+    while mask > 0 {
+        if rel + mask < n {
+            let dst = ((rel + mask) + root) % n;
+            g.send(dst, tag, Bytes::copy_from_slice(&payload));
+        }
+        mask >>= 1;
+    }
+    payload
+}
+
+/// Binomial reduce to virtual rank `root`, which gets `Some(result)`;
+/// everyone else gets `None`. Partials combine with the lower-rank side
+/// on the left, so every algorithm in the catalog folds contributions
+/// in the same canonical order.
+pub(crate) fn reduce(
+    g: &Vgroup,
+    root: usize,
+    contribution: Vec<u8>,
+    base: BaseType,
+    op: ReduceOp,
+    tag: Tag,
+) -> Option<Vec<u8>> {
+    let n = g.n();
+    let me = g.me();
+    let rel = (me + n - root) % n;
+    let mut acc = contribution;
+    let mut mask = 1usize;
+    loop {
+        if mask >= n {
+            // Only the root exhausts the loop without sending.
+            debug_assert_eq!(rel, 0);
+            return Some(acc);
+        }
+        if rel & mask == 0 {
+            let src_rel = rel | mask;
+            if src_rel < n {
+                let src = (src_rel + root) % n;
+                let partial = g.recv(src, tag);
+                apply(base, op, &mut acc, &partial);
+            }
+        } else {
+            let dst = ((rel & !mask) + root) % n;
+            g.send(dst, tag, Bytes::from(acc));
+            return None;
+        }
+        mask <<= 1;
+    }
+}
+
+/// Linear gather to virtual rank `root` (variable sizes allowed).
+pub(crate) fn gather(g: &Vgroup, root: usize, data: Vec<u8>, tag: Tag) -> Option<Vec<Vec<u8>>> {
+    let n = g.n();
+    let me = g.me();
+    if me == root {
+        let mut parts: Vec<Vec<u8>> = vec![Vec::new(); n];
+        parts[me] = data;
+        for src in (0..n).filter(|s| *s != root) {
+            parts[src] = g.recv(src, tag);
+        }
+        Some(parts)
+    } else {
+        g.send(root, tag, Bytes::from(data));
+        None
+    }
+}
+
+/// Linear scatter from virtual rank `root` (one part per virtual rank).
+pub(crate) fn scatter(g: &Vgroup, root: usize, parts: Option<Vec<Vec<u8>>>, tag: Tag) -> Vec<u8> {
+    let me = g.me();
+    if me == root {
+        let parts = parts.expect("scatter root must provide the parts");
+        let mut mine = Vec::new();
+        for (dst, part) in parts.into_iter().enumerate() {
+            if dst == me {
+                mine = part;
+            } else {
+                g.send(dst, tag, Bytes::from(part));
+            }
+        }
+        mine
+    } else {
+        g.recv(root, tag)
+    }
+}
+
+/// The seed allgather: gather to virtual rank 0, broadcast the
+/// length-prefixed concatenation.
+pub(crate) fn allgather(
+    g: &Vgroup,
+    data: Vec<u8>,
+    gather_tag: Tag,
+    bcast_tag: Tag,
+) -> Vec<Vec<u8>> {
+    let gathered = gather(g, 0, data, gather_tag);
+    let blob = bcast(g, 0, gathered.map(encode_parts), bcast_tag);
+    decode_parts(&blob)
+}
+
+/// Pairwise-exchange alltoall: n−1 rounds, each a non-blocking send to
+/// the round's partner overlapped with a probed receive.
+pub(crate) fn alltoall(g: &Vgroup, parts: Vec<Vec<u8>>, tag: Tag) -> Vec<Vec<u8>> {
+    let n = g.n();
+    let me = g.me();
+    let mut result: Vec<Vec<u8>> = vec![Vec::new(); n];
+    result[me] = parts[me].clone();
+    for round in 1..n {
+        let dst = (me + round) % n;
+        let src = (me + n - round) % n;
+        result[src] = g.sendrecv(dst, src, tag, parts[dst].clone());
+    }
+    result
+}
+
+/// Inclusive prefix reduction along the rank chain.
+pub(crate) fn scan(
+    g: &Vgroup,
+    contribution: Vec<u8>,
+    base: BaseType,
+    op: ReduceOp,
+    tag: Tag,
+) -> Vec<u8> {
+    let n = g.n();
+    let me = g.me();
+    let mut acc = contribution;
+    if me > 0 {
+        let prefix = g.recv(me - 1, tag);
+        let mut combined = prefix;
+        apply(base, op, &mut combined, &acc);
+        acc = combined;
+    }
+    if me + 1 < n {
+        g.send(me + 1, tag, Bytes::copy_from_slice(&acc));
+    }
+    acc
+}
+
+/// Exclusive prefix reduction: virtual rank 0 gets `None`, rank r > 0
+/// the reduction of ranks `0..r`.
+pub(crate) fn exscan(
+    g: &Vgroup,
+    contribution: Vec<u8>,
+    base: BaseType,
+    op: ReduceOp,
+    tag: Tag,
+) -> Option<Vec<u8>> {
+    let n = g.n();
+    let me = g.me();
+    let prefix = if me > 0 {
+        Some(g.recv(me - 1, tag))
+    } else {
+        None
+    };
+    if me + 1 < n {
+        let mut outgoing = match &prefix {
+            Some(p) => {
+                let mut acc = p.clone();
+                apply(base, op, &mut acc, &contribution);
+                acc
+            }
+            None => contribution,
+        };
+        outgoing.shrink_to_fit();
+        g.send(me + 1, tag, Bytes::from(outgoing));
+    }
+    prefix
+}
+
+/// Length-prefixed concatenation of per-rank buffers (for relaying
+/// gathered data through a broadcast).
+pub(crate) fn encode_parts(parts: Vec<Vec<u8>>) -> Vec<u8> {
+    let total: usize = parts.iter().map(|p| p.len() + 8).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        out.extend_from_slice(&p);
+    }
+    out
+}
+
+pub(crate) fn decode_parts(blob: &[u8]) -> Vec<Vec<u8>> {
+    let mut parts = Vec::new();
+    let mut cursor = 0;
+    while cursor < blob.len() {
+        let len = u64::from_le_bytes(blob[cursor..cursor + 8].try_into().unwrap()) as usize;
+        cursor += 8;
+        parts.push(blob[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_round_trip() {
+        let parts = vec![vec![1u8, 2], vec![], vec![9u8; 100]];
+        assert_eq!(decode_parts(&encode_parts(parts.clone())), parts);
+    }
+}

@@ -1,0 +1,152 @@
+//! Two-level hierarchical collectives for the meta-cluster: one leader
+//! per fast cluster (SCI / BIP island). Intra-cluster phases run the
+//! binomial kernels on the fast rails; the inter-cluster phase runs
+//! over the leader subset only, so the payload crosses the slow
+//! spanning link exactly once per direction per cluster — a binomial
+//! tree over all ranks would cross it on up to log₂(n) rounds.
+//!
+//! Leaders are each cluster's lowest communicator rank, except that for
+//! rooted operations the root leads its own cluster (saving one
+//! intra-cluster hop of the full payload).
+
+use super::{binomial, rdouble, ring, CommClusters, Vgroup};
+use crate::comm::Communicator;
+use crate::datatype::BaseType;
+use crate::op::ReduceOp;
+use crate::types::Tag;
+
+pub(crate) const T_H_INTRA_RED: Tag = 16;
+pub(crate) const T_H_INTER: Tag = 17;
+pub(crate) const T_H_INTRA_BC: Tag = 18;
+pub(crate) const T_H_GATHER: Tag = 19;
+
+/// Ascending leader ranks, one per cluster (`root`'s cluster is led by
+/// `root` when given).
+fn leaders(clusters: &CommClusters, root: Option<usize>) -> Vec<usize> {
+    let mut ls: Vec<usize> = (0..clusters.n_clusters())
+        .map(|c| clusters.members(c)[0])
+        .collect();
+    if let Some(root) = root {
+        ls[clusters.cluster_of(root)] = root;
+    }
+    ls.sort_unstable();
+    ls
+}
+
+/// My cluster's member list and leader for a rooted operation.
+fn my_cluster(clusters: &CommClusters, me: usize, root: Option<usize>) -> (&[usize], usize) {
+    let c = clusters.cluster_of(me);
+    let members = clusters.members(c);
+    let leader = match root {
+        Some(root) if clusters.cluster_of(root) == c => root,
+        _ => members[0],
+    };
+    (members, leader)
+}
+
+pub(crate) fn bcast(
+    comm: &Communicator,
+    clusters: &CommClusters,
+    root: usize,
+    data: Option<Vec<u8>>,
+) -> Vec<u8> {
+    let me = comm.rank();
+    let ls = leaders(clusters, Some(root));
+    let mut payload = if me == root {
+        Some(data.expect("bcast root must provide the data"))
+    } else {
+        None
+    };
+    // Phase 1: root -> cluster leaders (one slow-link crossing each).
+    if let Ok(_vme) = ls.binary_search(&me) {
+        let g = Vgroup::new(comm, &ls);
+        let vroot = ls.binary_search(&root).expect("root leads its cluster");
+        payload = Some(binomial::bcast(&g, vroot, payload.take(), T_H_INTER));
+    }
+    // Phase 2: leader -> cluster members on the fast rails.
+    let (members, leader) = my_cluster(clusters, me, Some(root));
+    let g = Vgroup::new(comm, members);
+    let vleader = members.binary_search(&leader).expect("leader is a member");
+    binomial::bcast(&g, vleader, payload, T_H_INTRA_BC)
+}
+
+pub(crate) fn reduce(
+    comm: &Communicator,
+    clusters: &CommClusters,
+    root: usize,
+    contribution: Vec<u8>,
+    base: BaseType,
+    op: ReduceOp,
+) -> Option<Vec<u8>> {
+    let me = comm.rank();
+    // Phase 1: intra-cluster reduce to the cluster leader.
+    let (members, leader) = my_cluster(clusters, me, Some(root));
+    let g = Vgroup::new(comm, members);
+    let vleader = members.binary_search(&leader).expect("leader is a member");
+    let partial = binomial::reduce(&g, vleader, contribution, base, op, T_H_INTRA_RED)?;
+    // Phase 2: leaders reduce to the root (which leads its cluster).
+    let ls = leaders(clusters, Some(root));
+    let g = Vgroup::new(comm, &ls);
+    let vroot = ls.binary_search(&root).expect("root leads its cluster");
+    binomial::reduce(&g, vroot, partial, base, op, T_H_INTER)
+}
+
+pub(crate) fn allreduce(
+    comm: &Communicator,
+    clusters: &CommClusters,
+    contribution: Vec<u8>,
+    base: BaseType,
+    op: ReduceOp,
+) -> Vec<u8> {
+    let me = comm.rank();
+    let (members, _) = my_cluster(clusters, me, None);
+    let g = Vgroup::new(comm, members);
+    // Reduce to the cluster leader, allreduce across leaders (the
+    // payload crosses the slow link once each way), broadcast back.
+    let partial = binomial::reduce(&g, 0, contribution, base, op, T_H_INTRA_RED);
+    let reduced = partial.map(|partial| {
+        let ls = leaders(clusters, None);
+        let lg = Vgroup::new(comm, &ls);
+        rdouble::allreduce(&lg, partial, base, op)
+    });
+    binomial::bcast(&g, 0, reduced, T_H_INTRA_BC)
+}
+
+pub(crate) fn allgather(
+    comm: &Communicator,
+    clusters: &CommClusters,
+    data: Vec<u8>,
+) -> Vec<Vec<u8>> {
+    let me = comm.rank();
+    let n = clusters.n_ranks();
+    let (members, _) = my_cluster(clusters, me, None);
+    let g = Vgroup::new(comm, members);
+    // Phase 1: gather contributions to the cluster leader.
+    let gathered = binomial::gather(&g, 0, data, T_H_GATHER);
+    // Phase 2: leaders ring-exchange rank-tagged blobs (each cluster's
+    // data crosses the slow link once per hop around the leader ring).
+    let blob = gathered.map(|parts| {
+        let mut enc = Vec::new();
+        for (i, p) in parts.iter().enumerate() {
+            enc.extend_from_slice(&(members[i] as u64).to_le_bytes());
+            enc.extend_from_slice(&(p.len() as u64).to_le_bytes());
+            enc.extend_from_slice(p);
+        }
+        let ls = leaders(clusters, None);
+        let lg = Vgroup::new(comm, &ls);
+        ring::allgather(&lg, enc, T_H_INTER).concat()
+    });
+    // Phase 3: broadcast the full blob inside the cluster, decode into
+    // rank order.
+    let blob = binomial::bcast(&g, 0, blob, T_H_INTRA_BC);
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    let mut cur = 0;
+    while cur < blob.len() {
+        let rank = u64::from_le_bytes(blob[cur..cur + 8].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(blob[cur + 8..cur + 16].try_into().unwrap()) as usize;
+        cur += 16;
+        out[rank] = blob[cur..cur + len].to_vec();
+        cur += len;
+    }
+    out
+}

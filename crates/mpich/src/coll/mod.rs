@@ -1,0 +1,525 @@
+//! The collective algorithm engine (paper Fig. 1/3: "Generic part —
+//! collective operations", grown into a topology-aware, size-adaptive
+//! selection layer).
+//!
+//! The seed implemented every collective as one fixed binomial-tree
+//! pattern over point-to-point sends — topology-blind, so on the
+//! heterogeneous meta-cluster every tree round may cross the slow TCP
+//! inter-cluster link. This module keeps that implementation, byte for
+//! byte, as the [`CollAlgorithm::Binomial`] catalog entry (and as the
+//! [`CollPolicy::Seed`] default, so all historical outputs stay
+//! bit-identical), and adds:
+//!
+//! * **two-level hierarchical collectives** ([`hierarchical`]): one
+//!   leader per fast cluster (SCI / BIP island); inter-cluster traffic
+//!   crosses the slow spanning link exactly once per direction while
+//!   intra-cluster rounds stay on the fast rails;
+//! * **recursive-doubling allreduce** ([`rdouble`]): log₂(n) rounds of
+//!   pairwise exchange, half the rounds of the seed's reduce+bcast;
+//! * **Rabenseifner allreduce** ([`rabenseifner`]): reduce-scatter by
+//!   recursive halving followed by an allgather, bandwidth-optimal for
+//!   large payloads;
+//! * **ring allgather** ([`ring`]): n−1 neighbor rounds moving one
+//!   block each, bandwidth-optimal and contention-free;
+//! * **scatter-gather broadcast** ([`sg_bcast`]): the root scatters n
+//!   chunks which a ring allgather reassembles — ~2·len bytes per node
+//!   instead of the binomial tree's log₂(n)·len.
+//!
+//! Selection mirrors PR 1's `ProtocolPolicy` design: the policy is a
+//! [`crate::WorldConfig`] knob ([`CollPolicy`]), resolved per
+//! (operation, payload size, communicator topology) by [`CollEngine`].
+//! Every operation emits a [`marcel::SpanKind::Coll`] span and a
+//! `coll.<op>.<algorithm>` metrics counter, so traces and the registry
+//! show which algorithm ran.
+
+mod api;
+mod binomial;
+mod hierarchical;
+mod rabenseifner;
+mod rdouble;
+mod ring;
+mod sg_bcast;
+mod topo;
+mod vgroup;
+
+pub use topo::CommClusters;
+pub(crate) use vgroup::Vgroup;
+
+use std::fmt;
+
+/// Which collective is being performed (selects the algorithm table
+/// row, the span label and the metrics counter family).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CollOp {
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Gather,
+    Scatter,
+    Allgather,
+    Alltoall,
+    Scan,
+    Exscan,
+    ReduceScatter,
+}
+
+impl CollOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            CollOp::Barrier => "barrier",
+            CollOp::Bcast => "bcast",
+            CollOp::Reduce => "reduce",
+            CollOp::Allreduce => "allreduce",
+            CollOp::Gather => "gather",
+            CollOp::Scatter => "scatter",
+            CollOp::Allgather => "allgather",
+            CollOp::Alltoall => "alltoall",
+            CollOp::Scan => "scan",
+            CollOp::Exscan => "exscan",
+            CollOp::ReduceScatter => "reduce_scatter",
+        }
+    }
+}
+
+/// One entry of the algorithm catalog. Not every algorithm applies to
+/// every operation — see [`CollEngine::select`] for the fallback rules.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CollAlgorithm {
+    /// The seed's binomial-tree implementations (every operation).
+    Binomial,
+    /// Two-level: intra-cluster on the fast rails, one leader per
+    /// cluster across the slow link (bcast, reduce, allreduce,
+    /// allgather; needs ≥ 2 clusters inside the communicator).
+    Hierarchical,
+    /// Recursive doubling (allreduce).
+    RecursiveDoubling,
+    /// Reduce-scatter + allgather (allreduce, large payloads).
+    Rabenseifner,
+    /// Ring allgather (allgather, large payloads).
+    Ring,
+    /// Scatter + ring-allgather broadcast (bcast, large payloads).
+    ScatterGather,
+}
+
+impl CollAlgorithm {
+    pub fn name(self) -> &'static str {
+        match self {
+            CollAlgorithm::Binomial => "binomial",
+            CollAlgorithm::Hierarchical => "hierarchical",
+            CollAlgorithm::RecursiveDoubling => "recursive_doubling",
+            CollAlgorithm::Rabenseifner => "rabenseifner",
+            CollAlgorithm::Ring => "ring",
+            CollAlgorithm::ScatterGather => "scatter_gather",
+        }
+    }
+}
+
+/// How the engine picks algorithms — the collective analogue of the
+/// point-to-point `ProtocolPolicy` ([`crate::ProtocolPolicy`]), exposed
+/// as [`crate::WorldConfig::coll`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CollPolicy {
+    /// The seed's binomial algorithms for everything. The default: all
+    /// historical bench outputs stay bit-identical.
+    #[default]
+    Seed,
+    /// Per-operation, per-payload-size, per-topology selection (the
+    /// headline mode; see [`CollEngine::select`] for the table).
+    Adaptive,
+    /// Force one catalog entry everywhere it applies; operations it
+    /// does not apply to fall back as [`CollEngine::select`] documents.
+    Fixed(CollAlgorithm),
+}
+
+/// A typed error from the collective layer (replaces the seed's
+/// panicking `Option<Vec<u8>>` root-data convention, in the spirit of
+/// the madeleine layer's `ChannelError`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CollError {
+    /// The root rank argument is outside the communicator.
+    RootOutOfRange {
+        op: &'static str,
+        root: usize,
+        size: usize,
+    },
+    /// The root rank did not provide the operation's input data
+    /// (`what` names it: "data" or "parts").
+    MissingRootData {
+        op: &'static str,
+        what: &'static str,
+    },
+    /// A per-rank part list had the wrong number of entries.
+    WrongPartCount {
+        op: &'static str,
+        got: usize,
+        want: usize,
+    },
+    /// A buffer's byte length does not match what the operation's
+    /// shape requires.
+    LengthMismatch {
+        op: &'static str,
+        len: usize,
+        want: usize,
+    },
+}
+
+impl fmt::Display for CollError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollError::RootOutOfRange { op, root, size } => {
+                write!(
+                    f,
+                    "{op} root {root} out of range (communicator size {size})"
+                )
+            }
+            CollError::MissingRootData { op, what } => {
+                write!(f, "{op} root must provide the {what}")
+            }
+            CollError::WrongPartCount { op, got, want } => {
+                write!(f, "{op} needs one part per rank (got {got}, want {want})")
+            }
+            CollError::LengthMismatch { op, len, want } => {
+                write!(f, "{op} buffer holds {len} bytes, needs exactly {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollError {}
+
+/// Payload size (own contribution, in bytes) at which Adaptive
+/// allreduce switches from recursive doubling to Rabenseifner.
+pub const RABENSEIFNER_MIN_BYTES: usize = 32 * 1024;
+/// Payload size at which Adaptive broadcast switches from the binomial
+/// tree to scatter-gather on flat topologies.
+pub const SG_BCAST_MIN_BYTES: usize = 128 * 1024;
+
+/// The per-world collective engine: the configured policy plus the
+/// world-rank → cluster map derived from the simnet topology
+/// ([`simnet::Topology::clusters`]).
+#[derive(Debug)]
+pub struct CollEngine {
+    policy: CollPolicy,
+    /// world rank -> cluster index (dense).
+    rank_cluster: Vec<usize>,
+}
+
+impl CollEngine {
+    pub fn new(policy: CollPolicy, rank_cluster: Vec<usize>) -> CollEngine {
+        CollEngine {
+            policy,
+            rank_cluster,
+        }
+    }
+
+    /// An engine for a flat (cluster-blind) world — unit tests and
+    /// manually assembled environments.
+    pub fn flat(policy: CollPolicy, n_ranks: usize) -> CollEngine {
+        CollEngine {
+            policy,
+            rank_cluster: (0..n_ranks).collect(),
+        }
+    }
+
+    pub fn policy(&self) -> CollPolicy {
+        self.policy
+    }
+
+    /// The cluster index of a world rank.
+    pub fn cluster_of(&self, world_rank: usize) -> usize {
+        self.rank_cluster[world_rank]
+    }
+
+    /// Resolve the algorithm for one operation. `payload` is the
+    /// caller's own contribution in bytes (for a bcast only the root
+    /// knows it — the bcast entry point handles that asymmetry, see
+    /// [`api`]); `reducible_elems` is the number of reduction units the
+    /// payload holds (0 for non-reductions). `clusters` is the
+    /// communicator-local cluster view.
+    ///
+    /// Selection rules (Adaptive):
+    ///
+    /// | op         | multi-cluster            | flat                                   |
+    /// |------------|--------------------------|----------------------------------------|
+    /// | bcast      | hierarchical             | scatter-gather ≥ 128 KB, else binomial |
+    /// | reduce     | hierarchical             | binomial                               |
+    /// | allreduce  | hierarchical             | Rabenseifner ≥ 32 KB, else rec-doubling|
+    /// | allgather  | hierarchical             | ring                                   |
+    /// | others     | binomial                 | binomial                               |
+    ///
+    /// `Fixed(alg)` forces `alg` wherever it applies to the operation
+    /// and is feasible (hierarchical needs ≥ 2 clusters inside the
+    /// communicator; Rabenseifner needs at least one reduction unit per
+    /// participant), falling back to the closest applicable entry
+    /// otherwise (Rabenseifner → recursive doubling → binomial).
+    pub fn select(
+        &self,
+        op: CollOp,
+        payload: usize,
+        reducible_elems: usize,
+        clusters: &CommClusters,
+    ) -> CollAlgorithm {
+        let n = clusters.n_ranks();
+        let hier_ok = clusters.hierarchy_pays() && applies_hier(op);
+        match self.policy {
+            CollPolicy::Seed => CollAlgorithm::Binomial,
+            CollPolicy::Fixed(alg) => self.check_fixed(alg, op, reducible_elems, n, hier_ok),
+            CollPolicy::Adaptive => match op {
+                CollOp::Bcast => {
+                    if hier_ok {
+                        CollAlgorithm::Hierarchical
+                    } else if payload >= SG_BCAST_MIN_BYTES && n > 2 {
+                        CollAlgorithm::ScatterGather
+                    } else {
+                        CollAlgorithm::Binomial
+                    }
+                }
+                CollOp::Reduce => {
+                    if hier_ok {
+                        CollAlgorithm::Hierarchical
+                    } else {
+                        CollAlgorithm::Binomial
+                    }
+                }
+                CollOp::Allreduce => {
+                    if hier_ok {
+                        CollAlgorithm::Hierarchical
+                    } else if payload >= RABENSEIFNER_MIN_BYTES
+                        && rabenseifner_ok(reducible_elems, n)
+                    {
+                        CollAlgorithm::Rabenseifner
+                    } else {
+                        CollAlgorithm::RecursiveDoubling
+                    }
+                }
+                CollOp::Allgather => {
+                    if hier_ok {
+                        CollAlgorithm::Hierarchical
+                    } else {
+                        CollAlgorithm::Ring
+                    }
+                }
+                _ => CollAlgorithm::Binomial,
+            },
+        }
+    }
+
+    /// Feasibility check for `Fixed` mode, with documented fallbacks.
+    fn check_fixed(
+        &self,
+        alg: CollAlgorithm,
+        op: CollOp,
+        reducible_elems: usize,
+        n: usize,
+        hier_ok: bool,
+    ) -> CollAlgorithm {
+        match alg {
+            CollAlgorithm::Binomial => CollAlgorithm::Binomial,
+            CollAlgorithm::Hierarchical => {
+                if hier_ok {
+                    CollAlgorithm::Hierarchical
+                } else {
+                    CollAlgorithm::Binomial
+                }
+            }
+            CollAlgorithm::RecursiveDoubling => {
+                if op == CollOp::Allreduce {
+                    CollAlgorithm::RecursiveDoubling
+                } else {
+                    CollAlgorithm::Binomial
+                }
+            }
+            CollAlgorithm::Rabenseifner => {
+                if op != CollOp::Allreduce {
+                    CollAlgorithm::Binomial
+                } else if rabenseifner_ok(reducible_elems, n) {
+                    CollAlgorithm::Rabenseifner
+                } else {
+                    CollAlgorithm::RecursiveDoubling
+                }
+            }
+            CollAlgorithm::Ring => {
+                if op == CollOp::Allgather {
+                    CollAlgorithm::Ring
+                } else {
+                    CollAlgorithm::Binomial
+                }
+            }
+            CollAlgorithm::ScatterGather => {
+                if op == CollOp::Bcast && n > 1 {
+                    CollAlgorithm::ScatterGather
+                } else {
+                    CollAlgorithm::Binomial
+                }
+            }
+        }
+    }
+}
+
+/// Operations with a two-level hierarchical variant.
+fn applies_hier(op: CollOp) -> bool {
+    matches!(
+        op,
+        CollOp::Bcast | CollOp::Reduce | CollOp::Allreduce | CollOp::Allgather
+    )
+}
+
+/// Rabenseifner needs at least one reduction unit per power-of-two
+/// participant, so every reduce-scatter block is non-empty.
+fn rabenseifner_ok(reducible_elems: usize, n: usize) -> bool {
+    let pof2 = if n == 0 { 1 } else { prev_pow2(n) };
+    reducible_elems >= pof2 && n > 1
+}
+
+/// Largest power of two ≤ n (n ≥ 1).
+pub(crate) fn prev_pow2(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta_clusters() -> CommClusters {
+        // 6 ranks, clusters {0,1,2} and {3,4,5}.
+        CommClusters::from_ids(&[0, 0, 0, 1, 1, 1])
+    }
+
+    fn flat_clusters(n: usize) -> CommClusters {
+        CommClusters::from_ids(&(0..n).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn seed_policy_always_binomial() {
+        let e = CollEngine::flat(CollPolicy::Seed, 6);
+        for op in [CollOp::Bcast, CollOp::Allreduce, CollOp::Allgather] {
+            assert_eq!(
+                e.select(op, 1 << 20, 1 << 17, &meta_clusters()),
+                CollAlgorithm::Binomial
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_goes_hierarchical_on_the_meta_cluster() {
+        let e = CollEngine::flat(CollPolicy::Adaptive, 6);
+        for op in [
+            CollOp::Bcast,
+            CollOp::Reduce,
+            CollOp::Allreduce,
+            CollOp::Allgather,
+        ] {
+            assert_eq!(
+                e.select(op, 64, 8, &meta_clusters()),
+                CollAlgorithm::Hierarchical,
+                "{op:?}"
+            );
+        }
+        // Ops without a hierarchical variant stay binomial.
+        assert_eq!(
+            e.select(CollOp::Alltoall, 1 << 20, 0, &meta_clusters()),
+            CollAlgorithm::Binomial
+        );
+    }
+
+    #[test]
+    fn adaptive_is_size_adaptive_on_flat_topologies() {
+        let e = CollEngine::flat(CollPolicy::Adaptive, 6);
+        let flat = flat_clusters(6);
+        // Allreduce: recursive doubling small, Rabenseifner large.
+        assert_eq!(
+            e.select(CollOp::Allreduce, 1024, 128, &flat),
+            CollAlgorithm::RecursiveDoubling
+        );
+        assert_eq!(
+            e.select(CollOp::Allreduce, 256 * 1024, 32 * 1024, &flat),
+            CollAlgorithm::Rabenseifner
+        );
+        // ...but never Rabenseifner with fewer elements than ranks.
+        assert_eq!(
+            e.select(CollOp::Allreduce, RABENSEIFNER_MIN_BYTES, 2, &flat),
+            CollAlgorithm::RecursiveDoubling
+        );
+        // Bcast: binomial small, scatter-gather large.
+        assert_eq!(
+            e.select(CollOp::Bcast, 1024, 0, &flat),
+            CollAlgorithm::Binomial
+        );
+        assert_eq!(
+            e.select(CollOp::Bcast, 1 << 20, 0, &flat),
+            CollAlgorithm::ScatterGather
+        );
+        // Allgather: ring at every size.
+        assert_eq!(
+            e.select(CollOp::Allgather, 1, 0, &flat),
+            CollAlgorithm::Ring
+        );
+    }
+
+    #[test]
+    fn fixed_falls_back_where_infeasible() {
+        let e = CollEngine::flat(CollPolicy::Fixed(CollAlgorithm::Hierarchical), 6);
+        // Hierarchical on a flat communicator degrades to binomial.
+        assert_eq!(
+            e.select(CollOp::Allreduce, 64, 8, &flat_clusters(6)),
+            CollAlgorithm::Binomial
+        );
+        assert_eq!(
+            e.select(CollOp::Allreduce, 64, 8, &meta_clusters()),
+            CollAlgorithm::Hierarchical
+        );
+        // Rabenseifner with too few elements degrades to rec-doubling.
+        let e = CollEngine::flat(CollPolicy::Fixed(CollAlgorithm::Rabenseifner), 6);
+        assert_eq!(
+            e.select(CollOp::Allreduce, 16, 2, &flat_clusters(6)),
+            CollAlgorithm::RecursiveDoubling
+        );
+        // Ring on a reduce degrades to binomial.
+        let e = CollEngine::flat(CollPolicy::Fixed(CollAlgorithm::Ring), 6);
+        assert_eq!(
+            e.select(CollOp::Reduce, 64, 8, &flat_clusters(6)),
+            CollAlgorithm::Binomial
+        );
+    }
+
+    #[test]
+    fn prev_pow2_values() {
+        assert_eq!(prev_pow2(1), 1);
+        assert_eq!(prev_pow2(2), 2);
+        assert_eq!(prev_pow2(3), 2);
+        assert_eq!(prev_pow2(6), 4);
+        assert_eq!(prev_pow2(8), 8);
+        assert_eq!(prev_pow2(9), 8);
+    }
+
+    #[test]
+    fn coll_error_display_matches_seed_panics() {
+        // The legacy byte wrappers panic with these Display strings; the
+        // bcast one preserves the seed's exact message.
+        assert_eq!(
+            CollError::MissingRootData {
+                op: "bcast",
+                what: "data"
+            }
+            .to_string(),
+            "bcast root must provide the data"
+        );
+        assert_eq!(
+            CollError::MissingRootData {
+                op: "scatter",
+                what: "parts"
+            }
+            .to_string(),
+            "scatter root must provide the parts"
+        );
+        assert!(CollError::RootOutOfRange {
+            op: "bcast",
+            root: 9,
+            size: 4
+        }
+        .to_string()
+        .starts_with("bcast root 9 out of range"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Rabenseifner's allreduce: reduce-scatter by recursive halving, then
+//! allgather by reversing the halving — every rank moves ~2·len bytes
+//! total instead of recursive doubling's log₂(n)·len, which wins for
+//! large payloads.
+//!
+//! Non-power-of-two sizes reuse the recursive-doubling fold (evens
+//! below 2·rem drop out and receive the final result at the end). The
+//! selection layer only picks this algorithm when the payload holds at
+//! least one reduction unit per power-of-two participant, so every
+//! scattered block is non-empty.
+
+use bytes::Bytes;
+
+use super::rdouble::real_of;
+use super::{prev_pow2, Vgroup};
+use crate::datatype::BaseType;
+use crate::op::{apply, ReduceOp};
+use crate::types::Tag;
+
+pub(crate) const T_RS: Tag = 11;
+pub(crate) const T_AG: Tag = 12;
+
+pub(crate) fn allreduce(
+    g: &Vgroup,
+    contribution: Vec<u8>,
+    base: BaseType,
+    op: ReduceOp,
+) -> Vec<u8> {
+    let n = g.n();
+    let me = g.me();
+    let mut acc = contribution;
+    if n == 1 {
+        return acc;
+    }
+    let unit = if op.is_loc() {
+        2 * base.size()
+    } else {
+        base.size()
+    };
+    debug_assert_eq!(acc.len() % unit, 0, "selection layer checks divisibility");
+    let elems = acc.len() / unit;
+    let pof2 = prev_pow2(n);
+    let rem = n - pof2;
+    debug_assert!(elems >= pof2, "selection layer checks one unit per block");
+
+    // Fold phase (same arrangement as recursive doubling).
+    let newrank = if me < 2 * rem {
+        if me.is_multiple_of(2) {
+            g.send(me + 1, T_RS, Bytes::from(acc));
+            return g.recv(me + 1, T_RS);
+        }
+        let lower = g.recv(me - 1, T_RS);
+        let mut combined = lower;
+        apply(base, op, &mut combined, &acc);
+        acc = combined;
+        me / 2
+    } else {
+        me - rem
+    };
+
+    // Block layout: elems split into pof2 near-equal unit counts.
+    let mut displs = Vec::with_capacity(pof2 + 1); // in bytes
+    let mut cursor = 0usize;
+    for i in 0..pof2 {
+        displs.push(cursor);
+        cursor += (elems / pof2 + usize::from(i < elems % pof2)) * unit;
+    }
+    displs.push(cursor);
+    debug_assert_eq!(cursor, acc.len());
+
+    // Reduce-scatter by recursive halving: at each step exchange the
+    // half of the current window the peer owns, keep reducing ours.
+    let (mut lo, mut hi) = (0usize, pof2);
+    let mut steps = Vec::new();
+    while hi - lo > 1 {
+        let half = (hi - lo) / 2;
+        let mid = lo + half;
+        let (peer_new, s_lo, s_hi, k_lo, k_hi) = if newrank < mid {
+            (newrank + half, mid, hi, lo, mid)
+        } else {
+            (newrank - half, lo, mid, mid, hi)
+        };
+        let peer = real_of(peer_new, rem);
+        let send_slice = acc[displs[s_lo]..displs[s_hi]].to_vec();
+        let recvd = g.exchange(peer, T_RS, send_slice);
+        let keep = &mut acc[displs[k_lo]..displs[k_hi]];
+        debug_assert_eq!(recvd.len(), keep.len());
+        if peer < me {
+            let mut combined = recvd;
+            apply(base, op, &mut combined, keep);
+            keep.copy_from_slice(&combined);
+        } else {
+            apply(base, op, keep, &recvd);
+        }
+        steps.push((peer, k_lo, k_hi, s_lo, s_hi));
+        lo = k_lo;
+        hi = k_hi;
+    }
+
+    // Allgather: replay the halving in reverse — each step's kept half
+    // is now fully reduced, trade it for the peer's half.
+    for &(peer, k_lo, k_hi, s_lo, s_hi) in steps.iter().rev() {
+        let send_slice = acc[displs[k_lo]..displs[k_hi]].to_vec();
+        let recvd = g.exchange(peer, T_AG, send_slice);
+        acc[displs[s_lo]..displs[s_hi]].copy_from_slice(&recvd);
+    }
+
+    // Hand the result back to the folded even neighbor.
+    if me < 2 * rem {
+        debug_assert_eq!(me % 2, 1);
+        g.send(me - 1, T_RS, Bytes::copy_from_slice(&acc));
+    }
+    acc
+}

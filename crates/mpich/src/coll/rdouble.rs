@@ -1,0 +1,81 @@
+//! Recursive-doubling allreduce: log₂(n) pairwise-exchange rounds, each
+//! moving the full payload — latency-optimal, and half the rounds of
+//! the seed's reduce-to-zero + broadcast.
+//!
+//! Non-power-of-two sizes fold the first `2·rem` ranks pairwise (each
+//! even rank hands its contribution to its odd neighbor and waits for
+//! the final result), leaving a power of two for the doubling phase —
+//! the classical MPICH arrangement.
+
+use bytes::Bytes;
+
+use super::{prev_pow2, Vgroup};
+use crate::datatype::BaseType;
+use crate::op::{apply, ReduceOp};
+use crate::types::Tag;
+
+pub(crate) const T_RD: Tag = 10;
+
+/// Map a doubling-phase rank back to its virtual rank.
+pub(crate) fn real_of(newrank: usize, rem: usize) -> usize {
+    if newrank < rem {
+        2 * newrank + 1
+    } else {
+        newrank + rem
+    }
+}
+
+pub(crate) fn allreduce(
+    g: &Vgroup,
+    contribution: Vec<u8>,
+    base: BaseType,
+    op: ReduceOp,
+) -> Vec<u8> {
+    let n = g.n();
+    let me = g.me();
+    let mut acc = contribution;
+    if n == 1 {
+        return acc;
+    }
+    let pof2 = prev_pow2(n);
+    let rem = n - pof2;
+
+    // Fold phase: evens below 2·rem drop out after handing their
+    // contribution to the odd neighbor.
+    let newrank = if me < 2 * rem {
+        if me.is_multiple_of(2) {
+            g.send(me + 1, T_RD, Bytes::from(acc));
+            return g.recv(me + 1, T_RD);
+        }
+        let lower = g.recv(me - 1, T_RD);
+        // Canonical fold order: the lower rank's data sits on the left.
+        let mut combined = lower;
+        apply(base, op, &mut combined, &acc);
+        acc = combined;
+        me / 2
+    } else {
+        me - rem
+    };
+
+    // Doubling phase among the pof2 survivors.
+    let mut mask = 1usize;
+    while mask < pof2 {
+        let peer = real_of(newrank ^ mask, rem);
+        let recvd = g.exchange(peer, T_RD, acc.clone());
+        if peer < me {
+            let mut combined = recvd;
+            apply(base, op, &mut combined, &acc);
+            acc = combined;
+        } else {
+            apply(base, op, &mut acc, &recvd);
+        }
+        mask <<= 1;
+    }
+
+    // Hand the result back to the folded even neighbor.
+    if me < 2 * rem {
+        debug_assert_eq!(me % 2, 1);
+        g.send(me - 1, T_RD, Bytes::copy_from_slice(&acc));
+    }
+    acc
+}

@@ -1,0 +1,32 @@
+//! Ring allgather: n−1 neighbor rounds, each rank forwarding one block
+//! to its right neighbor while receiving one from its left — every link
+//! carries exactly the payload once per round, so the slow spanning
+//! link is crossed the minimum possible number of times and no node is
+//! a log-tree hotspot. Blocks may have different sizes (receives are
+//! probed).
+
+use super::Vgroup;
+use crate::types::Tag;
+
+pub(crate) const T_RING: Tag = 13;
+
+/// Allgather `data` over the group's rank ring. Returns one entry per
+/// virtual rank.
+pub(crate) fn allgather(g: &Vgroup, data: Vec<u8>, tag: Tag) -> Vec<Vec<u8>> {
+    let n = g.n();
+    let me = g.me();
+    let mut parts: Vec<Vec<u8>> = vec![Vec::new(); n];
+    parts[me] = data;
+    if n == 1 {
+        return parts;
+    }
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    for round in 0..n - 1 {
+        // Round r forwards the block that originated r hops to the left.
+        let send_idx = (me + n - round) % n;
+        let recv_idx = (me + n - round - 1) % n;
+        parts[recv_idx] = g.sendrecv(right, left, tag, parts[send_idx].clone());
+    }
+    parts
+}

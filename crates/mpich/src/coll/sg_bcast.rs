@@ -1,0 +1,52 @@
+//! Scatter-gather broadcast (van de Geijn): the root scatters the
+//! payload into n near-equal chunks, a ring allgather reassembles them
+//! everywhere. Total traffic per node is ~2·len bytes instead of the
+//! binomial tree's log₂(n)·len, which wins for large messages.
+//!
+//! Receivers never need the payload size up front — both the scattered
+//! chunk and the ring blocks arrive through probed receives.
+
+use bytes::Bytes;
+
+use super::{ring, Vgroup};
+use crate::types::Tag;
+
+pub(crate) const T_SG_SCATTER: Tag = 14;
+pub(crate) const T_SG_RING: Tag = 15;
+
+pub(crate) fn bcast(g: &Vgroup, root: usize, data: Option<Vec<u8>>) -> Vec<u8> {
+    let n = g.n();
+    let me = g.me();
+    if n == 1 {
+        return data.expect("bcast root must provide the data");
+    }
+    // Chunk i (in root-rotated order) lives on virtual rank
+    // (root + i) % n; chunk sizes differ by at most one byte.
+    let my_chunk = if me == root {
+        let data = data.expect("bcast root must provide the data");
+        let (quot, rem) = (data.len() / n, data.len() % n);
+        let mut offset = 0;
+        let mut mine = Vec::new();
+        for i in 0..n {
+            let size = quot + usize::from(i < rem);
+            let chunk = &data[offset..offset + size];
+            offset += size;
+            let dst = (root + i) % n;
+            if dst == me {
+                mine = chunk.to_vec();
+            } else {
+                g.send(dst, T_SG_SCATTER, Bytes::copy_from_slice(chunk));
+            }
+        }
+        mine
+    } else {
+        g.recv(root, T_SG_SCATTER)
+    };
+    // Reassemble via ring allgather, concatenating in chunk order.
+    let parts = ring::allgather(g, my_chunk, T_SG_RING);
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for i in 0..n {
+        out.extend_from_slice(&parts[(root + i) % n]);
+    }
+    out
+}

@@ -1,0 +1,107 @@
+//! The communicator-local cluster view: which of the communicator's
+//! ranks sit on which fast island of the meta-cluster. Derived per
+//! collective call from the engine's world-rank cluster map
+//! ([`simnet::Topology::clusters`] computed at world bootstrap), so
+//! split/dup'ed communicators see exactly their own slice of the
+//! topology.
+
+/// Ranks of one communicator grouped by topology cluster. Cluster
+/// indices are dense and ordered by first appearance in rank order;
+/// member lists are ascending communicator-local ranks.
+#[derive(Clone, Debug)]
+pub struct CommClusters {
+    /// communicator-local rank -> dense cluster index.
+    of_rank: Vec<usize>,
+    /// dense cluster index -> ascending member ranks.
+    members: Vec<Vec<usize>>,
+}
+
+impl CommClusters {
+    /// Compact arbitrary per-rank cluster ids (e.g. world cluster
+    /// indices looked up through a sub-communicator's group) into the
+    /// dense communicator-local form.
+    pub fn from_ids(ids: &[usize]) -> CommClusters {
+        let mut dense: Vec<usize> = Vec::new(); // dense idx -> original id
+        let mut of_rank = Vec::with_capacity(ids.len());
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        for (rank, id) in ids.iter().enumerate() {
+            let c = match dense.iter().position(|d| d == id) {
+                Some(c) => c,
+                None => {
+                    dense.push(*id);
+                    members.push(Vec::new());
+                    dense.len() - 1
+                }
+            };
+            of_rank.push(c);
+            members[c].push(rank);
+        }
+        CommClusters { of_rank, members }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.of_rank.len()
+    }
+
+    pub fn n_clusters(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Dense cluster index of a communicator-local rank.
+    pub fn cluster_of(&self, rank: usize) -> usize {
+        self.of_rank[rank]
+    }
+
+    /// Ascending member ranks of one cluster.
+    pub fn members(&self, cluster: usize) -> &[usize] {
+        &self.members[cluster]
+    }
+
+    /// Whether a two-level algorithm can beat a flat one here: at least
+    /// two clusters (so there *is* a slow link to economize) and fewer
+    /// clusters than ranks (so at least one intra-cluster phase has
+    /// company — all-singletons is just a flat topology with extra
+    /// steps).
+    pub fn hierarchy_pays(&self) -> bool {
+        self.n_clusters() >= 2 && self.n_clusters() < self.n_ranks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compacts_sparse_ids_in_first_appearance_order() {
+        // World clusters 7 and 3, interleaved.
+        let cc = CommClusters::from_ids(&[7, 3, 7, 3]);
+        assert_eq!(cc.n_clusters(), 2);
+        assert_eq!(cc.cluster_of(0), 0);
+        assert_eq!(cc.cluster_of(1), 1);
+        assert_eq!(cc.members(0), &[0, 2]);
+        assert_eq!(cc.members(1), &[1, 3]);
+        assert!(cc.hierarchy_pays());
+    }
+
+    #[test]
+    fn singletons_do_not_pay() {
+        let cc = CommClusters::from_ids(&[0, 1, 2, 3]);
+        assert_eq!(cc.n_clusters(), 4);
+        assert!(!cc.hierarchy_pays());
+    }
+
+    #[test]
+    fn one_cluster_does_not_pay() {
+        let cc = CommClusters::from_ids(&[5, 5, 5]);
+        assert_eq!(cc.n_clusters(), 1);
+        assert!(!cc.hierarchy_pays());
+    }
+
+    #[test]
+    fn meta_cluster_shape() {
+        let cc = CommClusters::from_ids(&[0, 0, 0, 1, 1, 1]);
+        assert!(cc.hierarchy_pays());
+        assert_eq!(cc.members(0), &[0, 1, 2]);
+        assert_eq!(cc.members(1), &[3, 4, 5]);
+    }
+}

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use crate::adi::DeviceSet;
+use crate::coll::CollEngine;
 use crate::datatype::{from_bytes, to_bytes, Datatype, MpiScalar};
 use crate::engine::Engine;
 use crate::group::Group;
@@ -26,6 +27,8 @@ pub struct MpiEnv {
     pub devices: Arc<DeviceSet>,
     /// Global context-id allocator (roots allocate, then broadcast).
     pub ctx_alloc: Arc<SimMutex<u32>>,
+    /// The collective algorithm engine (policy + world cluster map).
+    pub coll: Arc<CollEngine>,
 }
 
 impl MpiEnv {

@@ -36,7 +36,7 @@
 
 pub mod adi;
 pub mod cart;
-pub mod collective;
+pub mod coll;
 pub mod comm;
 pub mod datatype;
 pub mod device;
@@ -49,6 +49,7 @@ pub mod world;
 
 pub use adi::{AdiCosts, Device, DeviceSet, Locality, PolicyMode, ProtocolPolicy};
 pub use cart::CartComm;
+pub use coll::{CollAlgorithm, CollEngine, CollError, CollOp, CollPolicy, CommClusters};
 pub use comm::{CommRequest, Communicator, MpiEnv, PersistentRecv, PersistentSend};
 pub use datatype::{from_bytes, to_bytes, BaseType, Datatype, MpiScalar};
 pub use device::{ChMad, ChMadConfig, ChP4, ChP4Costs, ChSelf, Packet, SmpPlug};

@@ -8,6 +8,7 @@ use marcel::{CostModel, Kernel, SimBarrier, SimError, SimMutex};
 use simnet::{NodeId, Topology};
 
 use crate::adi::{AdiCosts, Device, DeviceSet};
+use crate::coll::{CollEngine, CollPolicy};
 use crate::comm::{Communicator, MpiEnv};
 use crate::device::{ChMad, ChMadConfig, ChP4, ChP4Costs, ChSelf, SmpPlug};
 use crate::engine::Engine;
@@ -51,6 +52,15 @@ pub struct WorldConfig {
     /// registry ([`Kernel::metrics`]) is always on, independent of
     /// this flag.
     pub trace: bool,
+    /// How the collective layer picks algorithms — the collective
+    /// analogue of [`crate::ProtocolPolicy`]. `Seed` (the default)
+    /// reproduces the seed's binomial trees bit for bit; `Adaptive`
+    /// selects per operation, payload size, and topology (two-level
+    /// hierarchical collectives on the meta-cluster, recursive-doubling
+    /// / Rabenseifner allreduce, ring allgather, scatter-gather bcast);
+    /// `Fixed(alg)` forces one catalog entry wherever it applies. See
+    /// [`crate::coll`].
+    pub coll: CollPolicy,
 }
 
 /// Build the Chrome-exporter thread table for a finished world run: one
@@ -86,6 +96,7 @@ impl Default for WorldConfig {
             remote: RemoteDeviceKind::ChMad(ChMadConfig::default()),
             forwarding: false,
             trace: false,
+            coll: CollPolicy::Seed,
         }
     }
 }
@@ -175,6 +186,9 @@ where
         kernel.enable_trace();
     }
     let node_model = topology.node_model().clone();
+    // Fast-island structure for the collective engine, captured before
+    // the topology moves into the session builder.
+    let node_clusters = topology.node_clusters();
     let builder = madeleine::SessionBuilder::new(topology);
     let builder = match &placement {
         Placement::OneRankPerNode => builder.one_rank_per_node(),
@@ -217,6 +231,11 @@ where
         rank_node,
     });
 
+    let rank_clusters: Vec<usize> = (0..n)
+        .map(|r| node_clusters[session.node_of(r).0])
+        .collect();
+    let coll = Arc::new(CollEngine::new(config.coll, rank_clusters));
+
     let ctx_alloc = Arc::new(SimMutex::new(&kernel, 2));
     // Kernel-level (non-MPI) quiescence barrier: no rank may terminate
     // its polling threads before EVERY rank has finished its MPI
@@ -235,6 +254,7 @@ where
             engine: engines[rank].clone(),
             devices: devices.clone(),
             ctx_alloc: ctx_alloc.clone(),
+            coll: coll.clone(),
         });
         let f = f.clone();
         let shutdown = shutdown.clone();

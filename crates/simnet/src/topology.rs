@@ -276,6 +276,79 @@ impl Topology {
         ps
     }
 
+    /// Partition the nodes into *clusters*: connected components over
+    /// the "fast" networks — every network whose protocol outranks the
+    /// slowest protocol present in the configuration (by
+    /// [`Protocol::transfer_priority`]). On the paper's meta-cluster
+    /// this yields one cluster per SAN (the SCI island and the Myrinet
+    /// island), with the spanning Fast-Ethernet excluded; nodes attached
+    /// only to slow networks become singleton clusters. A homogeneous
+    /// configuration (one protocol everywhere) has no fast network at
+    /// all, so every node is its own cluster — the degenerate case
+    /// topology-aware collectives treat as "flat".
+    ///
+    /// Clusters are deterministic: ordered by their lowest node id, each
+    /// member list ascending.
+    pub fn clusters(&self) -> Vec<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let floor = self
+            .networks
+            .iter()
+            .map(|net| net.protocol.transfer_priority())
+            .min();
+        // Union-find over the fast networks only.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut r = x;
+            while parent[r] != r {
+                r = parent[r];
+            }
+            let mut c = x;
+            while parent[c] != r {
+                let next = parent[c];
+                parent[c] = r;
+                c = next;
+            }
+            r
+        }
+        if let Some(floor) = floor {
+            for net in &self.networks {
+                if net.protocol.transfer_priority() <= floor {
+                    continue;
+                }
+                let mut it = net.members.iter();
+                if let Some(first) = it.next() {
+                    for m in it {
+                        let (a, b) = (find(&mut parent, first.0), find(&mut parent, m.0));
+                        // Root the union at the lower id for determinism.
+                        let (lo, hi) = (a.min(b), a.max(b));
+                        parent[hi] = lo;
+                    }
+                }
+            }
+        }
+        let mut by_root: std::collections::BTreeMap<usize, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for node in 0..n {
+            let r = find(&mut parent, node);
+            by_root.entry(r).or_default().push(NodeId(node));
+        }
+        by_root.into_values().collect()
+    }
+
+    /// The cluster index (into [`Topology::clusters`]) of each node, as
+    /// a dense `node id -> cluster id` map.
+    pub fn node_clusters(&self) -> Vec<usize> {
+        let clusters = self.clusters();
+        let mut of = vec![0usize; self.nodes.len()];
+        for (ci, members) in clusters.iter().enumerate() {
+            for m in members {
+                of[m.0] = ci;
+            }
+        }
+        of
+    }
+
     /// Shortest node path from `a` to `b` over the networks (BFS, ties
     /// broken by preferring higher-priority protocols for the first
     /// differing edge and then lower node ids — deterministic). Returns
@@ -454,6 +527,62 @@ mod tests {
         assert!(protos.contains(&Protocol::Sisci));
         assert!(protos.contains(&Protocol::Tcp));
         assert!(!protos.contains(&Protocol::Bip));
+    }
+
+    #[test]
+    fn meta_cluster_has_two_fast_islands() {
+        let t = Topology::meta_cluster(3);
+        let clusters = t.clusters();
+        assert_eq!(
+            clusters,
+            vec![
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![NodeId(3), NodeId(4), NodeId(5)],
+            ]
+        );
+        assert_eq!(t.node_clusters(), vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn homogeneous_network_is_all_singletons() {
+        // One protocol everywhere: no network outranks the floor, so
+        // clustering degenerates to one node per cluster ("flat").
+        for p in Protocol::ALL {
+            let t = Topology::single_network(4, p);
+            assert_eq!(t.clusters().len(), 4, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn slow_only_node_is_a_singleton_cluster() {
+        // Two SCI nodes plus one node reachable only over TCP.
+        let mut t = Topology::new();
+        let a = t.add_node("a", 1);
+        let b = t.add_node("b", 1);
+        let c = t.add_node("c", 1);
+        t.add_network(Protocol::Sisci, [a, b]);
+        t.add_network(Protocol::Tcp, [a, b, c]);
+        assert_eq!(t.clusters(), vec![vec![a, b], vec![c]]);
+        assert_eq!(t.node_clusters(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn fast_chains_merge_into_one_cluster() {
+        // SCI a-b and BIP b-c chain into one fast island over TCP floor.
+        let mut t = Topology::new();
+        let a = t.add_node("a", 1);
+        let b = t.add_node("b", 1);
+        let c = t.add_node("c", 1);
+        let d = t.add_node("d", 1);
+        t.add_network(Protocol::Sisci, [a, b]);
+        t.add_network(Protocol::Bip, [b, c]);
+        t.add_network(Protocol::Tcp, [a, b, c, d]);
+        assert_eq!(t.clusters(), vec![vec![a, b, c], vec![d]]);
+    }
+
+    #[test]
+    fn empty_topology_has_no_clusters() {
+        assert!(Topology::new().clusters().is_empty());
     }
 
     #[test]
