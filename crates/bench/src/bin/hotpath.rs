@@ -1,0 +1,199 @@
+//! Hot-path wall-clock bench: a many-rank all-to-all small-message
+//! storm driving the ADI matching engine and the madeleine eager path
+//! as hard as the simulator allows. Unlike the paper-figure benches
+//! (which report *virtual* time), this one reports HOST wall-clock
+//! and allocator traffic — the quantities the O(1) matching store and
+//! the copy-free eager path are meant to improve.
+//!
+//! Output is line-oriented for `ci/check_hotpath.py`:
+//!   `hotpath: messages=<n> wall_ms=<t> events_per_sec=<r> allocs=<a> alloc_bytes=<b>`
+//! plus a JSON summary on the final line.
+//!
+//! `cargo run -p bench --bin hotpath --release [-- <iters>]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mpich::{run_world, Placement, PollPolicy, WorldConfig};
+use simnet::{Protocol, Topology};
+
+/// Counting wrapper around the system allocator: total allocation
+/// calls and bytes requested (frees are not tracked — the interesting
+/// figure is how much the hot path asks for, not peak usage).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const RANKS: usize = 8;
+const MSG: usize = 16;
+
+/// All-to-all storm: every rank bursts `rounds` tagged small eager
+/// messages to every peer, then drains its receives in *reverse*
+/// arrival order — so the unexpected queue grows to `rounds × (n-1)`
+/// entries and every match has to be dug out from the far end, the
+/// worst case for a linear scan.
+fn storm_once(rounds: usize) -> (u64, f64, u64, u64) {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    run_world(
+        Topology::single_network(RANKS, Protocol::Sisci),
+        Placement::OneRankPerNode,
+        WorldConfig::default(),
+        move |comm| {
+            let me = comm.rank();
+            let n = comm.size();
+            let payload = vec![me as u8; MSG];
+            for round in 0..rounds {
+                let tag = round as i32;
+                for step in 1..n {
+                    comm.send(&payload, (me + step) % n, tag);
+                }
+            }
+            for round in (0..rounds).rev() {
+                let tag = round as i32;
+                for step in (1..n).rev() {
+                    let src = (me + n - step) % n;
+                    let (data, _) = comm.recv_bytes(MSG, Some(src), Some(tag));
+                    assert_eq!(&data[..], &[src as u8; MSG][..]);
+                }
+            }
+        },
+    )
+    .expect("storm world failed");
+    let wall = t0.elapsed().as_secs_f64();
+    let msgs = (RANKS * (RANKS - 1) * rounds) as u64;
+    (
+        msgs,
+        wall,
+        ALLOCS.load(Ordering::Relaxed) - a0,
+        ALLOC_BYTES.load(Ordering::Relaxed) - b0,
+    )
+}
+
+/// Best-of-3 storm after one warm-up run. Wall-clock is the min of the
+/// measured runs (the standard noise-robust estimator); the allocation
+/// figures come from the first measured run — after warm-up has
+/// populated the one-time caches (metric-key interning, buffer pools,
+/// histogram slots), per-run allocation counts are deterministic.
+fn storm(rounds: usize) -> (u64, f64, u64, u64) {
+    storm_once(rounds);
+    let (msgs, mut wall, allocs, bytes) = storm_once(rounds);
+    for _ in 0..2 {
+        let r = storm_once(rounds);
+        wall = wall.min(r.1);
+    }
+    (msgs, wall, allocs, bytes)
+}
+
+/// Steady-state SCI one-way ping-pong latency in µs: 32 warm-up
+/// exchanges (enough for `Parking` to park an idle TCP channel), then
+/// a timed 16-exchange window. Virtual time, so exact.
+fn steady_sci_oneway_us(with_tcp: bool, poll: PollPolicy) -> f64 {
+    let results = run_world(
+        bench::pingpong::fig9_topology(with_tcp),
+        Placement::OneRankPerNode,
+        WorldConfig {
+            poll,
+            ..WorldConfig::default()
+        },
+        |comm| {
+            const WARM: usize = 32;
+            const ITERS: u64 = 16;
+            if comm.rank() == 0 {
+                let data = vec![0u8; 4];
+                for _ in 0..WARM {
+                    comm.send(&data, 1, 0);
+                    comm.recv(4, Some(1), Some(0));
+                }
+                let t0 = marcel::now();
+                for _ in 0..ITERS {
+                    comm.send(&data, 1, 0);
+                    comm.recv(4, Some(1), Some(0));
+                }
+                Some((marcel::now() - t0) / (2 * ITERS))
+            } else if comm.rank() == 1 {
+                for _ in 0..WARM + ITERS as usize {
+                    let (data, _) = comm.recv(4, Some(0), Some(0));
+                    comm.send(&data, 0, 0);
+                }
+                None
+            } else {
+                None
+            }
+        },
+    )
+    .expect("fig9 world failed");
+    results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("rank 0 measured")
+        .as_micros_f64()
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let rounds = 12 * iters;
+
+    let (msgs, wall, allocs, bytes) = storm(rounds);
+    let eps = msgs as f64 / wall;
+    println!("== hotpath — {RANKS}-rank all-to-all storm, {MSG} B x {rounds} rounds ==");
+    println!(
+        "hotpath: messages={msgs} wall_ms={:.1} events_per_sec={:.0} allocs={allocs} alloc_bytes={bytes}",
+        wall * 1e3,
+        eps
+    );
+
+    println!("\n== §3.3 idle-channel impact — steady-state SCI one-way latency (us) ==");
+    println!(
+        "{:>10} {:>10} {:>14} {:>8}",
+        "policy", "SCI only", "SCI+idle TCP", "tax"
+    );
+    let mut parked_tax = 0.0;
+    for poll in [PollPolicy::Seed, PollPolicy::Parking] {
+        let alone = steady_sci_oneway_us(false, poll);
+        let taxed = steady_sci_oneway_us(true, poll);
+        let tax = taxed - alone;
+        if poll == PollPolicy::Parking {
+            parked_tax = tax;
+        }
+        println!(
+            "{:>10} {:>10.2} {:>14.2} {:>8.2}",
+            format!("{poll:?}"),
+            alone,
+            taxed,
+            tax
+        );
+    }
+
+    println!(
+        "\n{{\"messages\":{msgs},\"wall_ms\":{:.3},\"events_per_sec\":{:.1},\"allocs\":{allocs},\"alloc_bytes\":{bytes},\"parking_tax_us\":{parked_tax:.3}}}",
+        wall * 1e3,
+        eps
+    );
+}

@@ -159,6 +159,42 @@ pub struct Channel {
     /// Wire-level utilization of this channel's network (loop-back
     /// messages never touch the wire and are not counted).
     util: NetUtilization,
+    /// Registry keys, interned at construction — per-message metric
+    /// mirroring must not pay a `format!` per call.
+    keys: MetricKeys,
+}
+
+/// Pre-built metrics-registry keys of one channel (see
+/// [`Channel::metric`], [`Channel::record_wire`] and the poll-detect
+/// histogram in `open_unpacking`).
+struct MetricKeys {
+    messages: String,
+    bytes: String,
+    retransmits: String,
+    drops: String,
+    dedup_drops: String,
+    deferrals: String,
+    dead_pairs: String,
+    net_messages: String,
+    net_bytes: String,
+    poll_detect: String,
+}
+
+impl MetricKeys {
+    fn new(name: &str, label: &str) -> MetricKeys {
+        MetricKeys {
+            messages: format!("chan/{name}/messages"),
+            bytes: format!("chan/{name}/bytes"),
+            retransmits: format!("chan/{name}/retransmits"),
+            drops: format!("chan/{name}/drops"),
+            dedup_drops: format!("chan/{name}/dedup_drops"),
+            deferrals: format!("chan/{name}/deferrals"),
+            dead_pairs: format!("chan/{name}/dead_pairs"),
+            net_messages: format!("net/{name}/messages"),
+            net_bytes: format!("net/{name}/bytes"),
+            poll_detect: format!("poll_detect/{label}"),
+        }
+    }
 }
 
 impl Channel {
@@ -208,6 +244,7 @@ impl Channel {
             }
         }
         Arc::new(Channel {
+            keys: MetricKeys::new(&name, protocol.name()),
             name,
             protocol,
             model: Arc::new(model),
@@ -293,8 +330,19 @@ impl Channel {
 
     /// Mirror one reliable-sublayer counter increment into the ambient
     /// metrics registry as `chan/{name}/{which}` (no-op off-simulation).
-    fn metric(&self, which: &str, delta: u64) {
-        obs::counter_add(&format!("chan/{}/{which}", self.name), delta);
+    /// Keys come from the interned [`MetricKeys`] table.
+    fn metric(&self, which: &'static str, delta: u64) {
+        let key = match which {
+            "messages" => &self.keys.messages,
+            "bytes" => &self.keys.bytes,
+            "retransmits" => &self.keys.retransmits,
+            "drops" => &self.keys.drops,
+            "dedup_drops" => &self.keys.dedup_drops,
+            "deferrals" => &self.keys.deferrals,
+            "dead_pairs" => &self.keys.dead_pairs,
+            other => unreachable!("unknown channel metric {other}"),
+        };
+        obs::counter_add(key, delta);
     }
 
     /// Span/histogram label for this channel: its protocol's short name.
@@ -308,8 +356,8 @@ impl Channel {
         self.util.record(bytes);
         self.metric("messages", 1);
         self.metric("bytes", bytes as u64);
-        obs::counter_add(&format!("net/{}/messages", self.name), 1);
-        obs::counter_add(&format!("net/{}/bytes", self.name), bytes as u64);
+        obs::counter_add(&self.keys.net_messages, 1);
+        obs::counter_add(&self.keys.net_bytes, bytes as u64);
     }
 
     /// The view of this channel from `rank`.
@@ -454,10 +502,7 @@ impl Endpoint {
     fn open_unpacking(&self, message: WireMessage) -> UnpackingConnection {
         let channel = &self.channel;
         let detect = marcel::now().saturating_since(message.arrival);
-        obs::observe_ns(
-            &format!("poll_detect/{}", channel.label()),
-            detect.as_nanos(),
-        );
+        obs::observe_ns(&channel.keys.poll_detect, detect.as_nanos());
         let span = obs::span_begin(SpanKind::Unpack, channel.label());
         let (name, from, seq, bytes) = (
             channel.name.clone(),

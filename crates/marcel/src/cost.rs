@@ -15,6 +15,25 @@
 
 use crate::time::VirtualDuration;
 
+/// Idle-channel handling in the factorized polling loop (§3.3).
+///
+/// Under `Seed`, every attached channel is polled on every loop
+/// iteration forever — an idle TCP channel taxes every SCI detection by
+/// the full `select` cost (the Figure 9 effect). Under `Parking`, a
+/// channel whose poll has come up empty for `CostModel::park_after`
+/// consecutive detections is *parked* out of the loop (its poll cost no
+/// longer contributes to the cycle) and re-armed by the first `post`
+/// aimed at it. `Seed` is the default and is bit-identical to the
+/// pre-knob behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PollPolicy {
+    /// Poll every attached channel on every cycle (paper-faithful).
+    #[default]
+    Seed,
+    /// Park channels idle for `park_after` cycles; re-arm on post.
+    Parking,
+}
+
 /// Virtual cost of each kernel primitive.
 #[derive(Clone, Debug)]
 pub struct CostModel {
@@ -35,6 +54,11 @@ pub struct CostModel {
     /// delay. 100 = the faithful model (a message is noticed one full
     /// polling cycle after arrival); 0 = oracle polling (ablation).
     pub poll_cycle_scale: u32,
+    /// Idle-channel handling in the factorized polling loop.
+    pub poll_policy: PollPolicy,
+    /// Under [`PollPolicy::Parking`]: consecutive empty detections after
+    /// which an idle channel is parked out of the polling cycle.
+    pub park_after: u32,
 }
 
 impl CostModel {
@@ -47,6 +71,8 @@ impl CostModel {
             spawn: VirtualDuration::from_micros(2),
             yield_op: VirtualDuration::from_nanos(200),
             poll_cycle_scale: 100,
+            poll_policy: PollPolicy::Seed,
+            park_after: 8,
         }
     }
 
@@ -61,6 +87,8 @@ impl CostModel {
             spawn: VirtualDuration::ZERO,
             yield_op: VirtualDuration::ZERO,
             poll_cycle_scale: 100,
+            poll_policy: PollPolicy::Seed,
+            park_after: 8,
         }
     }
 
@@ -68,6 +96,13 @@ impl CostModel {
     /// messages are noticed the instant they arrive.
     pub fn with_oracle_polling(mut self) -> Self {
         self.poll_cycle_scale = 0;
+        self
+    }
+
+    /// Parking variant of `self`: idle channels leave the polling loop
+    /// after `park_after` empty detections (see [`PollPolicy`]).
+    pub fn with_parking(mut self) -> Self {
+        self.poll_policy = PollPolicy::Parking;
         self
     }
 

@@ -153,6 +153,12 @@ pub(crate) struct SourceState {
     /// blocked). Registered on first `poll_wait`, cleared on `detach`.
     pub(crate) attached: bool,
     pub(crate) closed: bool,
+    /// Consecutive detections in this process during which this source's
+    /// queue was empty. Only maintained under `PollPolicy::Parking`.
+    pub(crate) empty_polls: u32,
+    /// Parked out of the polling cycle (idle too long); re-armed by the
+    /// next `post`. Never set under `PollPolicy::Seed`.
+    pub(crate) parked: bool,
 }
 
 /// One entry of the (optional) deterministic event trace. `what` is a
@@ -225,9 +231,35 @@ impl Shared {
         sched
             .sources
             .iter()
-            .filter(|s| s.attached && s.proc == proc && !s.closed)
+            .filter(|s| s.attached && s.proc == proc && !s.closed && !s.parked)
             .map(|s| s.poll_cost)
             .sum()
+    }
+
+    /// Account one detection (one observed polling-loop iteration) in
+    /// `proc` under `PollPolicy::Parking`: the source that produced the
+    /// message — and any source with traffic queued — stays armed, while
+    /// every other attached source accrues an empty poll and is parked
+    /// once it has been empty for `park_after` consecutive detections.
+    /// No-op under `PollPolicy::Seed`.
+    pub(crate) fn note_detection(&self, sched: &mut Sched, proc: ProcId, active: SourceId) {
+        if self.cost.poll_policy != crate::cost::PollPolicy::Parking {
+            return;
+        }
+        for (i, s) in sched.sources.iter_mut().enumerate() {
+            if !s.attached || s.closed || s.proc != proc {
+                continue;
+            }
+            if i == active.0 || !s.queue.is_empty() {
+                s.empty_polls = 0;
+                s.parked = false;
+            } else {
+                s.empty_polls += 1;
+                if s.empty_polls >= self.cost.park_after {
+                    s.parked = true;
+                }
+            }
+        }
     }
 
     /// Pick the best next thread: the Ready thread or due Sleeper with the

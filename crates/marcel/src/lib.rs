@@ -46,14 +46,16 @@ pub mod sync;
 pub mod thread;
 pub mod time;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, PollPolicy};
 pub use kernel::{Kernel, ProcId, SimError, TraceEvent};
 pub use obs::{
     chrome_trace_json, validate_spans, ActiveSpan, Event, HistSnapshot, Layer, Metrics,
     MetricsSnapshot, SpanKind, ThreadMeta,
 };
 pub use poll::{PollSource, Polled};
-pub use sync::{OneShot, Queue, Semaphore, SimBarrier, SimCondvar, SimMutex, SimRwLock};
+pub use sync::{
+    OneShot, Queue, Semaphore, SimBarrier, SimCondvar, SimMutex, SimMutexGuard, SimRwLock,
+};
 pub use thread::{
     advance, advance_to, in_simulation, name, now, sleep, sleep_until, spawn, yield_now, JoinHandle,
 };

@@ -460,7 +460,10 @@ impl Metrics {
     /// Record one observation into the histogram `name`.
     pub fn observe_ns(&self, name: &str, ns: u64) {
         let mut s = self.store.lock();
-        let h = s.hists.entry(name.to_string()).or_default();
+        if !s.hists.contains_key(name) {
+            s.hists.insert(name.to_string(), HistSnapshot::default());
+        }
+        let h = s.hists.get_mut(name).expect("histogram just ensured");
         if h.count == 0 {
             h.min_ns = ns;
             h.max_ns = ns;
@@ -663,6 +666,23 @@ pub fn span_begin_at(
     span_begin(kind, label).map(|s| ActiveSpan { begin, ..s })
 }
 
+/// Interned `span/<kind>/<label>` histogram key. Both components are
+/// `&'static str`, so the key space is bounded (kinds × static
+/// labels); interning via `Box::leak` keeps [`span_end`] free of a
+/// per-call `format!` on the hot path.
+fn span_key(kind: SpanKind, label: &'static str) -> &'static str {
+    use std::collections::HashMap;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+    static KEYS: OnceLock<StdMutex<HashMap<(&'static str, &'static str), &'static str>>> =
+        OnceLock::new();
+    let mut keys = KEYS
+        .get_or_init(|| StdMutex::new(HashMap::new()))
+        .lock()
+        .expect("span-key cache poisoned");
+    keys.entry((kind.name(), label))
+        .or_insert_with(|| Box::leak(format!("span/{}/{label}", kind.name()).into_boxed_str()))
+}
+
 /// Close a span on the calling thread, feeding its histogram. Accepts
 /// the `Option` from [`span_begin`] so call sites stay unconditional.
 pub fn span_end(span: Option<ActiveSpan>) {
@@ -680,7 +700,7 @@ pub fn span_end(span: Option<ActiveSpan>) {
         end
     };
     shared.metrics.observe_ns(
-        &format!("span/{}/{}", span.kind.name(), span.label),
+        span_key(span.kind, span.label),
         end.saturating_since(span.begin).as_nanos(),
     );
 }

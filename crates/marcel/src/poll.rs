@@ -81,6 +81,8 @@ impl<T: Send + 'static> PollSource<T> {
                 waiter: None,
                 attached: false,
                 closed: false,
+                empty_polls: 0,
+                parked: false,
             });
             id
         };
@@ -101,7 +103,13 @@ impl<T: Send + 'static> PollSource<T> {
     /// a benchmark model "a polling thread exists for this channel" even
     /// before its first wait.
     pub fn attach(&self) {
-        self.shared.state.lock().sources[self.id.0].attached = true;
+        let mut sched = self.shared.state.lock();
+        let s = &mut sched.sources[self.id.0];
+        s.attached = true;
+        // An explicit (re)attach models a polling thread arriving: the
+        // source starts armed regardless of its idle history.
+        s.parked = false;
+        s.empty_polls = 0;
     }
 
     /// Remove this source from its process's polling cycle (the polling
@@ -125,6 +133,14 @@ impl<T: Send + 'static> PollSource<T> {
             "post on closed poll source #{}",
             self.id.0
         );
+        // The first post aimed at a parked source re-arms it *before* the
+        // detection cycle is computed: the re-armed channel's own poll is
+        // what will find the message, so it rejoins the loop immediately.
+        if shared.cost.poll_policy == crate::cost::PollPolicy::Parking {
+            let s = &mut sched.sources[self.id.0];
+            s.parked = false;
+            s.empty_polls = 0;
+        }
         let seq = sched.post_seq;
         sched.post_seq += 1;
         // Insert sorted by (arrival, seq): scan from the back, since
@@ -155,6 +171,7 @@ impl<T: Send + 'static> PollSource<T> {
             }));
             Shared::make_ready(&mut sched, w, notice);
             sched.record(me, || crate::obs::Event::PollWake { source: self.id.0 });
+            shared.note_detection(&mut sched, proc, self.id);
         }
         shared.reschedule(&mut sched, me);
     }
@@ -175,6 +192,7 @@ impl<T: Send + 'static> PollSource<T> {
             let notice = std::cmp::max(arrival, slot.vtime) + cycle;
             slot.vtime = notice;
             sched.record(me, || crate::obs::Event::PollQueued { source: self.id.0 });
+            shared.note_detection(&mut sched, proc, self.id);
             shared.reschedule(&mut sched, me);
             return Some(Polled {
                 arrival,
@@ -208,6 +226,13 @@ impl<T: Send + 'static> PollSource<T> {
         let (shared, me) = current();
         let mut sched = shared.state.lock();
         let cost = sched.sources[self.id.0].poll_cost;
+        if shared.cost.poll_policy == crate::cost::PollPolicy::Parking {
+            // An explicit poll is this channel's own thread doing work:
+            // it is evidently not idle, so re-arm it.
+            let s = &mut sched.sources[self.id.0];
+            s.parked = false;
+            s.empty_polls = 0;
+        }
         sched.threads[me.0].vtime += cost;
         let now = sched.threads[me.0].vtime;
         let due = sched.sources[self.id.0]
@@ -406,6 +431,127 @@ mod tests {
         assert!(a);
         assert_eq!(b, Some(5));
         assert_eq!(t, VirtualTime(14_000)); // 2 + 10 + 2
+    }
+
+    #[test]
+    fn parking_removes_idle_channel_tax() {
+        // The §3.3 scenario behind Figure 9: an idle TCP channel
+        // (expensive select) attached next to a busy SCI channel. Under
+        // Seed it taxes every SCI detection forever; under Parking it is
+        // parked after `park_after` empty detections and SCI latency
+        // returns to its TCP-free value.
+        fn detection_delays(with_tcp: bool, parking: bool) -> Vec<VirtualDuration> {
+            let cost = if parking {
+                CostModel::free().with_parking()
+            } else {
+                CostModel::free()
+            };
+            let k = Kernel::new(cost);
+            let sci = PollSource::<u32>::new(&k, ProcId(0), us(1));
+            if with_tcp {
+                let tcp = PollSource::<u32>::new(&k, ProcId(0), us(6));
+                tcp.attach();
+            }
+            let rx = sci.clone();
+            let h = k.spawn("poller", move || {
+                (0..10)
+                    .map(|_| {
+                        let m = rx.poll_wait().unwrap();
+                        now() - m.arrival
+                    })
+                    .collect::<Vec<_>>()
+            });
+            k.spawn("sender", move || {
+                for i in 0..10u32 {
+                    advance(us(100));
+                    sci.post(now(), i);
+                }
+            });
+            k.run().unwrap();
+            h.join_outcome().unwrap()
+        }
+        // Seed: 7us on every detection, forever.
+        assert_eq!(detection_delays(true, false), vec![us(7); 10]);
+        // Parking (park_after = 8): eight taxed detections, then the TCP
+        // source parks and detection delay matches the SCI-only world.
+        let parked = detection_delays(true, true);
+        assert_eq!(&parked[..8], &vec![us(7); 8][..]);
+        assert_eq!(&parked[8..], &vec![us(1); 2][..]);
+        assert_eq!(parked[9], detection_delays(false, false)[9]);
+    }
+
+    #[test]
+    fn parked_source_rearms_on_post() {
+        // After the TCP source parks, traffic aimed at it re-arms it:
+        // the message is detected (paying the full re-armed cycle) and
+        // subsequent SCI detections are taxed again.
+        let k = Kernel::new(CostModel::free().with_parking());
+        let sci = PollSource::<u32>::new(&k, ProcId(0), us(1));
+        let tcp = PollSource::<u32>::new(&k, ProcId(0), us(6));
+        tcp.attach();
+        let (sci_rx, tcp_rx) = (sci.clone(), tcp.clone());
+        let h = k.spawn("poller", move || {
+            let mut delays = Vec::new();
+            for _ in 0..9 {
+                let m = sci_rx.poll_wait().unwrap();
+                delays.push(now() - m.arrival);
+            }
+            let m = tcp_rx.poll_wait().unwrap();
+            delays.push(now() - m.arrival);
+            let m = sci_rx.poll_wait().unwrap();
+            delays.push(now() - m.arrival);
+            delays
+        });
+        k.spawn("sender", move || {
+            for i in 0..9u32 {
+                advance(us(100));
+                sci.post(now(), i);
+            }
+            advance(us(100));
+            tcp.post(now(), 99);
+            advance(us(100));
+            sci.post(now(), 9);
+        });
+        k.run().unwrap();
+        let delays = h.join_outcome().unwrap();
+        // 8 taxed detections park the TCP source; the 9th is SCI-only.
+        assert_eq!(&delays[..8], &vec![us(7); 8][..]);
+        assert_eq!(delays[8], us(1));
+        // The TCP post re-arms it: its own detection and the following
+        // SCI detection both pay the full two-channel cycle again.
+        assert_eq!(delays[9], us(7));
+        assert_eq!(delays[10], us(7));
+    }
+
+    #[test]
+    fn inflight_traffic_keeps_source_armed() {
+        // A source with a message still in flight (posted, not yet
+        // arrived) is not idle: it must not park, or the in-flight
+        // message would be detected late.
+        let k = Kernel::new(CostModel::free().with_parking());
+        let sci = PollSource::<u32>::new(&k, ProcId(0), us(1));
+        let tcp = PollSource::<u32>::new(&k, ProcId(0), us(6));
+        tcp.attach();
+        let (sci_rx, tcp_rx) = (sci.clone(), tcp.clone());
+        let h = k.spawn("poller", move || {
+            for _ in 0..10 {
+                sci_rx.poll_wait().unwrap();
+            }
+            let m = tcp_rx.poll_wait().unwrap();
+            now() - m.arrival
+        });
+        k.spawn("sender", move || {
+            // Far-future TCP message is in flight the whole time.
+            tcp.post(VirtualTime(2_000_000), 99);
+            for i in 0..10u32 {
+                advance(us(100));
+                sci.post(now(), i);
+            }
+        });
+        k.run().unwrap();
+        // TCP never parked (queue non-empty), so its detection pays the
+        // normal two-channel cycle, not a late re-arm penalty.
+        assert_eq!(h.join_outcome().unwrap(), us(7));
     }
 
     #[test]

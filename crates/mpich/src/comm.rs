@@ -233,6 +233,18 @@ impl Communicator {
         self.recv_ctx(cap, src, tag, self.context)
     }
 
+    /// Blocking receive returning the payload as a refcounted slice of
+    /// the wire buffer — the zero-copy counterpart of
+    /// [`Communicator::send_bytes`] for callers that don't need an
+    /// owned `Vec`.
+    pub fn recv_bytes(&self, cap: usize, src: Option<usize>, tag: Option<Tag>) -> (Bytes, Status) {
+        let (data, status) = self.irecv_ctx(cap, src, tag, self.context).wait_bytes();
+        (
+            data.expect("receive request completed without data"),
+            self.localize(status),
+        )
+    }
+
     /// Non-blocking receive (`MPI_Irecv`). Wrap the result status with
     /// [`Communicator::localize_status`] if rank translation matters, or
     /// use [`CommRequest`] via [`Communicator::irecv_local`].
@@ -305,15 +317,19 @@ impl Communicator {
             tag,
             context,
         };
-        let st = self.env.engine.probe(spec);
-        let (data, status) = self
-            .irecv_ctx(
-                st.len,
-                self.group.local_rank(st.source),
-                Some(st.tag),
-                context,
-            )
-            .wait_data();
+        let (st, handle) = self.env.engine.probe_handle(spec);
+        // Receive the probed message by handle — the probe already
+        // located it, so no second queue lookup happens.
+        let exact = MatchSpec {
+            src: Some(st.source),
+            tag: Some(st.tag),
+            context,
+        };
+        let inner = ReqInner::new();
+        self.env
+            .engine
+            .post_recv_probed(handle, exact, st.len, inner.clone());
+        let (data, status) = Request::new(inner).wait_data();
         (data, self.localize(status))
     }
 

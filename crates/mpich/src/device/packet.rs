@@ -15,9 +15,37 @@
 //! | `MAD_TERM_PKT`    | empty                                    | no   |
 //! | `MAD_FWD_PKT`     | final destination (forwarding extension) | wrapped packet |
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes};
 
 use crate::types::Envelope;
+
+/// Fixed-size stack buffer headers are encoded into before being
+/// copied to a pooled [`Bytes`]; sized to [`bytes::POOL_SLOT`] so the
+/// copy always lands in the recycling pool (headers are ≤ 53 B).
+struct Wire {
+    buf: [u8; bytes::POOL_SLOT],
+    n: usize,
+}
+
+impl Wire {
+    fn new() -> Wire {
+        Wire {
+            buf: [0; bytes::POOL_SLOT],
+            n: 0,
+        }
+    }
+
+    fn freeze(&self) -> Bytes {
+        Bytes::pooled_copy(&self.buf[..self.n])
+    }
+}
+
+impl BufMut for Wire {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.buf[self.n..self.n + data.len()].copy_from_slice(data);
+        self.n += data.len();
+    }
+}
 
 /// Decoded `ch_mad` packet header.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -55,7 +83,7 @@ const T_RNDV: u8 = 3;
 const T_TERM: u8 = 4;
 const T_FWD: u8 = 5;
 
-fn put_env(buf: &mut BytesMut, env: &Envelope) {
+fn put_env(buf: &mut impl BufMut, env: &Envelope) {
     buf.put_u32_le(env.src as u32);
     buf.put_i32_le(env.tag);
     buf.put_u32_le(env.context);
@@ -95,9 +123,11 @@ impl Packet {
         }
     }
 
-    /// Serialize the header.
+    /// Serialize the header. Encodes into a stack buffer and copies
+    /// once into a pooled [`Bytes`], so a warm steady state performs
+    /// no heap allocation per header.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(53);
+        let mut buf = Wire::new();
         match self {
             Packet::Short { env } => {
                 buf.put_u8(T_SHORT);

@@ -17,7 +17,7 @@
 //! * [`Engine::rndv_complete`] — the rendezvous DATA message, routed by
 //!   rhandle straight into the posted buffer: zero-copy.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -25,6 +25,7 @@ use marcel::obs::{self, ActiveSpan, Event, SpanKind};
 use marcel::{Kernel, SimCondvar, SimMutex, VirtualDuration};
 
 use crate::adi::AdiCosts;
+use crate::matching::{PostedStore, UnexpectedStore};
 use crate::request::ReqInner;
 use crate::types::{Envelope, MatchSpec, Status};
 
@@ -42,17 +43,21 @@ enum UnexpPayload {
     Rndv(RndvResponder),
 }
 
-struct Unexpected {
-    env: Envelope,
-    payload: UnexpPayload,
-}
-
 struct Posted {
-    spec: MatchSpec,
     /// Receive buffer capacity; a longer incoming message is an MPI
     /// truncation error (we fail fast).
     cap: usize,
     req: Arc<ReqInner>,
+}
+
+/// Assembly buffer of one receiver-side rendezvous transaction. A
+/// whole-message delivery adopts the wire buffer without copying; a
+/// chunked (striped / forwarded) transfer assembles into an owned
+/// scratch buffer.
+enum RndvBuf {
+    Empty,
+    Whole(Bytes),
+    Parts(Vec<u8>),
 }
 
 /// One receiver-side rendezvous transaction, possibly assembled from
@@ -61,13 +66,13 @@ struct Posted {
 struct RndvSlot {
     req: Arc<ReqInner>,
     total: usize,
-    buf: Vec<u8>,
+    buf: RndvBuf,
     received: usize,
 }
 
 struct EngineState {
-    posted: VecDeque<Posted>,
-    unexpected: VecDeque<Unexpected>,
+    posted: PostedStore<Posted>,
+    unexpected: UnexpectedStore<UnexpPayload>,
     /// Receiver-side rendezvous transactions: rhandle token -> slot.
     rndv: HashMap<u64, RndvSlot>,
     next_rhandle: u64,
@@ -80,6 +85,10 @@ pub struct Engine {
     /// Mirrors `state` for probe wake-ups.
     arrivals: SimCondvar,
     costs: AdiCosts,
+    /// High-water-mark gauge keys, interned at construction — the
+    /// post/arrival paths must not pay a `format!` per message.
+    posted_hwm_key: String,
+    unexpected_hwm_key: String,
 }
 
 impl Engine {
@@ -89,14 +98,16 @@ impl Engine {
             state: SimMutex::new(
                 kernel,
                 EngineState {
-                    posted: VecDeque::new(),
-                    unexpected: VecDeque::new(),
+                    posted: PostedStore::new(),
+                    unexpected: UnexpectedStore::new(),
                     rndv: HashMap::new(),
                     next_rhandle: 1,
                 },
             ),
             arrivals: SimCondvar::new(kernel),
             costs,
+            posted_hwm_key: format!("adi/rank{rank}/posted_hwm"),
+            unexpected_hwm_key: format!("adi/rank{rank}/unexpected_hwm"),
         })
     }
 
@@ -133,46 +144,85 @@ impl Engine {
         let post_span = obs::span_begin(SpanKind::Post, "adi");
         marcel::advance(self.costs.post_recv);
         let mut st = self.state.lock();
-        if let Some(pos) = st.unexpected.iter().position(|u| spec.matches(&u.env)) {
-            let unexp = st.unexpected.remove(pos).expect("position just found");
-            self.note_match(&unexp.env, true);
-            match unexp.payload {
-                UnexpPayload::Eager(data, copy_ns, span) => {
-                    Self::check_cap(&unexp.env, cap);
-                    drop(st);
-                    req.set_handle_span(span);
-                    // The copy out of the bounce buffer is paid here, by
-                    // the receiving side — the eager mode's cost.
-                    marcel::advance(per_byte(copy_ns, data.len()));
-                    marcel::advance(self.costs.complete);
-                    req.complete(Some(data.to_vec()), Self::status_of(&unexp.env));
-                }
-                UnexpPayload::Rndv(respond) => {
-                    Self::check_cap(&unexp.env, cap);
-                    let token = st.next_rhandle;
-                    st.next_rhandle += 1;
-                    st.rndv.insert(
-                        token,
-                        RndvSlot {
-                            req,
-                            total: unexp.env.len,
-                            buf: Vec::new(),
-                            received: 0,
-                        },
-                    );
-                    drop(st);
-                    respond(token);
-                }
-            }
+        if let Some((env, payload)) = st.unexpected.take_match(&spec) {
+            self.complete_unexpected(st, env, payload, cap, req);
             obs::span_end(post_span);
             return;
         }
-        st.posted.push_back(Posted { spec, cap, req });
+        st.posted.insert(spec, Posted { cap, req });
         let (rank, depth) = (self.rank, st.posted.len());
         drop(st); // the queue unlock belongs to the posting cost
-        obs::gauge_max(&format!("adi/rank{rank}/posted_hwm"), depth as u64);
+        obs::gauge_max(&self.posted_hwm_key, depth as u64);
         obs::emit(move || Event::RecvPosted { rank, depth });
         obs::span_end(post_span);
+    }
+
+    /// [`Engine::post_recv`] for a receive that follows a successful
+    /// probe: `handle` (from [`Engine::probe_handle`] /
+    /// [`Engine::iprobe_handle`]) addresses the probed arrival
+    /// directly, skipping the second queue lookup the seed performed.
+    /// Identical cost structure to `post_recv` — one lock, the same
+    /// virtual-time charges.
+    pub(crate) fn post_recv_probed(
+        &self,
+        handle: u64,
+        spec: MatchSpec,
+        cap: usize,
+        req: Arc<ReqInner>,
+    ) {
+        let post_span = obs::span_begin(SpanKind::Post, "adi");
+        marcel::advance(self.costs.post_recv);
+        let mut st = self.state.lock();
+        let (env, payload) = st
+            .unexpected
+            .take(handle)
+            .filter(|(env, _)| spec.matches(env))
+            .or_else(|| st.unexpected.take_match(&spec))
+            .expect("probed message vanished before the receive");
+        self.complete_unexpected(st, env, payload, cap, req);
+        obs::span_end(post_span);
+    }
+
+    /// Complete a receive against a just-dequeued unexpected message
+    /// (common tail of [`Engine::post_recv`] and
+    /// [`Engine::post_recv_probed`]); consumes the queue lock.
+    fn complete_unexpected(
+        &self,
+        mut st: marcel::SimMutexGuard<'_, EngineState>,
+        env: Envelope,
+        payload: UnexpPayload,
+        cap: usize,
+        req: Arc<ReqInner>,
+    ) {
+        self.note_match(&env, true);
+        match payload {
+            UnexpPayload::Eager(data, copy_ns, span) => {
+                Self::check_cap(&env, cap);
+                drop(st);
+                req.set_handle_span(span);
+                // The copy out of the bounce buffer is paid here, by
+                // the receiving side — the eager mode's cost.
+                marcel::advance(per_byte(copy_ns, data.len()));
+                marcel::advance(self.costs.complete);
+                req.complete(Some(data), Self::status_of(&env));
+            }
+            UnexpPayload::Rndv(respond) => {
+                Self::check_cap(&env, cap);
+                let token = st.next_rhandle;
+                st.next_rhandle += 1;
+                st.rndv.insert(
+                    token,
+                    RndvSlot {
+                        req,
+                        total: env.len,
+                        buf: RndvBuf::Empty,
+                        received: 0,
+                    },
+                );
+                drop(st);
+                respond(token);
+            }
+        }
     }
 
     /// Record a match (posted↔incoming) in the trace.
@@ -204,25 +254,20 @@ impl Engine {
     ) {
         debug_assert_eq!(env.len, data.len(), "envelope length out of sync");
         let mut st = self.state.lock();
-        if let Some(pos) = st.posted.iter().position(|p| p.spec.matches(&env)) {
-            let posted = st.posted.remove(pos).expect("position just found");
+        if let Some(posted) = st.posted.take_match(&env) {
             Self::check_cap(&env, posted.cap);
             self.note_match(&env, false);
             drop(st);
             posted.req.set_handle_span(span);
             marcel::advance(per_byte(copy_ns, data.len()));
             marcel::advance(self.costs.complete);
-            posted
-                .req
-                .complete(Some(data.to_vec()), Self::status_of(&env));
+            posted.req.complete(Some(data), Self::status_of(&env));
         } else {
             let (rank, src, tag) = (self.rank, env.src, env.tag);
-            st.unexpected.push_back(Unexpected {
-                env,
-                payload: UnexpPayload::Eager(data, copy_ns, span),
-            });
+            st.unexpected
+                .insert(env, UnexpPayload::Eager(data, copy_ns, span));
             let depth = st.unexpected.len();
-            obs::gauge_max(&format!("adi/rank{rank}/unexpected_hwm"), depth as u64);
+            obs::gauge_max(&self.unexpected_hwm_key, depth as u64);
             obs::emit(move || Event::UnexpectedQueued {
                 rank,
                 src,
@@ -237,8 +282,7 @@ impl Engine {
     /// Deliver a rendezvous REQUEST.
     pub fn deliver_rndv_offer(&self, env: Envelope, respond: RndvResponder) {
         let mut st = self.state.lock();
-        if let Some(pos) = st.posted.iter().position(|p| p.spec.matches(&env)) {
-            let posted = st.posted.remove(pos).expect("position just found");
+        if let Some(posted) = st.posted.take_match(&env) {
             Self::check_cap(&env, posted.cap);
             self.note_match(&env, false);
             let token = st.next_rhandle;
@@ -248,7 +292,7 @@ impl Engine {
                 RndvSlot {
                     req: posted.req,
                     total: env.len,
-                    buf: Vec::new(),
+                    buf: RndvBuf::Empty,
                     received: 0,
                 },
             );
@@ -256,12 +300,9 @@ impl Engine {
             respond(token);
         } else {
             let (rank, src, tag) = (self.rank, env.src, env.tag);
-            st.unexpected.push_back(Unexpected {
-                env,
-                payload: UnexpPayload::Rndv(respond),
-            });
+            st.unexpected.insert(env, UnexpPayload::Rndv(respond));
             let depth = st.unexpected.len();
-            obs::gauge_max(&format!("adi/rank{rank}/unexpected_hwm"), depth as u64);
+            obs::gauge_max(&self.unexpected_hwm_key, depth as u64);
             obs::emit(move || Event::UnexpectedQueued {
                 rank,
                 src,
@@ -310,14 +351,18 @@ impl Engine {
                 offset + data.len() <= total,
                 "rendezvous chunk out of bounds"
             );
-            if slot.buf.is_empty() && offset == 0 && data.len() == total {
-                // Whole-message fast path: adopt the buffer.
-                slot.buf = data.to_vec();
+            if matches!(slot.buf, RndvBuf::Empty) && offset == 0 && data.len() == total {
+                // Whole-message fast path: adopt the wire buffer
+                // without copying.
+                slot.buf = RndvBuf::Whole(data.clone());
             } else {
-                if slot.buf.is_empty() {
-                    slot.buf = vec![0u8; total];
+                if matches!(slot.buf, RndvBuf::Empty) {
+                    slot.buf = RndvBuf::Parts(vec![0u8; total]);
                 }
-                slot.buf[offset..offset + data.len()].copy_from_slice(&data);
+                match &mut slot.buf {
+                    RndvBuf::Parts(buf) => buf[offset..offset + data.len()].copy_from_slice(&data),
+                    _ => unreachable!("chunk after a whole-message delivery"),
+                }
             }
             slot.received += data.len();
             assert!(slot.received <= total, "rendezvous over-delivery");
@@ -328,7 +373,12 @@ impl Engine {
             drop(st);
             slot.req.set_handle_span(span);
             marcel::advance(self.costs.complete);
-            slot.req.complete(Some(slot.buf), Self::status_of(&env));
+            let payload = match slot.buf {
+                RndvBuf::Whole(b) => b,
+                RndvBuf::Parts(v) => Bytes::from(v),
+                RndvBuf::Empty => unreachable!("completed with no data"),
+            };
+            slot.req.complete(Some(payload), Self::status_of(&env));
         } else {
             drop(st);
             obs::span_end(span);
@@ -337,20 +387,32 @@ impl Engine {
 
     /// Non-blocking probe of the unexpected queue (`MPI_Iprobe`).
     pub fn iprobe(&self, spec: MatchSpec) -> Option<Status> {
-        let st = self.state.lock();
+        self.iprobe_handle(spec).map(|(status, _)| status)
+    }
+
+    /// [`Engine::iprobe`] additionally returning the matched message's
+    /// handle, which [`Engine::post_recv_probed`] accepts to receive
+    /// it without a second queue lookup.
+    pub(crate) fn iprobe_handle(&self, spec: MatchSpec) -> Option<(Status, u64)> {
+        let mut st = self.state.lock();
         st.unexpected
-            .iter()
-            .find(|u| spec.matches(&u.env))
-            .map(|u| Self::status_of(&u.env))
+            .find(&spec)
+            .map(|(handle, env)| (Self::status_of(&env), handle))
     }
 
     /// Blocking probe (`MPI_Probe`): waits until a matching message is
     /// buffered, without consuming it.
     pub fn probe(&self, spec: MatchSpec) -> Status {
+        self.probe_handle(spec).0
+    }
+
+    /// [`Engine::probe`] additionally returning the matched message's
+    /// handle (see [`Engine::iprobe_handle`]).
+    pub(crate) fn probe_handle(&self, spec: MatchSpec) -> (Status, u64) {
         let mut st = self.state.lock();
         loop {
-            if let Some(u) = st.unexpected.iter().find(|u| spec.matches(&u.env)) {
-                return Self::status_of(&u.env);
+            if let Some((handle, env)) = st.unexpected.find(&spec) {
+                return (Self::status_of(&env), handle);
             }
             st = self.arrivals.wait(&self.state, st);
         }
@@ -367,7 +429,7 @@ impl Engine {
     /// behind an early finalize were drained into the engine instead of
     /// being stranded in a terminated polling loop.
     pub fn unexpected_envelopes(&self) -> Vec<Envelope> {
-        self.state.lock().unexpected.iter().map(|u| u.env).collect()
+        self.state.lock().unexpected.envelopes()
     }
 }
 

@@ -42,6 +42,7 @@ pub mod datatype;
 pub mod device;
 pub mod engine;
 pub mod group;
+pub mod matching;
 pub mod op;
 pub mod request;
 pub mod types;
@@ -55,6 +56,8 @@ pub use datatype::{from_bytes, to_bytes, BaseType, Datatype, MpiScalar};
 pub use device::{ChMad, ChMadConfig, ChP4, ChP4Costs, ChSelf, Packet, SmpPlug};
 pub use engine::Engine;
 pub use group::Group;
+pub use marcel::PollPolicy;
+pub use matching::{PostedStore, UnexpectedStore};
 pub use op::ReduceOp;
 pub use request::{wait_all, wait_any, Request};
 pub use types::{Envelope, MatchSpec, Status, Tag};

@@ -1,0 +1,343 @@
+//! Hash-bucketed message-matching stores for the ADI progress engine.
+//!
+//! MPI matching semantics are FIFO *per matching pair*: among all
+//! queued entries that match, the one queued earliest wins. The seed
+//! implementation realized this with a linear scan over one `VecDeque`
+//! — O(queue depth) per post/arrival/probe. These stores keep the
+//! exact same match order (every entry carries a global FIFO sequence
+//! number; a lookup returns the matching entry with the smallest
+//! sequence) while making the common exact-match case O(1):
+//!
+//! * [`PostedStore`]: posted receives, looked up by an arriving
+//!   *envelope*. Fully-specified specs live in hash buckets keyed by
+//!   `(context, src, tag)`; specs with `ANY_SOURCE`/`ANY_TAG`
+//!   wildcards live on a FIFO side-list that is scanned only when
+//!   present (wildcards are the rare case on hot paths).
+//! * [`UnexpectedStore`]: unexpected arrivals, looked up by a receive
+//!   *spec* (which may carry wildcards). Arrivals are indexed four
+//!   ways — exact `(context, src, tag)` buckets for fully-specified
+//!   lookups, plus ordered `(context, src)` / `(context, tag)` /
+//!   `context` side-indexes so wildcard lookups are O(log n) instead
+//!   of a scan.
+//!
+//! Within one bucket, sequence numbers are strictly increasing, so the
+//! bucket front is always the bucket's oldest entry; a lookup compares
+//! at most one candidate per consulted index and picks the smallest
+//! sequence — bit-identical to what the linear scan would have chosen
+//! (the equivalence proptest in `tests/matching_equivalence.rs` checks
+//! this against a reference scan across random interleavings).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::types::{Envelope, MatchSpec, Tag};
+
+/// Exact-match bucket key: context, source, tag — all concrete.
+type ExactKey = (u32, usize, Tag);
+
+/// Posted receives, matched against arriving envelopes.
+#[derive(Default)]
+pub struct PostedStore<P> {
+    next_seq: u64,
+    exact: HashMap<ExactKey, VecDeque<(u64, P)>>,
+    wild: VecDeque<(u64, MatchSpec, P)>,
+    len: usize,
+}
+
+impl<P> PostedStore<P> {
+    pub fn new() -> Self {
+        PostedStore {
+            next_seq: 0,
+            exact: HashMap::new(),
+            wild: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queue a posted receive.
+    pub fn insert(&mut self, spec: MatchSpec, payload: P) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match (spec.src, spec.tag) {
+            (Some(src), Some(tag)) => self
+                .exact
+                .entry((spec.context, src, tag))
+                .or_default()
+                .push_back((seq, payload)),
+            _ => self.wild.push_back((seq, spec, payload)),
+        }
+        self.len += 1;
+    }
+
+    /// Take the earliest-posted receive matching `env`, if any.
+    pub fn take_match(&mut self, env: &Envelope) -> Option<P> {
+        let exact_key = (env.context, env.src, env.tag);
+        let exact_seq = self
+            .exact
+            .get(&exact_key)
+            .and_then(|q| q.front())
+            .map(|&(seq, _)| seq);
+        let wild_pos = self.wild.iter().position(|(_, spec, _)| spec.matches(env));
+        let wild_seq = wild_pos.map(|i| self.wild[i].0);
+        match (exact_seq, wild_seq) {
+            (None, None) => None,
+            (Some(_), None) => self.take_exact(exact_key),
+            (None, Some(_)) => self.take_wild(wild_pos.unwrap()),
+            (Some(e), Some(w)) => {
+                // Both indexes hold a candidate; FIFO semantics pick
+                // the earlier-posted one.
+                if e < w {
+                    self.take_exact(exact_key)
+                } else {
+                    self.take_wild(wild_pos.unwrap())
+                }
+            }
+        }
+    }
+
+    fn take_exact(&mut self, key: ExactKey) -> Option<P> {
+        let q = self.exact.get_mut(&key)?;
+        let (_, payload) = q.pop_front()?;
+        if q.is_empty() {
+            self.exact.remove(&key);
+        }
+        self.len -= 1;
+        Some(payload)
+    }
+
+    fn take_wild(&mut self, pos: usize) -> Option<P> {
+        let (_, _, payload) = self.wild.remove(pos)?;
+        self.len -= 1;
+        Some(payload)
+    }
+}
+
+/// Unexpected arrivals, matched against receive specs (possibly with
+/// wildcards). `take` by handle supports probe-then-receive without a
+/// second lookup.
+#[derive(Default)]
+pub struct UnexpectedStore<T> {
+    next_seq: u64,
+    /// All live entries in arrival order (the BTreeMap iterates by
+    /// ascending sequence).
+    items: BTreeMap<u64, (Envelope, T)>,
+    /// Exact-envelope buckets. Cleaned lazily: a `take` by handle
+    /// leaves its sequence in place; lookups pop stale fronts.
+    exact: HashMap<ExactKey, VecDeque<u64>>,
+    /// Wildcard side-indexes (consulted only by wildcard specs).
+    by_src: HashMap<(u32, usize), BTreeSet<u64>>,
+    by_tag: HashMap<(u32, Tag), BTreeSet<u64>>,
+    by_ctx: HashMap<u32, BTreeSet<u64>>,
+}
+
+impl<T> UnexpectedStore<T> {
+    pub fn new() -> Self {
+        UnexpectedStore {
+            next_seq: 0,
+            items: BTreeMap::new(),
+            exact: HashMap::new(),
+            by_src: HashMap::new(),
+            by_tag: HashMap::new(),
+            by_ctx: HashMap::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Queue an arrival; returns its handle (global FIFO sequence).
+    pub fn insert(&mut self, env: Envelope, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.exact
+            .entry((env.context, env.src, env.tag))
+            .or_default()
+            .push_back(seq);
+        self.by_src
+            .entry((env.context, env.src))
+            .or_default()
+            .insert(seq);
+        self.by_tag
+            .entry((env.context, env.tag))
+            .or_default()
+            .insert(seq);
+        self.by_ctx.entry(env.context).or_default().insert(seq);
+        self.items.insert(seq, (env, payload));
+        seq
+    }
+
+    /// Handle and envelope of the earliest arrival matching `spec`,
+    /// without removing it (probe).
+    pub fn find(&mut self, spec: &MatchSpec) -> Option<(u64, Envelope)> {
+        let seq = match (spec.src, spec.tag) {
+            (Some(src), Some(tag)) => {
+                let key = (spec.context, src, tag);
+                let q = self.exact.get_mut(&key)?;
+                // Drop handles already taken out from under this
+                // bucket (probe-then-receive, wildcard matches).
+                while let Some(&front) = q.front() {
+                    if self.items.contains_key(&front) {
+                        break;
+                    }
+                    q.pop_front();
+                }
+                if q.is_empty() {
+                    self.exact.remove(&key);
+                    return None;
+                }
+                *q.front().unwrap()
+            }
+            (Some(src), None) => *self.by_src.get(&(spec.context, src))?.first()?,
+            (None, Some(tag)) => *self.by_tag.get(&(spec.context, tag))?.first()?,
+            (None, None) => *self.by_ctx.get(&spec.context)?.first()?,
+        };
+        let (env, _) = &self.items[&seq];
+        Some((seq, *env))
+    }
+
+    /// Remove an arrival by handle (from a prior [`find`]). Returns
+    /// `None` if it was already taken.
+    ///
+    /// [`find`]: UnexpectedStore::find
+    pub fn take(&mut self, seq: u64) -> Option<(Envelope, T)> {
+        let (env, payload) = self.items.remove(&seq)?;
+        // The exact bucket is cleaned lazily; the ordered side-indexes
+        // must drop the handle now so wildcard lookups stay correct.
+        if let Some(s) = self.by_src.get_mut(&(env.context, env.src)) {
+            s.remove(&seq);
+            if s.is_empty() {
+                self.by_src.remove(&(env.context, env.src));
+            }
+        }
+        if let Some(s) = self.by_tag.get_mut(&(env.context, env.tag)) {
+            s.remove(&seq);
+            if s.is_empty() {
+                self.by_tag.remove(&(env.context, env.tag));
+            }
+        }
+        if let Some(s) = self.by_ctx.get_mut(&env.context) {
+            s.remove(&seq);
+            if s.is_empty() {
+                self.by_ctx.remove(&env.context);
+            }
+        }
+        Some((env, payload))
+    }
+
+    /// Take the earliest arrival matching `spec`, if any.
+    pub fn take_match(&mut self, spec: &MatchSpec) -> Option<(Envelope, T)> {
+        let (seq, _) = self.find(spec)?;
+        self.take(seq)
+    }
+
+    /// Envelopes of all queued arrivals, in arrival order.
+    pub fn envelopes(&self) -> Vec<Envelope> {
+        self.items.values().map(|(env, _)| *env).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, tag: Tag, context: u32) -> Envelope {
+        Envelope {
+            src,
+            tag,
+            context,
+            len: 8,
+        }
+    }
+
+    fn spec(src: Option<usize>, tag: Option<Tag>, context: u32) -> MatchSpec {
+        MatchSpec { src, tag, context }
+    }
+
+    #[test]
+    fn posted_fifo_within_pair() {
+        let mut s = PostedStore::new();
+        s.insert(spec(Some(1), Some(7), 0), "a");
+        s.insert(spec(Some(1), Some(7), 0), "b");
+        assert_eq!(s.take_match(&env(1, 7, 0)), Some("a"));
+        assert_eq!(s.take_match(&env(1, 7, 0)), Some("b"));
+        assert_eq!(s.take_match(&env(1, 7, 0)), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn posted_wildcard_beats_later_exact() {
+        let mut s = PostedStore::new();
+        s.insert(spec(None, Some(7), 0), "wild");
+        s.insert(spec(Some(1), Some(7), 0), "exact");
+        // The wildcard was posted first; FIFO picks it.
+        assert_eq!(s.take_match(&env(1, 7, 0)), Some("wild"));
+        assert_eq!(s.take_match(&env(1, 7, 0)), Some("exact"));
+    }
+
+    #[test]
+    fn posted_exact_beats_later_wildcard() {
+        let mut s = PostedStore::new();
+        s.insert(spec(Some(1), Some(7), 0), "exact");
+        s.insert(spec(None, None, 0), "wild");
+        assert_eq!(s.take_match(&env(1, 7, 0)), Some("exact"));
+        assert_eq!(s.take_match(&env(2, 9, 0)), Some("wild"));
+    }
+
+    #[test]
+    fn posted_context_isolation() {
+        let mut s = PostedStore::new();
+        s.insert(spec(None, None, 1), "ctx1");
+        assert_eq!(s.take_match(&env(0, 0, 2)), None);
+        assert_eq!(s.take_match(&env(0, 0, 1)), Some("ctx1"));
+    }
+
+    #[test]
+    fn unexpected_wildcard_orders_across_buckets() {
+        let mut s = UnexpectedStore::new();
+        s.insert(env(2, 9, 0), "from2");
+        s.insert(env(1, 7, 0), "from1");
+        // ANY_SOURCE/ANY_TAG must take the earliest arrival, which
+        // lives in a different exact bucket than the later one.
+        let (e, p) = s.take_match(&spec(None, None, 0)).unwrap();
+        assert_eq!((e.src, p), (2, "from2"));
+        let (e, p) = s.take_match(&spec(None, None, 0)).unwrap();
+        assert_eq!((e.src, p), (1, "from1"));
+    }
+
+    #[test]
+    fn unexpected_probe_then_take_by_handle() {
+        let mut s = UnexpectedStore::new();
+        s.insert(env(1, 7, 0), "x");
+        let (h, e) = s.find(&spec(Some(1), None, 0)).unwrap();
+        assert_eq!(e.tag, 7);
+        assert_eq!(s.take(h).unwrap().1, "x");
+        assert_eq!(s.take(h), None, "double take is rejected");
+        // The exact bucket's stale handle must not resurrect it.
+        assert_eq!(s.find(&spec(Some(1), Some(7), 0)), None);
+    }
+
+    #[test]
+    fn unexpected_envelopes_in_arrival_order() {
+        let mut s = UnexpectedStore::new();
+        s.insert(env(3, 1, 0), ());
+        s.insert(env(1, 2, 0), ());
+        s.insert(env(2, 3, 5), ());
+        let srcs: Vec<usize> = s.envelopes().iter().map(|e| e.src).collect();
+        assert_eq!(srcs, vec![3, 1, 2]);
+        s.take_match(&spec(Some(1), Some(2), 0));
+        let srcs: Vec<usize> = s.envelopes().iter().map(|e| e.src).collect();
+        assert_eq!(srcs, vec![3, 2]);
+    }
+}

@@ -5,6 +5,7 @@
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use marcel::{ActiveSpan, Semaphore};
 use parking_lot::Mutex as RealMutex;
 
@@ -17,7 +18,10 @@ pub(crate) struct ReqInner {
 }
 
 struct ReqState {
-    result: Option<(Option<Vec<u8>>, Status)>,
+    /// Received payload as a refcounted slice of the wire buffer —
+    /// the copy into a caller-owned `Vec` (if the caller wants one)
+    /// is deferred to [`Request::wait`].
+    result: Option<(Option<Bytes>, Status)>,
     /// Handling span opened on the device's polling thread; ended by
     /// the receiving rank when `wait` observes the completion, so the
     /// measured handling latency includes the wake handoff.
@@ -37,7 +41,7 @@ impl ReqInner {
 
     /// Complete the request: deposit the received data (None for send
     /// requests) and wake the waiter.
-    pub(crate) fn complete(&self, data: Option<Vec<u8>>, status: Status) {
+    pub(crate) fn complete(&self, data: Option<Bytes>, status: Status) {
         let mut st = self.state.lock();
         assert!(st.result.is_none(), "request completed twice");
         st.result = Some((data, status));
@@ -77,7 +81,15 @@ impl Request {
 
     /// Block (in virtual time) until the operation completes; returns
     /// the received data (`None` for sends) and the status.
-    pub fn wait(mut self) -> (Option<Vec<u8>>, Status) {
+    pub fn wait(self) -> (Option<Vec<u8>>, Status) {
+        let (data, status) = self.wait_bytes();
+        (data.map(Bytes::into_vec), status)
+    }
+
+    /// Like [`Request::wait`], returning the payload as a refcounted
+    /// slice of the wire buffer — the zero-copy variant for callers
+    /// that don't need an owned `Vec`.
+    pub fn wait_bytes(mut self) -> (Option<Bytes>, Status) {
         if !self.signaled {
             self.inner.sem.acquire();
             self.signaled = true;
@@ -158,7 +170,7 @@ mod tests {
             marcel::spawn("completer", move || {
                 marcel::advance(VirtualDuration::from_micros(30));
                 inner.complete(
-                    Some(vec![1, 2, 3]),
+                    Some(Bytes::from(vec![1, 2, 3])),
                     Status {
                         source: 4,
                         tag: 9,
@@ -212,7 +224,7 @@ mod tests {
                 marcel::spawn(format!("c{i}"), move || {
                     marcel::advance(VirtualDuration::from_micros((3 - i as u64) * 10));
                     inner.complete(
-                        Some(vec![i]),
+                        Some(Bytes::from(vec![i])),
                         Status {
                             source: i as usize,
                             tag: 0,

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use marcel::{CostModel, Kernel, SimBarrier, SimError, SimMutex};
+use marcel::{CostModel, Kernel, PollPolicy, SimBarrier, SimError, SimMutex};
 use simnet::{NodeId, Topology};
 
 use crate::adi::{AdiCosts, Device, DeviceSet};
@@ -61,6 +61,14 @@ pub struct WorldConfig {
     /// `Fixed(alg)` forces one catalog entry wherever it applies. See
     /// [`crate::coll`].
     pub coll: CollPolicy,
+    /// Idle-channel handling in the factorized polling loop. `Seed`
+    /// (the default) polls every open channel on every cycle, so an
+    /// idle TCP channel taxes every SCI detection (the Figure 9
+    /// effect); `Parking` parks a channel after
+    /// `cost_model.park_after` consecutive empty detections and
+    /// re-arms it on the next incoming message. Copied into
+    /// `cost_model.poll_policy` when the world starts.
+    pub poll: PollPolicy,
 }
 
 /// Build the Chrome-exporter thread table for a finished world run: one
@@ -97,6 +105,7 @@ impl Default for WorldConfig {
             forwarding: false,
             trace: false,
             coll: CollPolicy::Seed,
+            poll: PollPolicy::Seed,
         }
     }
 }
@@ -181,7 +190,9 @@ where
     T: Send + 'static,
     F: Fn(&Communicator) -> T + Send + Sync + 'static,
 {
-    let kernel = Kernel::new(config.cost_model.clone());
+    let mut cost_model = config.cost_model.clone();
+    cost_model.poll_policy = config.poll;
+    let kernel = Kernel::new(cost_model);
     if config.trace {
         kernel.enable_trace();
     }

@@ -3,19 +3,75 @@
 //! repository uses is provided: cheaply cloneable immutable [`Bytes`]
 //! with zero-copy slicing, a growable [`BytesMut`] builder, and the
 //! [`BufMut`] put-style append trait.
+//!
+//! Storage is one of three representations: a borrowed `'static`
+//! slice (zero-copy, zero-alloc), a shared `Arc<Vec<u8>>` (adopting a
+//! `Vec` never reallocates, even when capacity exceeds length), or a
+//! pooled fixed-size buffer for small payloads such as packet headers.
+//! Pooled buffers return to a global freelist when the last `Bytes`
+//! referencing them drops, so a steady-state hot path that copies
+//! header-sized slices performs no allocator calls at all.
 
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Size of one pooled buffer. Covers packet headers (≤ 53 B) and
+/// eager small-message payloads with room to spare.
+pub const POOL_SLOT: usize = 64;
+
+/// Maximum number of idle buffers kept on the freelist.
+const POOL_CAP: usize = 1024;
+
+struct PoolBuf {
+    len: usize,
+    data: [u8; POOL_SLOT],
+}
+
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn pool() -> &'static Mutex<Vec<Arc<PoolBuf>>> {
+    static POOL: OnceLock<Mutex<Vec<Arc<PoolBuf>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// (hits, misses) of the small-buffer pool since process start. A hit
+/// is a [`Bytes::copy_from_slice`]/[`Bytes::pooled_copy`] served from
+/// a recycled buffer; a miss allocated a fresh one.
+pub fn pool_stats() -> (u64, u64) {
+    (
+        POOL_HITS.load(Ordering::Relaxed),
+        POOL_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+    Pooled(Arc<PoolBuf>),
+}
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 ///
-/// Backed by an `Arc<[u8]>` plus a sub-range, so `clone` and
+/// Backed by shared storage plus a sub-range, so `clone` and
 /// [`Bytes::slice`] are O(1) and share the underlying allocation.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes {
+            repr: Repr::Static(&[]),
+            start: 0,
+            end: 0,
+        }
+    }
 }
 
 impl Bytes {
@@ -24,19 +80,60 @@ impl Bytes {
         Bytes::default()
     }
 
-    /// Wrap a static slice. (The real crate is zero-copy here; this
-    /// stand-in copies once, which is equivalent observable behavior.)
+    /// Wrap a static slice, zero-copy.
     pub fn from_static(data: &'static [u8]) -> Bytes {
-        Bytes::copy_from_slice(data)
-    }
-
-    /// Copy `data` into a fresh allocation.
-    pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        let arc: Arc<[u8]> = Arc::from(data);
         Bytes {
             start: 0,
-            end: arc.len(),
-            data: arc,
+            end: data.len(),
+            repr: Repr::Static(data),
+        }
+    }
+
+    /// Copy `data` into fresh storage. Header-sized slices
+    /// (≤ [`POOL_SLOT`] bytes) draw from the recycling pool and cost
+    /// no allocator call once the pool is warm.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        if data.len() <= POOL_SLOT {
+            return Bytes::pooled_copy(data);
+        }
+        Bytes::from(data.to_vec())
+    }
+
+    /// Copy `data` (≤ [`POOL_SLOT`] bytes, or this falls back to a
+    /// plain copy) into a pooled buffer.
+    pub fn pooled_copy(data: &[u8]) -> Bytes {
+        if data.len() > POOL_SLOT {
+            return Bytes::from(data.to_vec());
+        }
+        let recycled = pool().lock().expect("bytes pool poisoned").pop();
+        let mut arc = match recycled {
+            Some(arc) => {
+                POOL_HITS.fetch_add(1, Ordering::Relaxed);
+                arc
+            }
+            None => {
+                POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+                Arc::new(PoolBuf {
+                    len: 0,
+                    data: [0; POOL_SLOT],
+                })
+            }
+        };
+        let buf = Arc::get_mut(&mut arc).expect("freelist buffer is uniquely owned");
+        buf.data[..data.len()].copy_from_slice(data);
+        buf.len = data.len();
+        Bytes {
+            start: 0,
+            end: data.len(),
+            repr: Repr::Pooled(arc),
+        }
+    }
+
+    fn base(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(v) => v,
+            Repr::Pooled(p) => &p.data[..p.len],
         }
     }
 
@@ -64,7 +161,7 @@ impl Bytes {
         assert!(begin <= end, "slice range reversed: {begin}..{end}");
         assert!(end <= len, "slice out of bounds: {end} > {len}");
         Bytes {
-            data: self.data.clone(),
+            repr: self.repr.clone(),
             start: self.start + begin,
             end: self.start + end,
         }
@@ -73,12 +170,49 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Convert into a `Vec<u8>`, recovering the original allocation
+    /// without copying when this handle is the sole, full-range owner
+    /// of a shared buffer (the inverse of `Bytes::from(vec)`); copies
+    /// otherwise.
+    pub fn into_vec(mut self) -> Vec<u8> {
+        let whole_shared =
+            self.start == 0 && matches!(&self.repr, Repr::Shared(v) if self.end == v.len());
+        if whole_shared {
+            if let Repr::Shared(arc) = std::mem::replace(&mut self.repr, Repr::Static(&[])) {
+                self.end = 0;
+                return match Arc::try_unwrap(arc) {
+                    Ok(v) => v,
+                    Err(arc) => arc[..].to_vec(),
+                };
+            }
+        }
+        self.to_vec()
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // Recycle pooled buffers: when this handle is the last owner,
+        // park the (still-allocated) buffer on the freelist instead of
+        // freeing it. `strong_count == 1` means no other handle can
+        // race us, so pushing a clone (count 2, dropping to 1 as this
+        // handle dies) hands the freelist sole ownership.
+        if let Repr::Pooled(arc) = &self.repr {
+            if Arc::strong_count(arc) == 1 {
+                let mut freelist = pool().lock().expect("bytes pool poisoned");
+                if freelist.len() < POOL_CAP {
+                    freelist.push(arc.clone());
+                }
+            }
+        }
+    }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.base()[self.start..self.end]
     }
 }
 
@@ -89,12 +223,12 @@ impl AsRef<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Adopt a `Vec` without reallocating (spare capacity is kept).
     fn from(v: Vec<u8>) -> Bytes {
-        let arc: Arc<[u8]> = Arc::from(v.into_boxed_slice());
         Bytes {
             start: 0,
-            end: arc.len(),
-            data: arc,
+            end: v.len(),
+            repr: Repr::Shared(Arc::new(v)),
         }
     }
 }
@@ -260,5 +394,71 @@ mod tests {
         m.resize(8, 0xFF);
         let b = m.freeze();
         assert_eq!(&b[..], &[7, 4, 3, 2, 1, 0xFF, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn static_is_zero_copy() {
+        static DATA: [u8; 4] = [9, 8, 7, 6];
+        let b = Bytes::from_static(&DATA);
+        assert_eq!(b.as_ref().as_ptr(), DATA.as_ptr());
+        assert_eq!(b.slice(1..3), Bytes::from(vec![8, 7]));
+    }
+
+    #[test]
+    fn adopting_vec_keeps_buffer() {
+        let mut v = Vec::with_capacity(128);
+        v.extend_from_slice(&[1, 2, 3]);
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn pool_recycles_small_buffers() {
+        // Drain any state other tests left, then verify a
+        // copy → drop → copy cycle reuses the same buffer.
+        let b = Bytes::pooled_copy(&[1, 2, 3]);
+        let ptr = b.as_ref().as_ptr();
+        drop(b);
+        let (h0, _) = pool_stats();
+        let c = Bytes::pooled_copy(&[4, 5, 6, 7]);
+        let (h1, _) = pool_stats();
+        assert!(h1 > h0, "second pooled copy should hit the freelist");
+        assert_eq!(c.as_ref().as_ptr(), ptr, "buffer was recycled in place");
+        assert_eq!(&c[..], &[4, 5, 6, 7]);
+
+        // A clone keeps the buffer alive: dropping one handle must NOT
+        // recycle it while the other still reads it.
+        let keep = c.clone();
+        drop(c);
+        assert_eq!(&keep[..], &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn into_vec_recovers_unique_buffer() {
+        let mut v = vec![1u8, 2, 3];
+        v.reserve(64);
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "sole owner recovers without copy");
+
+        // A second handle forces a copy; both stay readable.
+        let b = Bytes::from(vec![4u8, 5]);
+        let keep = b.clone();
+        assert_eq!(b.into_vec(), vec![4, 5]);
+        assert_eq!(&keep[..], &[4, 5]);
+
+        // A sub-slice can never adopt the whole buffer.
+        let b = Bytes::from(vec![6u8, 7, 8]).slice(1..);
+        assert_eq!(b.into_vec(), vec![7, 8]);
+    }
+
+    #[test]
+    fn oversized_pooled_copy_falls_back() {
+        let big = vec![0xAB; POOL_SLOT + 1];
+        let b = Bytes::pooled_copy(&big);
+        assert_eq!(b.len(), POOL_SLOT + 1);
+        assert_eq!(&b[..], &big[..]);
     }
 }
