@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CI gate for the ticketed parallel execution engine.
+
+Run after
+`cargo run --release -p bench --bin hotpath -- --workers 4 2 | tee ticketed.out`:
+
+    python3 ci/check_ticketed.py ticketed.out
+
+Gates:
+
+1. **Bit-identical replay** (always enforced): the `det-seed` and
+   `det-ticketed` fingerprint lines — message count, virtual end time
+   and the metrics-registry digest of the identical storm run under
+   `ExecPolicy::Seed` and `ExecPolicy::Ticketed(N)` — must be
+   byte-for-byte equal. Any scheduling divergence, lost wake-up or
+   mis-ordered commit shows up here.
+2. **Speedup floor** (hardware-aware): the ticketed engine must beat the
+   seed engine's wall-clock by `MIN_SPEEDUP` when the host has at least
+   `workers` cores. On smaller hosts (e.g. single-core CI runners) true
+   parallel scaling is physically impossible, so the gate drops to
+   `MIN_SPEEDUP_SMALL`: even there the committer wins by batching effect
+   application where the seed loop pays a context switch per step, and
+   that floor keeps the engine from regressing into
+   slower-than-seed territory.
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+MIN_SPEEDUP = 2.5  # with >= `workers` host cores
+MIN_SPEEDUP_SMALL = 1.5  # single-core committer-batching floor
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <ticketed-output-file>", file=sys.stderr)
+        return 2
+    lines = Path(sys.argv[1]).read_text().strip().splitlines()
+    det = {}
+    wall = None
+    for line in lines:
+        line = line.strip()
+        for tag in ("det-seed", "det-ticketed"):
+            if line.startswith(tag + " "):
+                det[tag] = line[len(tag) + 1 :]
+        if line.startswith("wall "):
+            wall = json.loads(line[5:])
+
+    failures = []
+    if set(det) != {"det-seed", "det-ticketed"}:
+        failures.append(f"missing fingerprint lines (got {sorted(det)})")
+    elif det["det-seed"] != det["det-ticketed"]:
+        failures.append(
+            "deterministic fingerprints differ:\n"
+            f"  seed:     {det['det-seed']}\n"
+            f"  ticketed: {det['det-ticketed']}"
+        )
+    else:
+        print(f"fingerprints byte-identical: {det['det-seed']}")
+
+    if wall is None:
+        failures.append("no wall JSON line in bench output")
+    else:
+        cores = os.cpu_count() or 1
+        workers = wall.get("workers", 0)
+        floor = MIN_SPEEDUP if cores >= workers else MIN_SPEEDUP_SMALL
+        speedup = wall.get("speedup", 0.0)
+        label = (
+            f"speedup {speedup:.3f} at workers={workers} "
+            f"(seed {wall.get('seed_wall_ms')}ms / ticketed "
+            f"{wall.get('ticketed_wall_ms')}ms, host cores={cores}, floor {floor})"
+        )
+        if speedup < floor:
+            failures.append(label)
+        else:
+            print(label)
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("ticketed gate OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,12 +10,21 @@
 //! plus a JSON summary on the final line.
 //!
 //! `cargo run -p bench --bin hotpath --release [-- <iters>]`
+//!
+//! With `--workers N` the bench instead runs the same storm under
+//! `ExecPolicy::Seed` and `ExecPolicy::Ticketed(N)` and emits, for
+//! `ci/check_ticketed.py`:
+//!   `det-seed <json>` / `det-ticketed <json>` — the deterministic
+//!   fingerprint of each run (message count, virtual end time, metrics
+//!   digest); the two JSON payloads must be byte-identical.
+//!   `wall <json>` — host wall-clock of both engines and the speedup.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use mpich::{run_world, Placement, PollPolicy, WorldConfig};
+use marcel::VirtualTime;
+use mpich::{run_world, run_world_kernel, ExecPolicy, Placement, PollPolicy, WorldConfig};
 use simnet::{Protocol, Topology};
 
 /// Counting wrapper around the system allocator: total allocation
@@ -107,6 +116,86 @@ fn storm(rounds: usize) -> (u64, f64, u64, u64) {
     (msgs, wall, allocs, bytes)
 }
 
+/// One storm under the given exec policy, returning its deterministic
+/// fingerprint (virtual end time + metrics digest) and host wall-clock.
+fn storm_det(rounds: usize, exec: ExecPolicy) -> (VirtualTime, u64, f64) {
+    let t0 = Instant::now();
+    let (_, kernel) = run_world_kernel(
+        Topology::single_network(RANKS, Protocol::Sisci),
+        Placement::OneRankPerNode,
+        WorldConfig {
+            exec,
+            ..WorldConfig::default()
+        },
+        move |comm| {
+            let me = comm.rank();
+            let n = comm.size();
+            let payload = vec![me as u8; MSG];
+            for round in 0..rounds {
+                let tag = round as i32;
+                for step in 1..n {
+                    comm.send(&payload, (me + step) % n, tag);
+                }
+            }
+            for round in (0..rounds).rev() {
+                let tag = round as i32;
+                for step in (1..n).rev() {
+                    let src = (me + n - step) % n;
+                    let (data, _) = comm.recv_bytes(MSG, Some(src), Some(tag));
+                    assert_eq!(&data[..], &[src as u8; MSG][..]);
+                }
+            }
+        },
+    )
+    .expect("storm world failed");
+    let wall = t0.elapsed().as_secs_f64();
+    if let Some(stats) = kernel.exec_stats() {
+        eprintln!(
+            "  [exec] tickets={} speculated={} ({:.1}%)",
+            stats.tickets,
+            stats.speculated,
+            100.0 * stats.speculated as f64 / stats.tickets.max(1) as f64
+        );
+    }
+    // Digest the rendered metrics report: any divergence in any counter,
+    // gauge or histogram shows up as a different fingerprint.
+    let report = kernel.metrics().snapshot().to_string();
+    let digest = report
+        .bytes()
+        .fold(0u64, |h, b| marcel::rng::splitmix64(h ^ u64::from(b)));
+    (kernel.end_time(), digest, wall)
+}
+
+/// The `--workers N` mode: Seed vs Ticketed(N) over the identical storm,
+/// best host wall-clock of 3 after one warm-up each.
+fn ticketed_mode(rounds: usize, workers: usize) {
+    let msgs = (RANKS * (RANKS - 1) * rounds) as u64;
+    println!("== ticketed storm — {RANKS}-rank all-to-all, {MSG} B x {rounds} rounds, workers={workers} ==");
+    let mut fp = Vec::new();
+    for (label, exec) in [
+        ("seed", ExecPolicy::Seed),
+        ("ticketed", ExecPolicy::Ticketed(workers)),
+    ] {
+        storm_det(rounds, exec); // warm-up
+        let (end, digest, mut wall) = storm_det(rounds, exec);
+        for _ in 0..2 {
+            wall = wall.min(storm_det(rounds, exec).2);
+        }
+        println!(
+            "det-{label} {{\"messages\":{msgs},\"end_ns\":{},\"metrics_digest\":{digest}}}",
+            end.0
+        );
+        fp.push(wall);
+    }
+    let (seed_wall, tick_wall) = (fp[0], fp[1]);
+    println!(
+        "wall {{\"workers\":{workers},\"seed_wall_ms\":{:.3},\"ticketed_wall_ms\":{:.3},\"speedup\":{:.3}}}",
+        seed_wall * 1e3,
+        tick_wall * 1e3,
+        seed_wall / tick_wall
+    );
+}
+
 /// Steady-state SCI one-way ping-pong latency in µs: 32 warm-up
 /// exchanges (enough for `Parking` to park an idle TCP channel), then
 /// a timed 16-exchange window. Virtual time, so exact.
@@ -154,11 +243,23 @@ fn steady_sci_oneway_us(with_tcp: bool, poll: PollPolicy) -> f64 {
 }
 
 fn main() {
-    let iters: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wpos = args.iter().position(|a| a == "--workers");
+    let workers = wpos
+        .and_then(|i| args.get(i + 1))
+        .and_then(|a| a.parse::<usize>().ok());
+    let iters: usize = args
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| wpos.is_none_or(|w| *i != w && *i != w + 1))
+        .find_map(|(_, a)| a.parse().ok())
         .unwrap_or(4);
     let rounds = 12 * iters;
+
+    if let Some(workers) = workers {
+        ticketed_mode(rounds, workers);
+        return;
+    }
 
     let (msgs, wall, allocs, bytes) = storm(rounds);
     let eps = msgs as f64 / wall;

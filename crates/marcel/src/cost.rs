@@ -34,6 +34,29 @@ pub enum PollPolicy {
     Parking,
 }
 
+/// Execution engine for the kernel's step loop.
+///
+/// Under `Seed`, the kernel runs its original monolithic loop: exactly
+/// one simulated thread executes at a time, picked min-`(vtime, tid)`
+/// first. Under `Ticketed(workers)` the loop is split into three roles
+/// — a sequencer that assigns monotonic tickets and per-step RNG seeds
+/// (see [`crate::rng::step_seed`]), a pool of up to `workers`
+/// concurrently executing simulated threads whose cross-thread effects
+/// are *emitted* as pending closures instead of applied, and a
+/// committer that applies those effects in strict ticket (= virtual
+/// time) order, re-validating every speculative dispatch against
+/// committed state. The trace, metrics snapshot and all simulation
+/// results are bit-identical to `Seed` for every worker count; only
+/// host wall-clock changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// The original serial step loop (bit-identical to the seed).
+    #[default]
+    Seed,
+    /// Sequencer → worker pool → committer, with this many workers.
+    Ticketed(usize),
+}
+
 /// Virtual cost of each kernel primitive.
 #[derive(Clone, Debug)]
 pub struct CostModel {
@@ -59,6 +82,8 @@ pub struct CostModel {
     /// Under [`PollPolicy::Parking`]: consecutive empty detections after
     /// which an idle channel is parked out of the polling cycle.
     pub park_after: u32,
+    /// Execution engine for the kernel step loop (serial vs ticketed).
+    pub exec: ExecPolicy,
 }
 
 impl CostModel {
@@ -73,6 +98,7 @@ impl CostModel {
             poll_cycle_scale: 100,
             poll_policy: PollPolicy::Seed,
             park_after: 8,
+            exec: ExecPolicy::Seed,
         }
     }
 
@@ -89,6 +115,7 @@ impl CostModel {
             poll_cycle_scale: 100,
             poll_policy: PollPolicy::Seed,
             park_after: 8,
+            exec: ExecPolicy::Seed,
         }
     }
 
@@ -103,6 +130,13 @@ impl CostModel {
     /// after `park_after` empty detections (see [`PollPolicy`]).
     pub fn with_parking(mut self) -> Self {
         self.poll_policy = PollPolicy::Parking;
+        self
+    }
+
+    /// Ticketed variant of `self`: run the kernel step loop as
+    /// sequencer → `workers` workers → committer (see [`ExecPolicy`]).
+    pub fn with_ticketed(mut self, workers: usize) -> Self {
+        self.exec = ExecPolicy::Ticketed(workers);
         self
     }
 

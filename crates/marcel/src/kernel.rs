@@ -34,14 +34,15 @@
 //! poll cost to every detection on the SCI channel.
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, ExecPolicy};
 use crate::obs::{Event, Metrics};
 use crate::time::{VirtualDuration, VirtualTime};
 
@@ -90,6 +91,13 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// What a kernel-operation body decided (see [`Shared::op`]): finish
+/// with a result, or block in the given state until woken.
+pub(crate) enum OpOutcome<R> {
+    Done(R),
+    Blocked(TState),
+}
+
 pub(crate) enum TState {
     /// Eligible to run.
     Ready,
@@ -127,6 +135,24 @@ impl TState {
     }
 }
 
+/// Per-thread handshake between the committer (which dispatches) and the
+/// worker OS thread (which parks between kernel operations) under
+/// `ExecPolicy::Ticketed`. `resume` is level-triggered so a dispatch that
+/// lands before the OS thread even exists is not lost; the condvar is
+/// only ever used with the one scheduler mutex.
+pub(crate) struct ParkSlot {
+    pub(crate) resume: AtomicBool,
+    pub(crate) cv: Condvar,
+}
+
+/// A deferred trace record run on the committer at the owning thread's
+/// next dispatch (see [`ThreadSlot::wake_hook`]).
+pub(crate) type WakeHook = Box<dyn FnOnce(&mut Sched, Tid) + Send>;
+
+/// A boxed effect body: the mutation a kernel op performs, applied
+/// against committed state (see [`PendingOp`]).
+pub(crate) type EffectFn = Box<dyn FnOnce(&mut Sched, &Shared, Tid) + Send>;
+
 pub(crate) struct ThreadSlot {
     pub(crate) name: String,
     pub(crate) vtime: VirtualTime,
@@ -134,11 +160,46 @@ pub(crate) struct ThreadSlot {
     pub(crate) joiners: Vec<Tid>,
     /// Payload handed to a thread woken from `poll_wait`.
     pub(crate) wake_payload: Option<Box<dyn Any + Send>>,
+    /// Speculation domain (`ExecPolicy::Ticketed`): threads of one domain
+    /// never execute concurrently with each other, so data shared only
+    /// within a domain needs no effect-ordering. Host-spawned threads get
+    /// domain 0; children inherit the parent's domain.
+    pub(crate) domain: u32,
+    /// Ordinal of kernel operations performed by this thread. Drives the
+    /// per-step RNG seed (`crate::thread::step_seed`); identical across
+    /// execution policies because it counts *operations*, not dispatches.
+    pub(crate) ops: u64,
+    /// Result of the last committed kernel op (`ExecPolicy::Ticketed`
+    /// only): the committer parks it here, the worker picks it up.
+    pub(crate) op_result: Option<Box<dyn Any + Send>>,
+    /// Dispatched and currently executing its segment (between dispatch
+    /// and effect emission). Only meaningful under `Ticketed`.
+    pub(crate) in_flight: bool,
+    /// Deferred trace record to run when the thread is next dispatched
+    /// (e.g. `PollWaited` after a wake): under `Ticketed` it must run on
+    /// the committer so trace order is defined by ticket order.
+    pub(crate) wake_hook: Option<WakeHook>,
+    pub(crate) park: Arc<ParkSlot>,
+}
+
+/// Who may operate on a semaphore (`ExecPolicy::Ticketed` only; ignored
+/// under `Seed`). Declared at creation: semaphores created from inside
+/// the simulation are local to the creator's domain, semaphores created
+/// from the host (before `run`) are shared. The speculation wake-horizon
+/// check may ignore domain-local semaphores — any release necessarily
+/// comes from the same (serialized) domain — which is what makes
+/// speculation profitable; a cross-domain op on a local semaphore is a
+/// contract violation and panics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum SemScope {
+    Shared,
+    Local(u32),
 }
 
 pub(crate) struct SemState {
     pub(crate) count: u64,
     pub(crate) waiters: VecDeque<Tid>,
+    pub(crate) scope: SemScope,
 }
 
 pub(crate) struct SourceState {
@@ -170,6 +231,63 @@ pub struct TraceEvent {
     pub what: Event,
 }
 
+/// One emitted-but-uncommitted kernel operation (`ExecPolicy::Ticketed`).
+/// `key` is the operation's position in the virtual-time total order: the
+/// emitting thread's `(vtime, tid)` at emission. The closure applies the
+/// operation against *committed* state — holding it here until its key is
+/// the global minimum is the "re-enqueue on conflict" rule: an effect
+/// that raced ahead simply waits its turn.
+pub(crate) struct PendingOp {
+    pub(crate) key: (VirtualTime, usize),
+    /// Push order, the tie-break among equal keys. Equal keys only occur
+    /// within one thread (the key includes the tid): a queued wake hook
+    /// vs. the effects the thread emits afterwards at the same virtual
+    /// time. FIFO is exactly the seed's order. The vec itself cannot
+    /// serve as the tie-break — `swap_remove` shuffles it.
+    pub(crate) seq: u64,
+    pub(crate) tid: Tid,
+    /// True for a real segment-ending effect (emitted via `emit_effect`);
+    /// applying it frees the thread's domain slot. False for bookkeeping
+    /// entries (a queued wake hook) that merely need commit-order
+    /// placement.
+    pub(crate) ends_segment: bool,
+    pub(crate) run: EffectFn,
+}
+
+/// Committer-side state for `ExecPolicy::Ticketed`.
+pub(crate) struct ExecState {
+    pub(crate) workers: usize,
+    /// Emitted effects not yet applied, unordered (scanned for the min).
+    pub(crate) pending: Vec<PendingOp>,
+    /// Threads currently executing a segment (dispatched, not yet
+    /// emitted). Bounded by `workers`.
+    pub(crate) inflight: usize,
+    /// Domain -> number of threads between dispatch and effect *apply*.
+    /// A domain with a busy slot never gets another dispatch, which is
+    /// what serializes same-domain threads.
+    pub(crate) domain_busy: HashMap<u32, usize>,
+    /// Committed tickets (dispatches), monotonically increasing.
+    pub(crate) tickets: u64,
+    /// Dispatches that were speculative (not at the global frontier).
+    pub(crate) speculated: u64,
+    /// Last applied effect key; applies must be monotone in this.
+    pub(crate) last_key: Option<(VirtualTime, usize)>,
+    /// Next [`PendingOp::seq`] to hand out.
+    pub(crate) next_seq: u64,
+}
+
+/// Execution statistics of a `Ticketed` run (see [`Kernel::exec_stats`]).
+/// Kept out of the metrics registry on purpose: the metrics snapshot is
+/// part of the bit-identical replay contract, host-side scheduling
+/// counters are not.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecStats {
+    /// Total dispatches committed by the sequencer.
+    pub tickets: u64,
+    /// How many of those ran speculatively (ahead of the frontier).
+    pub speculated: u64,
+}
+
 pub(crate) struct Sched {
     pub(crate) threads: Vec<ThreadSlot>,
     pub(crate) running: Option<Tid>,
@@ -181,6 +299,8 @@ pub(crate) struct Sched {
     pub(crate) sources: Vec<SourceState>,
     pub(crate) post_seq: u64,
     pub(crate) trace: Option<Vec<TraceEvent>>,
+    /// Present while a `Ticketed` run is in progress.
+    pub(crate) exec: Option<ExecState>,
 }
 
 impl Sched {
@@ -215,6 +335,9 @@ impl Sched {
 pub(crate) struct Shared {
     pub(crate) state: Mutex<Sched>,
     pub(crate) cv: Condvar,
+    /// Wakes the committer (`ExecPolicy::Ticketed`) when a worker emits
+    /// an effect or a thread aborts. Always used with `state`.
+    pub(crate) commit_cv: Condvar,
     pub(crate) cost: CostModel,
     /// The kernel's metrics registry (see [`crate::obs`]): always on,
     /// never touches virtual time.
@@ -282,13 +405,14 @@ impl Shared {
         best.map(|(_, i)| Tid(i))
     }
 
-    /// Make `next` the running thread (waking it from Sleeping if needed)
-    /// and notify every parked OS thread so the right one resumes.
-    fn commit(&self, sched: &mut Sched, next: Tid) {
+    /// Pre-dispatch bookkeeping shared by both execution policies: a
+    /// thread scheduled out of `Sleeping` has its clock bumped to the
+    /// wake time; one scheduled out of `BlockedSemTimeout` additionally
+    /// timed out and must leave the semaphore's queue so a later release
+    /// can't also grant it.
+    fn prepare_wake(sched: &mut Sched, next: Tid) {
         let wake = match sched.threads[next.0].state {
             TState::Sleeping(wake) => Some((None, wake)),
-            // Scheduled *at the deadline*: the wait timed out. Leave the
-            // semaphore's queue so a later release can't also grant us.
             TState::BlockedSemTimeout(sid, deadline) => Some((Some(sid), deadline)),
             _ => None,
         };
@@ -301,6 +425,12 @@ impl Shared {
                 slot.vtime = at;
             }
         }
+    }
+
+    /// Make `next` the running thread (waking it from Sleeping if needed)
+    /// and notify every parked OS thread so the right one resumes.
+    fn commit(&self, sched: &mut Sched, next: Tid) {
+        Self::prepare_wake(sched, next);
         let slot = &mut sched.threads[next.0];
         slot.state = TState::Running;
         sched.running = Some(next);
@@ -360,6 +490,527 @@ impl Shared {
         slot.state = TState::Ready;
     }
 
+    /// Whether this kernel runs under `ExecPolicy::Ticketed`.
+    pub(crate) fn ticketed(&self) -> bool {
+        matches!(self.cost.exec, ExecPolicy::Ticketed(_))
+    }
+
+    /// `Some(me)` when the calling OS thread is a simulated thread of
+    /// *this* kernel and the kernel is ticketed — i.e. when a shared
+    /// mutation must be routed through the effect list to stay in commit
+    /// order instead of real-time order.
+    pub(crate) fn in_sim_ticketed(self: &Arc<Self>) -> Option<Tid> {
+        if !self.ticketed() {
+            return None;
+        }
+        crate::thread::try_current().and_then(|(s, t)| Arc::ptr_eq(&s, self).then_some(t))
+    }
+
+    /// Panic unless `me` may operate on semaphore `sid` (see
+    /// [`SemScope`]). Only enforced under `Ticketed` — the check exists
+    /// to keep the speculation wake-horizon argument sound, and `Seed`
+    /// must stay bit-identical to the pre-knob kernel.
+    pub(crate) fn check_sem_domain(&self, sched: &Sched, me: Tid, sid: SemId) {
+        if !self.ticketed() {
+            return;
+        }
+        if let SemScope::Local(owner) = sched.sems[sid.0].scope {
+            let d = sched.threads[me.0].domain;
+            assert!(
+                d == owner,
+                "semaphore #{} is domain-local to {owner} but used from domain {d}; \
+                 create it with a shared scope",
+                sid.0
+            );
+        }
+    }
+
+    /// The uniform kernel-operation driver, shared by both policies.
+    ///
+    /// `f` is the operation body: it inspects and mutates scheduler state
+    /// and returns either `Done(result)` or `Blocked(state)`. It must
+    /// *not* reschedule or block itself — the driver does that. Under
+    /// `Seed`, `f` runs immediately on the calling thread (exactly the
+    /// pre-refactor code path: body, then reschedule-or-block). Under
+    /// `Ticketed`, `f` becomes a pending effect applied by the committer
+    /// in ticket order against committed state — which is why `f` may
+    /// make scheduling decisions (grant vs. block, pop vs. wait) without
+    /// any rollback: it never sees speculative state.
+    ///
+    /// `g` is the post-wake continuation for the `Blocked` path: it runs
+    /// under the lock once the thread is scheduled again (both policies)
+    /// and may only touch the thread's own slot (e.g. take a wake
+    /// payload). For commit-ordered post-wake *trace records*, set
+    /// `ThreadSlot::wake_hook` from within `f` instead.
+    pub(crate) fn op<R, F, G>(self: &Arc<Self>, me: Tid, f: F, g: G) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Sched, &Shared, Tid) -> OpOutcome<R> + Send + 'static,
+        G: FnOnce(&mut Sched, &Shared, Tid) -> R,
+    {
+        let mut sched = self.state.lock();
+        sched.threads[me.0].ops += 1;
+        if !self.ticketed() {
+            return match f(&mut sched, self, me) {
+                OpOutcome::Done(r) => {
+                    self.reschedule(&mut sched, me);
+                    r
+                }
+                OpOutcome::Blocked(st) => {
+                    self.block(&mut sched, me, st);
+                    if let Some(hook) = sched.threads[me.0].wake_hook.take() {
+                        hook(&mut sched, me);
+                    }
+                    g(&mut sched, self, me)
+                }
+            };
+        }
+        self.emit_effect(
+            &mut sched,
+            me,
+            Box::new(move |sched, shared, tid| match f(sched, shared, tid) {
+                OpOutcome::Done(r) => {
+                    sched.threads[tid.0].op_result = Some(Box::new(r));
+                    sched.threads[tid.0].state = TState::Ready;
+                }
+                OpOutcome::Blocked(st) => {
+                    sched.threads[tid.0].state = st;
+                }
+            }),
+        );
+        let mut sched = self.wait_for_commit(sched, me);
+        match sched.threads[me.0].op_result.take() {
+            Some(b) => *b.downcast::<R>().expect("kernel op result type confusion"),
+            None => g(&mut sched, self, me),
+        }
+    }
+
+    /// A commit-ordered closure with no virtual cost and no scheduling
+    /// point: under `Seed` (or from the host) this is a plain run under
+    /// the scheduler lock; under `Ticketed`, called from a simulated
+    /// thread, it becomes a pending effect so its position in the global
+    /// mutation order is the thread's ticket order, not real-time worker
+    /// order. Use it for shared bookkeeping whose *order* is observable
+    /// (trace records, counters that gate decisions, ID allocation).
+    pub(crate) fn critical<R, F>(self: &Arc<Self>, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Sched, &Shared, Option<Tid>) -> R + Send + 'static,
+    {
+        if let Some(me) = self.in_sim_ticketed() {
+            let mut sched = self.state.lock();
+            self.emit_effect(
+                &mut sched,
+                me,
+                Box::new(move |sched, shared, tid| {
+                    let r = f(sched, shared, Some(tid));
+                    sched.threads[tid.0].op_result = Some(Box::new(r));
+                    sched.threads[tid.0].state = TState::Ready;
+                }),
+            );
+            let mut sched = self.wait_for_commit(sched, me);
+            return *sched.threads[me.0]
+                .op_result
+                .take()
+                .expect("critical closure did not run")
+                .downcast::<R>()
+                .expect("critical result type confusion");
+        }
+        let mut sched = self.state.lock();
+        let me = crate::thread::try_current().and_then(|(s, t)| Arc::ptr_eq(&s, self).then_some(t));
+        f(&mut sched, self, me)
+    }
+
+    /// Ticketed only: turn the calling thread's next mutation into a
+    /// pending effect keyed by its current `(vtime, tid)` and free its
+    /// worker slot. The committer is woken to (eventually) apply it.
+    pub(crate) fn emit_effect(&self, sched: &mut Sched, me: Tid, run: EffectFn) {
+        let key = (sched.threads[me.0].vtime, me.0);
+        let slot = &mut sched.threads[me.0];
+        debug_assert!(
+            slot.in_flight,
+            "effect emitted by a thread that was never dispatched"
+        );
+        slot.in_flight = false;
+        let exec = sched
+            .exec
+            .as_mut()
+            .expect("effect emitted outside a ticketed run");
+        exec.inflight -= 1;
+        let seq = exec.next_seq;
+        exec.next_seq += 1;
+        exec.pending.push(PendingOp {
+            key,
+            seq,
+            tid: me,
+            ends_segment: true,
+            run,
+        });
+        self.commit_cv.notify_one();
+    }
+
+    /// Ticketed worker park: wait until the committer dispatches `me`
+    /// again. Spins briefly on the lock-free resume flag first — the
+    /// committer usually turns an effect around in well under a
+    /// microsecond, and avoiding the condvar round-trip is where most of
+    /// the parallel speedup comes from — then falls back to the
+    /// per-thread condvar. On a single-core host the spin is skipped
+    /// entirely: the committer cannot make progress while we burn the
+    /// only CPU, so spinning just delays our own wake-up. On
+    /// abort/deadlock the OS thread parks forever (same unrecoverability
+    /// contract as `wait_until_running`).
+    pub(crate) fn wait_for_commit<'a>(
+        &'a self,
+        sched: MutexGuard<'a, Sched>,
+        me: Tid,
+    ) -> MutexGuard<'a, Sched> {
+        fn spin_budget() -> u32 {
+            static BUDGET: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+            *BUDGET.get_or_init(|| {
+                match std::thread::available_parallelism().map_or(1, |n| n.get()) {
+                    0 | 1 => 0,
+                    _ => 20_000,
+                }
+            })
+        }
+        let park = sched.threads[me.0].park.clone();
+        drop(sched);
+        let mut spun = 0;
+        let budget = spin_budget();
+        while !park.resume.load(Ordering::Acquire) {
+            spun += 1;
+            if spun >= budget {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let mut sched = self.state.lock();
+        loop {
+            if sched.abort.is_some() || sched.deadlock.is_some() {
+                loop {
+                    self.cv.wait(&mut sched);
+                }
+            }
+            if park.resume.swap(false, Ordering::AcqRel) {
+                debug_assert!(matches!(sched.threads[me.0].state, TState::Running));
+                return sched;
+            }
+            park.cv.wait(&mut sched);
+        }
+    }
+
+    /// Ticketed dispatch: hand `next` a worker slot and resume its OS
+    /// thread. The domain slot stays busy until the thread's *effect is
+    /// applied*, not merely emitted — same-domain threads must never
+    /// pipeline, or a zero-cost segment could commit behind an
+    /// already-applied same-domain key.
+    fn ticketed_dispatch(&self, sched: &mut Sched, next: Tid) {
+        Self::prepare_wake(sched, next);
+        let slot = &mut sched.threads[next.0];
+        slot.state = TState::Running;
+        slot.in_flight = true;
+        let domain = slot.domain;
+        let park = slot.park.clone();
+        let key = (slot.vtime, next.0);
+        let hook = slot.wake_hook.take();
+        let exec = sched
+            .exec
+            .as_mut()
+            .expect("dispatch outside a ticketed run");
+        // A wake hook (post-wake trace record) must land at the thread's
+        // wake key in *commit* order, which for a speculative dispatch is
+        // not "now": queue it like an effect. It is pushed before the
+        // thread can emit its next effect at the same key, so its `seq`
+        // tie-break keeps it ahead of them.
+        if let Some(hook) = hook {
+            let seq = exec.next_seq;
+            exec.next_seq += 1;
+            exec.pending.push(PendingOp {
+                key,
+                seq,
+                tid: next,
+                ends_segment: false,
+                run: Box::new(move |sched, _, tid| hook(sched, tid)),
+            });
+        }
+        exec.inflight += 1;
+        *exec.domain_busy.entry(domain).or_insert(0) += 1;
+        exec.tickets += 1;
+        park.resume.store(true, Ordering::Release);
+        park.cv.notify_one();
+    }
+
+    /// Apply one pending effect (the caller picked it as the global
+    /// minimum). Panics inside the effect (e.g. an assert in a kernel op)
+    /// become the same `ThreadPanicked` abort the seed policy produces.
+    fn apply_effect(&self, sched: &mut Sched, idx: usize) {
+        let op = {
+            let exec = sched.exec.as_mut().unwrap();
+            let op = exec.pending.swap_remove(idx);
+            debug_assert!(
+                exec.last_key.is_none_or(|lk| op.key >= lk),
+                "effect committed out of ticket order"
+            );
+            exec.last_key = Some(op.key);
+            op
+        };
+        if op.ends_segment {
+            let domain = sched.threads[op.tid.0].domain;
+            let exec = sched.exec.as_mut().unwrap();
+            *exec
+                .domain_busy
+                .get_mut(&domain)
+                .expect("domain not busy at apply") -= 1;
+        }
+        let PendingOp { tid, run, .. } = op;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(sched, self, tid))) {
+            sched.abort = Some(crate::thread::panic_to_string(payload.as_ref(), tid));
+            self.cv.notify_all();
+        }
+    }
+
+    /// One committer round: apply every effect that has reached the
+    /// frontier and dispatch every thread that may run. Returns whether
+    /// anything happened (false -> the committer should sleep).
+    fn drain(&self, sched: &mut Sched) -> bool {
+        let mut progressed = false;
+        loop {
+            if sched.abort.is_some() || sched.deadlock.is_some() {
+                return progressed;
+            }
+            // The three frontier components: emitted effects, in-flight
+            // segments (their effect will carry the dispatch key), and
+            // undispatched candidates.
+            // Minimum by (key, seq): equal keys are one thread's wake
+            // hook vs. its subsequent same-vtime effects, and push order
+            // (seq) is the seed's order. The vec index cannot break the
+            // tie — `swap_remove` shuffles it.
+            let mut pend: Option<((VirtualTime, usize), u64, usize)> = None;
+            {
+                let exec = sched.exec.as_ref().unwrap();
+                for (i, p) in exec.pending.iter().enumerate() {
+                    if pend.is_none_or(|(k, s, _)| (p.key, p.seq) < (k, s)) {
+                        pend = Some((p.key, p.seq, i));
+                    }
+                }
+            }
+            let mut infl: Option<(VirtualTime, usize)> = None;
+            let mut cand: Option<((VirtualTime, usize), usize)> = None;
+            for (i, t) in sched.threads.iter().enumerate() {
+                if t.in_flight {
+                    let k = (t.vtime, i);
+                    if infl.is_none_or(|b| k < b) {
+                        infl = Some(k);
+                    }
+                    continue;
+                }
+                let key = match t.state {
+                    TState::Ready => t.vtime,
+                    TState::Sleeping(wake) => wake,
+                    TState::BlockedSemTimeout(_, deadline) => deadline,
+                    _ => continue,
+                };
+                let k = (key, i);
+                if cand.is_none_or(|(b, _)| k < b) {
+                    cand = Some((k, i));
+                }
+            }
+            // 1. An effect at the global frontier is committed.
+            if let Some((pk, _, idx)) = pend {
+                if infl.is_none_or(|k| pk <= k) && cand.is_none_or(|(k, _)| pk <= k) {
+                    self.apply_effect(sched, idx);
+                    progressed = true;
+                    continue;
+                }
+            }
+            let (workers, inflight) = {
+                let exec = sched.exec.as_ref().unwrap();
+                (exec.workers, exec.inflight)
+            };
+            // 2. A candidate at the global frontier dispatches
+            // unconditionally (it is exactly what Seed would run next).
+            if let Some((ck, i)) = cand {
+                if pend.is_none_or(|(k, _, _)| ck < k)
+                    && infl.is_none_or(|k| ck < k)
+                    && inflight < workers
+                {
+                    let domain = sched.threads[i].domain;
+                    let exec = sched.exec.as_ref().unwrap();
+                    if exec.domain_busy.get(&domain).copied().unwrap_or(0) == 0 {
+                        self.ticketed_dispatch(sched, Tid(i));
+                        progressed = true;
+                        continue;
+                    }
+                    // Provably unreachable (a busy domain's earlier key is
+                    // still in pend/infl, so this candidate can't be the
+                    // frontier); if it ever happens, commit the smallest
+                    // effect rather than livelock.
+                    debug_assert!(false, "frontier candidate in a busy domain");
+                    if let Some((_, _, idx)) = pend {
+                        self.apply_effect(sched, idx);
+                        progressed = true;
+                        continue;
+                    }
+                }
+            }
+            // 3. Speculation: dispatch ahead of the frontier where the
+            // wake-horizon check proves Seed would run the same segment.
+            if inflight < workers && self.speculate(sched) {
+                progressed = true;
+                continue;
+            }
+            return progressed;
+        }
+    }
+
+    /// Try to dispatch threads *ahead* of the frontier. A candidate `X`
+    /// (domain `d`, key `kX`) is safe iff no committed-or-future effect
+    /// can create a runnable domain-`d` thread with a key below `kX`:
+    /// every same-domain blocked thread's earliest possible wake key,
+    /// lower-bounded through the frontier `F` plus the wake path's
+    /// virtual cost, must exceed `kX`. Returns whether anything was
+    /// dispatched.
+    fn speculate(&self, sched: &mut Sched) -> bool {
+        // Full frontier (minimum over all three components).
+        let mut frontier: Option<(VirtualTime, usize)> = None;
+        {
+            let exec = sched.exec.as_ref().unwrap();
+            for p in &exec.pending {
+                if frontier.is_none_or(|f| p.key < f) {
+                    frontier = Some(p.key);
+                }
+            }
+        }
+        // Per-domain best candidate; a domain is only eligible if its
+        // *overall* min candidate is plain Ready/Sleeping (a due
+        // sem-timeout only ever dispatches at the frontier, because an
+        // earlier release could still grant it).
+        let mut per_domain: HashMap<u32, ((VirtualTime, usize), bool)> = HashMap::new();
+        for (i, t) in sched.threads.iter().enumerate() {
+            if t.in_flight {
+                let k = (t.vtime, i);
+                if frontier.is_none_or(|f| k < f) {
+                    frontier = Some(k);
+                }
+                continue;
+            }
+            let (key, speculable) = match t.state {
+                TState::Ready => (t.vtime, true),
+                TState::Sleeping(wake) => (wake, true),
+                TState::BlockedSemTimeout(_, deadline) => (deadline, false),
+                _ => continue,
+            };
+            let k = (key, i);
+            if frontier.is_none_or(|f| k < f) {
+                frontier = Some(k);
+            }
+            let entry = per_domain.entry(t.domain).or_insert((k, speculable));
+            if k < entry.0 {
+                *entry = (k, speculable);
+            }
+        }
+        let Some(f) = frontier else { return false };
+        let mut eligible: Vec<((VirtualTime, usize), u32)> = Vec::new();
+        {
+            let exec = sched.exec.as_ref().unwrap();
+            for (&d, &(k, speculable)) in &per_domain {
+                if speculable && exec.domain_busy.get(&d).copied().unwrap_or(0) == 0 {
+                    eligible.push((k, d));
+                }
+            }
+        }
+        eligible.sort_unstable();
+        let mut dispatched = false;
+        for (kx, _) in eligible {
+            {
+                let exec = sched.exec.as_ref().unwrap();
+                if exec.inflight >= exec.workers {
+                    break;
+                }
+            }
+            let x = kx.1;
+            if kx == f {
+                // The frontier candidate is handled by drain step 2; it
+                // reaches here only when the worker cap blocked it there.
+                continue;
+            }
+            if self.wake_horizon_clear(sched, x, kx, f.0) {
+                self.ticketed_dispatch(sched, Tid(x));
+                sched.exec.as_mut().unwrap().speculated += 1;
+                dispatched = true;
+            }
+        }
+        dispatched
+    }
+
+    /// The admission check for speculating candidate `x` at key `kx`
+    /// given frontier time `f`: prove no same-domain thread can become
+    /// runnable below `kx`. Wake keys are `(lower-bound time, woken
+    /// tid)`, so ties resolve exactly as the scheduler would.
+    fn wake_horizon_clear(
+        &self,
+        sched: &Sched,
+        x: usize,
+        kx: (VirtualTime, usize),
+        f: VirtualTime,
+    ) -> bool {
+        let d = sched.threads[x].domain;
+        let c = &self.cost;
+        // Any future release/wake is an effect with key time >= f, and
+        // the wake path charges these costs on top before the woken
+        // thread's new key. Domain-local semaphores tighten this: their
+        // releases come from this very domain, which is serialized behind
+        // `x` itself — but only when the wake path has nonzero cost, or a
+        // same-time smaller-tid wake could still slip under `kx`.
+        let sem_wake_cost = c.sem_op + c.wake + c.ctx_switch;
+        let local_sems_ignorable = !sem_wake_cost.is_zero();
+        for (i, t) in sched.threads.iter().enumerate() {
+            if i == x || t.domain != d {
+                continue;
+            }
+            let lb = match t.state {
+                TState::BlockedSem(sid) | TState::BlockedSemTimeout(sid, _) => {
+                    if local_sems_ignorable && sched.sems[sid.0].scope == SemScope::Local(d) {
+                        continue;
+                    }
+                    std::cmp::max(t.vtime, f + sem_wake_cost)
+                }
+                TState::BlockedJoin(target) => {
+                    if sched.threads[target.0].domain == d {
+                        // The join wake needs the (serialized, in-domain)
+                        // target to finish first; safe unless the target
+                        // is itself blocked in a way we can't bound.
+                        match sched.threads[target.0].state {
+                            TState::Ready
+                            | TState::Sleeping(_)
+                            | TState::BlockedSemTimeout(_, _)
+                            | TState::Done => continue,
+                            _ => return false,
+                        }
+                    } else {
+                        std::cmp::max(t.vtime, f + c.wake)
+                    }
+                }
+                TState::BlockedPoll(sid) => {
+                    // Woken by a post (>= one scaled poll cost after the
+                    // block time) or by a close (>= f + wake).
+                    let cycle = c.scaled_cycle(sched.sources[sid.0].poll_cost);
+                    let post = t.vtime + cycle;
+                    let close = std::cmp::max(t.vtime, f + c.wake);
+                    std::cmp::min(post, close)
+                }
+                // Ready/Sleeping/Running/Done peers are either candidates
+                // themselves (x is the domain min) or impossible (the
+                // domain has no busy slot).
+                _ => continue,
+            };
+            if (lb, i) <= kx {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Park the calling OS thread until its simulated thread is scheduled.
     /// On abort/deadlock the OS thread parks forever (the simulation is
     /// unrecoverable; `Kernel::run` reports the error).
@@ -377,24 +1028,52 @@ impl Shared {
         }
     }
 
-    /// Bookkeeping when a simulated thread finishes (normally or by
-    /// panic). Wakes joiners and schedules the next thread.
-    pub(crate) fn thread_exit(&self, me: Tid, panic_msg: Option<String>) {
-        let mut sched = self.state.lock();
+    /// Exit bookkeeping shared by both policies: record, mark done, wake
+    /// joiners.
+    fn exit_body(sched: &mut Sched, me: Tid, wake_cost: VirtualDuration) {
         let vtime = sched.threads[me.0].vtime;
         sched.record(me, || Event::Exit);
         sched.threads[me.0].state = TState::Done;
         sched.live -= 1;
         let joiners = std::mem::take(&mut sched.threads[me.0].joiners);
-        let wake_at = vtime + self.cost.wake;
+        let wake_at = vtime + wake_cost;
         for j in joiners {
-            Self::make_ready(&mut sched, j, wake_at);
+            Self::make_ready(sched, j, wake_at);
         }
+    }
+
+    /// Bookkeeping when a simulated thread finishes (normally or by
+    /// panic). Wakes joiners and schedules the next thread. Under
+    /// `Ticketed` a normal exit is the thread's final emitted effect; a
+    /// panic aborts directly and out of order (the run is unrecoverable,
+    /// so ordering no longer matters — only surfacing the error does).
+    pub(crate) fn thread_exit(self: &Arc<Self>, me: Tid, panic_msg: Option<String>) {
+        let mut sched = self.state.lock();
         if let Some(msg) = panic_msg {
+            Self::exit_body(&mut sched, me, self.cost.wake);
+            if self.ticketed() && sched.threads[me.0].in_flight {
+                sched.threads[me.0].in_flight = false;
+                if let Some(exec) = sched.exec.as_mut() {
+                    exec.inflight -= 1;
+                }
+            }
             sched.abort = Some(msg);
             self.cv.notify_all();
+            self.commit_cv.notify_all();
             return;
         }
+        if self.ticketed() {
+            let wake_cost = self.cost.wake;
+            self.emit_effect(
+                &mut sched,
+                me,
+                Box::new(move |sched, _shared, tid| {
+                    Self::exit_body(sched, tid, wake_cost);
+                }),
+            );
+            return;
+        }
+        Self::exit_body(&mut sched, me, self.cost.wake);
         self.dispatch(&mut sched);
     }
 }
@@ -425,8 +1104,10 @@ impl Kernel {
                     sources: Vec::new(),
                     post_seq: 0,
                     trace: None,
+                    exec: None,
                 }),
                 cv: Condvar::new(),
+                commit_cv: Condvar::new(),
                 cost,
                 metrics: Arc::new(Metrics::new()),
                 trace_on: AtomicBool::new(false),
@@ -506,13 +1187,43 @@ impl Kernel {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        crate::thread::spawn_inner(&self.shared, name.into(), VirtualTime::ZERO, f)
+        self.spawn_in(name, 0, f)
+    }
+
+    /// Like [`Kernel::spawn`], but placing the thread in a speculation
+    /// domain (see [`crate::cost::ExecPolicy`]): threads of different
+    /// domains may execute concurrently under `Ticketed`; threads of one
+    /// domain are always serialized. Children spawned from inside the
+    /// simulation inherit their parent's domain. Ignored under `Seed`.
+    pub fn spawn_in<T, F>(
+        &self,
+        name: impl Into<String>,
+        domain: u32,
+        f: F,
+    ) -> crate::thread::JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let name = name.into();
+        let tid = {
+            let mut sched = self.shared.state.lock();
+            crate::thread::alloc_slot(&mut sched, &name, VirtualTime::ZERO, domain)
+        };
+        crate::thread::launch_os(&self.shared, tid, &name, f)
     }
 
     /// Run the simulation to completion. Returns an error on deadlock or
     /// when a simulated thread panics (in which case remaining parked OS
     /// threads are leaked — the simulation is unrecoverable).
     pub fn run(&self) -> Result<(), SimError> {
+        match self.shared.cost.exec {
+            ExecPolicy::Seed => self.run_seed(),
+            ExecPolicy::Ticketed(workers) => self.run_ticketed(workers),
+        }
+    }
+
+    fn run_seed(&self) -> Result<(), SimError> {
         let mut sched = self.shared.state.lock();
         assert!(!sched.started, "Kernel::run called twice");
         sched.started = true;
@@ -531,6 +1242,71 @@ impl Kernel {
             }
             self.shared.cv.wait(&mut sched);
         }
+    }
+
+    /// The committer loop of `ExecPolicy::Ticketed`: the calling thread
+    /// plays sequencer and committer; simulated threads are the workers.
+    fn run_ticketed(&self, workers: usize) -> Result<(), SimError> {
+        assert!(
+            workers > 0,
+            "ExecPolicy::Ticketed needs at least one worker"
+        );
+        let shared = &self.shared;
+        let mut sched = shared.state.lock();
+        assert!(!sched.started, "Kernel::run called twice");
+        sched.started = true;
+        sched.exec = Some(ExecState {
+            workers,
+            pending: Vec::new(),
+            inflight: 0,
+            domain_busy: HashMap::new(),
+            tickets: 0,
+            speculated: 0,
+            last_key: None,
+            next_seq: 0,
+        });
+        loop {
+            if let Some(msg) = &sched.abort {
+                return Err(SimError::ThreadPanicked(msg.clone()));
+            }
+            if let Some(msg) = &sched.deadlock {
+                return Err(SimError::Deadlock(msg.clone()));
+            }
+            if shared.drain(&mut sched) {
+                continue;
+            }
+            let outstanding = {
+                let exec = sched.exec.as_ref().unwrap();
+                exec.inflight + exec.pending.len()
+            };
+            if outstanding == 0 {
+                if sched.live == 0 {
+                    return Ok(());
+                }
+                // Quiescent with live threads and nothing dispatchable:
+                // every thread is parked at an op boundary, so the state
+                // (and the report) is exactly what Seed would see.
+                let msg = format!(
+                    "no runnable thread among {} live:\n{}",
+                    sched.live,
+                    sched.dump()
+                );
+                sched.deadlock = Some(msg.clone());
+                return Err(SimError::Deadlock(msg));
+            }
+            shared.commit_cv.wait(&mut sched);
+        }
+    }
+
+    /// Scheduling statistics of a `Ticketed` run (`None` under `Seed`).
+    /// Host-side only — deliberately not part of the metrics registry,
+    /// whose snapshot is bit-identical across policies.
+    pub fn exec_stats(&self) -> Option<ExecStats> {
+        let sched = self.shared.state.lock();
+        sched.exec.as_ref().map(|e| ExecStats {
+            tickets: e.tickets,
+            speculated: e.speculated,
+        })
     }
 
     /// Virtual time at which the last simulated thread finished.

@@ -42,12 +42,13 @@ pub mod cost;
 pub mod kernel;
 pub mod obs;
 pub mod poll;
+pub mod rng;
 pub mod sync;
 pub mod thread;
 pub mod time;
 
-pub use cost::{CostModel, PollPolicy};
-pub use kernel::{Kernel, ProcId, SimError, TraceEvent};
+pub use cost::{CostModel, ExecPolicy, PollPolicy};
+pub use kernel::{ExecStats, Kernel, ProcId, SimError, TraceEvent};
 pub use obs::{
     chrome_trace_json, validate_spans, ActiveSpan, Event, HistSnapshot, Layer, Metrics,
     MetricsSnapshot, SpanKind, ThreadMeta,
@@ -57,6 +58,7 @@ pub use sync::{
     OneShot, Queue, Semaphore, SimBarrier, SimCondvar, SimMutex, SimMutexGuard, SimRwLock,
 };
 pub use thread::{
-    advance, advance_to, in_simulation, name, now, sleep, sleep_until, spawn, yield_now, JoinHandle,
+    advance, advance_to, in_simulation, name, now, sleep, sleep_until, spawn, step_seed, yield_now,
+    JoinHandle,
 };
 pub use time::{VirtualDuration, VirtualTime};

@@ -581,11 +581,24 @@ impl fmt::Display for MetricsSnapshot {
 /// Record a trace event for the calling simulated thread. The closure
 /// only runs when tracing is enabled; outside a simulated thread this is
 /// a no-op. Never advances virtual time.
+///
+/// Under `ExecPolicy::Ticketed` the record is routed through the
+/// committer, so trace order is defined by ticket (= virtual time)
+/// order, not by which worker got to the trace buffer first. With
+/// tracing off there is nothing order-observable and no effect is
+/// emitted.
 pub fn emit(f: impl FnOnce() -> Event) {
     let Some((shared, me)) = crate::thread::try_current() else {
         return;
     };
     if !shared.trace_on.load(Ordering::Relaxed) {
+        return;
+    }
+    if shared.in_sim_ticketed().is_some() {
+        let ev = f();
+        shared.critical(move |sched, _, me| {
+            sched.record(me.expect("in-sim emit"), move || ev);
+        });
         return;
     }
     let mut sched = shared.state.lock();
@@ -615,8 +628,21 @@ pub fn observe_ns(name: &str, ns: u64) {
 
 /// Ambient [`Metrics::reset`] — benchmarks call this from inside the
 /// simulation between warm-up and the measured iterations.
+///
+/// Unlike counter/gauge/histogram updates (commutative, so any
+/// interleaving produces the same snapshot), a reset is order-sensitive:
+/// under `ExecPolicy::Ticketed` it is committed at the caller's ticket.
+/// Call it from a quiescent point (after a barrier, with peers blocked),
+/// as the seed engine's benchmarks always have.
 pub fn reset_metrics() {
-    with_metrics(|m| m.reset());
+    let Some((shared, _)) = crate::thread::try_current() else {
+        return;
+    };
+    if shared.in_sim_ticketed().is_some() {
+        shared.critical(|_, sh, _| sh.metrics.reset());
+        return;
+    }
+    shared.metrics.reset();
 }
 
 /// An open span. `Copy`, so it can be stashed in shared state and ended
@@ -640,6 +666,25 @@ impl ActiveSpan {
 /// protocol name. `None` outside a simulated thread.
 pub fn span_begin(kind: SpanKind, label: &'static str) -> Option<ActiveSpan> {
     let (shared, me) = crate::thread::try_current()?;
+    // With tracing on, span ids are trace-visible, so their allocation
+    // order must be ticket order under `Ticketed`: allocate inside the
+    // committed record. With tracing off, ids only pair begins with ends
+    // in-process and any order will do.
+    if shared.trace_on.load(Ordering::Relaxed) && shared.in_sim_ticketed().is_some() {
+        let (id, begin) = shared.critical(move |sched, sh, me| {
+            let me = me.expect("in-sim span_begin");
+            let begin = sched.threads[me.index()].vtime;
+            let id = sh.metrics.next_span_id();
+            sched.record(me, || Event::SpanBegin { id, kind, label });
+            (id, begin)
+        });
+        return Some(ActiveSpan {
+            id,
+            kind,
+            label,
+            begin,
+        });
+    }
     let mut sched = shared.state.lock();
     let begin = sched.threads[me.index()].vtime;
     let id = shared.metrics.next_span_id();
@@ -690,7 +735,15 @@ pub fn span_end(span: Option<ActiveSpan>) {
     let Some((shared, me)) = crate::thread::try_current() else {
         return;
     };
-    let end = {
+    let end = if shared.trace_on.load(Ordering::Relaxed) && shared.in_sim_ticketed().is_some() {
+        let (id, kind, label) = (span.id, span.kind, span.label);
+        shared.critical(move |sched, _, me| {
+            let me = me.expect("in-sim span_end");
+            let end = sched.threads[me.index()].vtime;
+            sched.record(me, || Event::SpanEnd { id, kind, label });
+            end
+        })
+    } else {
         let mut sched = shared.state.lock();
         let end = sched.threads[me.index()].vtime;
         if shared.trace_on.load(Ordering::Relaxed) {

@@ -26,9 +26,24 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use crate::kernel::{Kernel, ProcId, Shared, SourceId, SourceState, TState};
+use crate::kernel::{Kernel, OpOutcome, ProcId, Sched, Shared, SourceId, SourceState, TState};
 use crate::thread::current;
 use crate::time::{VirtualDuration, VirtualTime};
+
+/// Commit-ordered mutation of source bookkeeping (attach/detach and
+/// creation). From inside a ticketed simulation this routes through the
+/// effect list; from the host (or under `ExecPolicy::Seed`) it runs
+/// directly under the scheduler lock, exactly as before.
+fn ordered<R: Send + 'static>(
+    shared: &Arc<Shared>,
+    f: impl FnOnce(&mut Sched) -> R + Send + 'static,
+) -> R {
+    if shared.in_sim_ticketed().is_some() {
+        shared.critical(move |sched, _, _| f(sched))
+    } else {
+        f(&mut shared.state.lock())
+    }
+}
 
 /// A message received from a poll source: the wire arrival time and the
 /// payload.
@@ -71,8 +86,7 @@ impl<T: Send + 'static> PollSource<T> {
     }
 
     fn with_shared(shared: Arc<Shared>, proc: ProcId, poll_cost: VirtualDuration) -> Self {
-        let id = {
-            let mut sched = shared.state.lock();
+        let id = ordered(&shared, move |sched| {
             let id = SourceId(sched.sources.len());
             sched.sources.push(SourceState {
                 proc,
@@ -85,7 +99,7 @@ impl<T: Send + 'static> PollSource<T> {
                 parked: false,
             });
             id
-        };
+        });
         PollSource {
             shared,
             id,
@@ -103,19 +117,24 @@ impl<T: Send + 'static> PollSource<T> {
     /// a benchmark model "a polling thread exists for this channel" even
     /// before its first wait.
     pub fn attach(&self) {
-        let mut sched = self.shared.state.lock();
-        let s = &mut sched.sources[self.id.0];
-        s.attached = true;
-        // An explicit (re)attach models a polling thread arriving: the
-        // source starts armed regardless of its idle history.
-        s.parked = false;
-        s.empty_polls = 0;
+        let id = self.id;
+        ordered(&self.shared, move |sched| {
+            let s = &mut sched.sources[id.0];
+            s.attached = true;
+            // An explicit (re)attach models a polling thread arriving: the
+            // source starts armed regardless of its idle history.
+            s.parked = false;
+            s.empty_polls = 0;
+        });
     }
 
     /// Remove this source from its process's polling cycle (the polling
     /// thread exited).
     pub fn detach(&self) {
-        self.shared.state.lock().sources[self.id.0].attached = false;
+        let id = self.id;
+        ordered(&self.shared, move |sched| {
+            sched.sources[id.0].attached = false;
+        });
     }
 
     /// Post a message that arrives on the wire at absolute virtual time
@@ -127,53 +146,58 @@ impl<T: Send + 'static> PollSource<T> {
             Arc::ptr_eq(&shared, &self.shared),
             "source used across kernels"
         );
-        let mut sched = shared.state.lock();
-        assert!(
-            !sched.sources[self.id.0].closed,
-            "post on closed poll source #{}",
-            self.id.0
+        let id = self.id;
+        shared.op(
+            me,
+            move |sched, sh, t| {
+                assert!(
+                    !sched.sources[id.0].closed,
+                    "post on closed poll source #{}",
+                    id.0
+                );
+                // The first post aimed at a parked source re-arms it *before*
+                // the detection cycle is computed: the re-armed channel's own
+                // poll is what will find the message, so it rejoins the loop
+                // immediately.
+                if sh.cost.poll_policy == crate::cost::PollPolicy::Parking {
+                    let s = &mut sched.sources[id.0];
+                    s.parked = false;
+                    s.empty_polls = 0;
+                }
+                let seq = sched.post_seq;
+                sched.post_seq += 1;
+                // Insert sorted by (arrival, seq): scan from the back, since
+                // arrivals are mostly monotone.
+                {
+                    let queue = &mut sched.sources[id.0].queue;
+                    let pos = queue
+                        .iter()
+                        .rposition(|(a, s, _)| (*a, *s) <= (arrival, seq))
+                        .map(|p| p + 1)
+                        .unwrap_or(0);
+                    queue.insert(pos, (arrival, seq, Box::new(payload)));
+                }
+                if let Some(w) = sched.sources[id.0].waiter.take() {
+                    let proc = sched.sources[id.0].proc;
+                    let cycle = sh.cost.scaled_cycle(Shared::polling_cycle(sched, proc));
+                    let (head_arrival, _, head) = sched.sources[id.0]
+                        .queue
+                        .pop_front()
+                        .expect("just inserted");
+                    let blocked_at = sched.threads[w.0].vtime;
+                    let notice = std::cmp::max(head_arrival, blocked_at) + cycle;
+                    sched.threads[w.0].wake_payload = Some(Box::new(Polled {
+                        arrival: head_arrival,
+                        payload: *head.downcast::<T>().expect("poll source type confusion"),
+                    }));
+                    Shared::make_ready(sched, w, notice);
+                    sched.record(t, || crate::obs::Event::PollWake { source: id.0 });
+                    sh.note_detection(sched, proc, id);
+                }
+                OpOutcome::Done(())
+            },
+            |_, _, _| unreachable!("post never blocks"),
         );
-        // The first post aimed at a parked source re-arms it *before* the
-        // detection cycle is computed: the re-armed channel's own poll is
-        // what will find the message, so it rejoins the loop immediately.
-        if shared.cost.poll_policy == crate::cost::PollPolicy::Parking {
-            let s = &mut sched.sources[self.id.0];
-            s.parked = false;
-            s.empty_polls = 0;
-        }
-        let seq = sched.post_seq;
-        sched.post_seq += 1;
-        // Insert sorted by (arrival, seq): scan from the back, since
-        // arrivals are mostly monotone.
-        {
-            let queue = &mut sched.sources[self.id.0].queue;
-            let pos = queue
-                .iter()
-                .rposition(|(a, s, _)| (*a, *s) <= (arrival, seq))
-                .map(|p| p + 1)
-                .unwrap_or(0);
-            queue.insert(pos, (arrival, seq, Box::new(payload)));
-        }
-        if let Some(w) = sched.sources[self.id.0].waiter.take() {
-            let proc = sched.sources[self.id.0].proc;
-            let cycle = shared
-                .cost
-                .scaled_cycle(Shared::polling_cycle(&sched, proc));
-            let (head_arrival, _, head) = sched.sources[self.id.0]
-                .queue
-                .pop_front()
-                .expect("just inserted");
-            let blocked_at = sched.threads[w.0].vtime;
-            let notice = std::cmp::max(head_arrival, blocked_at) + cycle;
-            sched.threads[w.0].wake_payload = Some(Box::new(Polled {
-                arrival: head_arrival,
-                payload: *head.downcast::<T>().expect("poll source type confusion"),
-            }));
-            Shared::make_ready(&mut sched, w, notice);
-            sched.record(me, || crate::obs::Event::PollWake { source: self.id.0 });
-            shared.note_detection(&mut sched, proc, self.id);
-        }
-        shared.reschedule(&mut sched, me);
     }
 
     /// Block until a message is noticed by the polling loop; returns
@@ -181,88 +205,103 @@ impl<T: Send + 'static> PollSource<T> {
     /// advances to the notice time.
     pub fn poll_wait(&self) -> Option<Polled<T>> {
         let (shared, me) = current();
-        let mut sched = shared.state.lock();
-        sched.sources[self.id.0].attached = true;
-        let proc = sched.sources[self.id.0].proc;
-        if let Some((arrival, _, payload)) = sched.sources[self.id.0].queue.pop_front() {
-            let cycle = shared
-                .cost
-                .scaled_cycle(Shared::polling_cycle(&sched, proc));
-            let slot = &mut sched.threads[me.0];
-            let notice = std::cmp::max(arrival, slot.vtime) + cycle;
-            slot.vtime = notice;
-            sched.record(me, || crate::obs::Event::PollQueued { source: self.id.0 });
-            shared.note_detection(&mut sched, proc, self.id);
-            shared.reschedule(&mut sched, me);
-            return Some(Polled {
-                arrival,
-                payload: *payload.downcast::<T>().expect("poll source type confusion"),
-            });
-        }
-        if sched.sources[self.id.0].closed {
-            shared.reschedule(&mut sched, me);
-            return None;
-        }
-        assert!(
-            sched.sources[self.id.0].waiter.is_none(),
-            "two threads poll-waiting on source #{}",
-            self.id.0
-        );
-        sched.sources[self.id.0].waiter = Some(me);
-        shared.block(&mut sched, me, TState::BlockedPoll(self.id));
-        // Woken either by a post (payload present) or by close (absent).
-        sched.record(me, || crate::obs::Event::PollWaited { source: self.id.0 });
-        let payload = sched.threads[me.0].wake_payload.take();
-        drop(sched);
-        payload.map(|p| {
-            *p.downcast::<Polled<T>>()
-                .expect("poll source type confusion")
-        })
+        let id = self.id;
+        shared.op(
+            me,
+            move |sched, sh, t| {
+                sched.sources[id.0].attached = true;
+                let proc = sched.sources[id.0].proc;
+                if let Some((arrival, _, payload)) = sched.sources[id.0].queue.pop_front() {
+                    let cycle = sh.cost.scaled_cycle(Shared::polling_cycle(sched, proc));
+                    let slot = &mut sched.threads[t.0];
+                    let notice = std::cmp::max(arrival, slot.vtime) + cycle;
+                    slot.vtime = notice;
+                    sched.record(t, || crate::obs::Event::PollQueued { source: id.0 });
+                    sh.note_detection(sched, proc, id);
+                    return OpOutcome::Done(Some(Polled {
+                        arrival,
+                        payload: *payload.downcast::<T>().expect("poll source type confusion"),
+                    }));
+                }
+                if sched.sources[id.0].closed {
+                    return OpOutcome::Done(None);
+                }
+                assert!(
+                    sched.sources[id.0].waiter.is_none(),
+                    "two threads poll-waiting on source #{}",
+                    id.0
+                );
+                sched.sources[id.0].waiter = Some(t);
+                // Runs when the thread is next dispatched, i.e. in commit
+                // order right before the waiter resumes.
+                sched.threads[t.0].wake_hook = Some(Box::new(move |sched, t| {
+                    sched.record(t, || crate::obs::Event::PollWaited { source: id.0 });
+                }));
+                OpOutcome::Blocked(TState::BlockedPoll(id))
+            },
+            // Woken either by a post (payload present) or by close (absent).
+            |sched, _, t| {
+                sched.threads[t.0].wake_payload.take().map(|p| {
+                    *p.downcast::<Polled<T>>()
+                        .expect("poll source type confusion")
+                })
+            },
+        )
     }
 
     /// One explicit poll attempt: charges this source's own poll cost and
     /// returns a message only if one had arrived by the (charged) clock.
     pub fn try_poll(&self) -> Option<Polled<T>> {
         let (shared, me) = current();
-        let mut sched = shared.state.lock();
-        let cost = sched.sources[self.id.0].poll_cost;
-        if shared.cost.poll_policy == crate::cost::PollPolicy::Parking {
-            // An explicit poll is this channel's own thread doing work:
-            // it is evidently not idle, so re-arm it.
-            let s = &mut sched.sources[self.id.0];
-            s.parked = false;
-            s.empty_polls = 0;
-        }
-        sched.threads[me.0].vtime += cost;
-        let now = sched.threads[me.0].vtime;
-        let due = sched.sources[self.id.0]
-            .queue
-            .front()
-            .is_some_and(|(a, _, _)| *a <= now);
-        let result = if due {
-            let (arrival, _, payload) = sched.sources[self.id.0].queue.pop_front().unwrap();
-            Some(Polled {
-                arrival,
-                payload: *payload.downcast::<T>().expect("poll source type confusion"),
-            })
-        } else {
-            None
-        };
-        shared.reschedule(&mut sched, me);
-        result
+        let id = self.id;
+        shared.op(
+            me,
+            move |sched, sh, t| {
+                let cost = sched.sources[id.0].poll_cost;
+                if sh.cost.poll_policy == crate::cost::PollPolicy::Parking {
+                    // An explicit poll is this channel's own thread doing
+                    // work: it is evidently not idle, so re-arm it.
+                    let s = &mut sched.sources[id.0];
+                    s.parked = false;
+                    s.empty_polls = 0;
+                }
+                sched.threads[t.0].vtime += cost;
+                let now = sched.threads[t.0].vtime;
+                let due = sched.sources[id.0]
+                    .queue
+                    .front()
+                    .is_some_and(|(a, _, _)| *a <= now);
+                OpOutcome::Done(if due {
+                    let (arrival, _, payload) = sched.sources[id.0].queue.pop_front().unwrap();
+                    Some(Polled {
+                        arrival,
+                        payload: *payload.downcast::<T>().expect("poll source type confusion"),
+                    })
+                } else {
+                    None
+                })
+            },
+            |_, _, _| unreachable!("try_poll never blocks"),
+        )
     }
 
     /// Close the source: the blocked poller (if any) wakes with `None`,
     /// and future `poll_wait`s return `None` once the queue drains.
     pub fn close(&self) {
         let (shared, me) = current();
-        let mut sched = shared.state.lock();
-        sched.sources[self.id.0].closed = true;
-        if let Some(w) = sched.sources[self.id.0].waiter.take() {
-            let at = sched.threads[me.0].vtime + shared.cost.wake;
-            Shared::make_ready(&mut sched, w, at);
-        }
-        shared.reschedule(&mut sched, me);
+        let id = self.id;
+        shared.op(
+            me,
+            move |sched, sh, t| {
+                sched.sources[id.0].closed = true;
+                if let Some(w) = sched.sources[id.0].waiter.take() {
+                    let at = sched.threads[t.0].vtime + sh.cost.wake;
+                    Shared::make_ready(sched, w, at);
+                }
+                OpOutcome::Done(())
+            },
+            |_, _, _| unreachable!("close never blocks"),
+        );
     }
 
     /// Number of queued (arrived or in-flight) messages.

@@ -1,0 +1,60 @@
+//! The shared deterministic mixer used across the simulation stack.
+//!
+//! Two consumers sit on top of this module:
+//!
+//! * the kernel's **sequencer** (`ExecPolicy::Ticketed`), which derives a
+//!   per-step seed for every committed kernel operation from the step's
+//!   identity `(virtual time, thread id, per-thread op ordinal)` — see
+//!   [`crate::thread::step_seed`]. Because the identity triple is a pure
+//!   function of committed state, the seed stream is bit-identical
+//!   between `ExecPolicy::Seed` and `ExecPolicy::Ticketed(n)` for any
+//!   worker count;
+//! * `simnet`'s jitter and fault injection, which hash **message
+//!   identity** `(seed, seq, bytes)` (re-exported there as
+//!   `simnet::rng`).
+//!
+//! Everything pseudo-random anywhere in the stack must be derived from
+//! one of those identities, never from call order or host entropy —
+//! that is the whole replay contract.
+
+/// SplitMix64 increment; also used to spread sequence numbers before
+/// seeding so that consecutive values land far apart.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64: a tiny, high-quality deterministic mixer (Steele,
+/// Lea, Flood — "Fast splittable pseudorandom number generators").
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(GOLDEN_GAMMA);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The sequencer's per-step seed: a mix of the step identity. `vtime_ns`
+/// is the thread's virtual clock at the step, `tid` its thread id and
+/// `ops` the 1-based ordinal of this kernel operation on that thread.
+pub fn step_seed(vtime_ns: u64, tid: u64, ops: u64) -> u64 {
+    splitmix64(vtime_ns ^ tid.wrapping_mul(GOLDEN_GAMMA) ^ splitmix64(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        let outs: std::collections::HashSet<u64> = (0..64).map(splitmix64).collect();
+        assert_eq!(outs.len(), 64);
+    }
+
+    #[test]
+    fn step_seed_separates_identities() {
+        let a = step_seed(1_000, 3, 7);
+        assert_eq!(a, step_seed(1_000, 3, 7));
+        assert_ne!(a, step_seed(1_000, 3, 8));
+        assert_ne!(a, step_seed(1_000, 4, 7));
+        assert_ne!(a, step_seed(1_001, 3, 7));
+    }
+}

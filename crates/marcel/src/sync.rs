@@ -12,9 +12,36 @@ use std::sync::Arc;
 
 use parking_lot::Mutex as RealMutex;
 
-use crate::kernel::{Kernel, SemId, SemState, Shared, TState};
+use crate::kernel::{Kernel, OpOutcome, Sched, SemId, SemScope, SemState, Shared, TState, Tid};
 use crate::thread::current;
 use crate::time::VirtualDuration;
+
+/// The V-operation body, shared by [`Semaphore::release`] and the
+/// fused commit-ordered release paths (condvar notify, queue push).
+pub(crate) fn release_body(sched: &mut Sched, shared: &Shared, me: Tid, sid: SemId) {
+    let cost = &shared.cost;
+    let (op, wake, ctx) = (cost.sem_op, cost.wake, cost.ctx_switch);
+    sched.threads[me.0].vtime += op;
+    let releaser_clock = sched.threads[me.0].vtime;
+    let sem = &mut sched.sems[sid.0];
+    if let Some(w) = sem.waiters.pop_front() {
+        // The woken thread becomes runnable after the cross-thread
+        // wake latency plus a context switch to it.
+        let at = releaser_clock + wake + ctx;
+        // A timed waiter needs a grant marker so it can tell this
+        // wake-up apart from its own deadline firing.
+        if matches!(sched.threads[w.0].state, TState::BlockedSemTimeout(_, _)) {
+            sched.threads[w.0].wake_payload = Some(Box::new(()));
+        }
+        Shared::make_ready(sched, w, at);
+        sched.record(me, || crate::obs::Event::SemWake {
+            sem: sid.0,
+            woken: w.0,
+        });
+    } else {
+        sem.count += 1;
+    }
+}
 
 /// A counting semaphore with FIFO waiter wake-up (deterministic).
 ///
@@ -27,25 +54,55 @@ pub struct Semaphore {
 
 impl Semaphore {
     /// Create a semaphore on `kernel` with the given initial count.
+    /// Semaphores created against an explicit kernel handle are always
+    /// shared-scope: the handle is typically held by the host, and the
+    /// semaphore handed to threads of several domains.
     pub fn new(kernel: &Kernel, initial: u64) -> Self {
-        Self::with_shared(kernel.shared.clone(), initial)
+        Self::with_shared(kernel.shared.clone(), initial, true)
     }
 
     /// Create a semaphore on the *current* simulated thread's kernel.
+    /// Under `ExecPolicy::Ticketed`, a semaphore created this way is
+    /// *domain-local* to the creator (see `SemScope`); use
+    /// [`Semaphore::current_shared`] when threads of another domain
+    /// (roughly: another node's ranks) will operate on it.
     pub fn current(initial: u64) -> Self {
         let (shared, _) = current();
-        Self::with_shared(shared, initial)
+        Self::with_shared(shared, initial, false)
     }
 
-    fn with_shared(shared: Arc<Shared>, initial: u64) -> Self {
-        let id = {
+    /// Like [`Semaphore::current`], but usable from any speculation
+    /// domain under `ExecPolicy::Ticketed` (at the price of blocking
+    /// speculation around its waiters).
+    pub fn current_shared(initial: u64) -> Self {
+        let (shared, _) = current();
+        Self::with_shared(shared, initial, true)
+    }
+
+    fn alloc(sched: &mut Sched, initial: u64, scope: SemScope) -> SemId {
+        let id = SemId(sched.sems.len());
+        sched.sems.push(SemState {
+            count: initial,
+            waiters: VecDeque::new(),
+            scope,
+        });
+        id
+    }
+
+    fn with_shared(shared: Arc<Shared>, initial: u64, force_shared: bool) -> Self {
+        // In a ticketed run, ID allocation from inside the simulation
+        // must be commit-ordered (IDs appear in the trace).
+        let id = if shared.in_sim_ticketed().is_some() {
+            shared.critical(move |sched, _, me| {
+                let scope = match me {
+                    Some(t) if !force_shared => SemScope::Local(sched.threads[t.0].domain),
+                    _ => SemScope::Shared,
+                };
+                Self::alloc(sched, initial, scope)
+            })
+        } else {
             let mut sched = shared.state.lock();
-            let id = SemId(sched.sems.len());
-            sched.sems.push(SemState {
-                count: initial,
-                waiters: VecDeque::new(),
-            });
-            id
+            Self::alloc(&mut sched, initial, SemScope::Shared)
         };
         Semaphore { shared, id }
     }
@@ -58,18 +115,24 @@ impl Semaphore {
             Arc::ptr_eq(&shared, &self.shared),
             "semaphore used across kernels"
         );
-        let mut sched = shared.state.lock();
-        let op = shared.cost.sem_op;
-        sched.threads[me.0].vtime += op;
-        let sem = &mut sched.sems[self.id.0];
-        if sem.count > 0 {
-            sem.count -= 1;
-            shared.reschedule(&mut sched, me);
-        } else {
-            sem.waiters.push_back(me);
-            sched.record(me, || crate::obs::Event::SemBlock { sem: self.id.0 });
-            shared.block(&mut sched, me, TState::BlockedSem(self.id));
-        }
+        let id = self.id;
+        shared.op(
+            me,
+            move |sched, sh, t| {
+                sh.check_sem_domain(sched, t, id);
+                sched.threads[t.0].vtime += sh.cost.sem_op;
+                let sem = &mut sched.sems[id.0];
+                if sem.count > 0 {
+                    sem.count -= 1;
+                    OpOutcome::Done(())
+                } else {
+                    sem.waiters.push_back(t);
+                    sched.record(t, || crate::obs::Event::SemBlock { sem: id.0 });
+                    OpOutcome::Blocked(TState::BlockedSem(id))
+                }
+            },
+            |_, _, _| (),
+        );
     }
 
     /// P operation with a virtual-time deadline: blocks until a release
@@ -87,71 +150,101 @@ impl Semaphore {
             Arc::ptr_eq(&shared, &self.shared),
             "semaphore used across kernels"
         );
-        let mut sched = shared.state.lock();
-        let op = shared.cost.sem_op;
-        sched.threads[me.0].vtime += op;
-        let sem = &mut sched.sems[self.id.0];
-        if sem.count > 0 {
-            sem.count -= 1;
-            shared.reschedule(&mut sched, me);
-            return true;
-        }
-        let deadline = sched.threads[me.0].vtime + timeout;
-        sched.sems[self.id.0].waiters.push_back(me);
-        sched.record(me, || crate::obs::Event::SemBlockTimeout {
-            sem: self.id.0,
-            deadline,
-        });
-        shared.block(&mut sched, me, TState::BlockedSemTimeout(self.id, deadline));
-        // Resumed: a release left a grant marker; a timeout did not.
-        sched.threads[me.0].wake_payload.take().is_some()
+        let id = self.id;
+        shared.op(
+            me,
+            move |sched, sh, t| {
+                sh.check_sem_domain(sched, t, id);
+                sched.threads[t.0].vtime += sh.cost.sem_op;
+                let sem = &mut sched.sems[id.0];
+                if sem.count > 0 {
+                    sem.count -= 1;
+                    return OpOutcome::Done(true);
+                }
+                let deadline = sched.threads[t.0].vtime + timeout;
+                sched.sems[id.0].waiters.push_back(t);
+                sched.record(t, || crate::obs::Event::SemBlockTimeout {
+                    sem: id.0,
+                    deadline,
+                });
+                OpOutcome::Blocked(TState::BlockedSemTimeout(id, deadline))
+            },
+            // Resumed: a release left a grant marker; a timeout did not.
+            |sched, _, t| sched.threads[t.0].wake_payload.take().is_some(),
+        )
     }
 
     /// Non-blocking P: returns whether the count was successfully taken.
     pub fn try_acquire(&self) -> bool {
         let (shared, me) = current();
-        let mut sched = shared.state.lock();
-        let op = shared.cost.sem_op;
-        sched.threads[me.0].vtime += op;
-        let sem = &mut sched.sems[self.id.0];
-        let got = if sem.count > 0 {
-            sem.count -= 1;
-            true
-        } else {
-            false
-        };
-        shared.reschedule(&mut sched, me);
-        got
+        let id = self.id;
+        shared.op(
+            me,
+            move |sched, sh, t| {
+                sh.check_sem_domain(sched, t, id);
+                sched.threads[t.0].vtime += sh.cost.sem_op;
+                let sem = &mut sched.sems[id.0];
+                OpOutcome::Done(if sem.count > 0 {
+                    sem.count -= 1;
+                    true
+                } else {
+                    false
+                })
+            },
+            |_, _, _| unreachable!("try_acquire never blocks"),
+        )
     }
 
     /// V operation: wake the longest-blocked waiter (handoff semantics)
     /// or increment the count.
     pub fn release(&self) {
         let (shared, me) = current();
-        let mut sched = shared.state.lock();
-        let cost = &shared.cost;
-        let (op, wake, ctx) = (cost.sem_op, cost.wake, cost.ctx_switch);
-        sched.threads[me.0].vtime += op;
-        let releaser_clock = sched.threads[me.0].vtime;
-        let sem = &mut sched.sems[self.id.0];
-        if let Some(w) = sem.waiters.pop_front() {
-            // The woken thread becomes runnable after the cross-thread
-            // wake latency plus a context switch to it.
-            let at = releaser_clock + wake + ctx;
-            // A timed waiter needs a grant marker so it can tell this
-            // wake-up apart from its own deadline firing.
-            if matches!(sched.threads[w.0].state, TState::BlockedSemTimeout(_, _)) {
-                sched.threads[w.0].wake_payload = Some(Box::new(()));
-            }
-            Shared::make_ready(&mut sched, w, at);
-            sched.record(me, || crate::obs::Event::SemWake {
-                sem: self.id.0,
-                woken: w.0,
-            });
+        let id = self.id;
+        shared.op(
+            me,
+            move |sched, sh, t| {
+                sh.check_sem_domain(sched, t, id);
+                release_body(sched, sh, t, id);
+                OpOutcome::Done(())
+            },
+            |_, _, _| unreachable!("release never blocks"),
+        );
+    }
+
+    /// V operation fused with a side effect: `action` runs *inside* the
+    /// kernel step, immediately before the release body. Under
+    /// `ExecPolicy::Ticketed` this keeps producer-side data mutations
+    /// (e.g. a queue push) in commit order relative to the wake-up they
+    /// announce.
+    pub(crate) fn release_with(&self, action: impl FnOnce() + Send + 'static) {
+        let (shared, me) = current();
+        let id = self.id;
+        shared.op(
+            me,
+            move |sched, sh, t| {
+                sh.check_sem_domain(sched, t, id);
+                action();
+                release_body(sched, sh, t, id);
+                OpOutcome::Done(())
+            },
+            |_, _, _| unreachable!("release never blocks"),
+        );
+    }
+
+    /// Commit-ordered access to auxiliary primitive state (the side
+    /// counters of the wrappers below). Under a ticketed run from inside
+    /// the simulation the closure runs at the calling thread's position
+    /// in commit order; otherwise it runs immediately, exactly as the
+    /// seed engine always has.
+    fn ordered<R: Send + 'static>(
+        shared: &Arc<Shared>,
+        f: impl FnOnce() -> R + Send + 'static,
+    ) -> R {
+        if shared.in_sim_ticketed().is_some() {
+            shared.critical(move |_, _, _| f())
         } else {
-            sem.count += 1;
+            f()
         }
-        shared.reschedule(&mut sched, me);
     }
 
     /// Current count (diagnostics only; racy in the usual semaphore way).
@@ -273,23 +366,27 @@ impl SimCondvar {
         mutex: &'a SimMutex<T>,
         guard: SimMutexGuard<'a, T>,
     ) -> SimMutexGuard<'a, T> {
-        *self.waiting.lock() += 1;
+        let w = self.waiting.clone();
+        Semaphore::ordered(&self.sem.shared, move || *w.lock() += 1);
         drop(guard);
         self.sem.acquire();
-        *self.waiting.lock() -= 1;
+        let w = self.waiting.clone();
+        Semaphore::ordered(&self.sem.shared, move || *w.lock() -= 1);
         mutex.lock()
     }
 
     /// Wake one waiter (FIFO).
     pub fn notify_one(&self) {
-        if *self.waiting.lock() > 0 {
+        let w = self.waiting.clone();
+        if Semaphore::ordered(&self.sem.shared, move || *w.lock() > 0) {
             self.sem.release();
         }
     }
 
     /// Wake every current waiter.
     pub fn notify_all(&self) {
-        let n = *self.waiting.lock();
+        let w = self.waiting.clone();
+        let n = Semaphore::ordered(&self.sem.shared, move || *w.lock());
         for _ in 0..n {
             self.sem.release();
         }
@@ -405,8 +502,12 @@ impl<T: Send + 'static> Queue<T> {
     }
 
     pub fn push(&self, value: T) {
-        self.buf.lock().push_back(value);
-        self.sem.release();
+        // The buffer mutation rides inside the release step so that,
+        // under `ExecPolicy::Ticketed`, element order in the buffer is
+        // commit order (= the order poppers are woken in), not the real
+        // time order in which producer workers happened to run.
+        let buf = self.buf.clone();
+        self.sem.release_with(move || buf.lock().push_back(value));
     }
 
     /// Block until an element is available.
@@ -492,17 +593,21 @@ impl SimBarrier {
     /// Wait for all parties. Returns true on the "leader" (the last
     /// thread to arrive), mirroring `std::sync::Barrier`.
     pub fn wait(&self) -> bool {
-        let is_leader = {
-            let mut st = self.state.lock();
+        let state = self.state.clone();
+        let parties = self.parties;
+        // Arrival bookkeeping is commit-ordered under a ticketed run so
+        // the leader (last arrival in *virtual* order) is deterministic.
+        let is_leader = Semaphore::ordered(&self.sem.shared, move || {
+            let mut st = state.lock();
             st.waiting += 1;
-            if st.waiting == self.parties {
+            if st.waiting == parties {
                 st.waiting = 0;
                 st.generation += 1;
                 true
             } else {
                 false
             }
-        };
+        });
         if is_leader {
             for _ in 0..self.parties - 1 {
                 self.sem.release();
@@ -582,9 +687,17 @@ impl<T: Send + 'static> SimRwLock<T> {
 
 impl<T> SimRwLock<T> {
     fn read_unlock(&self) {
-        let mut readers = self.readers.lock();
-        *readers -= 1;
-        if *readers == 0 {
+        // Not performed under the gate, so the decrement must be
+        // commit-ordered itself: which reader turns the count to zero
+        // (and therefore releases the writer-exclusion semaphore) has to
+        // be the same thread in every execution.
+        let readers = self.readers.clone();
+        let release_excl = Semaphore::ordered(&self.excl.shared, move || {
+            let mut r = readers.lock();
+            *r -= 1;
+            *r == 0
+        });
+        if release_excl {
             self.excl.release();
         }
     }

@@ -6,11 +6,12 @@
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
-use crate::kernel::{Sched, Shared, TState, ThreadSlot, Tid};
+use crate::kernel::{OpOutcome, ParkSlot, Sched, Shared, TState, ThreadSlot, Tid};
 use crate::time::{VirtualDuration, VirtualTime};
 
 thread_local! {
@@ -57,21 +58,24 @@ impl<T: Send + 'static> JoinHandle<T> {
     /// return its result. Must be called from inside the simulation.
     pub fn join(self) -> T {
         let (shared, me) = current();
-        {
-            let mut sched = shared.state.lock();
-            let done = matches!(sched.threads[self.tid.0].state, TState::Done);
-            if done {
-                let end = sched.threads[self.tid.0].vtime;
-                let slot = &mut sched.threads[me.0];
-                if end > slot.vtime {
-                    slot.vtime = end;
+        let target = self.tid;
+        shared.op(
+            me,
+            move |sched, _shared, t| {
+                if matches!(sched.threads[target.0].state, TState::Done) {
+                    let end = sched.threads[target.0].vtime;
+                    let slot = &mut sched.threads[t.0];
+                    if end > slot.vtime {
+                        slot.vtime = end;
+                    }
+                    OpOutcome::Done(())
+                } else {
+                    sched.threads[target.0].joiners.push(t);
+                    OpOutcome::Blocked(TState::BlockedJoin(target))
                 }
-                shared.reschedule(&mut sched, me);
-            } else {
-                sched.threads[self.tid.0].joiners.push(me);
-                shared.block(&mut sched, me, TState::BlockedJoin(self.tid));
-            }
-        }
+            },
+            |_, _, _| (),
+        );
         self.slot
             .lock()
             .take()
@@ -86,32 +90,42 @@ impl<T: Send + 'static> JoinHandle<T> {
     }
 }
 
-/// Internal spawn shared by `Kernel::spawn` and [`spawn`].
-pub(crate) fn spawn_inner<T, F>(
-    shared: &Arc<Shared>,
-    name: String,
-    start: VirtualTime,
-    f: F,
-) -> JoinHandle<T>
+/// Push a fresh thread slot into the scheduler (shared by host spawn and
+/// the in-simulation spawn op; under `Ticketed` the latter runs this at
+/// commit time, which is what makes tid assignment deterministic).
+pub(crate) fn alloc_slot(sched: &mut Sched, name: &str, start: VirtualTime, domain: u32) -> Tid {
+    let tid = Tid(sched.threads.len());
+    sched.threads.push(ThreadSlot {
+        name: name.to_string(),
+        vtime: start,
+        state: TState::Ready,
+        joiners: Vec::new(),
+        wake_payload: None,
+        domain,
+        ops: 0,
+        op_result: None,
+        in_flight: false,
+        wake_hook: None,
+        park: Arc::new(ParkSlot {
+            resume: AtomicBool::new(false),
+            cv: Condvar::new(),
+        }),
+    });
+    sched.live += 1;
+    sched.record(tid, || crate::obs::Event::Spawn);
+    tid
+}
+
+/// Create the backing OS thread for an already-allocated slot. Safe to
+/// call after the scheduler has already dispatched `tid` (ticketed): the
+/// park slot's resume flag is level-triggered, so the dispatch is not
+/// lost.
+pub(crate) fn launch_os<T, F>(shared: &Arc<Shared>, tid: Tid, name: &str, f: F) -> JoinHandle<T>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
     let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
-    let tid = {
-        let mut sched = shared.state.lock();
-        let tid = Tid(sched.threads.len());
-        sched.threads.push(ThreadSlot {
-            name: name.clone(),
-            vtime: start,
-            state: TState::Ready,
-            joiners: Vec::new(),
-            wake_payload: None,
-        });
-        sched.live += 1;
-        sched.record(tid, || crate::obs::Event::Spawn);
-        tid
-    };
     let os_shared = shared.clone();
     let os_slot = slot.clone();
     std::thread::Builder::new()
@@ -119,8 +133,13 @@ where
         .spawn(move || {
             CURRENT.with(|c| *c.borrow_mut() = Some((os_shared.clone(), tid)));
             {
-                let mut sched = os_shared.state.lock();
-                os_shared.wait_until_running(&mut sched, tid);
+                let sched = os_shared.state.lock();
+                if os_shared.ticketed() {
+                    drop(os_shared.wait_for_commit(sched, tid));
+                } else {
+                    let mut sched = sched;
+                    os_shared.wait_until_running(&mut sched, tid);
+                }
             }
             let result = catch_unwind(AssertUnwindSafe(f));
             let panic_msg = match result {
@@ -136,7 +155,7 @@ where
     JoinHandle { tid, slot }
 }
 
-fn panic_to_string(payload: &(dyn std::any::Any + Send), tid: Tid) -> String {
+pub(crate) fn panic_to_string(payload: &(dyn std::any::Any + Send), tid: Tid) -> String {
     let msg = if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -156,14 +175,40 @@ where
     F: FnOnce() -> T + Send + 'static,
 {
     let (shared, me) = current();
-    let start = {
+    let name = name.into();
+    if shared.ticketed() {
+        // One commit-ordered op: charge the parent and allocate the
+        // child's slot. The OS thread is created after the op returns;
+        // the level-triggered park slot tolerates the child being
+        // dispatched before its OS thread exists.
+        let op_name = name.clone();
+        let tid = shared.op(
+            me,
+            move |sched, sh, t| {
+                let spawn_cost = sh.cost.spawn;
+                let slot = &mut sched.threads[t.0];
+                slot.vtime += spawn_cost;
+                let start = slot.vtime;
+                let domain = slot.domain;
+                OpOutcome::Done(alloc_slot(sched, &op_name, start, domain))
+            },
+            |_, _, _| unreachable!("spawn op never blocks"),
+        );
+        return launch_os(&shared, tid, &name, f);
+    }
+    // Seed: the OS thread must exist before the reschedule, because the
+    // scheduler could pick the child immediately.
+    let tid = {
         let mut sched = shared.state.lock();
+        sched.threads[me.0].ops += 1;
         let spawn_cost = shared.cost.spawn;
         let slot = &mut sched.threads[me.0];
         slot.vtime += spawn_cost;
-        slot.vtime
+        let start = slot.vtime;
+        let domain = slot.domain;
+        alloc_slot(&mut sched, &name, start, domain)
     };
-    let handle = spawn_inner(&shared, name.into(), start, f);
+    let handle = launch_os(&shared, tid, &name, f);
     // The child is now Ready; re-evaluate scheduling (the child has the
     // same vtime but a larger tid, so the parent keeps running — the
     // reschedule keeps the invariant that every kernel op re-dispatches).
@@ -182,37 +227,56 @@ pub fn now() -> VirtualTime {
 /// Charge `d` of computation/occupancy to the current thread's clock.
 pub fn advance(d: VirtualDuration) {
     let (shared, me) = current();
-    let mut sched = shared.state.lock();
-    sched.threads[me.0].vtime += d;
-    shared.reschedule(&mut sched, me);
+    shared.op(
+        me,
+        move |sched, _, t| {
+            sched.threads[t.0].vtime += d;
+            OpOutcome::Done(())
+        },
+        |_, _, _| (),
+    );
 }
 
 /// Yield the processor (charges the yield cost).
 pub fn yield_now() {
     let (shared, me) = current();
-    let mut sched = shared.state.lock();
-    let c = shared.cost.yield_op;
-    sched.threads[me.0].vtime += c;
-    shared.reschedule(&mut sched, me);
+    shared.op(
+        me,
+        |sched, sh, t| {
+            sched.threads[t.0].vtime += sh.cost.yield_op;
+            OpOutcome::Done(())
+        },
+        |_, _, _| (),
+    );
 }
 
 /// Sleep for `d` of virtual time.
 pub fn sleep(d: VirtualDuration) {
     let (shared, me) = current();
-    let mut sched = shared.state.lock();
-    let wake = sched.threads[me.0].vtime + d;
-    shared.block(&mut sched, me, TState::Sleeping(wake));
+    shared.op(
+        me,
+        move |sched, _, t| {
+            let wake = sched.threads[t.0].vtime + d;
+            OpOutcome::Blocked(TState::Sleeping(wake))
+        },
+        |_, _, _| (),
+    );
 }
 
 /// Sleep until the absolute virtual time `t` (no-op if already past).
 pub fn sleep_until(t: VirtualTime) {
     let (shared, me) = current();
-    let mut sched = shared.state.lock();
-    if sched.threads[me.0].vtime >= t {
-        shared.reschedule(&mut sched, me);
-        return;
-    }
-    shared.block(&mut sched, me, TState::Sleeping(t));
+    shared.op(
+        me,
+        move |sched, _, tr| {
+            if sched.threads[tr.0].vtime >= t {
+                OpOutcome::Done(())
+            } else {
+                OpOutcome::Blocked(TState::Sleeping(t))
+            }
+        },
+        |_, _, _| (),
+    );
 }
 
 /// Name of the current simulated thread (for diagnostics).
@@ -227,11 +291,28 @@ pub fn name() -> String {
 /// the current thread: sets the clock to `max(now, t)`.
 pub fn advance_to(t: VirtualTime) {
     let (shared, me) = current();
-    let mut sched = shared.state.lock();
-    if t > sched.threads[me.0].vtime {
-        sched.threads[me.0].vtime = t;
-    }
-    shared.reschedule(&mut sched, me);
+    shared.op(
+        me,
+        move |sched, _, tr| {
+            if t > sched.threads[tr.0].vtime {
+                sched.threads[tr.0].vtime = t;
+            }
+            OpOutcome::Done(())
+        },
+        |_, _, _| (),
+    );
+}
+
+/// The current thread's deterministic per-step RNG seed (the sequencer
+/// role of the ticketed engine, but available under every policy): a
+/// [`crate::rng`] mix of the step identity `(vtime, tid, op ordinal)`.
+/// All three inputs are committed state, so the value is bit-identical
+/// between `ExecPolicy::Seed` and `ExecPolicy::Ticketed(n)` for any `n`.
+pub fn step_seed() -> u64 {
+    let (shared, me) = current();
+    let sched = shared.state.lock();
+    let slot = &sched.threads[me.0];
+    crate::rng::step_seed(slot.vtime.as_nanos(), me.0 as u64, slot.ops)
 }
 
 #[allow(dead_code)]

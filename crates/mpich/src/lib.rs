@@ -56,7 +56,7 @@ pub use datatype::{from_bytes, to_bytes, BaseType, Datatype, MpiScalar};
 pub use device::{ChMad, ChMadConfig, ChP4, ChP4Costs, ChSelf, Packet, SmpPlug};
 pub use engine::Engine;
 pub use group::Group;
-pub use marcel::PollPolicy;
+pub use marcel::{ExecPolicy, PollPolicy};
 pub use matching::{PostedStore, UnexpectedStore};
 pub use op::ReduceOp;
 pub use request::{wait_all, wait_any, Request};

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use marcel::{CostModel, Kernel, PollPolicy, SimBarrier, SimError, SimMutex};
+use marcel::{CostModel, ExecPolicy, Kernel, PollPolicy, SimBarrier, SimError, SimMutex};
 use simnet::{NodeId, Topology};
 
 use crate::adi::{AdiCosts, Device, DeviceSet};
@@ -69,6 +69,14 @@ pub struct WorldConfig {
     /// re-arms it on the next incoming message. Copied into
     /// `cost_model.poll_policy` when the world starts.
     pub poll: PollPolicy,
+    /// Execution engine for the kernel step loop. `Seed` (the default)
+    /// is the original serial loop; `Ticketed(workers)` runs ranks of
+    /// different nodes on parallel host workers behind a sequencer →
+    /// committer pipeline. Results, trace, metrics and end times are
+    /// bit-identical between the two for every worker count — only host
+    /// wall-clock changes. Copied into `cost_model.exec` when the world
+    /// starts.
+    pub exec: ExecPolicy,
 }
 
 /// Build the Chrome-exporter thread table for a finished world run: one
@@ -106,6 +114,7 @@ impl Default for WorldConfig {
             trace: false,
             coll: CollPolicy::Seed,
             poll: PollPolicy::Seed,
+            exec: ExecPolicy::Seed,
         }
     }
 }
@@ -192,6 +201,7 @@ where
 {
     let mut cost_model = config.cost_model.clone();
     cost_model.poll_policy = config.poll;
+    cost_model.exec = config.exec;
     let kernel = Kernel::new(cost_model);
     if config.trace {
         kernel.enable_trace();
@@ -269,7 +279,12 @@ where
         });
         let f = f.clone();
         let shutdown = shutdown.clone();
-        handles.push(kernel.spawn(format!("rank{rank}"), move || {
+        // Speculation domain = 1 + hosting node: ranks (and the polling
+        // threads they spawn) of one node stay serialized with each
+        // other, ranks of different nodes may run on parallel workers.
+        // Domain 0 is reserved for host-spawned threads.
+        let domain = 1 + session.node_of(rank).0 as u32;
+        handles.push(kernel.spawn_in(format!("rank{rank}"), domain, move || {
             // MPI_Init: start the inter-node device's service threads.
             let pollers = env.devices.remote.clone().start_rank(rank);
             let comm = Communicator::world(env.clone());

@@ -22,19 +22,11 @@
 //! and degradations — the seed-invariance tests in `tests/faults.rs`
 //! assert this end to end.
 
-/// SplitMix64 increment; also used to spread sequence numbers before
-/// seeding so that consecutive `seq` values land far apart.
-pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// SplitMix64: a tiny, high-quality deterministic mixer (Steele,
-/// Lea, Flood — "Fast splittable pseudorandom number generators").
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(GOLDEN_GAMMA);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The mixer itself lives in `marcel::rng` (the kernel's sequencer seeds
+// and simnet's message hashing must agree on one definition); the
+// re-export keeps this module the canonical import path for network
+// code.
+pub use marcel::rng::{splitmix64, GOLDEN_GAMMA};
 
 /// The canonical per-message hash (see module docs). Both
 /// [`crate::LinkModel::jitter_delay`] and [`crate::FaultPlan`] go

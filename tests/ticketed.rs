@@ -1,0 +1,310 @@
+//! Seed ↔ Ticketed equivalence: the `ExecPolicy::Ticketed(n)` engine
+//! must reproduce `ExecPolicy::Seed` *bit for bit* — same trace, same
+//! metrics snapshot, same end times, same user-visible results — for
+//! every worker count. Only host wall-clock may differ. These tests
+//! drive both engines over kernel-level synchronization workloads and
+//! full MPI worlds (including fault injection) and compare everything
+//! the kernel can observe.
+
+use std::sync::Arc;
+
+use marcel::{
+    chrome_trace_json, CostModel, ExecPolicy, Kernel, MetricsSnapshot, PollSource, ProcId,
+    Semaphore, SimBarrier, SimCondvar, SimMutex, TraceEvent, VirtualDuration, VirtualTime,
+};
+use mpich::{run_world_full, Placement, WorldConfig};
+use simnet::{FaultPlan, Protocol, Topology};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Everything a kernel run exposes, for exact comparison.
+#[derive(PartialEq, Debug)]
+struct RunFingerprint {
+    end: VirtualTime,
+    trace: Vec<TraceEvent>,
+    metrics: MetricsSnapshot,
+}
+
+/// Run a kernel-level scenario under the given exec policy and collect
+/// its full fingerprint. The scenario spawns threads across several
+/// speculation domains and pushes every synchronization primitive the
+/// kernel has through cross-domain traffic.
+fn kernel_scenario(exec: ExecPolicy) -> (RunFingerprint, Vec<u64>) {
+    let mut cost = CostModel::calibrated();
+    cost.exec = exec;
+    let k = Kernel::new(cost);
+    k.enable_trace();
+
+    let n_domains = 4u32;
+    let per_domain = 2u64;
+
+    // Shared (host-created) primitives: legal from every domain.
+    let pool = Semaphore::new(&k, 3);
+    let mutex = SimMutex::new(&k, 0u64);
+    let barrier = SimBarrier::new(&k, (n_domains as usize) * (per_domain as usize));
+    let queue = marcel::Queue::new(&k);
+    let cv_mutex = SimMutex::new(&k, false);
+    let cv = SimCondvar::new(&k);
+    let src = PollSource::<u64>::new(&k, ProcId(0), VirtualDuration::from_nanos(40));
+
+    let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for d in 1..=n_domains {
+        for i in 0..per_domain {
+            let pool = pool.clone();
+            let mutex = mutex.clone();
+            let barrier = barrier.clone();
+            let queue = queue.clone();
+            let cv_mutex = cv_mutex.clone();
+            let cv = cv.clone();
+            let src = src.clone();
+            let log = log.clone();
+            let id = u64::from(d) * 10 + i;
+            handles.push(k.spawn_in(format!("d{d}w{i}"), d, move || {
+                marcel::advance(VirtualDuration::from_nanos(37 * id + 11));
+                // Contend on the shared pool.
+                for round in 0..4u64 {
+                    pool.acquire();
+                    marcel::advance(VirtualDuration::from_nanos(100 + id * 13 + round * 7));
+                    *mutex.lock() += 1;
+                    pool.release();
+                }
+                // Domain-local traffic: a child thread plus local sync.
+                let local = Semaphore::current(0);
+                let child_local = local.clone();
+                let child = marcel::spawn(format!("d{d}w{i}c"), move || {
+                    marcel::advance(VirtualDuration::from_nanos(50 + id));
+                    child_local.release();
+                    id
+                });
+                local.acquire();
+                assert_eq!(child.join(), id);
+                // Cross-domain rendezvous.
+                barrier.wait();
+                // Queue: domain 1 produces, domain 2 consumes; the poll
+                // source gets posts from domain 3 and waits in domain 4.
+                match d {
+                    1 => queue.push(id),
+                    2 => log.lock().push(queue.pop()),
+                    3 => {
+                        if i == 0 {
+                            src.attach();
+                        }
+                        src.post(marcel::now() + VirtualDuration::from_nanos(500 + id), id);
+                    }
+                    _ => {
+                        if let Some(p) = src.poll_wait() {
+                            log.lock().push(p.payload);
+                        }
+                    }
+                }
+                // Condvar: one waiter per domain, one global waker.
+                if i == 0 {
+                    let mut flag = cv_mutex.lock();
+                    while !*flag {
+                        flag = cv.wait(&cv_mutex, flag);
+                    }
+                } else if d == n_domains {
+                    marcel::advance(VirtualDuration::from_micros(30));
+                    *cv_mutex.lock() = true;
+                    cv.notify_all();
+                }
+                marcel::sleep(VirtualDuration::from_nanos(id * 3 + 1));
+                id
+            }));
+        }
+    }
+    k.run().unwrap();
+    let mut results: Vec<u64> = handles
+        .into_iter()
+        .filter_map(|h| h.join_outcome())
+        .collect();
+    results.sort_unstable();
+    let mut seen = log.lock().clone();
+    seen.sort_unstable();
+    (
+        RunFingerprint {
+            end: k.end_time(),
+            trace: k.take_trace(),
+            metrics: k.metrics().snapshot(),
+        },
+        {
+            let mut all = results;
+            all.extend(seen);
+            all
+        },
+    )
+}
+
+#[test]
+fn kernel_scenario_ticketed_matches_seed_exactly() {
+    let (seed_fp, seed_out) = kernel_scenario(ExecPolicy::Seed);
+    assert!(!seed_fp.trace.is_empty(), "scenario must produce a trace");
+    for n in WORKER_COUNTS {
+        let (fp, out) = kernel_scenario(ExecPolicy::Ticketed(n));
+        assert_eq!(seed_out, out, "results diverged at workers={n}");
+        assert_eq!(seed_fp.end, fp.end, "end time diverged at workers={n}");
+        assert_eq!(
+            seed_fp.metrics, fp.metrics,
+            "metrics snapshot diverged at workers={n}"
+        );
+        if seed_fp.trace != fp.trace {
+            let i = seed_fp
+                .trace
+                .iter()
+                .zip(&fp.trace)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| seed_fp.trace.len().min(fp.trace.len()));
+            panic!(
+                "trace diverged at workers={n}: lengths {} vs {}, first diff at {i}:\n  seed: {:?}\n  tick: {:?}",
+                seed_fp.trace.len(),
+                fp.trace.len(),
+                seed_fp.trace.get(i),
+                fp.trace.get(i),
+            );
+        }
+    }
+}
+
+/// A full MPI world run's observable state.
+struct WorldFingerprint {
+    results: Vec<Vec<i64>>,
+    end: VirtualTime,
+    trace: Vec<TraceEvent>,
+    trace_json: String,
+    metrics: MetricsSnapshot,
+    faults: madeleine::FaultCounters,
+}
+
+/// Panic with the first differing event (plus a little context) instead
+/// of dumping two multi-megabyte traces.
+fn assert_traces_equal(seed: &[TraceEvent], other: &[TraceEvent], label: &str) {
+    if seed == other {
+        return;
+    }
+    let i = seed
+        .iter()
+        .zip(other)
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| seed.len().min(other.len()));
+    let lo = i.saturating_sub(3);
+    panic!(
+        "trace diverged ({label}): lengths {} vs {}, first diff at {i}\n  seed[{lo}..]: {:#?}\n  other[{lo}..]: {:#?}",
+        seed.len(),
+        other.len(),
+        &seed[lo..(i + 3).min(seed.len())],
+        &other[lo..(i + 3).min(other.len())],
+    );
+}
+
+/// Four-node world with mixed point-to-point and collective traffic.
+/// `faults` injects deterministic message loss on the wire.
+fn world_scenario(exec: ExecPolicy, faults: Option<FaultPlan>) -> WorldFingerprint {
+    let topology = match faults {
+        None => Topology::single_network(4, Protocol::Tcp),
+        Some(plan) => {
+            let mut t = Topology::new();
+            let nodes: Vec<_> = (0..4).map(|i| t.add_node(format!("node{i}"), 1)).collect();
+            t.add_network_with_fault(Protocol::Tcp, plan, nodes);
+            t
+        }
+    };
+    let config = WorldConfig {
+        exec,
+        trace: true,
+        ..WorldConfig::default()
+    };
+    let (results, kernel, session) =
+        run_world_full(topology, Placement::OneRankPerNode, config, |comm| {
+            let me = comm.rank() as i64;
+            let n = comm.size();
+            // Point-to-point ring with payload verification.
+            let next = (comm.rank() + 1) % n;
+            let prev = (comm.rank() + n - 1) % n;
+            comm.send(&[me as u8; 64], next, 7);
+            let (data, _) = comm.recv_bytes(64, Some(prev), Some(7));
+            assert_eq!(data[0] as usize, prev);
+            // Collectives over the same ranks.
+            let sum = comm.allreduce_vec(&[me + 1], mpich::ReduceOp::Sum)[0];
+            let gathered = comm.allgather_vec(&[me * me]);
+            comm.barrier();
+            let mut out = vec![me, sum];
+            out.extend(gathered.into_iter().flatten());
+            out
+        })
+        .expect("world failed");
+    let metas = mpich::thread_metas(&kernel, &session);
+    let trace = kernel.take_trace();
+    WorldFingerprint {
+        results,
+        end: kernel.end_time(),
+        trace_json: chrome_trace_json(&trace, &metas),
+        trace,
+        metrics: kernel.metrics().snapshot(),
+        faults: session.fault_counters(),
+    }
+}
+
+#[test]
+fn world_ticketed_matches_seed_for_every_worker_count() {
+    let seed = world_scenario(ExecPolicy::Seed, None);
+    for n in WORKER_COUNTS {
+        let t = world_scenario(ExecPolicy::Ticketed(n), None);
+        assert_eq!(seed.results, t.results, "results diverged at workers={n}");
+        assert_eq!(seed.end, t.end, "end time diverged at workers={n}");
+        assert_eq!(
+            seed.metrics, t.metrics,
+            "metrics snapshot diverged at workers={n}"
+        );
+        assert_traces_equal(&seed.trace, &t.trace, &format!("workers={n}"));
+        assert_eq!(
+            seed.trace_json, t.trace_json,
+            "trace JSON diverged at workers={n}"
+        );
+    }
+}
+
+/// Satellite: two identical `Ticketed(4)` runs must emit byte-identical
+/// trace JSON — commit order, span ids and Chrome tid assignment are
+/// defined by ticket order, not by host-thread racing.
+#[test]
+fn ticketed_replay_is_bit_identical() {
+    let a = world_scenario(ExecPolicy::Ticketed(4), None);
+    let b = world_scenario(ExecPolicy::Ticketed(4), None);
+    assert_eq!(a.trace_json, b.trace_json, "replay trace JSON diverged");
+    assert_eq!(a.metrics, b.metrics, "replay metrics diverged");
+    assert_eq!(a.end, b.end, "replay end time diverged");
+    assert_eq!(a.results, b.results, "replay results diverged");
+}
+
+/// Satellite: the fault-injection matrix. Deterministic loss plans
+/// (same seeds as tests/faults.rs) × `{Seed, Ticketed(2), Ticketed(8)}`
+/// must agree on every fault counter and every received payload.
+#[test]
+fn fault_matrix_is_exec_policy_invariant() {
+    let mut total_drops = 0;
+    for seed in [7, 1942] {
+        let plan = FaultPlan::new(seed).with_loss(0.20).with_ack_loss(0.10);
+        let base = world_scenario(ExecPolicy::Seed, Some(plan.clone()));
+        total_drops += base.faults.drops;
+        for n in [2usize, 8] {
+            let t = world_scenario(ExecPolicy::Ticketed(n), Some(plan.clone()));
+            assert_eq!(
+                base.faults, t.faults,
+                "fault counters diverged at seed={seed} workers={n}"
+            );
+            assert_eq!(
+                base.results, t.results,
+                "receive buffers diverged at seed={seed} workers={n}"
+            );
+            assert_eq!(
+                base.end, t.end,
+                "end time diverged at seed={seed} workers={n}"
+            );
+        }
+    }
+    assert!(
+        total_drops > 0,
+        "no plan injected faults; matrix is vacuous"
+    );
+}
