@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""CI gate for the durable journal: snapshot determinism, kill-and-resume
+byte-identity, divergence bisect, and journal-format stability.
+
+Run after
+
+    cargo run --release -p bench --bin soak -- 8 | tee soak.out
+    cargo run --release -p bench --bin soak -- --golden journal_witness.bin
+
+as
+
+    python3 ci/check_journal.py soak.out journal_witness.bin
+
+Gates (all strict — virtual time and the journal byte format are fully
+deterministic, so nothing here can flake):
+
+1. **A/B determinism**: two uninterrupted soak campaigns must report the
+   same journal digest, byte count, record count and end time.
+2. **Cross-policy identity**: the `Ticketed(2)` campaign's journal must
+   be byte-identical to the `Seed` journals (the format deliberately
+   excludes the execution policy).
+3. **Kill-and-resume**: every injected kill point (byte-budgeted sink
+   dying mid-record) must leave a torn tail, and the resumed campaign's
+   journal must be byte-identical to the uninterrupted run's
+   (`"ok":true` on every `soak-resume` line).
+4. **Bisect**: self-bisect reports identical; the perturbed campaign's
+   first divergence lands on the expected leg.
+5. **Format golden**: the freshly generated format witness (every record
+   kind and event variant with fixed values) must be byte-identical to
+   the committed `ci/journal_golden.bin` — any accidental format change
+   breaks this before it breaks someone's archived campaign journal.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+GOLDEN = Path(__file__).parent / "journal_golden.bin"
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(
+            f"usage: {sys.argv[0]} <soak-output-file> <fresh-witness-file>",
+            file=sys.stderr,
+        )
+        return 2
+    lines = Path(sys.argv[1]).read_text().strip().splitlines()
+    det = {}
+    cross = None
+    resumes = []
+    bisect = None
+    summary = None
+    for line in lines:
+        line = line.strip()
+        for tag in ("soak-det-a", "soak-det-b"):
+            if line.startswith(tag + " "):
+                det[tag] = json.loads(line[len(tag) + 1 :])
+        if line.startswith("soak-cross "):
+            cross = json.loads(line[11:])
+        if line.startswith("soak-resume "):
+            resumes.append(json.loads(line[12:]))
+        if line.startswith("soak-bisect "):
+            bisect = json.loads(line[12:])
+        if line.startswith("soak-summary "):
+            summary = json.loads(line[13:])
+
+    failures = []
+
+    if set(det) != {"soak-det-a", "soak-det-b"}:
+        failures.append(f"missing soak-det lines (got {sorted(det)})")
+    elif det["soak-det-a"] != det["soak-det-b"]:
+        failures.append(
+            f"A/B campaigns diverged:\n  a: {det['soak-det-a']}\n  b: {det['soak-det-b']}"
+        )
+    else:
+        print(f"A/B journals identical: digest {det['soak-det-a']['digest']}")
+
+    if cross is None:
+        failures.append("no soak-cross line")
+    elif not cross.get("identical") or (
+        det.get("soak-det-a") and cross.get("digest") != det["soak-det-a"]["digest"]
+    ):
+        failures.append(f"cross-policy journal differs: {cross}")
+    else:
+        print(f"Ticketed({cross.get('workers')}) journal byte-identical to Seed")
+
+    if not resumes:
+        failures.append("no soak-resume lines (kill points not exercised)")
+    for r in resumes:
+        if not r.get("torn"):
+            failures.append(f"kill point left no torn tail: {r}")
+        elif not r.get("ok"):
+            failures.append(f"resume not byte-identical: {r}")
+        else:
+            print(
+                f"resume OK: cut {r['cut']}, torn tail dropped, "
+                f"legs {r['resumed_at_leg']}..+{r['legs_run']} re-run under {r['exec']}"
+            )
+
+    if bisect is None:
+        failures.append("no soak-bisect line")
+    else:
+        if not bisect.get("identical_ok"):
+            failures.append("self-bisect did not report identical")
+        if bisect.get("diverged_leg") != bisect.get("expected_leg"):
+            failures.append(f"bisect landed on the wrong leg: {bisect}")
+        if bisect.get("identical_ok") and bisect.get("diverged_leg") == bisect.get(
+            "expected_leg"
+        ):
+            print(
+                f"bisect OK: first divergence in leg {bisect['diverged_leg']} "
+                f"after {bisect['probes']} snapshot probes: {bisect.get('first')}"
+            )
+
+    if summary is None:
+        failures.append("no soak-summary line")
+
+    golden = GOLDEN.read_bytes() if GOLDEN.exists() else None
+    fresh = Path(sys.argv[2]).read_bytes()
+    if golden is None:
+        failures.append(f"committed golden missing: {GOLDEN}")
+    elif golden != fresh:
+        failures.append(
+            f"journal format changed: witness ({len(fresh)} B) != committed "
+            f"golden ({len(golden)} B). If the change is intentional, bump the "
+            "format VERSION in crates/marcel/src/journal.rs and regenerate "
+            "ci/journal_golden.bin with `cargo run -p bench --bin soak -- "
+            "--golden ci/journal_golden.bin`."
+        )
+    else:
+        print(f"journal format golden OK ({len(golden)} bytes)")
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("journal gate OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

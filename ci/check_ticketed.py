@@ -4,28 +4,31 @@
 Run after
 `cargo run --release -p bench --bin hotpath -- --workers 4 2 | tee ticketed.out`:
 
-    python3 ci/check_ticketed.py ticketed.out
+    python3 ci/check_ticketed.py ticketed.out \
+        [--retry-cmd "cargo run --release -p bench --bin hotpath -- --workers 4 2"]
 
 Gates:
 
-1. **Bit-identical replay** (always enforced): the `det-seed` and
-   `det-ticketed` fingerprint lines — message count, virtual end time
-   and the metrics-registry digest of the identical storm run under
-   `ExecPolicy::Seed` and `ExecPolicy::Ticketed(N)` — must be
-   byte-for-byte equal. Any scheduling divergence, lost wake-up or
-   mis-ordered commit shows up here.
-2. **Speedup floor** (hardware-aware): the ticketed engine must beat the
-   seed engine's wall-clock by `MIN_SPEEDUP` when the host has at least
-   `workers` cores. On smaller hosts (e.g. single-core CI runners) true
-   parallel scaling is physically impossible, so the gate drops to
-   `MIN_SPEEDUP_SMALL`: even there the committer wins by batching effect
-   application where the seed loop pays a context switch per step, and
-   that floor keeps the engine from regressing into
-   slower-than-seed territory.
+1. **Bit-identical replay** (always enforced, never retried): the
+   `det-seed` and `det-ticketed` fingerprint lines — message count,
+   virtual end time and the metrics-registry digest of the identical
+   storm run under `ExecPolicy::Seed` and `ExecPolicy::Ticketed(N)` —
+   must be byte-for-byte equal. Any scheduling divergence, lost wake-up
+   or mis-ordered commit shows up here, and a single failure fails the
+   gate: determinism is not a statistical property.
+2. **Speedup floor** (hardware-aware, retried once): the ticketed
+   engine must beat the seed engine's wall-clock by `MIN_SPEEDUP` when
+   the host has at least `workers` cores; on smaller hosts the floor
+   drops to `MIN_SPEEDUP_SMALL` (the committer still wins by batching
+   effect application). Wall-clock on a loaded CI runner is noisy, so a
+   speedup-only failure re-runs the measurement once via `--retry-cmd`
+   before failing — the retry's fingerprints are held to the same
+   strict identity requirement.
 """
 
 import json
 import os
+import subprocess
 import sys
 from pathlib import Path
 
@@ -33,11 +36,8 @@ MIN_SPEEDUP = 2.5  # with >= `workers` host cores
 MIN_SPEEDUP_SMALL = 1.5  # single-core committer-batching floor
 
 
-def main() -> int:
-    if len(sys.argv) != 2:
-        print(f"usage: {sys.argv[0]} <ticketed-output-file>", file=sys.stderr)
-        return 2
-    lines = Path(sys.argv[1]).read_text().strip().splitlines()
+def parse(lines):
+    """Extract the det-* fingerprint payloads and the wall JSON."""
     det = {}
     wall = None
     for line in lines:
@@ -47,41 +47,85 @@ def main() -> int:
                 det[tag] = line[len(tag) + 1 :]
         if line.startswith("wall "):
             wall = json.loads(line[5:])
+    return det, wall
 
-    failures = []
+
+def identity_failure(det):
+    """Strictly-enforced byte identity; returns a failure string or None."""
     if set(det) != {"det-seed", "det-ticketed"}:
-        failures.append(f"missing fingerprint lines (got {sorted(det)})")
-    elif det["det-seed"] != det["det-ticketed"]:
-        failures.append(
+        return f"missing fingerprint lines (got {sorted(det)})"
+    if det["det-seed"] != det["det-ticketed"]:
+        return (
             "deterministic fingerprints differ:\n"
             f"  seed:     {det['det-seed']}\n"
             f"  ticketed: {det['det-ticketed']}"
         )
-    else:
-        print(f"fingerprints byte-identical: {det['det-seed']}")
+    return None
 
+
+def speedup_verdict(wall):
+    """(ok, label) for the hardware-aware wall-clock floor."""
     if wall is None:
-        failures.append("no wall JSON line in bench output")
-    else:
-        cores = os.cpu_count() or 1
-        workers = wall.get("workers", 0)
-        floor = MIN_SPEEDUP if cores >= workers else MIN_SPEEDUP_SMALL
-        speedup = wall.get("speedup", 0.0)
-        label = (
-            f"speedup {speedup:.3f} at workers={workers} "
-            f"(seed {wall.get('seed_wall_ms')}ms / ticketed "
-            f"{wall.get('ticketed_wall_ms')}ms, host cores={cores}, floor {floor})"
-        )
-        if speedup < floor:
-            failures.append(label)
-        else:
-            print(label)
+        return False, "no wall JSON line in bench output"
+    cores = os.cpu_count() or 1
+    workers = wall.get("workers", 0)
+    floor = MIN_SPEEDUP if cores >= workers else MIN_SPEEDUP_SMALL
+    speedup = wall.get("speedup", 0.0)
+    label = (
+        f"speedup {speedup:.3f} at workers={workers} "
+        f"(seed {wall.get('seed_wall_ms')}ms / ticketed "
+        f"{wall.get('ticketed_wall_ms')}ms, host cores={cores}, floor {floor})"
+    )
+    return speedup >= floor, label
 
-    for f in failures:
-        print(f"FAIL: {f}", file=sys.stderr)
-    if not failures:
-        print("ticketed gate OK")
-    return 1 if failures else 0
+
+def main() -> int:
+    args = sys.argv[1:]
+    retry_cmd = None
+    if "--retry-cmd" in args:
+        i = args.index("--retry-cmd")
+        retry_cmd = args[i + 1]
+        del args[i : i + 2]
+    if len(args) != 1:
+        print(
+            f"usage: {sys.argv[0]} <ticketed-output-file> [--retry-cmd CMD]",
+            file=sys.stderr,
+        )
+        return 2
+    det, wall = parse(Path(args[0]).read_text().strip().splitlines())
+
+    # Byte identity: strict, no retry.
+    failure = identity_failure(det)
+    if failure:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"fingerprints byte-identical: {det['det-seed']}")
+
+    ok, label = speedup_verdict(wall)
+    if not ok and retry_cmd:
+        print(f"RETRY: {label}")
+        print(f"RETRY: re-running once: {retry_cmd}")
+        out = subprocess.run(
+            retry_cmd, shell=True, capture_output=True, text=True, check=False
+        )
+        sys.stderr.write(out.stderr)
+        if out.returncode != 0:
+            print(f"FAIL: retry command exited {out.returncode}", file=sys.stderr)
+            return 1
+        det, wall = parse(out.stdout.splitlines())
+        failure = identity_failure(det)
+        if failure:  # identity must hold on the retry too
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"retry fingerprints byte-identical: {det['det-seed']}")
+        ok, label = speedup_verdict(wall)
+
+    if not ok:
+        print(f"FAIL: {label}", file=sys.stderr)
+        return 1
+    print(label)
+    print("ticketed gate OK")
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,249 @@
+//! Soak bench: a long faulted message-storm campaign driven through the
+//! durable journal, with injected kill points — the crash-resume and
+//! divergence-bisect machinery exercised end to end at bench scale.
+//!
+//! Output is line-oriented for `ci/check_journal.py`:
+//!   `soak-det-a <json>` / `soak-det-b <json>` — journal digest and
+//!     shape of two independent uninterrupted runs (must be identical).
+//!   `soak-cross <json>` — the same campaign under `Ticketed(2)`; the
+//!     journal deliberately excludes the execution policy, so its
+//!     digest must equal the Seed runs'.
+//!   `soak-resume <json>` — one line per kill point: the campaign is
+//!     run against a byte-budgeted sink that dies mid-record, the
+//!     salvaged prefix (torn tail and all) is resumed, and the resumed
+//!     journal is compared byte for byte against the uninterrupted one.
+//!   `soak-bisect <json>` — a deliberately perturbed campaign bisected
+//!     against the reference: first divergent leg + snapshot probes.
+//!   `soak-summary <json>` — totals.
+//!
+//! `cargo run -p bench --bin soak --release [-- <legs>]`
+//! `cargo run -p bench --bin soak --release -- --golden PATH` writes
+//! the journal format witness (every record kind and event variant with
+//! fixed values) to PATH and exits — the source of the committed
+//! `ci/journal_golden.bin`.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use marcel::{ExecPolicy, MemSink};
+use mpich::journal::{bisect, scan, BisectOutcome, Tail};
+use mpich::{
+    resume_campaign, run_campaign, CampaignConfig, LegCtx, LegSpec, Placement, WorldConfig,
+};
+use simnet::{FaultPlan, Protocol, Topology};
+
+const SIZES: [usize; 3] = [1, 512, 9 * 1024];
+const TAG: i32 = 7;
+const SNAPSHOT_EVERY: u64 = 2;
+const MASTER_SEED: u64 = 0x50AC; // "SOAK"
+
+fn payload(src: usize, i: usize, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|k| {
+            (src as u8)
+                .wrapping_mul(31)
+                .wrapping_add((i as u8).wrapping_mul(17))
+                .wrapping_add(k as u8)
+        })
+        .collect()
+}
+
+fn soak_cfg(legs: u64, exec: ExecPolicy) -> CampaignConfig {
+    CampaignConfig {
+        label: "soak-storm".to_string(),
+        legs,
+        snapshot_every: SNAPSHOT_EVERY,
+        master_seed: MASTER_SEED,
+        exec,
+    }
+}
+
+/// Dual-rail storm leg over a lossy link; `perturb_from` switches legs
+/// at or past that index to a perturbed fault seed (the bisect demo's
+/// controlled divergence).
+fn leg_factory(perturb_from: Option<u64>) -> impl Fn(&LegCtx) -> LegSpec {
+    move |ctx: &LegCtx| {
+        let tweak = if perturb_from.is_some_and(|from| ctx.leg >= from) {
+            0xB0057
+        } else {
+            0
+        };
+        let plan = FaultPlan::new(ctx.seed ^ ctx.fault_cursor ^ tweak)
+            .with_loss(0.20)
+            .with_ack_loss(0.10);
+        let mut t = Topology::new();
+        let a = t.add_node("a", 2);
+        let b = t.add_node("b", 2);
+        let sci = t.add_network(Protocol::Sisci, [a, b]);
+        let bip = t.add_network(Protocol::Bip, [a, b]);
+        let mut sci_plan = plan.clone();
+        sci_plan.seed ^= 0x5C1_5C1;
+        t.set_fault(sci, sci_plan);
+        t.set_fault(bip, plan);
+        LegSpec {
+            label: format!("soak-leg{}", ctx.leg),
+            topology: t,
+            placement: Placement::OneRankPerNode,
+            config: WorldConfig::default(),
+            fault_cells: 2,
+            program: Arc::new(|comm| {
+                let me = comm.rank();
+                let peer = 1 - me;
+                let mut got = Vec::new();
+                if me == 0 {
+                    for (i, &n) in SIZES.iter().enumerate() {
+                        comm.send(&payload(me, i, n), peer, TAG);
+                    }
+                }
+                for &n in &SIZES {
+                    got.extend_from_slice(&comm.recv(n, Some(peer), Some(TAG)).0);
+                }
+                if me == 1 {
+                    for (i, &n) in SIZES.iter().enumerate() {
+                        comm.send(&payload(me, i, n), peer, TAG);
+                    }
+                }
+                got
+            }),
+        }
+    }
+}
+
+/// One uninterrupted campaign: journal bytes + report.
+fn full_run(legs: u64, exec: ExecPolicy) -> (Vec<u8>, mpich::CampaignReport) {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let report = run_campaign(
+        &soak_cfg(legs, exec),
+        MemSink::new(buf.clone()),
+        leg_factory(None),
+    )
+    .expect("soak campaign failed");
+    let bytes = Arc::try_unwrap(buf).unwrap().into_inner().unwrap();
+    (bytes, report)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--golden") {
+        let path = args.get(i + 1).expect("--golden needs a path");
+        std::fs::write(path, marcel::journal::format_witness()).expect("write golden");
+        println!("golden journal witness written to {path}");
+        return;
+    }
+    let legs: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    println!("== soak — {legs}-leg faulted storm campaign, snapshot every {SNAPSHOT_EVERY} ==");
+    let t0 = Instant::now();
+
+    // A/B determinism of the uninterrupted campaign.
+    let (bytes_a, report_a) = full_run(legs, ExecPolicy::Seed);
+    let (bytes_b, report_b) = full_run(legs, ExecPolicy::Seed);
+    for (label, bytes, report) in [("a", &bytes_a, &report_a), ("b", &bytes_b, &report_b)] {
+        println!(
+            "soak-det-{label} {{\"digest\":{},\"bytes\":{},\"records\":{},\"events\":{},\"end_ns\":{}}}",
+            report.digest, report.bytes, report.records_appended, report.events_appended,
+            report.end_ns
+        );
+        assert_eq!(bytes.len() as u64, report.bytes);
+    }
+    assert_eq!(bytes_a, bytes_b, "A/B soak journals differ");
+
+    // Cross-policy: Ticketed(2) must journal the exact same bytes.
+    let (bytes_t, report_t) = full_run(legs, ExecPolicy::Ticketed(2));
+    println!(
+        "soak-cross {{\"workers\":2,\"digest\":{},\"identical\":{}}}",
+        report_t.digest,
+        bytes_t == bytes_a
+    );
+    assert_eq!(bytes_t, bytes_a, "Ticketed(2) soak journal differs");
+
+    // Kill points: byte-budgeted sinks that die mid-record, then resume
+    // from the salvaged prefix (alternating resume policy).
+    let full_len = bytes_a.len();
+    let kill_points = [full_len / 3, full_len * 2 / 3, full_len - 3];
+    for (k, &budget) in kill_points.iter().enumerate() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let crash = run_campaign(
+            &soak_cfg(legs, ExecPolicy::Seed),
+            MemSink::with_budget(buf.clone(), budget as u64),
+            leg_factory(None),
+        );
+        assert!(crash.is_err(), "budgeted sink failed to kill the campaign");
+        let salvaged = buf.lock().unwrap().clone();
+        let scanned = scan(&salvaged).expect("salvaged prefix scans");
+        let torn = matches!(scanned.tail, Tail::Torn { .. });
+        let resume_exec = if k % 2 == 0 {
+            ExecPolicy::Ticketed(2)
+        } else {
+            ExecPolicy::Seed
+        };
+        let buf2 = Arc::new(Mutex::new(Vec::new()));
+        let report = resume_campaign(
+            &soak_cfg(legs, resume_exec),
+            &salvaged,
+            MemSink::new(buf2.clone()),
+            leg_factory(None),
+        )
+        .expect("resume from kill point failed");
+        let resumed = buf2.lock().unwrap().clone();
+        let ok = resumed == bytes_a && report.digest == report_a.digest;
+        println!(
+            "soak-resume {{\"cut\":{budget},\"torn\":{torn},\"resumed_at_leg\":{},\"legs_run\":{},\"exec\":\"{resume_exec:?}\",\"ok\":{ok}}}",
+            report.resumed_at_leg, report.legs_run
+        );
+        assert!(ok, "resume at cut {budget} is not byte-identical");
+    }
+
+    // Bisect demo: perturb the fault seed from the midpoint leg on and
+    // locate the first divergent record.
+    let perturb_at = legs / 2;
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    run_campaign(
+        &soak_cfg(legs, ExecPolicy::Seed),
+        MemSink::new(buf.clone()),
+        leg_factory(Some(perturb_at)),
+    )
+    .expect("perturbed campaign failed");
+    let bytes_p = buf.lock().unwrap().clone();
+    let identical_ok = matches!(
+        bisect(&bytes_a, &bytes_b).expect("bisect a/b"),
+        BisectOutcome::Identical
+    );
+    match bisect(&bytes_a, &bytes_p).expect("bisect a/perturbed") {
+        BisectOutcome::Identical => panic!("perturbed campaign bisected as identical"),
+        BisectOutcome::Diverged(d) => {
+            println!(
+                "soak-bisect {{\"identical_ok\":{identical_ok},\"diverged_leg\":{},\"expected_leg\":{perturb_at},\"probes\":{},\"first\":{}}}",
+                d.leg,
+                d.snapshot_probes,
+                serde_free_json_string(&d.a)
+            );
+            assert_eq!(d.leg, perturb_at, "bisect landed on the wrong leg");
+        }
+    }
+
+    println!(
+        "soak-summary {{\"legs\":{legs},\"digest\":{},\"bytes\":{},\"kill_points\":{},\"wall_ms\":{:.1}}}",
+        report_a.digest,
+        report_a.bytes,
+        kill_points.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+}
+
+/// Minimal JSON string escaping (no serde in the workspace).
+fn serde_free_json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

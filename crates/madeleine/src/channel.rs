@@ -133,6 +133,95 @@ impl std::ops::AddAssign for FaultCounters {
     }
 }
 
+/// Sender-side state of one connection, as captured by
+/// [`Channel::reliability_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnSnapshot {
+    pub from: usize,
+    pub to: usize,
+    /// FIFO floor: earliest wire time the next message may arrive.
+    pub floor_ns: u64,
+    /// Wire sequence number (one per transmission attempt).
+    pub seq: u64,
+    /// Logical message number (one per message).
+    pub msg_seq: u64,
+}
+
+/// One peer's dedup/reorder window on the receiving side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerSnapshot {
+    pub peer: usize,
+    /// Next logical message number expected from this sender.
+    pub expected: u64,
+    /// Logical numbers currently stashed out of order.
+    pub stashed: Vec<u64>,
+}
+
+/// Receiver-side state of one rank's incoming side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvSnapshot {
+    pub rank: usize,
+    /// In-order messages released but not yet consumed.
+    pub ready: usize,
+    pub peers: Vec<PeerSnapshot>,
+}
+
+/// Complete reliable-delivery state of one channel at a quiescent
+/// point: what the journal's world snapshots record (and what a
+/// divergence bisect compares) for the Madeleine layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSnapshot {
+    pub name: String,
+    pub conns: Vec<ConnSnapshot>,
+    pub recv: Vec<RecvSnapshot>,
+    pub dead: Vec<(usize, usize)>,
+    pub counters: FaultCounters,
+}
+
+impl ChannelSnapshot {
+    /// Deterministic binary encoding (see [`marcel::journal::wire`]).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use marcel::journal::wire::{put_str, put_u32, put_u64};
+        put_str(out, &self.name);
+        put_u32(out, self.conns.len() as u32);
+        for c in &self.conns {
+            put_u64(out, c.from as u64);
+            put_u64(out, c.to as u64);
+            put_u64(out, c.floor_ns);
+            put_u64(out, c.seq);
+            put_u64(out, c.msg_seq);
+        }
+        put_u32(out, self.recv.len() as u32);
+        for r in &self.recv {
+            put_u64(out, r.rank as u64);
+            put_u64(out, r.ready as u64);
+            put_u32(out, r.peers.len() as u32);
+            for p in &r.peers {
+                put_u64(out, p.peer as u64);
+                put_u64(out, p.expected);
+                put_u32(out, p.stashed.len() as u32);
+                for s in &p.stashed {
+                    put_u64(out, *s);
+                }
+            }
+        }
+        put_u32(out, self.dead.len() as u32);
+        for &(from, to) in &self.dead {
+            put_u64(out, from as u64);
+            put_u64(out, to as u64);
+        }
+        for c in [
+            self.counters.retransmits,
+            self.counters.drops,
+            self.counters.duplicates,
+            self.counters.deferrals,
+            self.counters.dead_pairs,
+        ] {
+            put_u64(out, c);
+        }
+    }
+}
+
 /// A Madeleine channel: one protocol, a set of member ranks, one
 /// incoming message source per member, one connection per ordered pair.
 pub struct Channel {
@@ -304,6 +393,62 @@ impl Channel {
             duplicates: self.counters.duplicates.load(Ordering::Relaxed),
             deferrals: self.counters.deferrals.load(Ordering::Relaxed),
             dead_pairs: self.counters.dead_pairs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Journal snapshot hook: the channel's complete reliable-delivery
+    /// state — per-connection sequence numbers and FIFO floors, the
+    /// receiver-side dedup/reorder windows, dead pairs and counters —
+    /// in a deterministic order. **Host-only**: reads sender state via
+    /// [`marcel::SimMutex::host_lock`], so it must be called at a
+    /// quiescent point (after `Kernel::run` returned).
+    pub fn reliability_snapshot(&self) -> ChannelSnapshot {
+        let mut conns: Vec<ConnSnapshot> = self
+            .conns
+            .iter()
+            .map(|(&(from, to), conn)| {
+                let st = conn.state.host_lock();
+                ConnSnapshot {
+                    from,
+                    to,
+                    floor_ns: st.floor.as_nanos(),
+                    seq: st.seq,
+                    msg_seq: st.msg_seq,
+                }
+            })
+            .collect();
+        conns.sort_unstable_by_key(|c| (c.from, c.to));
+        let mut recv: Vec<RecvSnapshot> = self
+            .recv
+            .iter()
+            .map(|(&rank, state)| {
+                let st = state.lock().unwrap();
+                let mut peers: Vec<PeerSnapshot> = st
+                    .peers
+                    .iter()
+                    .map(|(&peer, p)| PeerSnapshot {
+                        peer,
+                        expected: p.expected,
+                        stashed: p.stash.keys().copied().collect(),
+                    })
+                    .collect();
+                peers.sort_unstable_by_key(|p| p.peer);
+                RecvSnapshot {
+                    rank,
+                    ready: st.ready.len(),
+                    peers,
+                }
+            })
+            .collect();
+        recv.sort_unstable_by_key(|r| r.rank);
+        let mut dead: Vec<(usize, usize)> = self.dead.lock().unwrap().iter().copied().collect();
+        dead.sort_unstable();
+        ChannelSnapshot {
+            name: self.name.to_string(),
+            conns,
+            recv,
+            dead,
+            counters: self.counters(),
         }
     }
 

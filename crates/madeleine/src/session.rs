@@ -256,6 +256,33 @@ impl Session {
             .collect()
     }
 
+    /// Snapshot every channel's reliable-delivery state, in channel
+    /// order. Must only be called at a quiescent point (after
+    /// `Kernel::run` returns): it reads `SimMutex`-guarded connection
+    /// state via `host_lock`.
+    pub fn reliability_snapshot(&self) -> Vec<crate::channel::ChannelSnapshot> {
+        self.channels
+            .iter()
+            .map(|c| c.reliability_snapshot())
+            .collect()
+    }
+
+    /// Deterministic binary encoding of [`Self::reliability_snapshot`]
+    /// plus the session-level failover/reissue counters — the
+    /// "madeleine" section of a journal world snapshot.
+    pub fn reliability_snapshot_bytes(&self) -> Vec<u8> {
+        use marcel::journal::wire::{put_u32, put_u64};
+        let snaps = self.reliability_snapshot();
+        let mut out = Vec::with_capacity(256);
+        put_u32(&mut out, snaps.len() as u32);
+        for s in &snaps {
+            s.encode(&mut out);
+        }
+        put_u64(&mut out, self.failovers());
+        put_u64(&mut out, self.rndv_reissues());
+        out
+    }
+
     /// Record that a device moved traffic off a dead rail.
     pub fn note_failover(&self) {
         self.failovers.fetch_add(1, Ordering::Relaxed);

@@ -57,6 +57,59 @@ pub enum ExecPolicy {
     Ticketed(usize),
 }
 
+/// A configuration rejected at build/validate time — the typed
+/// replacement for the config-time panics the builders used to hide
+/// until deep inside `Kernel::run` (e.g. `ExecPolicy::Ticketed(0)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `ExecPolicy::Ticketed(0)`: the worker pool cannot be empty.
+    ZeroTicketedWorkers,
+    /// `PollPolicy::Parking` with `park_after == 0`: a channel would be
+    /// parked before its first poll and never observed again.
+    ZeroParkAfter,
+    /// `poll_cycle_scale` above 10 000 % — a three-orders-of-magnitude
+    /// slowdown is a typo, not a model.
+    PollScaleOutOfRange(u32),
+    /// A cost parameter that must be a finite, non-negative number
+    /// (named by the `&'static str`) was negative or NaN.
+    NegativeCost(&'static str),
+    /// `forwarding: true` with a non-ch_mad remote device: gateway
+    /// forwarding is a ch_mad feature.
+    ForwardingRequiresChMad,
+    /// A campaign knob that must be non-zero (named) was zero.
+    ZeroCampaignParam(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroTicketedWorkers => {
+                write!(f, "ExecPolicy::Ticketed needs at least one worker")
+            }
+            ConfigError::ZeroParkAfter => {
+                write!(f, "PollPolicy::Parking needs park_after >= 1")
+            }
+            ConfigError::PollScaleOutOfRange(v) => {
+                write!(f, "poll_cycle_scale {v}% is out of range (max 10000)")
+            }
+            ConfigError::NegativeCost(which) => {
+                write!(
+                    f,
+                    "cost parameter `{which}` must be finite and non-negative"
+                )
+            }
+            ConfigError::ForwardingRequiresChMad => {
+                write!(f, "forwarding requires the ch_mad remote device")
+            }
+            ConfigError::ZeroCampaignParam(which) => {
+                write!(f, "campaign parameter `{which}` must be non-zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Virtual cost of each kernel primitive.
 #[derive(Clone, Debug)]
 pub struct CostModel {
@@ -140,6 +193,32 @@ impl CostModel {
         self
     }
 
+    /// Fallible variant of [`CostModel::with_ticketed`]: rejects an
+    /// empty worker pool up front instead of at `Kernel::run`.
+    pub fn try_with_ticketed(self, workers: usize) -> Result<Self, ConfigError> {
+        if workers == 0 {
+            return Err(ConfigError::ZeroTicketedWorkers);
+        }
+        Ok(self.with_ticketed(workers))
+    }
+
+    /// Validate the model: every misconfiguration that used to panic
+    /// deep inside the kernel is reported here as a typed
+    /// [`ConfigError`]. `Kernel::run` calls this before dispatching and
+    /// surfaces failures as [`crate::SimError::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if matches!(self.exec, ExecPolicy::Ticketed(0)) {
+            return Err(ConfigError::ZeroTicketedWorkers);
+        }
+        if self.poll_policy == PollPolicy::Parking && self.park_after == 0 {
+            return Err(ConfigError::ZeroParkAfter);
+        }
+        if self.poll_cycle_scale > 10_000 {
+            return Err(ConfigError::PollScaleOutOfRange(self.poll_cycle_scale));
+        }
+        Ok(())
+    }
+
     /// Apply the polling scale to a raw cycle cost.
     pub(crate) fn scaled_cycle(&self, cycle: VirtualDuration) -> VirtualDuration {
         VirtualDuration::from_nanos(cycle.as_nanos() * self.poll_cycle_scale as u64 / 100)
@@ -182,6 +261,47 @@ mod tests {
             c.scaled_cycle(VirtualDuration::from_micros(5)),
             VirtualDuration::ZERO
         );
+    }
+
+    #[test]
+    fn validate_rejects_zero_ticketed_workers() {
+        let c = CostModel::calibrated().with_ticketed(0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroTicketedWorkers));
+        assert_eq!(
+            CostModel::calibrated().try_with_ticketed(0).unwrap_err(),
+            ConfigError::ZeroTicketedWorkers
+        );
+        assert!(CostModel::calibrated().try_with_ticketed(4).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_park_after() {
+        let mut c = CostModel::calibrated().with_parking();
+        c.park_after = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroParkAfter));
+        // Under Seed polling the knob is inert, so zero is fine.
+        let mut c = CostModel::calibrated();
+        c.park_after = 0;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_absurd_poll_scale() {
+        let mut c = CostModel::calibrated();
+        c.poll_cycle_scale = 10_001;
+        assert_eq!(c.validate(), Err(ConfigError::PollScaleOutOfRange(10_001)));
+        c.poll_cycle_scale = 10_000;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn config_error_display_is_descriptive() {
+        assert!(ConfigError::ZeroTicketedWorkers
+            .to_string()
+            .contains("at least one worker"));
+        assert!(ConfigError::NegativeCost("demux")
+            .to_string()
+            .contains("demux"));
     }
 
     #[test]

@@ -1,0 +1,1602 @@
+//! Durable journal: an append-only, length-prefixed, checksummed record
+//! stream over the typed [`Event`](crate::obs::Event) trace, plus
+//! periodic world snapshots — the substrate that turns the deterministic
+//! simulator into crash-resumable infrastructure (ROADMAP item 5).
+//!
+//! # Record framing
+//!
+//! ```text
+//! journal  := MAGIC("MADJRNL1") version(u32 LE) record*
+//! record   := len(u32 LE) payload(len bytes) checksum(u64 LE)
+//! payload  := kind(u8) body
+//! checksum := FNV-1a 64 over payload
+//! ```
+//!
+//! Every record is independently verifiable: a reader walks records
+//! front to back, and the first length/checksum violation marks a
+//! **torn tail** — the truncated final record(s) a crash mid-`append`
+//! leaves behind. [`scan`] reports the torn region so a resume can drop
+//! it and re-execute the interrupted work (see `mpich::journal`).
+//!
+//! # Record kinds
+//!
+//! * [`Record::Campaign`] — journal identity: one per journal, first.
+//! * [`Record::RunBegin`] — one campaign *leg* (a complete world run)
+//!   starts.
+//! * [`Record::Event`] — one typed trace event of the running leg.
+//! * [`Record::RunEnd`] — the leg finished: end time, metrics digest,
+//!   fault counters and the per-rank receive buffers.
+//! * [`Record::Snapshot`] — periodic world snapshot at a quiescent
+//!   point: kernel thread state, RNG state, FaultPlan cursor, and
+//!   opaque per-layer sections (madeleine reliability windows, ADI
+//!   matching stores). Snapshots are the resume points.
+//!
+//! Simulated threads are backed by real OS threads (see
+//! [`crate::kernel`]), so mid-step thread stacks cannot be serialized;
+//! snapshots are therefore taken at *leg boundaries*, where every
+//! thread has finished and all state is observable data.
+//!
+//! # Sinks
+//!
+//! [`JournalSink`] decouples the writer from storage: [`MemSink`] backs
+//! tests (with an optional byte budget that simulates a crash mid-write,
+//! producing a real torn tail), [`FileSink`] backs benches and CI.
+//!
+//! # Bisect
+//!
+//! [`bisect`] compares two journals: a binary search over the snapshot
+//! records finds the first divergent interval in `O(log s)` record
+//! comparisons, then a linear scan inside that interval reports the
+//! first divergent event — the debugging primitive for "these two runs
+//! should have been identical" (two fault seeds, or Seed vs Ticketed
+//! during engine development).
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write as IoWrite};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::obs::{Event, SpanKind};
+use crate::time::VirtualTime;
+
+/// Journal file magic: identifies the format and its major revision.
+pub const MAGIC: &[u8; 8] = b"MADJRNL1";
+/// Format version written after the magic (bump on layout changes).
+pub const VERSION: u32 = 1;
+
+/// Largest accepted record payload. A length prefix beyond this is
+/// treated as corruption (torn tail), not an allocation request.
+const MAX_RECORD: u32 = 64 * 1024 * 1024;
+
+/// FNV-1a 64-bit: the per-record checksum and the digest primitive used
+/// for snapshot/metrics fingerprints throughout the journal layer.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_fold(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continue an FNV-1a 64 fold from a previous state (used by the writer
+/// to digest the whole journal incrementally).
+pub fn fnv1a64_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Structural journal errors (distinct from a torn tail, which is a
+/// normal crash artifact reported by [`scan`], not an error).
+#[derive(Debug)]
+pub enum JournalError {
+    /// The byte stream does not start with [`MAGIC`] + [`VERSION`].
+    BadHeader,
+    /// A record body failed to decode after its checksum verified —
+    /// a writer/reader version skew, not wire corruption.
+    Malformed { offset: usize, what: String },
+    /// Underlying sink I/O failure (including simulated crashes from
+    /// [`MemSink::with_budget`]).
+    Io(io::Error),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::BadHeader => write!(f, "not a journal: bad magic/version header"),
+            JournalError::Malformed { offset, what } => {
+                write!(f, "malformed record at offset {offset}: {what}")
+            }
+            JournalError::Io(e) => write!(f, "journal sink I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Append-only byte sink behind the journal writer.
+pub trait JournalSink: Send {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    fn flush(&mut self) -> io::Result<()>;
+}
+
+/// In-memory sink over a shared buffer, with an optional byte budget
+/// that simulates a crash: once the budget is exhausted the sink writes
+/// the remaining bytes it can afford (possibly cutting a record in
+/// half — a genuine torn tail) and fails every append thereafter.
+#[derive(Clone)]
+pub struct MemSink {
+    buf: Arc<Mutex<Vec<u8>>>,
+    budget: Option<u64>,
+}
+
+impl MemSink {
+    /// Unbounded sink over a fresh shared buffer.
+    pub fn new(buf: Arc<Mutex<Vec<u8>>>) -> Self {
+        MemSink { buf, budget: None }
+    }
+
+    /// Sink that "crashes" after writing exactly `budget` bytes.
+    pub fn with_budget(buf: Arc<Mutex<Vec<u8>>>, budget: u64) -> Self {
+        MemSink {
+            buf,
+            budget: Some(budget),
+        }
+    }
+}
+
+impl JournalSink for MemSink {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match &mut self.budget {
+            None => {
+                self.buf.lock().unwrap().extend_from_slice(bytes);
+                Ok(())
+            }
+            Some(left) => {
+                let take = (*left as usize).min(bytes.len());
+                self.buf.lock().unwrap().extend_from_slice(&bytes[..take]);
+                *left -= take as u64;
+                if take < bytes.len() {
+                    Err(io::Error::other(
+                        "simulated crash: sink byte budget exhausted",
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// File-backed sink for benches and CI campaigns.
+pub struct FileSink {
+    file: io::BufWriter<File>,
+}
+
+impl FileSink {
+    /// Create (truncate) the journal file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(FileSink {
+            file: io::BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl JournalSink for FileSink {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte codec helpers (shared with the per-layer snapshot encoders in
+// simnet / madeleine / mpich)
+// ---------------------------------------------------------------------------
+
+/// Little-endian append helpers over a plain `Vec<u8>`.
+pub mod wire {
+    /// Append a `u8`.
+    pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+        out.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+        put_u32(out, v.len() as u32);
+        out.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(out: &mut Vec<u8>, v: &str) {
+        put_bytes(out, v.as_bytes());
+    }
+
+    /// Sequential little-endian reader over a byte slice.
+    pub struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub fn new(buf: &'a [u8]) -> Self {
+            Reader { buf, pos: 0 }
+        }
+
+        pub fn remaining(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+            if self.remaining() < n {
+                return Err(format!(
+                    "short read: wanted {n} bytes, {} left",
+                    self.remaining()
+                ));
+            }
+            let s = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        pub fn u8(&mut self) -> Result<u8, String> {
+            Ok(self.take(1)?[0])
+        }
+
+        pub fn u32(&mut self) -> Result<u32, String> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        }
+
+        pub fn u64(&mut self) -> Result<u64, String> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+
+        pub fn bytes(&mut self) -> Result<&'a [u8], String> {
+            let n = self.u32()? as usize;
+            self.take(n)
+        }
+
+        pub fn str(&mut self) -> Result<&'a str, String> {
+            std::str::from_utf8(self.bytes()?).map_err(|e| format!("invalid UTF-8: {e}"))
+        }
+    }
+}
+
+use wire::{put_bytes, put_str, put_u32, put_u64, put_u8, Reader};
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// Kernel thread state captured in a snapshot: final virtual clock and
+/// committed op count of every simulated thread, in tid order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadSnap {
+    pub name: String,
+    pub vtime_ns: u64,
+    pub ops: u64,
+}
+
+/// A periodic world snapshot at a quiescent point (leg boundary).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotData {
+    /// Number of campaign legs completed when this snapshot was taken;
+    /// a resume from here continues with leg `legs_done`.
+    pub legs_done: u64,
+    /// Virtual end time of the just-finished leg.
+    pub end_ns: u64,
+    /// Campaign RNG state *after* folding the finished leg's outcome —
+    /// the seed chain cannot be reconstructed without it.
+    pub rng_state: u64,
+    /// FaultPlan-matrix position: fault cells consumed so far.
+    pub fault_cursor: u64,
+    /// FNV-1a digest of the finished leg's metrics report.
+    pub metrics_digest: u64,
+    /// Per-thread kernel state of the finished leg, in tid order.
+    pub threads: Vec<ThreadSnap>,
+    /// Named per-layer payloads (e.g. `"madeleine"` reliability
+    /// windows, `"matching"` ADI store state), each encoded by its
+    /// owning crate via [`wire`].
+    pub sections: Vec<(String, Vec<u8>)>,
+}
+
+/// The terminal record of one campaign leg.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunEndData {
+    pub leg: u64,
+    /// Virtual end time of the leg.
+    pub end_ns: u64,
+    /// FNV-1a digest of the metrics report.
+    pub metrics_digest: u64,
+    /// Fault counters, in a fixed order defined by the campaign layer
+    /// (retransmits, drops, duplicates, deferrals, dead_pairs,
+    /// failovers, rndv_reissues).
+    pub counters: Vec<u64>,
+    /// Per-rank user results — the receive buffers the byte-equality
+    /// contract covers.
+    pub results: Vec<Vec<u8>>,
+}
+
+/// One journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// Journal identity; always the first record. Deliberately excludes
+    /// the execution policy: `Seed` and `Ticketed(n)` runs write
+    /// byte-identical journals, so a campaign may crash under one
+    /// policy and resume under another.
+    Campaign {
+        label: String,
+        master_seed: u64,
+        legs: u64,
+        snapshot_every: u64,
+    },
+    /// A campaign leg (one complete world run) starts.
+    RunBegin {
+        leg: u64,
+        label: String,
+        config_digest: u64,
+    },
+    /// One typed trace event of the running leg.
+    Event {
+        time_ns: u64,
+        tid: u64,
+        event: Event,
+    },
+    /// Periodic world snapshot (a resume point).
+    Snapshot(SnapshotData),
+    /// The running leg finished.
+    RunEnd(RunEndData),
+}
+
+const KIND_CAMPAIGN: u8 = 1;
+const KIND_RUN_BEGIN: u8 = 2;
+const KIND_EVENT: u8 = 3;
+const KIND_SNAPSHOT: u8 = 4;
+const KIND_RUN_END: u8 = 5;
+
+impl Record {
+    /// Encode the payload (kind byte + body) of this record.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Record::Campaign {
+                label,
+                master_seed,
+                legs,
+                snapshot_every,
+            } => {
+                put_u8(&mut out, KIND_CAMPAIGN);
+                put_str(&mut out, label);
+                put_u64(&mut out, *master_seed);
+                put_u64(&mut out, *legs);
+                put_u64(&mut out, *snapshot_every);
+            }
+            Record::RunBegin {
+                leg,
+                label,
+                config_digest,
+            } => {
+                put_u8(&mut out, KIND_RUN_BEGIN);
+                put_u64(&mut out, *leg);
+                put_str(&mut out, label);
+                put_u64(&mut out, *config_digest);
+            }
+            Record::Event {
+                time_ns,
+                tid,
+                event,
+            } => {
+                put_u8(&mut out, KIND_EVENT);
+                put_u64(&mut out, *time_ns);
+                put_u64(&mut out, *tid);
+                encode_event(&mut out, event);
+            }
+            Record::Snapshot(s) => {
+                put_u8(&mut out, KIND_SNAPSHOT);
+                put_u64(&mut out, s.legs_done);
+                put_u64(&mut out, s.end_ns);
+                put_u64(&mut out, s.rng_state);
+                put_u64(&mut out, s.fault_cursor);
+                put_u64(&mut out, s.metrics_digest);
+                put_u32(&mut out, s.threads.len() as u32);
+                for t in &s.threads {
+                    put_str(&mut out, &t.name);
+                    put_u64(&mut out, t.vtime_ns);
+                    put_u64(&mut out, t.ops);
+                }
+                put_u32(&mut out, s.sections.len() as u32);
+                for (name, payload) in &s.sections {
+                    put_str(&mut out, name);
+                    put_bytes(&mut out, payload);
+                }
+            }
+            Record::RunEnd(e) => {
+                put_u8(&mut out, KIND_RUN_END);
+                put_u64(&mut out, e.leg);
+                put_u64(&mut out, e.end_ns);
+                put_u64(&mut out, e.metrics_digest);
+                put_u32(&mut out, e.counters.len() as u32);
+                for c in &e.counters {
+                    put_u64(&mut out, *c);
+                }
+                put_u32(&mut out, e.results.len() as u32);
+                for r in &e.results {
+                    put_bytes(&mut out, r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a record from its payload (kind byte + body).
+    pub fn decode_payload(payload: &[u8]) -> Result<Record, String> {
+        let mut r = Reader::new(payload);
+        let kind = r.u8()?;
+        let rec = match kind {
+            KIND_CAMPAIGN => Record::Campaign {
+                label: r.str()?.to_string(),
+                master_seed: r.u64()?,
+                legs: r.u64()?,
+                snapshot_every: r.u64()?,
+            },
+            KIND_RUN_BEGIN => Record::RunBegin {
+                leg: r.u64()?,
+                label: r.str()?.to_string(),
+                config_digest: r.u64()?,
+            },
+            KIND_EVENT => Record::Event {
+                time_ns: r.u64()?,
+                tid: r.u64()?,
+                event: decode_event(&mut r)?,
+            },
+            KIND_SNAPSHOT => {
+                let legs_done = r.u64()?;
+                let end_ns = r.u64()?;
+                let rng_state = r.u64()?;
+                let fault_cursor = r.u64()?;
+                let metrics_digest = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut threads = Vec::with_capacity(n);
+                for _ in 0..n {
+                    threads.push(ThreadSnap {
+                        name: r.str()?.to_string(),
+                        vtime_ns: r.u64()?,
+                        ops: r.u64()?,
+                    });
+                }
+                let n = r.u32()? as usize;
+                let mut sections = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str()?.to_string();
+                    sections.push((name, r.bytes()?.to_vec()));
+                }
+                Record::Snapshot(SnapshotData {
+                    legs_done,
+                    end_ns,
+                    rng_state,
+                    fault_cursor,
+                    metrics_digest,
+                    threads,
+                    sections,
+                })
+            }
+            KIND_RUN_END => {
+                let leg = r.u64()?;
+                let end_ns = r.u64()?;
+                let metrics_digest = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    counters.push(r.u64()?);
+                }
+                let n = r.u32()? as usize;
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(r.bytes()?.to_vec());
+                }
+                Record::RunEnd(RunEndData {
+                    leg,
+                    end_ns,
+                    metrics_digest,
+                    counters,
+                    results,
+                })
+            }
+            other => return Err(format!("unknown record kind {other}")),
+        };
+        if r.remaining() != 0 {
+            return Err(format!("{} trailing payload bytes", r.remaining()));
+        }
+        Ok(rec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event codec
+// ---------------------------------------------------------------------------
+
+fn span_kind_tag(k: SpanKind) -> u8 {
+    match k {
+        SpanKind::Pack => 0,
+        SpanKind::Unpack => 1,
+        SpanKind::Handle => 2,
+        SpanKind::Setup => 3,
+        SpanKind::Stripe => 4,
+        SpanKind::Post => 5,
+        SpanKind::Coll => 6,
+    }
+}
+
+fn span_kind_from(tag: u8) -> Result<SpanKind, String> {
+    Ok(match tag {
+        0 => SpanKind::Pack,
+        1 => SpanKind::Unpack,
+        2 => SpanKind::Handle,
+        3 => SpanKind::Setup,
+        4 => SpanKind::Stripe,
+        5 => SpanKind::Post,
+        6 => SpanKind::Coll,
+        other => return Err(format!("unknown span kind {other}")),
+    })
+}
+
+/// Intern a decoded label as `&'static str`. [`Event`] carries static
+/// labels (packet kinds, span labels) drawn from a small fixed set; the
+/// interner leaks each *distinct* decoded label once, which is bounded
+/// in practice and keeps the typed event round-trippable.
+fn intern(s: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::OnceLock;
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut pool = pool.lock().unwrap();
+    if let Some(hit) = pool.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+fn encode_event(out: &mut Vec<u8>, e: &Event) {
+    use Event::*;
+    match e {
+        Spawn => put_u8(out, 0),
+        Exit => put_u8(out, 1),
+        SemBlock { sem } => {
+            put_u8(out, 2);
+            put_u64(out, *sem as u64);
+        }
+        SemBlockTimeout { sem, deadline } => {
+            put_u8(out, 3);
+            put_u64(out, *sem as u64);
+            put_u64(out, deadline.as_nanos());
+        }
+        SemWake { sem, woken } => {
+            put_u8(out, 4);
+            put_u64(out, *sem as u64);
+            put_u64(out, *woken as u64);
+        }
+        PollWake { source } => {
+            put_u8(out, 5);
+            put_u64(out, *source as u64);
+        }
+        PollQueued { source } => {
+            put_u8(out, 6);
+            put_u64(out, *source as u64);
+        }
+        PollWaited { source } => {
+            put_u8(out, 7);
+            put_u64(out, *source as u64);
+        }
+        Pack {
+            channel,
+            to,
+            seq,
+            bytes,
+            segments,
+        } => {
+            put_u8(out, 8);
+            put_str(out, channel);
+            put_u64(out, *to as u64);
+            put_u64(out, *seq);
+            put_u64(out, *bytes as u64);
+            put_u64(out, *segments as u64);
+        }
+        Unpack {
+            channel,
+            from,
+            seq,
+            bytes,
+        } => {
+            put_u8(out, 9);
+            put_str(out, channel);
+            put_u64(out, *from as u64);
+            put_u64(out, *seq);
+            put_u64(out, *bytes as u64);
+        }
+        Retransmit {
+            channel,
+            to,
+            seq,
+            attempt,
+        } => {
+            put_u8(out, 10);
+            put_str(out, channel);
+            put_u64(out, *to as u64);
+            put_u64(out, *seq);
+            put_u32(out, *attempt);
+        }
+        DedupDrop { channel, from, seq } => {
+            put_u8(out, 11);
+            put_str(out, channel);
+            put_u64(out, *from as u64);
+            put_u64(out, *seq);
+        }
+        PacketSent {
+            rank,
+            dst,
+            kind,
+            rail,
+            bytes,
+        } => {
+            put_u8(out, 12);
+            put_u64(out, *rank as u64);
+            put_u64(out, *dst as u64);
+            put_str(out, kind);
+            put_str(out, rail);
+            put_u64(out, *bytes as u64);
+        }
+        PacketDelivered { rank, src, kind } => {
+            put_u8(out, 13);
+            put_u64(out, *rank as u64);
+            put_u64(out, *src as u64);
+            put_str(out, kind);
+        }
+        RailSelected {
+            rank,
+            dst,
+            rail,
+            bytes,
+        } => {
+            put_u8(out, 14);
+            put_u64(out, *rank as u64);
+            put_u64(out, *dst as u64);
+            put_str(out, rail);
+            put_u64(out, *bytes as u64);
+        }
+        RailFailover {
+            rank,
+            dst,
+            from_rail,
+            to_rail,
+        } => {
+            put_u8(out, 15);
+            put_u64(out, *rank as u64);
+            put_u64(out, *dst as u64);
+            put_str(out, from_rail);
+            put_str(out, to_rail);
+        }
+        RndvRequest {
+            rank,
+            dst,
+            token,
+            bytes,
+        } => {
+            put_u8(out, 16);
+            put_u64(out, *rank as u64);
+            put_u64(out, *dst as u64);
+            put_u64(out, *token);
+            put_u64(out, *bytes as u64);
+        }
+        RndvAck { rank, src, token } => {
+            put_u8(out, 17);
+            put_u64(out, *rank as u64);
+            put_u64(out, *src as u64);
+            put_u64(out, *token);
+        }
+        RecvPosted { rank, depth } => {
+            put_u8(out, 18);
+            put_u64(out, *rank as u64);
+            put_u64(out, *depth as u64);
+        }
+        RecvMatched {
+            rank,
+            src,
+            tag,
+            unexpected,
+        } => {
+            put_u8(out, 19);
+            put_u64(out, *rank as u64);
+            put_u64(out, *src as u64);
+            put_u32(out, *tag as u32);
+            put_u8(out, u8::from(*unexpected));
+        }
+        UnexpectedQueued {
+            rank,
+            src,
+            tag,
+            depth,
+        } => {
+            put_u8(out, 20);
+            put_u64(out, *rank as u64);
+            put_u64(out, *src as u64);
+            put_u32(out, *tag as u32);
+            put_u64(out, *depth as u64);
+        }
+        SpanBegin { id, kind, label } => {
+            put_u8(out, 21);
+            put_u64(out, *id);
+            put_u8(out, span_kind_tag(*kind));
+            put_str(out, label);
+        }
+        SpanEnd { id, kind, label } => {
+            put_u8(out, 22);
+            put_u64(out, *id);
+            put_u8(out, span_kind_tag(*kind));
+            put_str(out, label);
+        }
+    }
+}
+
+fn decode_event(r: &mut Reader<'_>) -> Result<Event, String> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => Event::Spawn,
+        1 => Event::Exit,
+        2 => Event::SemBlock {
+            sem: r.u64()? as usize,
+        },
+        3 => Event::SemBlockTimeout {
+            sem: r.u64()? as usize,
+            deadline: VirtualTime(r.u64()?),
+        },
+        4 => Event::SemWake {
+            sem: r.u64()? as usize,
+            woken: r.u64()? as usize,
+        },
+        5 => Event::PollWake {
+            source: r.u64()? as usize,
+        },
+        6 => Event::PollQueued {
+            source: r.u64()? as usize,
+        },
+        7 => Event::PollWaited {
+            source: r.u64()? as usize,
+        },
+        8 => Event::Pack {
+            channel: Arc::from(r.str()?),
+            to: r.u64()? as usize,
+            seq: r.u64()?,
+            bytes: r.u64()? as usize,
+            segments: r.u64()? as usize,
+        },
+        9 => Event::Unpack {
+            channel: Arc::from(r.str()?),
+            from: r.u64()? as usize,
+            seq: r.u64()?,
+            bytes: r.u64()? as usize,
+        },
+        10 => Event::Retransmit {
+            channel: Arc::from(r.str()?),
+            to: r.u64()? as usize,
+            seq: r.u64()?,
+            attempt: r.u32()?,
+        },
+        11 => Event::DedupDrop {
+            channel: Arc::from(r.str()?),
+            from: r.u64()? as usize,
+            seq: r.u64()?,
+        },
+        12 => Event::PacketSent {
+            rank: r.u64()? as usize,
+            dst: r.u64()? as usize,
+            kind: intern(r.str()?),
+            rail: Arc::from(r.str()?),
+            bytes: r.u64()? as usize,
+        },
+        13 => Event::PacketDelivered {
+            rank: r.u64()? as usize,
+            src: r.u64()? as usize,
+            kind: intern(r.str()?),
+        },
+        14 => Event::RailSelected {
+            rank: r.u64()? as usize,
+            dst: r.u64()? as usize,
+            rail: Arc::from(r.str()?),
+            bytes: r.u64()? as usize,
+        },
+        15 => Event::RailFailover {
+            rank: r.u64()? as usize,
+            dst: r.u64()? as usize,
+            from_rail: Arc::from(r.str()?),
+            to_rail: Arc::from(r.str()?),
+        },
+        16 => Event::RndvRequest {
+            rank: r.u64()? as usize,
+            dst: r.u64()? as usize,
+            token: r.u64()?,
+            bytes: r.u64()? as usize,
+        },
+        17 => Event::RndvAck {
+            rank: r.u64()? as usize,
+            src: r.u64()? as usize,
+            token: r.u64()?,
+        },
+        18 => Event::RecvPosted {
+            rank: r.u64()? as usize,
+            depth: r.u64()? as usize,
+        },
+        19 => Event::RecvMatched {
+            rank: r.u64()? as usize,
+            src: r.u64()? as usize,
+            tag: r.u32()? as i32,
+            unexpected: r.u8()? != 0,
+        },
+        20 => Event::UnexpectedQueued {
+            rank: r.u64()? as usize,
+            src: r.u64()? as usize,
+            tag: r.u32()? as i32,
+            depth: r.u64()? as usize,
+        },
+        21 => Event::SpanBegin {
+            id: r.u64()?,
+            kind: span_kind_from(r.u8()?)?,
+            label: intern(r.str()?),
+        },
+        22 => Event::SpanEnd {
+            id: r.u64()?,
+            kind: span_kind_from(r.u8()?)?,
+            label: intern(r.str()?),
+        },
+        other => return Err(format!("unknown event tag {other}")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Append-only journal writer over a [`JournalSink`]. Tracks the
+/// running FNV digest and byte count of everything written, so a
+/// campaign report can fingerprint the journal without re-reading it.
+pub struct JournalWriter<S: JournalSink> {
+    sink: S,
+    bytes: u64,
+    records: u64,
+    digest: u64,
+}
+
+impl<S: JournalSink> JournalWriter<S> {
+    /// Start a fresh journal: writes the magic + version header.
+    pub fn create(sink: S) -> Result<Self, JournalError> {
+        let mut w = JournalWriter {
+            sink,
+            bytes: 0,
+            records: 0,
+            digest: 0xcbf2_9ce4_8422_2325,
+        };
+        let mut header = Vec::with_capacity(12);
+        header.extend_from_slice(MAGIC);
+        put_u32(&mut header, VERSION);
+        w.raw(&header)?;
+        Ok(w)
+    }
+
+    /// Continue a journal whose retained prefix (header included) is
+    /// `prefix`: the prefix is replayed into the sink verbatim — a byte
+    /// copy, not a re-execution — and subsequent appends continue the
+    /// stream. `records` counts only newly appended records.
+    pub fn resume(sink: S, prefix: &[u8]) -> Result<Self, JournalError> {
+        let mut w = JournalWriter {
+            sink,
+            bytes: 0,
+            records: 0,
+            digest: 0xcbf2_9ce4_8422_2325,
+        };
+        w.raw(prefix)?;
+        Ok(w)
+    }
+
+    fn raw(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+        // Fold the digest before the sink write: a budgeted sink may
+        // truncate, but the *intended* stream digest is what the
+        // uninterrupted run would compare against.
+        self.digest = fnv1a64_fold(self.digest, bytes);
+        self.bytes += bytes.len() as u64;
+        self.sink.append(bytes)?;
+        Ok(())
+    }
+
+    /// Append one record (length prefix + payload + checksum).
+    pub fn append(&mut self, record: &Record) -> Result<(), JournalError> {
+        let payload = record.encode_payload();
+        let mut frame = Vec::with_capacity(payload.len() + 16);
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(&payload);
+        put_u64(&mut frame, fnv1a64(&payload));
+        self.records += 1;
+        self.raw(&frame)
+    }
+
+    pub fn flush(&mut self) -> Result<(), JournalError> {
+        self.sink.flush()?;
+        Ok(())
+    }
+
+    /// Bytes written (or intended — a crashed sink may hold fewer).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records appended through this writer (prefix excluded).
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// FNV-1a digest over every byte of the intended stream.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------------
+
+/// Why a scan stopped before the end of the byte stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tail {
+    /// Every byte belongs to a complete, checksummed record.
+    Clean,
+    /// The stream ends in a truncated or corrupt record — the crash
+    /// artifact. Bytes past `valid_len` must be dropped.
+    Torn { reason: String },
+}
+
+/// One decoded record plus its position in the byte stream.
+#[derive(Clone, Debug)]
+pub struct ScannedRecord {
+    /// Offset of the record's length prefix.
+    pub offset: usize,
+    /// Offset one past the record's checksum (= next record's offset).
+    pub end: usize,
+    pub record: Record,
+}
+
+/// Result of walking a journal byte stream front to back.
+#[derive(Debug)]
+pub struct ScanResult {
+    pub records: Vec<ScannedRecord>,
+    /// Length of the valid prefix: header + all complete records.
+    pub valid_len: usize,
+    pub tail: Tail,
+}
+
+impl ScanResult {
+    /// Offsets (into `records`) of the snapshot records, in order.
+    pub fn snapshot_indices(&self) -> Vec<usize> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| matches!(r.record, Record::Snapshot(_)).then_some(i))
+            .collect()
+    }
+}
+
+/// Walk `bytes` front to back, validating framing and checksums.
+/// Returns all complete records plus the torn-tail state. Only a bad
+/// header is a hard error: torn or corrupt tails are normal crash
+/// artifacts and are *reported*, not rejected.
+pub fn scan(bytes: &[u8]) -> Result<ScanResult, JournalError> {
+    if bytes.len() < MAGIC.len() + 4
+        || &bytes[..MAGIC.len()] != MAGIC
+        || u32::from_le_bytes(bytes[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap()) != VERSION
+    {
+        return Err(JournalError::BadHeader);
+    }
+    let mut pos = MAGIC.len() + 4;
+    let mut records = Vec::new();
+    let torn = loop {
+        if pos == bytes.len() {
+            break None;
+        }
+        if bytes.len() - pos < 4 {
+            break Some("truncated length prefix".to_string());
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        if len > MAX_RECORD {
+            break Some(format!("implausible record length {len}"));
+        }
+        let need = 4 + len as usize + 8;
+        if bytes.len() - pos < need {
+            break Some(format!(
+                "truncated record: need {need} bytes, {} left",
+                bytes.len() - pos
+            ));
+        }
+        let payload = &bytes[pos + 4..pos + 4 + len as usize];
+        let sum = u64::from_le_bytes(
+            bytes[pos + 4 + len as usize..pos + need]
+                .try_into()
+                .unwrap(),
+        );
+        if sum != fnv1a64(payload) {
+            break Some("checksum mismatch".to_string());
+        }
+        let record = Record::decode_payload(payload)
+            .map_err(|what| JournalError::Malformed { offset: pos, what })?;
+        records.push(ScannedRecord {
+            offset: pos,
+            end: pos + need,
+            record,
+        });
+        pos += need;
+    };
+    Ok(ScanResult {
+        records,
+        valid_len: pos,
+        tail: match torn {
+            None => Tail::Clean,
+            Some(reason) => Tail::Torn { reason },
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Bisect
+// ---------------------------------------------------------------------------
+
+/// Where two journals diverge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Leg the first divergent record belongs to.
+    pub leg: u64,
+    /// Index (into the record list) of the first divergent record.
+    pub record_index: usize,
+    /// Human-readable rendering of the two sides (`"<absent>"` when one
+    /// journal ends first).
+    pub a: String,
+    pub b: String,
+    /// Snapshot comparisons the binary-search phase performed — stays
+    /// `O(log snapshots)` by construction.
+    pub snapshot_probes: usize,
+}
+
+/// Outcome of [`bisect`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BisectOutcome {
+    /// The journals are byte-identical over their common valid prefix
+    /// and have equal length.
+    Identical,
+    Diverged(Divergence),
+}
+
+fn render(rec: Option<&ScannedRecord>) -> String {
+    match rec {
+        None => "<absent>".to_string(),
+        Some(s) => match &s.record {
+            Record::Event {
+                time_ns,
+                tid,
+                event,
+            } => format!("[{time_ns}ns #{tid}] {event}"),
+            Record::Snapshot(snap) => format!(
+                "snapshot legs_done={} end={}ns rng={:#x} cursor={}",
+                snap.legs_done, snap.end_ns, snap.rng_state, snap.fault_cursor
+            ),
+            other => format!("{other:?}"),
+        },
+    }
+}
+
+fn leg_of(records: &[ScannedRecord], index: usize) -> u64 {
+    records[..=index.min(records.len().saturating_sub(1))]
+        .iter()
+        .rev()
+        .find_map(|r| match &r.record {
+            Record::RunBegin { leg, .. } => Some(*leg),
+            Record::RunEnd(e) => Some(e.leg),
+            Record::Snapshot(s) => Some(s.legs_done.saturating_sub(1)),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Find the first divergent record between two journals: binary-search
+/// the snapshot records (divergence in a deterministic simulation is
+/// monotone — once states differ they stay different), then scan the
+/// first divergent inter-snapshot interval record by record.
+pub fn bisect(a: &[u8], b: &[u8]) -> Result<BisectOutcome, JournalError> {
+    let sa = scan(a)?;
+    let sb = scan(b)?;
+    let snaps_a = sa.snapshot_indices();
+    let snaps_b = sb.snapshot_indices();
+    let common_snaps = snaps_a.len().min(snaps_b.len());
+
+    // Phase 1: binary search for the first snapshot whose encoded record
+    // differs. Snapshot payloads digest the entire world state, so equal
+    // snapshots mean the runs agreed up to that point.
+    let mut probes = 0usize;
+    let (mut lo, mut hi) = (0usize, common_snaps); // first differing snapshot in [lo, hi]
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        probes += 1;
+        let ra = &sa.records[snaps_a[mid]].record;
+        let rb = &sb.records[snaps_b[mid]].record;
+        if ra == rb {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+
+    // Phase 2: linear scan from the last agreeing snapshot (or the
+    // journal start) to the first divergent record.
+    let start_a = if lo == 0 {
+        0
+    } else {
+        sa.records[snaps_a[lo - 1]].end
+    };
+    let start_b = if lo == 0 {
+        0
+    } else {
+        sb.records[snaps_b[lo - 1]].end
+    };
+    let ia = sa.records.partition_point(|r| r.offset < start_a);
+    let ib = sb.records.partition_point(|r| r.offset < start_b);
+    debug_assert_eq!(ia, ib, "snapshot-aligned journals disagree on record count");
+    let (recs_a, recs_b) = (&sa.records[ia..], &sb.records[ib..]);
+    for (k, (ra, rb)) in recs_a.iter().zip(recs_b.iter()).enumerate() {
+        if ra.record != rb.record {
+            return Ok(BisectOutcome::Diverged(Divergence {
+                leg: leg_of(&sa.records, ia + k),
+                record_index: ia + k,
+                a: render(Some(ra)),
+                b: render(Some(rb)),
+                snapshot_probes: probes,
+            }));
+        }
+    }
+    if recs_a.len() != recs_b.len() {
+        let k = recs_a.len().min(recs_b.len());
+        return Ok(BisectOutcome::Diverged(Divergence {
+            leg: leg_of(
+                if recs_a.len() > recs_b.len() {
+                    &sa.records
+                } else {
+                    &sb.records
+                },
+                ia + k,
+            ),
+            record_index: ia + k,
+            a: render(recs_a.get(k).map(|r| r as _)),
+            b: render(recs_b.get(k).map(|r| r as _)),
+            snapshot_probes: probes,
+        }));
+    }
+    Ok(BisectOutcome::Identical)
+}
+
+// ---------------------------------------------------------------------------
+// Format witness
+// ---------------------------------------------------------------------------
+
+/// A synthetic journal exercising every record kind and every event
+/// variant with fixed values. Committed to `ci/journal_golden.bin` and
+/// compared byte for byte by `ci/check_journal.py`: any accidental
+/// format change (field reorder, width change, new mandatory field)
+/// breaks the comparison before it breaks someone's archived campaign.
+pub fn format_witness() -> Vec<u8> {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let mut w = JournalWriter::create(MemSink::new(buf.clone())).unwrap();
+    w.append(&Record::Campaign {
+        label: "witness".into(),
+        master_seed: 0xF00D,
+        legs: 2,
+        snapshot_every: 1,
+    })
+    .unwrap();
+    w.append(&Record::RunBegin {
+        leg: 0,
+        label: "leg0".into(),
+        config_digest: 0x1234_5678_9ABC_DEF0,
+    })
+    .unwrap();
+    let ch: Arc<str> = Arc::from("tcp0");
+    let events = vec![
+        Event::Spawn,
+        Event::Exit,
+        Event::SemBlock { sem: 3 },
+        Event::SemBlockTimeout {
+            sem: 4,
+            deadline: VirtualTime(1_000),
+        },
+        Event::SemWake { sem: 3, woken: 7 },
+        Event::PollWake { source: 1 },
+        Event::PollQueued { source: 2 },
+        Event::PollWaited { source: 3 },
+        Event::Pack {
+            channel: ch.clone(),
+            to: 1,
+            seq: 42,
+            bytes: 512,
+            segments: 2,
+        },
+        Event::Unpack {
+            channel: ch.clone(),
+            from: 0,
+            seq: 42,
+            bytes: 512,
+        },
+        Event::Retransmit {
+            channel: ch.clone(),
+            to: 1,
+            seq: 43,
+            attempt: 2,
+        },
+        Event::DedupDrop {
+            channel: ch.clone(),
+            from: 0,
+            seq: 41,
+        },
+        Event::PacketSent {
+            rank: 0,
+            dst: 1,
+            kind: "EAGER",
+            rail: ch.clone(),
+            bytes: 128,
+        },
+        Event::PacketDelivered {
+            rank: 1,
+            src: 0,
+            kind: "EAGER",
+        },
+        Event::RailSelected {
+            rank: 0,
+            dst: 1,
+            rail: ch.clone(),
+            bytes: 128,
+        },
+        Event::RailFailover {
+            rank: 0,
+            dst: 1,
+            from_rail: ch.clone(),
+            to_rail: Arc::from("sci0"),
+        },
+        Event::RndvRequest {
+            rank: 0,
+            dst: 1,
+            token: 9,
+            bytes: 1 << 20,
+        },
+        Event::RndvAck {
+            rank: 0,
+            src: 1,
+            token: 9,
+        },
+        Event::RecvPosted { rank: 1, depth: 2 },
+        Event::RecvMatched {
+            rank: 1,
+            src: 0,
+            tag: -1,
+            unexpected: true,
+        },
+        Event::UnexpectedQueued {
+            rank: 1,
+            src: 0,
+            tag: 7,
+            depth: 3,
+        },
+        Event::SpanBegin {
+            id: 5,
+            kind: SpanKind::Handle,
+            label: "handle",
+        },
+        Event::SpanEnd {
+            id: 5,
+            kind: SpanKind::Handle,
+            label: "handle",
+        },
+    ];
+    for (i, e) in events.into_iter().enumerate() {
+        w.append(&Record::Event {
+            time_ns: 100 * (i as u64 + 1),
+            tid: i as u64 % 4,
+            event: e,
+        })
+        .unwrap();
+    }
+    w.append(&Record::RunEnd(RunEndData {
+        leg: 0,
+        end_ns: 123_456,
+        metrics_digest: 0xDEAD_BEEF,
+        counters: vec![1, 2, 3, 4, 5, 6, 7],
+        results: vec![vec![0xAA; 4], vec![0xBB; 4]],
+    }))
+    .unwrap();
+    w.append(&Record::Snapshot(SnapshotData {
+        legs_done: 1,
+        end_ns: 123_456,
+        rng_state: 0x0123_4567_89AB_CDEF,
+        fault_cursor: 1,
+        metrics_digest: 0xDEAD_BEEF,
+        threads: vec![
+            ThreadSnap {
+                name: "rank0".into(),
+                vtime_ns: 123_456,
+                ops: 99,
+            },
+            ThreadSnap {
+                name: "rank1".into(),
+                vtime_ns: 123_400,
+                ops: 98,
+            },
+        ],
+        sections: vec![
+            ("madeleine".into(), vec![1, 2, 3]),
+            ("matching".into(), vec![4, 5, 6]),
+        ],
+    }))
+    .unwrap();
+    let out = buf.lock().unwrap().clone();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        let witness = format_witness();
+        scan(&witness)
+            .unwrap()
+            .records
+            .into_iter()
+            .map(|r| r.record)
+            .collect()
+    }
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        let scanned = sample_records();
+        assert!(
+            scanned.len() > 20,
+            "witness should cover all event variants"
+        );
+        for rec in &scanned {
+            let payload = rec.encode_payload();
+            let back = Record::decode_payload(&payload).unwrap();
+            assert_eq!(*rec, back, "record did not round-trip");
+        }
+    }
+
+    #[test]
+    fn witness_is_deterministic() {
+        assert_eq!(format_witness(), format_witness());
+    }
+
+    #[test]
+    fn scan_detects_clean_tail() {
+        let bytes = format_witness();
+        let s = scan(&bytes).unwrap();
+        assert_eq!(s.tail, Tail::Clean);
+        assert_eq!(s.valid_len, bytes.len());
+    }
+
+    #[test]
+    fn scan_detects_torn_tail_at_every_cut() {
+        let bytes = format_witness();
+        let clean = scan(&bytes).unwrap();
+        let mut boundaries: std::collections::HashSet<usize> =
+            clean.records.iter().map(|r| r.end).collect();
+        boundaries.insert(MAGIC.len() + 4); // a bare header is a valid (empty) journal
+        for cut in (MAGIC.len() + 4)..bytes.len() {
+            let s = scan(&bytes[..cut]).unwrap();
+            if boundaries.contains(&cut) {
+                assert_eq!(s.tail, Tail::Clean, "boundary cut at {cut} reported torn");
+                assert_eq!(s.valid_len, cut);
+            } else {
+                assert!(
+                    matches!(s.tail, Tail::Torn { .. }),
+                    "mid-record cut at {cut} not detected"
+                );
+                assert!(s.valid_len < cut);
+                assert!(boundaries.contains(&s.valid_len) || s.valid_len == MAGIC.len() + 4);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_detects_corrupt_byte() {
+        let mut bytes = format_witness();
+        // Flip one payload byte of the second record: its checksum must
+        // fail and everything from there on must be dropped.
+        let s = scan(&bytes).unwrap();
+        let r1 = &s.records[1];
+        let flip = r1.offset + 5;
+        bytes[flip] ^= 0x40;
+        let s = scan(&bytes).unwrap();
+        assert_eq!(s.valid_len, r1.offset);
+        assert!(matches!(s.tail, Tail::Torn { ref reason } if reason.contains("checksum")));
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(matches!(
+            scan(b"not a journal"),
+            Err(JournalError::BadHeader)
+        ));
+        let mut bytes = format_witness();
+        bytes[0] ^= 1;
+        assert!(matches!(scan(&bytes), Err(JournalError::BadHeader)));
+    }
+
+    #[test]
+    fn mem_sink_budget_produces_torn_tail() {
+        let full = format_witness();
+        let cut = full.len() - 11; // inside the final record
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut w = JournalWriter::create(MemSink::with_budget(buf.clone(), cut as u64)).unwrap();
+        let mut crashed = false;
+        for rec in sample_records() {
+            if w.append(&rec).is_err() {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "budgeted sink never crashed");
+        let bytes = buf.lock().unwrap().clone();
+        assert_eq!(bytes.len(), cut);
+        assert_eq!(&bytes[..], &full[..cut], "prefix must match the clean run");
+        let s = scan(&bytes).unwrap();
+        assert!(matches!(s.tail, Tail::Torn { .. }));
+    }
+
+    #[test]
+    fn resume_writer_continues_digest_and_bytes() {
+        let full = format_witness();
+        let s = scan(&full).unwrap();
+        let cut = s.records[2].end;
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut w = JournalWriter::resume(MemSink::new(buf.clone()), &full[..cut]).unwrap();
+        for rec in sample_records().into_iter().skip(3) {
+            w.append(&rec).unwrap();
+        }
+        assert_eq!(*buf.lock().unwrap(), full);
+        assert_eq!(w.digest(), fnv1a64(&full));
+        assert_eq!(w.bytes_written(), full.len() as u64);
+    }
+
+    #[test]
+    fn bisect_identical_journals() {
+        let a = format_witness();
+        assert_eq!(bisect(&a, &a).unwrap(), BisectOutcome::Identical);
+    }
+
+    #[test]
+    fn bisect_finds_first_divergent_event() {
+        // Build two journals that agree for 3 legs (3 snapshots) and
+        // diverge at one event inside leg 3.
+        let build = |divergent_bytes: usize| {
+            let buf = Arc::new(Mutex::new(Vec::new()));
+            let mut w = JournalWriter::create(MemSink::new(buf.clone())).unwrap();
+            w.append(&Record::Campaign {
+                label: "bisect".into(),
+                master_seed: 1,
+                legs: 5,
+                snapshot_every: 1,
+            })
+            .unwrap();
+            for leg in 0..5u64 {
+                w.append(&Record::RunBegin {
+                    leg,
+                    label: format!("leg{leg}"),
+                    config_digest: 7,
+                })
+                .unwrap();
+                for i in 0..10u64 {
+                    let bytes = if leg == 3 && i == 4 {
+                        divergent_bytes
+                    } else {
+                        64
+                    };
+                    w.append(&Record::Event {
+                        time_ns: leg * 1000 + i,
+                        tid: i % 3,
+                        event: Event::Pack {
+                            channel: Arc::from("tcp0"),
+                            to: 1,
+                            seq: i,
+                            bytes,
+                            segments: 1,
+                        },
+                    })
+                    .unwrap();
+                }
+                w.append(&Record::RunEnd(RunEndData {
+                    leg,
+                    end_ns: leg * 1000 + 999,
+                    metrics_digest: if leg >= 3 { divergent_bytes as u64 } else { 0 },
+                    counters: vec![0; 7],
+                    results: vec![vec![leg as u8]],
+                }))
+                .unwrap();
+                w.append(&Record::Snapshot(SnapshotData {
+                    legs_done: leg + 1,
+                    end_ns: leg * 1000 + 999,
+                    rng_state: if leg >= 3 {
+                        divergent_bytes as u64
+                    } else {
+                        leg
+                    },
+                    fault_cursor: leg + 1,
+                    metrics_digest: 0,
+                    threads: vec![],
+                    sections: vec![],
+                }))
+                .unwrap();
+            }
+            let out = buf.lock().unwrap().clone();
+            out
+        };
+        let a = build(64); // identical everywhere
+        let b = build(4096);
+        match bisect(&a, &b).unwrap() {
+            BisectOutcome::Diverged(d) => {
+                assert_eq!(d.leg, 3, "divergence leg: {d:?}");
+                assert!(d.a.contains("4") && d.b.contains("4096"), "{d:?}");
+                assert!(
+                    d.snapshot_probes <= 4,
+                    "binary search over 5 snapshots took {} probes",
+                    d.snapshot_probes
+                );
+                // The divergent record must be the event, not the later
+                // RunEnd/Snapshot that also differ.
+                assert!(d.a.contains("pack"), "expected the pack event, got {}", d.a);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bisect_detects_length_divergence() {
+        let a = format_witness();
+        let s = scan(&a).unwrap();
+        let b = a[..s.records[s.records.len() - 2].end].to_vec();
+        match bisect(&a, &b).unwrap() {
+            BisectOutcome::Diverged(d) => assert_eq!(d.b, "<absent>"),
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+}

@@ -78,6 +78,9 @@ pub enum SimError {
     Deadlock(String),
     /// A simulated thread panicked; the simulation was aborted.
     ThreadPanicked(String),
+    /// The configuration is invalid (e.g. `ExecPolicy::Ticketed(0)`);
+    /// rejected before any thread runs.
+    InvalidConfig(crate::cost::ConfigError),
 }
 
 impl fmt::Display for SimError {
@@ -85,6 +88,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::Deadlock(d) => write!(f, "simulation deadlock:\n{d}"),
             SimError::ThreadPanicked(m) => write!(f, "simulated thread panicked: {m}"),
+            SimError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
@@ -1178,6 +1182,24 @@ impl Kernel {
             .collect()
     }
 
+    /// Snapshot hook for the journal layer: the committed per-thread
+    /// kernel state (name, virtual clock, op count), in tid order.
+    /// Meaningful at quiescent points — after [`Kernel::run`] returned,
+    /// every value is final and deterministic.
+    pub fn thread_snapshots(&self) -> Vec<crate::journal::ThreadSnap> {
+        self.shared
+            .state
+            .lock()
+            .threads
+            .iter()
+            .map(|t| crate::journal::ThreadSnap {
+                name: t.name.clone(),
+                vtime_ns: t.vtime.as_nanos(),
+                ops: t.ops,
+            })
+            .collect()
+    }
+
     /// Spawn a simulated thread starting at virtual time zero. Must be
     /// called before [`Kernel::run`]; inside the simulation use
     /// [`crate::spawn`] instead, which charges the spawn cost to the
@@ -1217,6 +1239,10 @@ impl Kernel {
     /// when a simulated thread panics (in which case remaining parked OS
     /// threads are leaked — the simulation is unrecoverable).
     pub fn run(&self) -> Result<(), SimError> {
+        self.shared
+            .cost
+            .validate()
+            .map_err(SimError::InvalidConfig)?;
         match self.shared.cost.exec {
             ExecPolicy::Seed => self.run_seed(),
             ExecPolicy::Ticketed(workers) => self.run_ticketed(workers),
@@ -1247,10 +1273,7 @@ impl Kernel {
     /// The committer loop of `ExecPolicy::Ticketed`: the calling thread
     /// plays sequencer and committer; simulated threads are the workers.
     fn run_ticketed(&self, workers: usize) -> Result<(), SimError> {
-        assert!(
-            workers > 0,
-            "ExecPolicy::Ticketed needs at least one worker"
-        );
+        // workers > 0 was validated by `CostModel::validate` in `run`.
         let shared = &self.shared;
         let mut sched = shared.state.lock();
         assert!(!sched.started, "Kernel::run called twice");

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod cost;
+pub mod journal;
 pub mod kernel;
 pub mod obs;
 pub mod poll;
@@ -47,7 +48,11 @@ pub mod sync;
 pub mod thread;
 pub mod time;
 
-pub use cost::{CostModel, ExecPolicy, PollPolicy};
+pub use cost::{ConfigError, CostModel, ExecPolicy, PollPolicy};
+pub use journal::{
+    bisect, fnv1a64, scan, BisectOutcome, Divergence, FileSink, JournalError, JournalSink,
+    JournalWriter, MemSink, Record, RunEndData, ScanResult, SnapshotData, Tail, ThreadSnap,
+};
 pub use kernel::{ExecStats, Kernel, ProcId, SimError, TraceEvent};
 pub use obs::{
     chrome_trace_json, validate_spans, ActiveSpan, Event, HistSnapshot, Layer, Metrics,

@@ -300,6 +300,18 @@ impl<T: Send + 'static> SimMutex<T> {
             sem: &self.sem,
         }
     }
+
+    /// Snapshot hook: read the protected data from the *host*, outside
+    /// any simulated thread. Only sound at quiescent points — after
+    /// `Kernel::run` returned, no simulated thread can hold the lock,
+    /// so the underlying real mutex is free. Panics (rather than
+    /// corrupting virtual-time accounting) if called while the data is
+    /// actually held.
+    pub fn host_lock(&self) -> parking_lot::MutexGuard<'_, T> {
+        self.data
+            .try_lock()
+            .expect("SimMutex::host_lock while the simulation still holds the lock")
+    }
 }
 
 /// Guard returned by [`SimMutex::lock`].

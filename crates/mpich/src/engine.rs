@@ -431,6 +431,38 @@ impl Engine {
     pub fn unexpected_envelopes(&self) -> Vec<Envelope> {
         self.state.lock().unexpected.envelopes()
     }
+
+    /// Deterministic encoding of the matching stores at a quiescent
+    /// point — the per-rank contribution to the "matching" section of a
+    /// journal world snapshot. Reads `SimMutex` state via `host_lock`,
+    /// so it must only be called after `Kernel::run` returns.
+    pub fn matching_snapshot(&self, out: &mut Vec<u8>) {
+        use marcel::journal::wire::{put_u32, put_u64};
+        let st = self.state.host_lock();
+        put_u64(out, self.rank as u64);
+        put_u64(out, st.posted.len() as u64);
+        put_u64(out, st.next_rhandle);
+        let mut rndv: Vec<(u64, u64, u64)> = st
+            .rndv
+            .iter()
+            .map(|(&tok, slot)| (tok, slot.total as u64, slot.received as u64))
+            .collect();
+        rndv.sort_unstable();
+        put_u32(out, rndv.len() as u32);
+        for (tok, total, received) in rndv {
+            put_u64(out, tok);
+            put_u64(out, total);
+            put_u64(out, received);
+        }
+        let envs = st.unexpected.envelopes();
+        put_u32(out, envs.len() as u32);
+        for e in &envs {
+            put_u64(out, e.src as u64);
+            put_u32(out, e.tag as u32);
+            put_u32(out, e.context);
+            put_u64(out, e.len as u64);
+        }
+    }
 }
 
 fn per_byte(ns: f64, bytes: usize) -> VirtualDuration {

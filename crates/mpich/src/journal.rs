@@ -1,0 +1,455 @@
+//! Durable campaign journal: crash-resume and divergence bisect for
+//! long multi-leg simulation campaigns.
+//!
+//! A *campaign* is a deterministic sequence of *legs*, each a complete
+//! [`run_world_artifacts`] execution whose topology, placement, config
+//! and program are produced by a pure leg factory from a [`LegCtx`]
+//! (leg index, derived seed, fault-matrix cursor). While a campaign
+//! runs it appends to a journal (format: [`marcel::journal`]):
+//!
+//! ```text
+//! header | Campaign | (RunBegin Event* RunEnd [Snapshot])*
+//! ```
+//!
+//! Every `snapshot_every` legs a [`marcel::SnapshotData`] world
+//! snapshot is appended at the leg boundary — a quiescent point where
+//! no simulated thread holds a lock, so kernel state, the matching
+//! stores ([`crate::Engine::matching_snapshot`]) and the Madeleine
+//! reliability windows ([`madeleine::Session::reliability_snapshot_bytes`])
+//! can all be read host-side. The snapshot carries everything a resume
+//! needs that cannot be recomputed: the campaign RNG state (the seed
+//! chain folds each leg's *outcome* — end time, metrics digest, fault
+//! counters — so it is unrecoverable without the snapshot) and the
+//! fault-matrix cursor.
+//!
+//! [`resume_campaign`] takes the byte prefix salvaged from a crashed
+//! run, drops the torn tail (detected by the scanner's checksums), cuts
+//! back to the last complete snapshot, replays the retained prefix into
+//! the new sink *verbatim*, and re-executes only the legs after the
+//! snapshot. The determinism contract makes the result byte-identical
+//! to an uninterrupted run — and because the journal deliberately never
+//! encodes the execution policy, a campaign may crash under
+//! `ExecPolicy::Seed` and resume under `Ticketed(n)` (or vice versa)
+//! with the same guarantee.
+//!
+//! When two journals that *should* be identical are not,
+//! [`marcel::bisect`] binary-searches their snapshots and then scans
+//! the first divergent interval to report the first differing record.
+
+use std::sync::Arc;
+
+use marcel::journal::wire::put_u64;
+use marcel::rng::splitmix64;
+use marcel::{
+    fnv1a64, ConfigError, ExecPolicy, JournalError, JournalSink, JournalWriter, MetricsSnapshot,
+    Record, RunEndData, SimError, SnapshotData,
+};
+use simnet::Topology;
+
+use crate::comm::Communicator;
+use crate::world::{run_world_artifacts, Placement, WorldConfig};
+
+pub use marcel::{
+    bisect, scan, BisectOutcome, Divergence, FileSink, MemSink, ScanResult, Tail, ThreadSnap,
+};
+
+/// Campaign identity and shape. Everything here except `exec` is
+/// written into the journal's `Campaign` record; the execution policy
+/// is deliberately excluded so `Seed` and `Ticketed(n)` campaigns
+/// produce byte-identical journals (see the module docs).
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    pub label: String,
+    /// Total number of legs.
+    pub legs: u64,
+    /// Append a world snapshot every this many legs.
+    pub snapshot_every: u64,
+    /// Root of the campaign's seed chain.
+    pub master_seed: u64,
+    /// Kernel execution engine for every leg.
+    pub exec: ExecPolicy,
+}
+
+impl CampaignConfig {
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.legs == 0 {
+            return Err(ConfigError::ZeroCampaignParam("legs"));
+        }
+        if self.snapshot_every == 0 {
+            return Err(ConfigError::ZeroCampaignParam("snapshot_every"));
+        }
+        if self.exec == ExecPolicy::Ticketed(0) {
+            return Err(ConfigError::ZeroTicketedWorkers);
+        }
+        Ok(())
+    }
+}
+
+/// What the leg factory gets: everything it may depend on. The factory
+/// must be a pure function of this context — that is the whole resume
+/// contract.
+#[derive(Clone, Copy, Debug)]
+pub struct LegCtx {
+    /// Leg index, `0..legs`.
+    pub leg: u64,
+    /// Per-leg seed from the campaign chain (outcome-dependent: legs
+    /// after a fault-heavy leg see different seeds than after a clean
+    /// one, so snapshots are genuinely load-bearing).
+    pub seed: u64,
+    /// Fault-matrix position: cells consumed by earlier legs.
+    pub fault_cursor: u64,
+}
+
+/// The per-rank MPI program a leg runs; its return value is the leg's
+/// journaled result.
+pub type LegProgram = Arc<dyn Fn(&Communicator) -> Vec<u8> + Send + Sync>;
+
+/// One leg: a complete world run. Produced by the leg factory.
+pub struct LegSpec {
+    /// Human-readable label, journaled in the leg's `RunBegin` record.
+    /// Fold anything you want bisect to distinguish (fault-plan digest,
+    /// scenario name) into it — or keep it seed-free so a divergence
+    /// surfaces as a differing *event* rather than a differing label.
+    pub label: String,
+    pub topology: Topology,
+    pub placement: Placement,
+    pub config: WorldConfig,
+    /// Fault-matrix cells this leg consumes (advances the campaign's
+    /// fault cursor).
+    pub fault_cells: u64,
+    /// The per-rank MPI program; its return value is the leg's
+    /// journaled result (the receive buffers the byte-equality
+    /// contract covers).
+    pub program: LegProgram,
+}
+
+/// Why a campaign could not run (or resume).
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The campaign or a leg configuration is invalid.
+    Config(ConfigError),
+    /// Journal framing, checksum, or sink I/O failure.
+    Journal(JournalError),
+    /// A leg's simulation failed.
+    Sim(SimError),
+    /// The prior journal does not belong to this campaign.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Config(e) => write!(f, "invalid campaign configuration: {e}"),
+            CampaignError::Journal(e) => write!(f, "journal error: {e}"),
+            CampaignError::Sim(e) => write!(f, "simulation error: {e}"),
+            CampaignError::Mismatch(what) => write!(f, "journal/campaign mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<ConfigError> for CampaignError {
+    fn from(e: ConfigError) -> Self {
+        CampaignError::Config(e)
+    }
+}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> Self {
+        CampaignError::Journal(e)
+    }
+}
+
+impl From<SimError> for CampaignError {
+    fn from(e: SimError) -> Self {
+        CampaignError::Sim(e)
+    }
+}
+
+/// Summary of a finished (or finished-by-resume) campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// FNV-1a digest over every byte of the intended journal stream —
+    /// prefix included on resume, so an uninterrupted run and a
+    /// crash-resume of the same campaign report the same digest.
+    pub digest: u64,
+    /// Intended journal length in bytes.
+    pub bytes: u64,
+    /// Records appended by *this* invocation (replayed prefix excluded).
+    pub records_appended: u64,
+    /// Leg index this invocation started from (0 for a fresh run).
+    pub resumed_at_leg: u64,
+    /// Legs actually executed by this invocation.
+    pub legs_run: u64,
+    /// Event records appended by this invocation.
+    pub events_appended: u64,
+    /// Virtual end time of the campaign's final leg (0 when the resume
+    /// found the campaign already complete).
+    pub end_ns: u64,
+    /// Per-rank results of the final executed leg.
+    pub last_results: Vec<Vec<u8>>,
+}
+
+/// Deterministic digest of a metrics report: every counter, gauge and
+/// histogram in (sorted) registry order.
+pub fn metrics_digest(snap: &MetricsSnapshot) -> u64 {
+    let mut bytes = Vec::with_capacity(1024);
+    for (name, v) in &snap.counters {
+        bytes.extend_from_slice(name.as_bytes());
+        put_u64(&mut bytes, *v);
+    }
+    for (name, v) in &snap.gauges {
+        bytes.extend_from_slice(name.as_bytes());
+        put_u64(&mut bytes, *v);
+    }
+    for (name, h) in &snap.hists {
+        bytes.extend_from_slice(name.as_bytes());
+        for v in [h.count, h.sum_ns, h.min_ns, h.max_ns] {
+            put_u64(&mut bytes, v);
+        }
+        for b in &h.buckets {
+            put_u64(&mut bytes, *b);
+        }
+    }
+    fnv1a64(&bytes)
+}
+
+/// Everything a finished leg contributes to the journal.
+struct LegOutcome {
+    results: Vec<Vec<u8>>,
+    trace: Vec<marcel::TraceEvent>,
+    end_ns: u64,
+    metrics_digest: u64,
+    counters: Vec<u64>,
+    threads: Vec<ThreadSnap>,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+/// Execute one leg and capture its journaled outcome. Tracing is forced
+/// on (it never advances virtual time, so it cannot change results) and
+/// the campaign's execution policy overrides the leg's.
+fn run_leg(spec: &LegSpec, exec: ExecPolicy) -> Result<LegOutcome, SimError> {
+    let mut config = spec.config.clone();
+    config.exec = exec;
+    config.trace = true;
+    let program = spec.program.clone();
+    let (results, kernel, session, engines) = run_world_artifacts(
+        spec.topology.clone(),
+        spec.placement.clone(),
+        config,
+        move |comm| program(comm),
+    )?;
+    let fc = session.fault_counters();
+    let counters = vec![
+        fc.retransmits,
+        fc.drops,
+        fc.duplicates,
+        fc.deferrals,
+        fc.dead_pairs,
+        session.failovers(),
+        session.rndv_reissues(),
+    ];
+    let mut matching = Vec::with_capacity(256);
+    marcel::journal::wire::put_u32(&mut matching, engines.len() as u32);
+    for e in &engines {
+        e.matching_snapshot(&mut matching);
+    }
+    Ok(LegOutcome {
+        results,
+        trace: kernel.take_trace(),
+        end_ns: kernel.end_time().as_nanos(),
+        metrics_digest: metrics_digest(&kernel.metrics().snapshot()),
+        counters,
+        threads: kernel.thread_snapshots(),
+        sections: vec![
+            (
+                "madeleine".to_string(),
+                session.reliability_snapshot_bytes(),
+            ),
+            ("matching".to_string(), matching),
+        ],
+    })
+}
+
+/// Fold a finished leg's outcome into the campaign RNG chain.
+fn fold_outcome(rng: u64, end_ns: u64, metrics_digest: u64, counters: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(counters.len() * 8);
+    for c in counters {
+        put_u64(&mut bytes, *c);
+    }
+    splitmix64(rng ^ end_ns ^ metrics_digest ^ fnv1a64(&bytes))
+}
+
+/// Restored (or initial) campaign progress.
+struct Progress {
+    legs_done: u64,
+    rng: u64,
+    fault_cursor: u64,
+}
+
+/// Run a fresh campaign, journaling into `sink`. Equivalent to
+/// [`resume_campaign`] with an empty prior byte stream.
+pub fn run_campaign<S, F>(
+    cfg: &CampaignConfig,
+    sink: S,
+    leg_factory: F,
+) -> Result<CampaignReport, CampaignError>
+where
+    S: JournalSink,
+    F: Fn(&LegCtx) -> LegSpec,
+{
+    resume_campaign(cfg, &[], sink, leg_factory)
+}
+
+/// Resume (or start) a campaign from the bytes salvaged off a crashed
+/// run's journal. The torn tail is dropped, the stream is cut back to
+/// the last complete snapshot (the legs after it are re-executed), the
+/// retained prefix is replayed into `sink` verbatim, and the campaign
+/// runs to completion. The resulting journal is byte-identical to an
+/// uninterrupted run's — under either execution policy.
+pub fn resume_campaign<S, F>(
+    cfg: &CampaignConfig,
+    prior: &[u8],
+    sink: S,
+    leg_factory: F,
+) -> Result<CampaignReport, CampaignError>
+where
+    S: JournalSink,
+    F: Fn(&LegCtx) -> LegSpec,
+{
+    cfg.validate()?;
+    let campaign_record = Record::Campaign {
+        label: cfg.label.clone(),
+        master_seed: cfg.master_seed,
+        legs: cfg.legs,
+        snapshot_every: cfg.snapshot_every,
+    };
+    let fresh = Progress {
+        legs_done: 0,
+        rng: splitmix64(cfg.master_seed),
+        fault_cursor: 0,
+    };
+
+    let (mut writer, progress) = if prior.is_empty() {
+        let mut w = JournalWriter::create(sink)?;
+        w.append(&campaign_record)?;
+        (w, fresh)
+    } else {
+        let scanned = marcel::scan(prior)?;
+        match scanned.records.first() {
+            None => {
+                // Salvaged bytes hold a valid header but no complete
+                // record: replay the header, start from scratch.
+                let mut w = JournalWriter::resume(sink, &prior[..scanned.valid_len])?;
+                w.append(&campaign_record)?;
+                (w, fresh)
+            }
+            Some(first) if first.record == campaign_record => {
+                match scanned.snapshot_indices().last() {
+                    Some(&idx) => {
+                        let rec = &scanned.records[idx];
+                        let snap = match &rec.record {
+                            Record::Snapshot(s) => s,
+                            _ => unreachable!("snapshot_indices returned a non-snapshot"),
+                        };
+                        let w = JournalWriter::resume(sink, &prior[..rec.end])?;
+                        (
+                            w,
+                            Progress {
+                                legs_done: snap.legs_done,
+                                rng: snap.rng_state,
+                                fault_cursor: snap.fault_cursor,
+                            },
+                        )
+                    }
+                    None => {
+                        // Campaign record intact, no snapshot yet: keep
+                        // the campaign record, re-execute every leg.
+                        let w = JournalWriter::resume(sink, &prior[..first.end])?;
+                        (w, fresh)
+                    }
+                }
+            }
+            Some(first) => {
+                return Err(CampaignError::Mismatch(format!(
+                    "journal opens with {:?}, campaign expects {:?}",
+                    first.record, campaign_record
+                )));
+            }
+        }
+    };
+
+    let resumed_at_leg = progress.legs_done.min(cfg.legs);
+    let mut legs_done = progress.legs_done;
+    let mut rng = progress.rng;
+    let mut fault_cursor = progress.fault_cursor;
+    let mut events_appended = 0u64;
+    let mut end_ns = 0u64;
+    let mut last_results: Vec<Vec<u8>> = Vec::new();
+
+    while legs_done < cfg.legs {
+        let leg = legs_done;
+        let ctx = LegCtx {
+            leg,
+            seed: splitmix64(rng ^ leg),
+            fault_cursor,
+        };
+        let spec = leg_factory(&ctx);
+        spec.config.validate()?;
+        writer.append(&Record::RunBegin {
+            leg,
+            label: spec.label.clone(),
+            config_digest: fnv1a64(spec.label.as_bytes()),
+        })?;
+        let outcome = run_leg(&spec, cfg.exec)?;
+        for te in &outcome.trace {
+            writer.append(&Record::Event {
+                time_ns: te.time.as_nanos(),
+                tid: te.tid as u64,
+                event: te.what.clone(),
+            })?;
+            events_appended += 1;
+        }
+        writer.append(&Record::RunEnd(RunEndData {
+            leg,
+            end_ns: outcome.end_ns,
+            metrics_digest: outcome.metrics_digest,
+            counters: outcome.counters.clone(),
+            results: outcome.results.clone(),
+        }))?;
+        rng = fold_outcome(
+            rng,
+            outcome.end_ns,
+            outcome.metrics_digest,
+            &outcome.counters,
+        );
+        fault_cursor += spec.fault_cells;
+        legs_done += 1;
+        end_ns = outcome.end_ns;
+        last_results = outcome.results;
+        if legs_done % cfg.snapshot_every == 0 {
+            writer.append(&Record::Snapshot(SnapshotData {
+                legs_done,
+                end_ns: outcome.end_ns,
+                rng_state: rng,
+                fault_cursor,
+                metrics_digest: outcome.metrics_digest,
+                threads: outcome.threads,
+                sections: outcome.sections,
+            }))?;
+        }
+    }
+    writer.flush()?;
+
+    Ok(CampaignReport {
+        digest: writer.digest(),
+        bytes: writer.bytes_written(),
+        records_appended: writer.records_written(),
+        resumed_at_leg,
+        legs_run: legs_done - resumed_at_leg,
+        events_appended,
+        end_ns,
+        last_results,
+    })
+}

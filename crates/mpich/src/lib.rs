@@ -42,6 +42,7 @@ pub mod datatype;
 pub mod device;
 pub mod engine;
 pub mod group;
+pub mod journal;
 pub mod matching;
 pub mod op;
 pub mod request;
@@ -56,12 +57,16 @@ pub use datatype::{from_bytes, to_bytes, BaseType, Datatype, MpiScalar};
 pub use device::{ChMad, ChMadConfig, ChP4, ChP4Costs, ChSelf, Packet, SmpPlug};
 pub use engine::Engine;
 pub use group::Group;
-pub use marcel::{ExecPolicy, PollPolicy};
+pub use journal::{
+    resume_campaign, run_campaign, CampaignConfig, CampaignError, CampaignReport, LegCtx,
+    LegProgram, LegSpec,
+};
+pub use marcel::{ConfigError, ExecPolicy, PollPolicy};
 pub use matching::{PostedStore, UnexpectedStore};
 pub use op::ReduceOp;
 pub use request::{wait_all, wait_any, Request};
 pub use types::{Envelope, MatchSpec, Status, Tag};
 pub use world::{
-    run_world, run_world_full, run_world_kernel, thread_metas, Placement, RemoteDeviceKind,
-    WorldConfig,
+    run_world, run_world_artifacts, run_world_full, run_world_kernel, thread_metas, Placement,
+    RemoteDeviceKind, WorldConfig,
 };

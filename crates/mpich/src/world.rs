@@ -127,6 +127,25 @@ impl WorldConfig {
             ..WorldConfig::default()
         }
     }
+
+    /// Check the configuration for nonsense before any thread is
+    /// spawned. `run_world*` calls this and surfaces failures as
+    /// [`SimError::InvalidConfig`]; call it directly to validate a
+    /// config built from external input (bench CLI flags, campaign
+    /// specs) without paying for a world bootstrap.
+    pub fn validate(&self) -> Result<(), marcel::ConfigError> {
+        let mut cost_model = self.cost_model.clone();
+        cost_model.poll_policy = self.poll;
+        cost_model.exec = self.exec;
+        cost_model.validate()?;
+        if self.forwarding && !matches!(self.remote, RemoteDeviceKind::ChMad(_)) {
+            return Err(marcel::ConfigError::ForwardingRequiresChMad);
+        }
+        if !self.adi.recv_touch_per_byte_ns.is_finite() || self.adi.recv_touch_per_byte_ns < 0.0 {
+            return Err(marcel::ConfigError::NegativeCost("recv_touch_per_byte_ns"));
+        }
+        Ok(())
+    }
 }
 
 impl WorldConfig {
@@ -199,6 +218,29 @@ where
     T: Send + 'static,
     F: Fn(&Communicator) -> T + Send + Sync + 'static,
 {
+    let (results, kernel, session, _) = run_world_artifacts(topology, placement, config, f)?;
+    Ok((results, kernel, session))
+}
+
+/// Everything [`run_world_artifacts`] hands back: per-rank results,
+/// the kernel, the Madeleine session, and the per-rank matching
+/// engines.
+pub type WorldArtifacts<T> = (Vec<T>, Kernel, Arc<madeleine::Session>, Vec<Arc<Engine>>);
+
+/// Like [`run_world_full`], additionally returning the per-rank
+/// matching engines — the journal's world snapshots read the matching
+/// stores ([`Engine::matching_snapshot`]) off them at leg boundaries.
+pub fn run_world_artifacts<T, F>(
+    topology: Topology,
+    placement: Placement,
+    config: WorldConfig,
+    f: F,
+) -> Result<WorldArtifacts<T>, SimError>
+where
+    T: Send + 'static,
+    F: Fn(&Communicator) -> T + Send + Sync + 'static,
+{
+    config.validate().map_err(SimError::InvalidConfig)?;
     let mut cost_model = config.cost_model.clone();
     cost_model.poll_policy = config.poll;
     cost_model.exec = config.exec;
@@ -216,11 +258,8 @@ where
         Placement::OneRankPerCpu => builder.one_rank_per_cpu(),
         Placement::Explicit(map) => builder.place(map.clone()),
     };
+    // Forwarding + ChP4 was rejected by validate() above.
     let builder = if config.forwarding {
-        assert!(
-            matches!(config.remote, RemoteDeviceKind::ChMad(_)),
-            "forwarding requires the ch_mad device"
-        );
         builder.allow_forwarding()
     } else {
         builder
@@ -306,5 +345,5 @@ where
         .into_iter()
         .map(|h| h.join_outcome().expect("rank finished without a result"))
         .collect();
-    Ok((results, kernel, session))
+    Ok((results, kernel, session, engines))
 }

@@ -154,6 +154,39 @@ impl FaultPlan {
     pub fn is_survivable(&self) -> bool {
         self.loss < 1.0 && self.down.iter().all(|&(_, until)| until.0 != u64::MAX)
     }
+
+    /// Serialize the plan's parameters (journal snapshot hook). A plan
+    /// is pure data — `fate` depends only on `(seed, seq, bytes)` and
+    /// window checks on `now` — so this encoding plus the campaign's
+    /// fault *cursor* (how far into the plan matrix a campaign has
+    /// advanced) is everything a resume needs to reproduce the fault
+    /// stream bit for bit.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use marcel::journal::wire::{put_u32, put_u64};
+        put_u64(out, self.seed);
+        put_u64(out, self.loss.to_bits());
+        put_u64(out, self.ack_loss.to_bits());
+        put_u32(out, self.down.len() as u32);
+        for &(from, until) in &self.down {
+            put_u64(out, from.0);
+            put_u64(out, until.0);
+        }
+        put_u32(out, self.degraded.len() as u32);
+        for &(from, until, extra) in &self.degraded {
+            put_u64(out, from.0);
+            put_u64(out, until.0);
+            put_u64(out, extra.as_nanos());
+        }
+    }
+
+    /// Stable fingerprint of the plan's parameters — campaigns fold it
+    /// into per-leg config digests so `bisect` can tell "same traffic,
+    /// different fault plan" apart from a real determinism bug.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(64);
+        self.encode(&mut bytes);
+        marcel::journal::fnv1a64(&bytes)
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +282,27 @@ mod tests {
             VirtualDuration::from_nanos(5)
         );
         assert_eq!(p.extra_delay(VirtualTime(150)), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn encode_and_digest_are_deterministic_and_parameter_sensitive() {
+        let p = FaultPlan::new(7)
+            .with_loss(0.2)
+            .with_ack_loss(0.1)
+            .with_down(VirtualTime(100), VirtualTime(200))
+            .with_degraded(
+                VirtualTime(0),
+                VirtualTime(50),
+                VirtualDuration::from_nanos(9),
+            );
+        assert_eq!(p.digest(), p.clone().digest());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        p.encode(&mut a);
+        p.encode(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(p.digest(), FaultPlan::new(8).with_loss(0.2).digest());
+        assert_ne!(p.digest(), p.clone().with_loss(0.25).digest());
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Durable-journal tests: snapshot determinism, crash-resume
+//! byte-identity, torn-tail recovery, and divergence bisect — for
+//! campaigns driven through the fault-injection seed matrix (the same
+//! `FAULT_SEED` scheme as `tests/faults.rs`).
+
+use std::sync::{Arc, Mutex};
+
+use marcel::{ExecPolicy, JournalError, MemSink, Record, Tail};
+use mpich::journal::{bisect, scan, BisectOutcome};
+use mpich::{
+    resume_campaign, run_campaign, run_world, CampaignConfig, CampaignError, ConfigError, LegCtx,
+    LegSpec, Placement, RemoteDeviceKind, WorldConfig,
+};
+use simnet::{FaultPlan, Protocol, Topology};
+
+/// Master seed: `FAULT_SEED` env var, or a fixed default (the same
+/// convention as `tests/faults.rs` so CI's seed matrix covers both).
+fn fault_seed() -> u64 {
+    std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF00D)
+}
+
+/// Deterministic payload of message `i` from rank `src`.
+fn payload(src: usize, i: usize, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|k| {
+            (src as u8)
+                .wrapping_mul(31)
+                .wrapping_add((i as u8).wrapping_mul(17))
+                .wrapping_add(k as u8)
+        })
+        .collect()
+}
+
+/// Sizes straddling both rails' eager→rendezvous switch points.
+const SIZES: [usize; 3] = [1, 512, 9 * 1024];
+const TAG: i32 = 7;
+const LEGS: u64 = 6;
+const SNAPSHOT_EVERY: u64 = 2;
+
+fn storm_cfg(exec: ExecPolicy) -> CampaignConfig {
+    CampaignConfig {
+        label: "storm".to_string(),
+        legs: LEGS,
+        snapshot_every: SNAPSHOT_EVERY,
+        master_seed: fault_seed(),
+        exec,
+    }
+}
+
+/// Leg factory for a message-storm campaign over a faulted dual-rail
+/// link. `perturb_from`: legs at or past this index run with a
+/// perturbed fault-plan seed (different drop pattern, same traffic) —
+/// the controlled divergence the bisect test hunts down. Labels are
+/// identical either way, so the first divergent journal record is a
+/// trace *event*, not a label.
+fn storm_factory(perturb_from: Option<u64>) -> impl Fn(&LegCtx) -> LegSpec {
+    move |ctx: &LegCtx| {
+        let tweak = if perturb_from.is_some_and(|from| ctx.leg >= from) {
+            0xB0057
+        } else {
+            0
+        };
+        let plan = FaultPlan::new(ctx.seed ^ ctx.fault_cursor ^ tweak)
+            .with_loss(0.20)
+            .with_ack_loss(0.10);
+        let mut t = Topology::new();
+        let a = t.add_node("a", 2);
+        let b = t.add_node("b", 2);
+        let sci = t.add_network(Protocol::Sisci, [a, b]);
+        let bip = t.add_network(Protocol::Bip, [a, b]);
+        let mut sci_plan = plan.clone();
+        sci_plan.seed ^= 0x5C1_5C1;
+        t.set_fault(sci, sci_plan);
+        t.set_fault(bip, plan);
+        LegSpec {
+            label: format!("storm-leg{}", ctx.leg),
+            topology: t,
+            placement: Placement::OneRankPerNode,
+            config: WorldConfig::default(),
+            fault_cells: 2, // one cell per rail
+            program: Arc::new(|comm| {
+                let me = comm.rank();
+                let peer = 1 - me;
+                let mut got = Vec::new();
+                if me == 0 {
+                    for (i, &n) in SIZES.iter().enumerate() {
+                        comm.send(&payload(me, i, n), peer, TAG);
+                    }
+                }
+                for &n in &SIZES {
+                    got.extend_from_slice(&comm.recv(n, Some(peer), Some(TAG)).0);
+                }
+                if me == 1 {
+                    for (i, &n) in SIZES.iter().enumerate() {
+                        comm.send(&payload(me, i, n), peer, TAG);
+                    }
+                }
+                got
+            }),
+        }
+    }
+}
+
+/// Run the storm campaign fresh under `exec` and return the journal
+/// bytes plus the report digest.
+fn full_journal(exec: ExecPolicy) -> (Vec<u8>, u64) {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let report = run_campaign(
+        &storm_cfg(exec),
+        MemSink::new(buf.clone()),
+        storm_factory(None),
+    )
+    .expect("fresh campaign failed");
+    let bytes = buf.lock().unwrap().clone();
+    assert_eq!(report.bytes as usize, bytes.len());
+    (bytes, report.digest)
+}
+
+/// The journal deliberately excludes the execution policy: `Seed` and
+/// `Ticketed(n)` campaigns must write byte-identical journals.
+#[test]
+fn journal_bytes_are_identical_across_exec_policies() {
+    let (seed_bytes, seed_digest) = full_journal(ExecPolicy::Seed);
+    let (tick_bytes, tick_digest) = full_journal(ExecPolicy::Ticketed(2));
+    assert_eq!(seed_digest, tick_digest);
+    assert_eq!(seed_bytes, tick_bytes, "Seed vs Ticketed(2) journal bytes");
+    let scanned = scan(&seed_bytes).expect("journal scans clean");
+    assert_eq!(scanned.tail, Tail::Clean);
+    assert_eq!(
+        scanned.snapshot_indices().len() as u64,
+        LEGS / SNAPSHOT_EVERY,
+        "one snapshot every {SNAPSHOT_EVERY} legs"
+    );
+    // The snapshot carries real per-layer payloads, not empty husks.
+    for &i in &scanned.snapshot_indices() {
+        let Record::Snapshot(s) = &scanned.records[i].record else {
+            panic!("snapshot_indices pointed at a non-snapshot");
+        };
+        assert!(!s.threads.is_empty(), "kernel thread state captured");
+        let names: Vec<&str> = s.sections.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["madeleine", "matching"]);
+        assert!(s.sections.iter().all(|(_, b)| !b.is_empty()));
+    }
+}
+
+/// Satellite: resume-from-every-snapshot byte-equality across the
+/// execution-policy matrix. A campaign truncated at any snapshot
+/// boundary — or mid-record, torn — resumes to a journal byte-equal to
+/// the uninterrupted run's, under Seed and Ticketed alike.
+#[test]
+fn resume_from_every_snapshot_is_byte_identical() {
+    let (full, full_digest) = full_journal(ExecPolicy::Seed);
+    let scanned = scan(&full).expect("journal scans clean");
+    let snapshot_ends: Vec<usize> = scanned
+        .snapshot_indices()
+        .iter()
+        .map(|&i| scanned.records[i].end)
+        .collect();
+    assert_eq!(snapshot_ends.len() as u64, LEGS / SNAPSHOT_EVERY);
+
+    // Crash points: exactly at each snapshot boundary, torn a few bytes
+    // past one (mid-record), and torn mid-campaign at an arbitrary cut.
+    let mut cuts: Vec<usize> = snapshot_ends.clone();
+    cuts.push(snapshot_ends[0] + 7);
+    cuts.push(full.len() * 2 / 3);
+    cuts.push(full.len() - 3);
+
+    for exec in [
+        ExecPolicy::Seed,
+        ExecPolicy::Ticketed(2),
+        ExecPolicy::Ticketed(8),
+    ] {
+        for &cut in &cuts {
+            let salvaged = &full[..cut];
+            let buf = Arc::new(Mutex::new(Vec::new()));
+            let report = resume_campaign(
+                &storm_cfg(exec),
+                salvaged,
+                MemSink::new(buf.clone()),
+                storm_factory(None),
+            )
+            .unwrap_or_else(|e| panic!("resume at cut {cut} under {exec:?} failed: {e}"));
+            let resumed = buf.lock().unwrap().clone();
+            assert_eq!(
+                resumed, full,
+                "resume at cut {cut} under {exec:?} diverged from the uninterrupted run"
+            );
+            assert_eq!(report.digest, full_digest);
+            assert!(
+                report.legs_run <= LEGS - report.resumed_at_leg,
+                "no more than the remaining legs re-executed"
+            );
+        }
+    }
+}
+
+/// A genuine crash: the sink's byte budget runs out mid-append, cutting
+/// a record in half. The scanner flags the torn tail, resume drops it
+/// and re-executes from the last snapshot, and the final journal is
+/// byte-equal to the uninterrupted run's.
+#[test]
+fn sink_crash_leaves_torn_tail_that_resume_repairs() {
+    let (full, _) = full_journal(ExecPolicy::Seed);
+    let budget = (full.len() * 2 / 3 + 5) as u64; // mid-record, mid-campaign
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let err = run_campaign(
+        &storm_cfg(ExecPolicy::Seed),
+        MemSink::with_budget(buf.clone(), budget),
+        storm_factory(None),
+    )
+    .expect_err("budgeted sink must crash the campaign");
+    assert!(
+        matches!(err, CampaignError::Journal(JournalError::Io(_))),
+        "crash surfaces as a journal I/O error, got: {err}"
+    );
+    let salvaged = buf.lock().unwrap().clone();
+    assert_eq!(salvaged.len() as u64, budget, "sink wrote its whole budget");
+    let scanned = scan(&salvaged).expect("salvaged prefix scans");
+    assert!(
+        matches!(scanned.tail, Tail::Torn { .. }),
+        "mid-record crash leaves a torn tail"
+    );
+    assert!(scanned.valid_len < salvaged.len());
+
+    let buf2 = Arc::new(Mutex::new(Vec::new()));
+    resume_campaign(
+        &storm_cfg(ExecPolicy::Ticketed(2)),
+        &salvaged,
+        MemSink::new(buf2.clone()),
+        storm_factory(None),
+    )
+    .expect("resume from the crash artifact failed");
+    assert_eq!(
+        *buf2.lock().unwrap(),
+        full,
+        "crash-resume journal != uninterrupted journal"
+    );
+}
+
+/// Two campaigns that should be identical but differ in one leg's fault
+/// plan: bisect lands on the first divergent record, identifies the
+/// leg, and does so with O(log snapshots) snapshot probes.
+#[test]
+fn bisect_pinpoints_first_divergent_leg_and_event() {
+    const BUMP_AT: u64 = 3;
+    let (a, _) = full_journal(ExecPolicy::Seed);
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    run_campaign(
+        &storm_cfg(ExecPolicy::Seed),
+        MemSink::new(buf.clone()),
+        storm_factory(Some(BUMP_AT)),
+    )
+    .expect("perturbed campaign failed");
+    let b = buf.lock().unwrap().clone();
+    assert_ne!(a, b, "the seed perturbation must change the journal");
+
+    let scanned_a = scan(&a).expect("journal A scans");
+    let outcome = bisect(&a, &b).expect("bisect scans both journals");
+    let BisectOutcome::Diverged(d) = outcome else {
+        panic!("bisect called differing journals identical");
+    };
+    assert_eq!(d.leg, BUMP_AT, "first divergence is in the bumped leg");
+    assert!(
+        matches!(
+            scanned_a.records[d.record_index].record,
+            Record::Event { .. }
+        ),
+        "labels are identical, so the first divergent record is a trace event: {:?}",
+        scanned_a.records[d.record_index].record
+    );
+    let snapshots = scanned_a.snapshot_indices().len();
+    assert!(
+        d.snapshot_probes <= snapshots.ilog2() as usize + 1,
+        "{} probes for {} snapshots is not a binary search",
+        d.snapshot_probes,
+        snapshots
+    );
+
+    // Sanity: a journal bisected against itself is identical.
+    assert!(matches!(bisect(&a, &a).unwrap(), BisectOutcome::Identical));
+}
+
+/// Resuming with the wrong campaign identity must be refused, not
+/// silently grafted onto a foreign journal.
+#[test]
+fn resume_rejects_foreign_journal() {
+    let (full, _) = full_journal(ExecPolicy::Seed);
+    let mut cfg = storm_cfg(ExecPolicy::Seed);
+    cfg.master_seed ^= 1;
+    let err = resume_campaign(
+        &cfg,
+        &full,
+        MemSink::new(Arc::new(Mutex::new(Vec::new()))),
+        storm_factory(None),
+    )
+    .expect_err("foreign journal accepted");
+    assert!(matches!(err, CampaignError::Mismatch(_)), "got: {err}");
+}
+
+/// Satellite: config-time panics replaced by typed errors — the world
+/// builders reject nonsense before any thread spawns.
+#[test]
+fn invalid_world_configs_are_typed_errors_not_panics() {
+    let mk_topology = || Topology::single_network(2, Protocol::Tcp);
+
+    let err = run_world(
+        mk_topology(),
+        Placement::OneRankPerNode,
+        WorldConfig {
+            exec: ExecPolicy::Ticketed(0),
+            ..WorldConfig::default()
+        },
+        |comm| comm.rank(),
+    )
+    .expect_err("Ticketed(0) accepted");
+    assert!(matches!(
+        err,
+        marcel::SimError::InvalidConfig(ConfigError::ZeroTicketedWorkers)
+    ));
+
+    let cfg = WorldConfig {
+        forwarding: true,
+        remote: RemoteDeviceKind::ChP4(Default::default()),
+        ..WorldConfig::default()
+    };
+    assert_eq!(
+        cfg.validate(),
+        Err(ConfigError::ForwardingRequiresChMad),
+        "forwarding over ch_p4"
+    );
+
+    let mut cfg = WorldConfig::default();
+    cfg.adi.recv_touch_per_byte_ns = -0.5;
+    assert_eq!(
+        cfg.validate(),
+        Err(ConfigError::NegativeCost("recv_touch_per_byte_ns"))
+    );
+    cfg.adi.recv_touch_per_byte_ns = f64::NAN;
+    assert!(cfg.validate().is_err(), "NaN cost accepted");
+
+    let mut camp = storm_cfg(ExecPolicy::Seed);
+    camp.legs = 0;
+    assert_eq!(camp.validate(), Err(ConfigError::ZeroCampaignParam("legs")));
+    let mut camp = storm_cfg(ExecPolicy::Seed);
+    camp.snapshot_every = 0;
+    assert_eq!(
+        camp.validate(),
+        Err(ConfigError::ZeroCampaignParam("snapshot_every"))
+    );
+    assert_eq!(
+        storm_cfg(ExecPolicy::Ticketed(0)).validate(),
+        Err(ConfigError::ZeroTicketedWorkers)
+    );
+}
