@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""CI gate for the time-travel replay machinery (`jrnl` inspector).
+
+Run after
+
+    JRNL="cargo run --release -p bench --bin jrnl --"
+    $JRNL gen replay.jrnl --legs 8 --roll 65536        | tee replay.out
+    $JRNL stat replay.jrnl                             | tee -a replay.out
+    $JRNL stat replay.jrnl                             | tee -a replay.out
+    $JRNL seek replay.jrnl 0                           | tee -a replay.out
+    $JRNL seek replay.jrnl 500                         | tee -a replay.out
+    $JRNL diff replay.jrnl 500 500                     | tee -a replay.out
+    $JRNL reexec replay.jrnl 500                       | tee -a replay.out
+    $JRNL reexec replay.jrnl 500 --workers 2           | tee -a replay.out
+    $JRNL export replay.jrnl replay-window.json --from 100 --to 900 \
+                                                       | tee -a replay.out
+
+as
+
+    python3 ci/check_replay.py replay.out replay-window.json
+
+Gates (all strict — the journal and its replay are fully deterministic):
+
+1. **Stat determinism**: the two `jrnl-stat` lines over the same
+   segmented journal must be identical, and the digest must match the
+   `jrnl-gen` report.
+2. **Rolling segments**: `jrnl gen --roll` must have produced more than
+   one segment file, transparently readable by every other subcommand.
+3. **Seek**: every `jrnl-seek` line must stay within its own printed
+   `O(log snapshots)` probe bound.
+4. **Seek-equivalence**: every `jrnl-reexec` line must report
+   `ok:true` — the re-executed world (under Seed and Ticketed alike)
+   and the regenerated journal prefix are bit-identical to the
+   uninterrupted run's — and its digest must match the `jrnl-seek`
+   digest at the same event index.
+5. **Diff**: the self-diff line must be empty with matching digests.
+6. **Window export**: the exported Chrome trace must be valid JSON,
+   every record carrying `ph`/`ts`/`pid`/`tid`, with at least one
+   `"ph":"C"` counter sample whose args include the fault counters.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(
+            f"usage: {sys.argv[0]} <jrnl-output-file> <window-export.json>",
+            file=sys.stderr,
+        )
+        return 2
+    lines = Path(sys.argv[1]).read_text().strip().splitlines()
+    gen = None
+    stats = []
+    seeks = []
+    diffs = []
+    reexecs = []
+    exports = []
+    for line in lines:
+        line = line.strip()
+        for tag, into in (
+            ("jrnl-stat", stats),
+            ("jrnl-seek", seeks),
+            ("jrnl-diff", diffs),
+            ("jrnl-reexec", reexecs),
+            ("jrnl-export", exports),
+        ):
+            if line.startswith(tag + " "):
+                into.append(json.loads(line[len(tag) + 1 :]))
+        if line.startswith("jrnl-gen "):
+            gen = json.loads(line[9:])
+
+    failures = []
+
+    if gen is None:
+        failures.append("no jrnl-gen line")
+    elif gen.get("segments", 0) <= 1:
+        failures.append(f"rolling journal produced a single segment: {gen}")
+    else:
+        print(f"rolling journal OK: {gen['segments']} segments, {gen['bytes']} bytes")
+
+    if len(stats) < 2:
+        failures.append(f"need two jrnl-stat lines for determinism, got {len(stats)}")
+    elif stats[0] != stats[1]:
+        failures.append(f"stat not deterministic:\n  1: {stats[0]}\n  2: {stats[1]}")
+    elif gen and stats[0].get("digest") != gen.get("digest"):
+        failures.append(
+            f"stat digest {stats[0].get('digest')} != gen digest {gen.get('digest')}"
+        )
+    else:
+        print(f"stat deterministic: digest {stats[0]['digest']}")
+
+    if not seeks:
+        failures.append("no jrnl-seek lines")
+    by_event = {}
+    for s in seeks:
+        by_event[s["event"]] = s
+        if s["probes"] > s["probe_bound"]:
+            failures.append(f"seek exceeded its O(log) probe bound: {s}")
+        else:
+            print(
+                f"seek OK: event {s['event']} -> snapshot {s['snapshot']} "
+                f"in {s['probes']} probes (bound {s['probe_bound']})"
+            )
+
+    if not reexecs:
+        failures.append("no jrnl-reexec lines (seek-equivalence not exercised)")
+    execs = set()
+    for r in reexecs:
+        execs.add(r.get("exec"))
+        if not r.get("ok"):
+            failures.append(f"re-execution not bit-identical: {r}")
+            continue
+        seek = by_event.get(r["event"])
+        if seek and seek["digest"] != r["digest"]:
+            failures.append(
+                f"reexec digest {r['digest']} != seek digest {seek['digest']} "
+                f"at event {r['event']}"
+            )
+        else:
+            print(
+                f"reexec OK: event {r['event']} under {r['exec']} "
+                f"(digest {r['digest']})"
+            )
+    if reexecs and len(execs) < 2:
+        failures.append(f"reexec must cover both execution policies, got {execs}")
+
+    if not diffs:
+        failures.append("no jrnl-diff lines")
+    for d in diffs:
+        if d["a"] == d["b"]:
+            if not d.get("empty") or d.get("deltas") != 0:
+                failures.append(f"self-diff not empty: {d}")
+            elif d.get("digest_a") != d.get("digest_b"):
+                failures.append(f"self-diff digests differ: {d}")
+            else:
+                print(f"self-diff empty at event {d['a']}")
+
+    export_path = Path(sys.argv[2])
+    if not exports:
+        failures.append("no jrnl-export line")
+    elif not export_path.exists():
+        failures.append(f"window export missing: {export_path}")
+    else:
+        records = json.loads(export_path.read_text())
+        assert isinstance(records, list)
+        for e in records:
+            for key in ("ph", "ts", "pid", "tid"):
+                if key not in e:
+                    failures.append(f"trace record missing {key!r}: {e}")
+                    break
+        counters = [e for e in records if e.get("ph") == "C"]
+        if not counters:
+            failures.append("window export has no counter samples")
+        elif not any("retransmits" in c.get("args", {}) for c in counters):
+            failures.append(f"counter samples lack fault counters: {counters[:1]}")
+        else:
+            print(
+                f"window export OK: {len(records)} records, "
+                f"{len(counters)} counter samples"
+            )
+        if exports[0].get("events", 0) + len(counters) > len(records):
+            failures.append(
+                f"export reported {exports[0]} but file has {len(records)} records"
+            )
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("replay gate OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

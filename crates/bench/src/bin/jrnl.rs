@@ -1,0 +1,407 @@
+//! `jrnl` — time-travel inspector over a campaign journal.
+//!
+//! Output is line-oriented (`jrnl-<cmd> <json>`) for `ci/check_replay.py`.
+//!
+//! ```text
+//! jrnl gen <path> [--legs N] [--roll BYTES] [--perturb LEG] [--workers N]
+//!     Run the soak storm campaign into <path>. With --roll the journal
+//!     is written as rolling segment files (<path>.0000.seg, ...);
+//!     without it, one flat file. --perturb switches the fault seed
+//!     from that leg on (the walkthrough's controlled divergence).
+//! jrnl stat <journal>
+//!     Shape + digest of the journal. Deterministic: two invocations
+//!     over the same bytes print the same line.
+//! jrnl seek <journal> <event>
+//!     Snapshot seek for one event index: O(log snapshots) probes, the
+//!     legs a re-execution would need, and the world digest there.
+//! jrnl diff <journal> <a> <b> [--other <journal2>]
+//!     WorldDiff between event indices a and b (b taken from
+//!     --other's journal when given — cross-journal comparison).
+//! jrnl query <journal> [--layer L] [--kind K] [--rank R] [--channel C]
+//!            [--tid T] [--leg L] [--min-ns N] [--max-ns N]
+//!            [--from I] [--to I] [--limit N] [--agg]
+//!     Filtered event listing; --agg folds the window into the metrics
+//!     registry instead of listing.
+//! jrnl export <journal> <out.json> [--from I] [--to I]
+//!     Chrome trace-event JSON of the window, counter samples included.
+//! jrnl reexec <journal> <event> [--workers N]
+//!     Re-execute from the nearest snapshot to <event> under Seed
+//!     (default) or Ticketed(N), and compare the reconstructed world +
+//!     journal prefix against the original, bit for bit.
+//! jrnl bisect <journal_a> <journal_b>
+//!     First divergent leg/record between two journals.
+//! ```
+
+use bench::soakcfg;
+use marcel::{chrome_trace_json_with_counters, fnv1a64, JournalIndex, Tail};
+use mpich::journal::{bisect, BisectOutcome};
+use mpich::{diff, reexecute_world_at, world_state_at, CampaignConfig, ExecPolicy, WorldState};
+
+fn die(msg: &str) -> ! {
+    eprintln!("jrnl: {msg}");
+    std::process::exit(2);
+}
+
+/// `--flag value` lookup over the raw argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| die(&format!("{name} needs a value")))
+            .clone()
+    })
+}
+
+fn flag_u64(args: &[String], name: &str) -> Option<u64> {
+    flag(args, name).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| die(&format!("{name}: bad number {v}")))
+    })
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn load(path: &str) -> Vec<u8> {
+    marcel::read_journal(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")))
+}
+
+fn index(bytes: &[u8]) -> JournalIndex {
+    JournalIndex::build(bytes).unwrap_or_else(|e| die(&format!("index: {e}")))
+}
+
+/// The campaign config the journal was recorded under — only the soak
+/// storm is re-executable (the leg program lives in `bench::soakcfg`).
+fn campaign_cfg(idx: &JournalIndex, exec: ExecPolicy) -> CampaignConfig {
+    let Some((label, master_seed, legs, snapshot_every)) = idx.campaign() else {
+        die("journal has no campaign record");
+    };
+    if label != "soak-storm" || master_seed != soakcfg::MASTER_SEED {
+        die(&format!(
+            "can only re-execute the soak campaign (journal is {label:?} seed {master_seed:#x})"
+        ));
+    }
+    CampaignConfig {
+        label: label.to_string(),
+        legs,
+        snapshot_every,
+        master_seed,
+        exec,
+    }
+}
+
+fn world_digest(w: &WorldState) -> u64 {
+    w.replay.digest()
+}
+
+fn cmd_gen(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| die("gen needs a path"));
+    let legs = flag_u64(args, "--legs").unwrap_or(8);
+    let roll = flag_u64(args, "--roll");
+    let perturb = flag_u64(args, "--perturb");
+    let workers = flag_u64(args, "--workers").unwrap_or(0);
+    let exec = if workers > 1 {
+        ExecPolicy::Ticketed(workers as usize)
+    } else {
+        ExecPolicy::Seed
+    };
+    let cfg = soakcfg::soak_cfg(legs, exec);
+    let factory = soakcfg::leg_factory(perturb);
+    let (digest, bytes, segments) = match roll {
+        Some(limit) => {
+            let sink = marcel::FileSink::create_rolling(path, limit)
+                .unwrap_or_else(|e| die(&format!("create {path}: {e}")));
+            let report = mpich::run_campaign(&cfg, sink, factory)
+                .unwrap_or_else(|e| die(&format!("campaign: {e}")));
+            let written = marcel::read_segments(path)
+                .unwrap_or_else(|e| die(&format!("read back segments: {e}")));
+            let segs = (0..)
+                .take_while(|&s| marcel::segment_path(path, s).exists())
+                .count();
+            assert_eq!(written.len() as u64, report.bytes);
+            (report.digest, report.bytes, segs as u64)
+        }
+        None => {
+            let sink = marcel::FileSink::create(path)
+                .unwrap_or_else(|e| die(&format!("create {path}: {e}")));
+            let report = mpich::run_campaign(&cfg, sink, factory)
+                .unwrap_or_else(|e| die(&format!("campaign: {e}")));
+            (report.digest, report.bytes, 1)
+        }
+    };
+    println!(
+        "jrnl-gen {{\"path\":{},\"legs\":{legs},\"digest\":{digest},\"bytes\":{bytes},\"segments\":{segments},\"perturbed\":{}}}",
+        json_str(path),
+        perturb.is_some()
+    );
+}
+
+fn cmd_stat(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| die("stat needs a journal"));
+    let bytes = load(path);
+    let idx = index(&bytes);
+    let (label, seed, legs_cfg, every) = idx.campaign().unwrap_or(("<none>", 0, 0, 0));
+    let clean = matches!(idx.scan.tail, Tail::Clean);
+    let complete_legs = idx.legs.iter().filter(|l| l.complete).count();
+    println!(
+        "jrnl-stat {{\"digest\":{},\"bytes\":{},\"records\":{},\"events\":{},\"snapshots\":{},\"legs\":{},\"complete_legs\":{complete_legs},\"campaign\":{},\"master_seed\":{seed},\"cfg_legs\":{legs_cfg},\"snapshot_every\":{every},\"clean_tail\":{clean}}}",
+        fnv1a64(&bytes),
+        bytes.len(),
+        idx.scan.records.len(),
+        idx.events(),
+        idx.snapshots.len(),
+        idx.legs.len(),
+        json_str(label),
+    );
+}
+
+fn cmd_seek(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| die("seek needs a journal"));
+    let event: u64 = args
+        .get(1)
+        .unwrap_or_else(|| die("seek needs an event index"))
+        .parse()
+        .unwrap_or_else(|_| die("bad event index"));
+    let bytes = load(path);
+    let idx = index(&bytes);
+    let seek = idx.seek(event);
+    let world = world_state_at(&idx, event).unwrap_or_else(|e| die(&e));
+    // O(log snapshots) contract: probes never exceed ⌈log2(n)⌉ + 1.
+    let bound = (idx.snapshots.len().max(1) as f64).log2().ceil() as usize + 1;
+    println!(
+        "jrnl-seek {{\"event\":{event},\"snapshot\":{},\"probes\":{},\"probe_bound\":{bound},\"legs_needed\":{},\"legs_done\":{},\"current_leg\":{},\"vtime_ns\":{},\"digest\":{}}}",
+        seek.snapshot.map_or(-1i64, |s| s as i64),
+        seek.probes,
+        idx.legs_needed(event),
+        world.replay.legs_done,
+        world.replay.current_leg.map_or(-1i64, |l| l as i64),
+        world.replay.vtime_ns,
+        world_digest(&world)
+    );
+}
+
+fn cmd_diff(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| die("diff needs a journal"));
+    let a: u64 = args
+        .get(1)
+        .unwrap_or_else(|| die("diff needs two event indices"))
+        .parse()
+        .unwrap_or_else(|_| die("bad event index"));
+    let b: u64 = args
+        .get(2)
+        .unwrap_or_else(|| die("diff needs two event indices"))
+        .parse()
+        .unwrap_or_else(|_| die("bad event index"));
+    let bytes_a = load(path);
+    let idx_a = index(&bytes_a);
+    let wa = world_state_at(&idx_a, a).unwrap_or_else(|e| die(&e));
+    let wb = match flag(args, "--other") {
+        Some(other) => {
+            let bytes_b = load(&other);
+            let idx_b = index(&bytes_b);
+            world_state_at(&idx_b, b).unwrap_or_else(|e| die(&e))
+        }
+        None => world_state_at(&idx_a, b).unwrap_or_else(|e| die(&e)),
+    };
+    let d = diff(&wa, &wb);
+    print!("{d}");
+    println!(
+        "jrnl-diff {{\"a\":{a},\"b\":{b},\"empty\":{},\"deltas\":{},\"digest_a\":{},\"digest_b\":{}}}",
+        d.is_empty(),
+        d.deltas(),
+        world_digest(&wa),
+        world_digest(&wb)
+    );
+}
+
+fn parse_filter(args: &[String]) -> marcel::EventFilter {
+    marcel::EventFilter {
+        layer: flag(args, "--layer").map(|l| {
+            marcel::layer_from_name(&l).unwrap_or_else(|| die(&format!("unknown layer {l}")))
+        }),
+        kind: flag(args, "--kind"),
+        rank: flag_u64(args, "--rank").map(|r| r as usize),
+        channel: flag(args, "--channel"),
+        tid: flag_u64(args, "--tid"),
+        leg: flag_u64(args, "--leg"),
+        min_ns: flag_u64(args, "--min-ns"),
+        max_ns: flag_u64(args, "--max-ns"),
+        min_index: flag_u64(args, "--from"),
+        max_index: flag_u64(args, "--to"),
+    }
+}
+
+fn cmd_query(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| die("query needs a journal"));
+    let bytes = load(path);
+    let idx = index(&bytes);
+    let filter = parse_filter(args);
+    if args.iter().any(|a| a == "--agg") {
+        let snap = idx.aggregate(&filter);
+        let counters: Vec<String> = snap
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json_str(k)))
+            .collect();
+        let gauges: Vec<String> = snap
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json_str(k)))
+            .collect();
+        let hists: Vec<String> = snap
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "{}:{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                    json_str(k),
+                    h.count,
+                    h.sum_ns,
+                    h.min_ns,
+                    h.max_ns
+                )
+            })
+            .collect();
+        println!(
+            "jrnl-agg {{\"counters\":{{{}}},\"gauges\":{{{}}},\"hists\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            hists.join(",")
+        );
+        return;
+    }
+    let limit = flag_u64(args, "--limit").unwrap_or(50) as usize;
+    let hits = idx.query(&filter);
+    for m in hits.iter().take(limit) {
+        println!(
+            "jrnl-event {{\"index\":{},\"leg\":{},\"time_ns\":{},\"tid\":{},\"layer\":{},\"kind\":{},\"event\":{}}}",
+            m.event_index,
+            m.leg,
+            m.time_ns,
+            m.tid,
+            json_str(m.event.layer().name()),
+            json_str(m.event.kind_name()),
+            json_str(&format!("{:?}", m.event))
+        );
+    }
+    println!(
+        "jrnl-query {{\"matched\":{},\"shown\":{}}}",
+        hits.len(),
+        hits.len().min(limit)
+    );
+}
+
+fn cmd_export(args: &[String]) {
+    let path = args
+        .first()
+        .unwrap_or_else(|| die("export needs a journal"));
+    let out = args
+        .get(1)
+        .unwrap_or_else(|| die("export needs an output path"));
+    let bytes = load(path);
+    let idx = index(&bytes);
+    let from = flag_u64(args, "--from").unwrap_or(0);
+    let to = flag_u64(args, "--to").unwrap_or_else(|| idx.events());
+    let trace = idx.window_trace(from, to);
+    let counters = idx.window_counters(from, to);
+    let json = chrome_trace_json_with_counters(&trace, &idx.thread_metas(), &counters);
+    std::fs::write(out, &json).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+    println!(
+        "jrnl-export {{\"out\":{},\"from\":{from},\"to\":{to},\"events\":{},\"counter_samples\":{},\"bytes\":{}}}",
+        json_str(out),
+        trace.len(),
+        counters.len(),
+        json.len()
+    );
+}
+
+fn cmd_reexec(args: &[String]) {
+    let path = args
+        .first()
+        .unwrap_or_else(|| die("reexec needs a journal"));
+    let event: u64 = args
+        .get(1)
+        .unwrap_or_else(|| die("reexec needs an event index"))
+        .parse()
+        .unwrap_or_else(|_| die("bad event index"));
+    let workers = flag_u64(args, "--workers").unwrap_or(0);
+    let exec = if workers > 1 {
+        ExecPolicy::Ticketed(workers as usize)
+    } else {
+        ExecPolicy::Seed
+    };
+    let bytes = load(path);
+    let idx = index(&bytes);
+    let cfg = campaign_cfg(&idx, exec);
+    let want = world_state_at(&idx, event).unwrap_or_else(|e| die(&e));
+    let (got, regenerated) = reexecute_world_at(&cfg, &bytes, soakcfg::leg_factory(None), event)
+        .unwrap_or_else(|e| die(&e));
+    let state_ok = got == want;
+    let prefix_ok =
+        bytes.len() >= regenerated.len() && bytes[..regenerated.len()] == regenerated[..];
+    println!(
+        "jrnl-reexec {{\"event\":{event},\"exec\":\"{exec:?}\",\"ok\":{},\"state_ok\":{state_ok},\"prefix_ok\":{prefix_ok},\"regenerated_bytes\":{},\"digest\":{},\"legs_done\":{}}}",
+        state_ok && prefix_ok,
+        regenerated.len(),
+        world_digest(&got),
+        got.replay.legs_done
+    );
+    if !(state_ok && prefix_ok) {
+        let d = diff(&want, &got);
+        print!("{d}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_bisect(args: &[String]) {
+    let pa = args
+        .first()
+        .unwrap_or_else(|| die("bisect needs two journals"));
+    let pb = args
+        .get(1)
+        .unwrap_or_else(|| die("bisect needs two journals"));
+    let a = load(pa);
+    let b = load(pb);
+    match bisect(&a, &b).unwrap_or_else(|e| die(&format!("bisect: {e}"))) {
+        BisectOutcome::Identical => println!("jrnl-bisect {{\"identical\":true}}"),
+        BisectOutcome::Diverged(d) => println!(
+            "jrnl-bisect {{\"identical\":false,\"leg\":{},\"record\":{},\"probes\":{},\"a\":{},\"b\":{}}}",
+            d.leg,
+            d.record_index,
+            d.snapshot_probes,
+            json_str(&d.a),
+            json_str(&d.b)
+        ),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        die("usage: jrnl <gen|stat|seek|diff|query|export|reexec|bisect> ...");
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "stat" => cmd_stat(rest),
+        "seek" => cmd_seek(rest),
+        "diff" => cmd_diff(rest),
+        "query" => cmd_query(rest),
+        "export" => cmd_export(rest),
+        "reexec" => cmd_reexec(rest),
+        "bisect" => cmd_bisect(rest),
+        other => die(&format!("unknown subcommand {other}")),
+    }
+}

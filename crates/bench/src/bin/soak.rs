@@ -25,102 +25,10 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use bench::soakcfg::{full_run, leg_factory, soak_cfg, SNAPSHOT_EVERY};
 use marcel::{ExecPolicy, MemSink};
 use mpich::journal::{bisect, scan, BisectOutcome, Tail};
-use mpich::{
-    resume_campaign, run_campaign, CampaignConfig, LegCtx, LegSpec, Placement, WorldConfig,
-};
-use simnet::{FaultPlan, Protocol, Topology};
-
-const SIZES: [usize; 3] = [1, 512, 9 * 1024];
-const TAG: i32 = 7;
-const SNAPSHOT_EVERY: u64 = 2;
-const MASTER_SEED: u64 = 0x50AC; // "SOAK"
-
-fn payload(src: usize, i: usize, n: usize) -> Vec<u8> {
-    (0..n)
-        .map(|k| {
-            (src as u8)
-                .wrapping_mul(31)
-                .wrapping_add((i as u8).wrapping_mul(17))
-                .wrapping_add(k as u8)
-        })
-        .collect()
-}
-
-fn soak_cfg(legs: u64, exec: ExecPolicy) -> CampaignConfig {
-    CampaignConfig {
-        label: "soak-storm".to_string(),
-        legs,
-        snapshot_every: SNAPSHOT_EVERY,
-        master_seed: MASTER_SEED,
-        exec,
-    }
-}
-
-/// Dual-rail storm leg over a lossy link; `perturb_from` switches legs
-/// at or past that index to a perturbed fault seed (the bisect demo's
-/// controlled divergence).
-fn leg_factory(perturb_from: Option<u64>) -> impl Fn(&LegCtx) -> LegSpec {
-    move |ctx: &LegCtx| {
-        let tweak = if perturb_from.is_some_and(|from| ctx.leg >= from) {
-            0xB0057
-        } else {
-            0
-        };
-        let plan = FaultPlan::new(ctx.seed ^ ctx.fault_cursor ^ tweak)
-            .with_loss(0.20)
-            .with_ack_loss(0.10);
-        let mut t = Topology::new();
-        let a = t.add_node("a", 2);
-        let b = t.add_node("b", 2);
-        let sci = t.add_network(Protocol::Sisci, [a, b]);
-        let bip = t.add_network(Protocol::Bip, [a, b]);
-        let mut sci_plan = plan.clone();
-        sci_plan.seed ^= 0x5C1_5C1;
-        t.set_fault(sci, sci_plan);
-        t.set_fault(bip, plan);
-        LegSpec {
-            label: format!("soak-leg{}", ctx.leg),
-            topology: t,
-            placement: Placement::OneRankPerNode,
-            config: WorldConfig::default(),
-            fault_cells: 2,
-            program: Arc::new(|comm| {
-                let me = comm.rank();
-                let peer = 1 - me;
-                let mut got = Vec::new();
-                if me == 0 {
-                    for (i, &n) in SIZES.iter().enumerate() {
-                        comm.send(&payload(me, i, n), peer, TAG);
-                    }
-                }
-                for &n in &SIZES {
-                    got.extend_from_slice(&comm.recv(n, Some(peer), Some(TAG)).0);
-                }
-                if me == 1 {
-                    for (i, &n) in SIZES.iter().enumerate() {
-                        comm.send(&payload(me, i, n), peer, TAG);
-                    }
-                }
-                got
-            }),
-        }
-    }
-}
-
-/// One uninterrupted campaign: journal bytes + report.
-fn full_run(legs: u64, exec: ExecPolicy) -> (Vec<u8>, mpich::CampaignReport) {
-    let buf = Arc::new(Mutex::new(Vec::new()));
-    let report = run_campaign(
-        &soak_cfg(legs, exec),
-        MemSink::new(buf.clone()),
-        leg_factory(None),
-    )
-    .expect("soak campaign failed");
-    let bytes = Arc::try_unwrap(buf).unwrap().into_inner().unwrap();
-    (bytes, report)
-}
+use mpich::{resume_campaign, run_campaign};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

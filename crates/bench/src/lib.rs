@@ -23,6 +23,7 @@
 pub mod experiments;
 pub mod pingpong;
 pub mod report;
+pub mod soakcfg;
 
 pub use pingpong::{
     bandwidth_mb_s, bandwidth_sizes, fig9_topology, latency_sizes, mpi_pingpong,

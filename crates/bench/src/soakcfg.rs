@@ -1,0 +1,109 @@
+//! The soak campaign's shared definition: the dual-rail faulted storm
+//! leg used by the `soak` bench, the `jrnl` time-travel inspector, and
+//! the replay-determinism tests. One definition, three consumers — the
+//! inspector can only re-execute legs if it builds the exact `LegSpec`s
+//! the original journal was recorded from.
+
+use std::sync::{Arc, Mutex};
+
+use marcel::{ExecPolicy, MemSink};
+use mpich::{
+    run_campaign, CampaignConfig, CampaignReport, LegCtx, LegSpec, Placement, WorldConfig,
+};
+use simnet::{FaultPlan, Protocol, Topology};
+
+/// Message sizes each rank exchanges per leg.
+pub const SIZES: [usize; 3] = [1, 512, 9 * 1024];
+/// Tag of every storm message.
+pub const TAG: i32 = 7;
+/// Snapshot cadence of the soak campaign.
+pub const SNAPSHOT_EVERY: u64 = 2;
+/// Root of the soak campaign's seed chain.
+pub const MASTER_SEED: u64 = 0x50AC; // "SOAK"
+
+/// Deterministic per-message payload.
+pub fn payload(src: usize, i: usize, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|k| {
+            (src as u8)
+                .wrapping_mul(31)
+                .wrapping_add((i as u8).wrapping_mul(17))
+                .wrapping_add(k as u8)
+        })
+        .collect()
+}
+
+/// The soak campaign configuration for `legs` legs under `exec`.
+pub fn soak_cfg(legs: u64, exec: ExecPolicy) -> CampaignConfig {
+    CampaignConfig {
+        label: "soak-storm".to_string(),
+        legs,
+        snapshot_every: SNAPSHOT_EVERY,
+        master_seed: MASTER_SEED,
+        exec,
+    }
+}
+
+/// Dual-rail storm leg over a lossy link; `perturb_from` switches legs
+/// at or past that index to a perturbed fault seed (the bisect demo's
+/// controlled divergence).
+pub fn leg_factory(perturb_from: Option<u64>) -> impl Fn(&LegCtx) -> LegSpec {
+    move |ctx: &LegCtx| {
+        let tweak = if perturb_from.is_some_and(|from| ctx.leg >= from) {
+            0xB0057
+        } else {
+            0
+        };
+        let plan = FaultPlan::new(ctx.seed ^ ctx.fault_cursor ^ tweak)
+            .with_loss(0.20)
+            .with_ack_loss(0.10);
+        let mut t = Topology::new();
+        let a = t.add_node("a", 2);
+        let b = t.add_node("b", 2);
+        let sci = t.add_network(Protocol::Sisci, [a, b]);
+        let bip = t.add_network(Protocol::Bip, [a, b]);
+        let mut sci_plan = plan.clone();
+        sci_plan.seed ^= 0x5C1_5C1;
+        t.set_fault(sci, sci_plan);
+        t.set_fault(bip, plan);
+        LegSpec {
+            label: format!("soak-leg{}", ctx.leg),
+            topology: t,
+            placement: Placement::OneRankPerNode,
+            config: WorldConfig::default(),
+            fault_cells: 2,
+            program: Arc::new(|comm| {
+                let me = comm.rank();
+                let peer = 1 - me;
+                let mut got = Vec::new();
+                if me == 0 {
+                    for (i, &n) in SIZES.iter().enumerate() {
+                        comm.send(&payload(me, i, n), peer, TAG);
+                    }
+                }
+                for &n in &SIZES {
+                    got.extend_from_slice(&comm.recv(n, Some(peer), Some(TAG)).0);
+                }
+                if me == 1 {
+                    for (i, &n) in SIZES.iter().enumerate() {
+                        comm.send(&payload(me, i, n), peer, TAG);
+                    }
+                }
+                got
+            }),
+        }
+    }
+}
+
+/// One uninterrupted soak campaign: journal bytes + report.
+pub fn full_run(legs: u64, exec: ExecPolicy) -> (Vec<u8>, CampaignReport) {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let report = run_campaign(
+        &soak_cfg(legs, exec),
+        MemSink::new(buf.clone()),
+        leg_factory(None),
+    )
+    .expect("soak campaign failed");
+    let bytes = Arc::try_unwrap(buf).unwrap().into_inner().unwrap();
+    (bytes, report)
+}

@@ -220,6 +220,67 @@ impl ChannelSnapshot {
             put_u64(out, c);
         }
     }
+
+    /// Inverse of [`ChannelSnapshot::encode`]: decode one channel's
+    /// reliable-delivery state from a journal snapshot section. The
+    /// replay layer uses this to turn opaque snapshot bytes back into
+    /// the typed state a `WorldDiff` compares field by field.
+    pub fn decode(r: &mut marcel::journal::wire::Reader<'_>) -> Result<Self, String> {
+        let name = r.str()?.to_string();
+        let n = r.u32()? as usize;
+        let mut conns = Vec::with_capacity(n);
+        for _ in 0..n {
+            conns.push(ConnSnapshot {
+                from: r.u64()? as usize,
+                to: r.u64()? as usize,
+                floor_ns: r.u64()?,
+                seq: r.u64()?,
+                msg_seq: r.u64()?,
+            });
+        }
+        let n = r.u32()? as usize;
+        let mut recv = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rank = r.u64()? as usize;
+            let ready = r.u64()? as usize;
+            let np = r.u32()? as usize;
+            let mut peers = Vec::with_capacity(np);
+            for _ in 0..np {
+                let peer = r.u64()? as usize;
+                let expected = r.u64()?;
+                let ns = r.u32()? as usize;
+                let mut stashed = Vec::with_capacity(ns);
+                for _ in 0..ns {
+                    stashed.push(r.u64()?);
+                }
+                peers.push(PeerSnapshot {
+                    peer,
+                    expected,
+                    stashed,
+                });
+            }
+            recv.push(RecvSnapshot { rank, ready, peers });
+        }
+        let n = r.u32()? as usize;
+        let mut dead = Vec::with_capacity(n);
+        for _ in 0..n {
+            dead.push((r.u64()? as usize, r.u64()? as usize));
+        }
+        let counters = FaultCounters {
+            retransmits: r.u64()?,
+            drops: r.u64()?,
+            duplicates: r.u64()?,
+            deferrals: r.u64()?,
+            dead_pairs: r.u64()?,
+        };
+        Ok(ChannelSnapshot {
+            name,
+            conns,
+            recv,
+            dead,
+            counters,
+        })
+    }
 }
 
 /// A Madeleine channel: one protocol, a set of member ranks, one

@@ -32,7 +32,7 @@ pub use channel::{
 pub use error::{ChannelError, MadError};
 pub use message::{Block, WireMessage};
 pub use modes::{ReceiveMode, SendMode};
-pub use session::{Session, SessionBuilder};
+pub use session::{decode_reliability_snapshot, ReliabilitySnapshot, Session, SessionBuilder};
 
 use marcel::VirtualDuration;
 

@@ -348,6 +348,40 @@ impl Session {
     }
 }
 
+/// Decoded `"madeleine"` section of a journal world snapshot: every
+/// channel's reliable-delivery state plus the session-level counters —
+/// the typed inverse of [`Session::reliability_snapshot_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReliabilitySnapshot {
+    pub channels: Vec<crate::channel::ChannelSnapshot>,
+    pub failovers: u64,
+    pub rndv_reissues: u64,
+}
+
+/// Decode the `"madeleine"` snapshot section written by
+/// [`Session::reliability_snapshot_bytes`].
+pub fn decode_reliability_snapshot(bytes: &[u8]) -> Result<ReliabilitySnapshot, String> {
+    let mut r = marcel::journal::wire::Reader::new(bytes);
+    let n = r.u32()? as usize;
+    let mut channels = Vec::with_capacity(n);
+    for _ in 0..n {
+        channels.push(crate::channel::ChannelSnapshot::decode(&mut r)?);
+    }
+    let failovers = r.u64()?;
+    let rndv_reissues = r.u64()?;
+    if r.remaining() != 0 {
+        return Err(format!(
+            "{} trailing bytes after madeleine snapshot",
+            r.remaining()
+        ));
+    }
+    Ok(ReliabilitySnapshot {
+        channels,
+        failovers,
+        rndv_reissues,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +394,27 @@ mod tests {
         assert_eq!(s.n_ranks(), 4);
         assert_eq!(s.channels().len(), 1);
         assert_eq!(s.channels()[0].members(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reliability_snapshot_round_trips() {
+        let k = Kernel::new(CostModel::free());
+        let s = SessionBuilder::new(Topology::meta_cluster(2))
+            .one_rank_per_node()
+            .build(&k)
+            .unwrap();
+        s.note_failover();
+        s.note_rndv_reissue();
+        s.note_rndv_reissue();
+        let bytes = s.reliability_snapshot_bytes();
+        let snap = decode_reliability_snapshot(&bytes).unwrap();
+        assert_eq!(snap.channels.len(), s.channels().len());
+        assert_eq!(snap.failovers, 1);
+        assert_eq!(snap.rndv_reissues, 2);
+        let names: Vec<&str> = snap.channels.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.iter().all(|n| !n.is_empty()));
+        // Decoding a truncated section must fail loudly, not panic.
+        assert!(decode_reliability_snapshot(&bytes[..bytes.len() - 1]).is_err());
     }
 
     #[test]

@@ -185,9 +185,26 @@ impl JournalSink for MemSink {
     }
 }
 
-/// File-backed sink for benches and CI campaigns.
+/// Rolling-segment state of a [`FileSink`].
+struct RollState {
+    prefix: std::path::PathBuf,
+    /// Soft size limit: a segment rolls at the first append *after*
+    /// crossing it, so records never split across segment files.
+    limit: u64,
+    seg: u32,
+    /// Bytes written into the current segment.
+    written: u64,
+}
+
+/// File-backed sink for benches and CI campaigns. Either a single file
+/// ([`FileSink::create`]) or a rolling sequence of segment files
+/// (`<prefix>.0000.seg`, `<prefix>.0001.seg`, …) whose concatenation is
+/// byte-identical to the single-file stream — the format the journal
+/// golden pins is unchanged, only the storage is sliced so a
+/// 10⁸-message campaign never produces one unmanageable file.
 pub struct FileSink {
     file: io::BufWriter<File>,
+    roll: Option<RollState>,
 }
 
 impl FileSink {
@@ -195,12 +212,94 @@ impl FileSink {
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Ok(FileSink {
             file: io::BufWriter::new(File::create(path)?),
+            roll: None,
         })
+    }
+
+    /// Create a rolling-segment sink: bytes go to
+    /// `<prefix>.0000.seg`, and once a segment holds at least
+    /// `roll_bytes` the next append opens the following segment. Since
+    /// the writer appends whole frames, a roll never splits a record:
+    /// every segment but the last ends on a record boundary and
+    /// [`read_segments`] reassembles the exact single-file stream.
+    pub fn create_rolling(prefix: impl AsRef<Path>, roll_bytes: u64) -> io::Result<Self> {
+        let prefix = prefix.as_ref().to_path_buf();
+        let file = io::BufWriter::new(File::create(segment_path(&prefix, 0))?);
+        Ok(FileSink {
+            file,
+            roll: Some(RollState {
+                prefix,
+                limit: roll_bytes.max(1),
+                seg: 0,
+                written: 0,
+            }),
+        })
+    }
+
+    /// Segments written so far (1 for a fresh rolling sink, always 0
+    /// for a single-file sink).
+    pub fn segments(&self) -> u32 {
+        self.roll.as_ref().map_or(0, |r| r.seg + 1)
+    }
+}
+
+/// Path of segment `seg` for a rolling journal `prefix`.
+pub fn segment_path(prefix: impl AsRef<Path>, seg: u32) -> std::path::PathBuf {
+    let mut s = prefix.as_ref().as_os_str().to_os_string();
+    s.push(format!(".{seg:04}.seg"));
+    std::path::PathBuf::from(s)
+}
+
+/// Reassemble a rolling journal: concatenate `<prefix>.NNNN.seg` files
+/// in order until the first missing index. Errors if segment 0 is
+/// absent. The result is byte-identical to what a single-file sink
+/// would have written, so [`scan`] (and everything above it) spans
+/// segments for free.
+pub fn read_segments(prefix: impl AsRef<Path>) -> io::Result<Vec<u8>> {
+    let prefix = prefix.as_ref();
+    let mut out = Vec::new();
+    let mut seg = 0u32;
+    loop {
+        let path = segment_path(prefix, seg);
+        match std::fs::read(&path) {
+            Ok(bytes) => out.extend_from_slice(&bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                if seg == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("no journal segment {}", path.display()),
+                    ));
+                }
+                return Ok(out);
+            }
+            Err(e) => return Err(e),
+        }
+        seg += 1;
+    }
+}
+
+/// Load a journal byte stream from `path`: a plain file if one exists,
+/// otherwise the reassembled `<path>.NNNN.seg` rolling segments.
+pub fn read_journal(path: impl AsRef<Path>) -> io::Result<Vec<u8>> {
+    let path = path.as_ref();
+    match std::fs::read(path) {
+        Ok(bytes) => Ok(bytes),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => read_segments(path),
+        Err(e) => Err(e),
     }
 }
 
 impl JournalSink for FileSink {
     fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if let Some(roll) = self.roll.as_mut() {
+            if roll.written >= roll.limit {
+                self.file.flush()?;
+                roll.seg += 1;
+                roll.written = 0;
+                self.file = io::BufWriter::new(File::create(segment_path(&roll.prefix, roll.seg))?);
+            }
+            roll.written += bytes.len() as u64;
+        }
         self.file.write_all(bytes)
     }
 

@@ -43,6 +43,7 @@ pub mod journal;
 pub mod kernel;
 pub mod obs;
 pub mod poll;
+pub mod replay;
 pub mod rng;
 pub mod sync;
 pub mod thread;
@@ -50,15 +51,20 @@ pub mod time;
 
 pub use cost::{ConfigError, CostModel, ExecPolicy, PollPolicy};
 pub use journal::{
-    bisect, fnv1a64, scan, BisectOutcome, Divergence, FileSink, JournalError, JournalSink,
-    JournalWriter, MemSink, Record, RunEndData, ScanResult, SnapshotData, Tail, ThreadSnap,
+    bisect, fnv1a64, read_journal, read_segments, scan, segment_path, BisectOutcome, Divergence,
+    FileSink, JournalError, JournalSink, JournalWriter, MemSink, Record, RunEndData, ScanResult,
+    SnapshotData, Tail, ThreadSnap,
 };
 pub use kernel::{ExecStats, Kernel, ProcId, SimError, TraceEvent};
 pub use obs::{
-    chrome_trace_json, validate_spans, ActiveSpan, Event, HistSnapshot, Layer, Metrics,
-    MetricsSnapshot, SpanKind, ThreadMeta,
+    chrome_trace_json, chrome_trace_json_with_counters, validate_spans, ActiveSpan, CounterSample,
+    Event, HistSnapshot, Layer, Metrics, MetricsSnapshot, SpanKind, ThreadMeta,
 };
 pub use poll::{PollSource, Polled};
+pub use replay::{
+    layer_from_name, EventFilter, JournalIndex, LegSpan, MatchedEvent, ReplayState, Seek,
+    SnapPoint, ThreadCursor,
+};
 pub use sync::{
     OneShot, Queue, Semaphore, SimBarrier, SimCondvar, SimMutex, SimMutexGuard, SimRwLock,
 };

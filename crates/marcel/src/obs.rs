@@ -234,6 +234,86 @@ pub enum Event {
 }
 
 impl Event {
+    /// Short machine-readable variant name (the `kind` axis of replay
+    /// queries; stable — `jrnl query --kind` matches on it).
+    pub fn kind_name(&self) -> &'static str {
+        use Event::*;
+        match self {
+            Spawn => "spawn",
+            Exit => "exit",
+            SemBlock { .. } => "sem_block",
+            SemBlockTimeout { .. } => "sem_block_timeout",
+            SemWake { .. } => "sem_wake",
+            PollWake { .. } => "poll_wake",
+            PollQueued { .. } => "poll_queued",
+            PollWaited { .. } => "poll_waited",
+            Pack { .. } => "pack",
+            Unpack { .. } => "unpack",
+            Retransmit { .. } => "retransmit",
+            DedupDrop { .. } => "dedup_drop",
+            PacketSent { .. } => "packet_sent",
+            PacketDelivered { .. } => "packet_delivered",
+            RailSelected { .. } => "rail_selected",
+            RailFailover { .. } => "rail_failover",
+            RndvRequest { .. } => "rndv_request",
+            RndvAck { .. } => "rndv_ack",
+            RecvPosted { .. } => "recv_posted",
+            RecvMatched { .. } => "recv_matched",
+            UnexpectedQueued { .. } => "unexpected_queued",
+            SpanBegin { .. } => "span_begin",
+            SpanEnd { .. } => "span_end",
+        }
+    }
+
+    /// The rank tags this event carries, in `[primary, peer]` order
+    /// (`None` where the variant has no such tag). A replay rank filter
+    /// matches an event when *either* tag equals the queried rank, so a
+    /// message shows up on both endpoints' timelines.
+    pub fn rank_tags(&self) -> [Option<usize>; 2] {
+        use Event::*;
+        match self {
+            Pack { to, .. } | Retransmit { to, .. } => [Some(*to), None],
+            Unpack { from, .. } | DedupDrop { from, .. } => [Some(*from), None],
+            PacketSent { rank, dst, .. }
+            | RailSelected { rank, dst, .. }
+            | RailFailover { rank, dst, .. }
+            | RndvRequest { rank, dst, .. } => [Some(*rank), Some(*dst)],
+            PacketDelivered { rank, src, .. }
+            | RndvAck { rank, src, .. }
+            | RecvMatched { rank, src, .. }
+            | UnexpectedQueued { rank, src, .. } => [Some(*rank), Some(*src)],
+            RecvPosted { rank, .. } => [Some(*rank), None],
+            _ => [None, None],
+        }
+    }
+
+    /// The channel (or rail) name this event carries, if any.
+    pub fn channel(&self) -> Option<&str> {
+        use Event::*;
+        match self {
+            Pack { channel, .. }
+            | Unpack { channel, .. }
+            | Retransmit { channel, .. }
+            | DedupDrop { channel, .. } => Some(channel),
+            PacketSent { rail, .. } | RailSelected { rail, .. } => Some(rail),
+            RailFailover { to_rail, .. } => Some(to_rail),
+            _ => None,
+        }
+    }
+
+    /// The payload byte count this event carries, if any.
+    pub fn bytes(&self) -> Option<usize> {
+        use Event::*;
+        match self {
+            Pack { bytes, .. }
+            | Unpack { bytes, .. }
+            | PacketSent { bytes, .. }
+            | RailSelected { bytes, .. }
+            | RndvRequest { bytes, .. } => Some(*bytes),
+            _ => None,
+        }
+    }
+
     /// The stack layer this event belongs to.
     pub fn layer(&self) -> Layer {
         use Event::*;
@@ -428,7 +508,9 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn new() -> Metrics {
+    /// A fresh, empty registry. The kernel owns one per run; replay's
+    /// window aggregation builds standalone instances host-side.
+    pub fn new() -> Metrics {
         Metrics {
             store: Mutex::new(Store::default()),
             next_span: AtomicU64::new(1),
@@ -503,6 +585,12 @@ impl Metrics {
             gauges: s.gauges.clone(),
             hists: s.hists.clone(),
         }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
     }
 }
 
@@ -803,6 +891,23 @@ pub struct ThreadMeta {
     pub pid: u32,
 }
 
+/// One sampled counter group for the Chrome exporter: rendered as a
+/// `"ph":"C"` counter event, which Perfetto draws as a stacked gauge
+/// track. Replay emits one per journal snapshot / leg boundary inside
+/// an exported window, so sliced traces carry the campaign's fault
+/// counters and progress gauges, not just spans.
+#[derive(Clone, Debug)]
+pub struct CounterSample {
+    /// Virtual timestamp of the sample.
+    pub ts: VirtualTime,
+    /// Virtual process the counter track belongs to.
+    pub pid: u32,
+    /// Track name (e.g. `"faults"`, `"campaign"`).
+    pub name: String,
+    /// Series within the track, in display order.
+    pub values: Vec<(String, u64)>,
+}
+
 /// Render a trace as Chrome trace-event JSON (the "JSON array format"
 /// Perfetto and `chrome://tracing` load). One virtual process per
 /// cluster node, one thread per Marcel tid; spans become async
@@ -810,6 +915,18 @@ pub struct ThreadMeta {
 /// instant "i". Every record carries `ph`, `ts` (virtual µs), `pid` and
 /// `tid`.
 pub fn chrome_trace_json(trace: &[TraceEvent], threads: &[ThreadMeta]) -> String {
+    chrome_trace_json_with_counters(trace, threads, &[])
+}
+
+/// [`chrome_trace_json`] plus `"ph":"C"` counter events: each
+/// [`CounterSample`] becomes one counter record whose `args` carry the
+/// series values. Counter records are appended after the event stream
+/// (trace viewers order by `ts`, not file position).
+pub fn chrome_trace_json_with_counters(
+    trace: &[TraceEvent],
+    threads: &[ThreadMeta],
+    counters: &[CounterSample],
+) -> String {
     let mut out = String::new();
     out.push_str("[\n");
     let mut first = true;
@@ -878,6 +995,23 @@ pub fn chrome_trace_json(trace: &[TraceEvent], threads: &[ThreadMeta]) -> String
             ),
         };
         push(line, &mut out);
+    }
+    for c in counters {
+        let args = c
+            .values
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json_str(k)))
+            .collect::<Vec<_>>()
+            .join(",");
+        push(
+            format!(
+                "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":0,\"args\":{{{args}}}}}",
+                json_str(&c.name),
+                c.ts.as_micros_f64(),
+                c.pid
+            ),
+            &mut out,
+        );
     }
     out.push_str("\n]\n");
     out

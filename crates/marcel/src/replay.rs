@@ -1,0 +1,755 @@
+//! Time-travel over the durable journal: seek, state reconstruction,
+//! window queries and window export — the read side of
+//! [`crate::journal`].
+//!
+//! PR 7 made campaigns durable; this module makes the recorded history
+//! *interrogable*. A [`JournalIndex`] is built once per journal (one
+//! linear scan) and then answers everything in sub-linear time:
+//!
+//! * [`JournalIndex::seek`] — the last leg-boundary snapshot at or
+//!   before an event index, found by binary search over the snapshot
+//!   list (`O(log snapshots)` probes, reported for the CI gate).
+//! * [`JournalIndex::state_at`] — the reconstructed [`ReplayState`] at
+//!   any event index: the seeked snapshot plus a fold of the event
+//!   records after it. Because the journal bytes are deterministic and
+//!   execution-policy-free, a state reconstructed from a *re-executed*
+//!   journal (see `mpich::replay`) is bit-identical to one folded from
+//!   the uninterrupted original.
+//! * [`JournalIndex::query`] / [`JournalIndex::aggregate`] — filter the
+//!   event stream by layer / kind / rank / channel / tid / leg /
+//!   virtual-time window, either as a record list or aggregated into a
+//!   fresh metrics registry (the same counters / gauges / span
+//!   histograms PR 3 computes for whole runs, now for any window).
+//! * [`JournalIndex::window_trace`] + [`JournalIndex::window_counters`]
+//!   — any event-index window as a `TraceEvent` slice plus `"ph":"C"`
+//!   counter samples at leg boundaries, ready for
+//!   [`crate::obs::chrome_trace_json_with_counters`]: a 10⁶-event
+//!   campaign slices into a loadable Perfetto trace.
+//!
+//! The state model is honest about what a journal can know: simulated
+//! threads are real OS threads, so there is no mid-step memory image to
+//! restore. A [`ReplayState`] is therefore the *observable* world at a
+//! point — the last boundary snapshot (kernel thread clocks, matching
+//! stores, reliability windows, RNG chain, fault cursor) plus the typed
+//! events since it, folded into per-thread cursors, per-layer counts
+//! and a running digest. Two runs agree at index `i` iff their
+//! `ReplayState`s at `i` are equal — the property `tests/replay.rs`
+//! checks across the fault matrix and both execution policies.
+
+use std::collections::BTreeMap;
+
+use crate::journal::{
+    fnv1a64, fnv1a64_fold, scan, JournalError, Record, RunEndData, ScanResult, SnapshotData,
+};
+use crate::kernel::TraceEvent;
+use crate::obs::{CounterSample, Event, Layer, Metrics, MetricsSnapshot, ThreadMeta};
+use crate::time::VirtualTime;
+
+/// Names of the [`RunEndData::counters`] slots, in journal order (the
+/// order `mpich::journal::run_leg` writes them).
+pub const RUN_END_COUNTER_NAMES: [&str; 7] = [
+    "retransmits",
+    "drops",
+    "duplicates",
+    "deferrals",
+    "dead_pairs",
+    "failovers",
+    "rndv_reissues",
+];
+
+/// One snapshot record's position in the index.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapPoint {
+    /// Index into the scan's record list.
+    pub record_index: usize,
+    /// Global event count preceding this snapshot.
+    pub events_before: u64,
+}
+
+/// One campaign leg's extent in the record / event streams.
+#[derive(Clone, Copy, Debug)]
+pub struct LegSpan {
+    pub leg: u64,
+    /// Record index of the leg's `RunBegin`.
+    pub begin_record: usize,
+    /// Global index of the leg's first event.
+    pub first_event: u64,
+    /// Events the leg contributed.
+    pub events: u64,
+    /// Whether the leg's `RunEnd` made it into the journal (false for
+    /// the torn trailing leg of a crashed run).
+    pub complete: bool,
+}
+
+/// Result of [`JournalIndex::seek`].
+#[derive(Clone, Copy, Debug)]
+pub struct Seek {
+    /// Index into [`JournalIndex::snapshots`] of the last snapshot at
+    /// or before the event index (`None` before the first snapshot).
+    pub snapshot: Option<usize>,
+    /// Binary-search comparisons performed — `O(log snapshots)` by
+    /// construction, asserted by the CI gate.
+    pub probes: usize,
+}
+
+/// Queryable index over one scanned journal.
+pub struct JournalIndex {
+    /// The underlying scan (records + torn-tail state).
+    pub scan: ScanResult,
+    /// Snapshot records, in order.
+    pub snapshots: Vec<SnapPoint>,
+    /// Leg extents, in order.
+    pub legs: Vec<LegSpan>,
+    /// Record index of each event (global event index → record index).
+    event_records: Vec<usize>,
+}
+
+impl JournalIndex {
+    /// Scan `bytes` and build the index (one linear pass; every
+    /// subsequent operation is sub-linear or proportional to its
+    /// window).
+    pub fn build(bytes: &[u8]) -> Result<JournalIndex, JournalError> {
+        Ok(Self::from_scan(scan(bytes)?))
+    }
+
+    /// Build from an existing scan.
+    pub fn from_scan(scan: ScanResult) -> JournalIndex {
+        let mut snapshots = Vec::new();
+        let mut legs: Vec<LegSpan> = Vec::new();
+        let mut event_records = Vec::new();
+        for (i, r) in scan.records.iter().enumerate() {
+            match &r.record {
+                Record::Event { .. } => event_records.push(i),
+                Record::Snapshot(_) => snapshots.push(SnapPoint {
+                    record_index: i,
+                    events_before: event_records.len() as u64,
+                }),
+                Record::RunBegin { leg, .. } => legs.push(LegSpan {
+                    leg: *leg,
+                    begin_record: i,
+                    first_event: event_records.len() as u64,
+                    events: 0,
+                    complete: false,
+                }),
+                Record::RunEnd(e) => {
+                    if let Some(span) = legs.last_mut() {
+                        if span.leg == e.leg {
+                            span.events = event_records.len() as u64 - span.first_event;
+                            span.complete = true;
+                        }
+                    }
+                }
+                Record::Campaign { .. } => {}
+            }
+        }
+        // A torn trailing leg: count the events it managed to journal.
+        if let Some(span) = legs.last_mut() {
+            if !span.complete {
+                span.events = event_records.len() as u64 - span.first_event;
+            }
+        }
+        JournalIndex {
+            scan,
+            snapshots,
+            legs,
+            event_records,
+        }
+    }
+
+    /// Total journaled events.
+    pub fn events(&self) -> u64 {
+        self.event_records.len() as u64
+    }
+
+    /// The journal's `Campaign` record, if present (label, master seed,
+    /// legs, snapshot_every).
+    pub fn campaign(&self) -> Option<(&str, u64, u64, u64)> {
+        self.scan.records.first().and_then(|r| match &r.record {
+            Record::Campaign {
+                label,
+                master_seed,
+                legs,
+                snapshot_every,
+            } => Some((label.as_str(), *master_seed, *legs, *snapshot_every)),
+            _ => None,
+        })
+    }
+
+    /// Binary-search the snapshot list for the last snapshot at or
+    /// before `event_index`. `O(log snapshots)` comparisons, counted in
+    /// the result.
+    pub fn seek(&self, event_index: u64) -> Seek {
+        let mut probes = 0usize;
+        // Greatest i with snapshots[i].events_before <= event_index.
+        let (mut lo, mut hi) = (0usize, self.snapshots.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes += 1;
+            if self.snapshots[mid].events_before <= event_index {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Seek {
+            snapshot: lo.checked_sub(1),
+            probes,
+        }
+    }
+
+    /// Number of complete legs whose journal records must exist for
+    /// event index `event_index` to be reachable — what a re-execution
+    /// has to run before the state can be folded.
+    pub fn legs_needed(&self, event_index: u64) -> u64 {
+        for span in &self.legs {
+            if span.first_event + span.events >= event_index {
+                return span.leg + 1;
+            }
+        }
+        self.legs.last().map_or(0, |s| s.leg + 1)
+    }
+
+    /// Reconstruct the observable world state after `event_index`
+    /// events: seek to the last snapshot at or before the point, then
+    /// fold the records after it. Errors if `event_index` exceeds the
+    /// journaled event count.
+    pub fn state_at(&self, event_index: u64) -> Result<ReplayState, String> {
+        if event_index > self.events() {
+            return Err(format!(
+                "event index {event_index} out of range: journal holds {} events",
+                self.events()
+            ));
+        }
+        let seek = self.seek(event_index);
+        let (mut state, start_record) = match seek.snapshot {
+            Some(si) => {
+                let sp = &self.snapshots[si];
+                let snap = match &self.scan.records[sp.record_index].record {
+                    Record::Snapshot(s) => s.clone(),
+                    _ => unreachable!("snapshot index points at a non-snapshot"),
+                };
+                let state = ReplayState {
+                    event_index: sp.events_before,
+                    legs_done: snap.legs_done,
+                    current_leg: None,
+                    vtime_ns: snap.end_ns,
+                    base: Some(snap),
+                    threads: Vec::new(),
+                    events_digest: 0xcbf2_9ce4_8422_2325,
+                    events_since_base: 0,
+                    layer_counts: BTreeMap::new(),
+                    last_run_end: None,
+                };
+                (state, sp.record_index + 1)
+            }
+            None => (
+                ReplayState {
+                    event_index: 0,
+                    legs_done: 0,
+                    current_leg: None,
+                    vtime_ns: 0,
+                    base: None,
+                    threads: Vec::new(),
+                    events_digest: 0xcbf2_9ce4_8422_2325,
+                    events_since_base: 0,
+                    layer_counts: BTreeMap::new(),
+                    last_run_end: None,
+                },
+                0,
+            ),
+        };
+
+        let needed = event_index - state.event_index;
+        let mut cursors: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        let mut folded = 0u64;
+        for r in &self.scan.records[start_record..] {
+            match &r.record {
+                Record::Event {
+                    time_ns,
+                    tid,
+                    event,
+                } => {
+                    if folded == needed {
+                        break;
+                    }
+                    folded += 1;
+                    state.events_digest =
+                        fnv1a64_fold(state.events_digest, &r.record.encode_payload());
+                    state.vtime_ns = state.vtime_ns.max(*time_ns);
+                    let c = cursors.entry(*tid).or_insert((0, 0));
+                    c.0 = c.0.max(*time_ns);
+                    c.1 += 1;
+                    *state
+                        .layer_counts
+                        .entry(format!("{}/{}", event.layer().name(), event.kind_name()))
+                        .or_insert(0) += 1;
+                }
+                Record::RunBegin { leg, .. } => {
+                    if folded == needed {
+                        break;
+                    }
+                    state.current_leg = Some(*leg);
+                    cursors.clear();
+                }
+                Record::RunEnd(e) => {
+                    // A boundary record rides along with the last event
+                    // of its leg: state at a leg boundary reflects the
+                    // completed leg.
+                    state.legs_done = e.leg + 1;
+                    state.current_leg = None;
+                    state.vtime_ns = state.vtime_ns.max(e.end_ns);
+                    state.last_run_end = Some(e.clone());
+                }
+                Record::Snapshot(_) => break,
+                Record::Campaign { .. } => {}
+            }
+        }
+        state.event_index = event_index;
+        state.events_since_base = folded;
+        state.threads = cursors
+            .into_iter()
+            .map(|(tid, (vtime_ns, events))| ThreadCursor {
+                tid,
+                vtime_ns,
+                events,
+            })
+            .collect();
+        Ok(state)
+    }
+
+    /// All events matching `filter`, with their positions.
+    pub fn query(&self, filter: &EventFilter) -> Vec<MatchedEvent<'_>> {
+        let mut out = Vec::new();
+        let mut leg = None;
+        let mut event_index = 0u64;
+        for (record_index, r) in self.scan.records.iter().enumerate() {
+            match &r.record {
+                Record::RunBegin { leg: l, .. } => leg = Some(*l),
+                Record::RunEnd(_) => leg = None,
+                Record::Event {
+                    time_ns,
+                    tid,
+                    event,
+                } => {
+                    let idx = event_index;
+                    event_index += 1;
+                    if filter.matches(*time_ns, *tid, leg, idx, event) {
+                        out.push(MatchedEvent {
+                            event_index: idx,
+                            record_index,
+                            leg: leg.unwrap_or(u64::MAX),
+                            time_ns: *time_ns,
+                            tid: *tid,
+                            event,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Aggregate the events matching `filter` into a fresh metrics
+    /// registry: `events/<layer>/<kind>` counters, `bytes/<layer>`
+    /// byte counters, queue-depth high-water gauges, and the PR-3
+    /// `span/<kind>/<label>` virtual-time histograms recomputed from
+    /// the span pairs *inside the window* (a span whose begin falls
+    /// outside is ignored).
+    pub fn aggregate(&self, filter: &EventFilter) -> MetricsSnapshot {
+        let m = Metrics::new();
+        let mut open: BTreeMap<u64, (crate::obs::SpanKind, &'static str, u64)> = BTreeMap::new();
+        for e in self.query(filter) {
+            let layer = e.event.layer().name();
+            m.counter_add(&format!("events/{layer}/{}", e.event.kind_name()), 1);
+            if let Some(b) = e.event.bytes() {
+                m.counter_add(&format!("bytes/{layer}"), b as u64);
+            }
+            match e.event {
+                Event::RecvPosted { depth, .. } => m.gauge_max("depth/posted", *depth as u64),
+                Event::UnexpectedQueued { depth, .. } => {
+                    m.gauge_max("depth/unexpected", *depth as u64)
+                }
+                Event::SpanBegin { id, kind, label } => {
+                    open.insert(*id, (*kind, label, e.time_ns));
+                }
+                Event::SpanEnd { id, .. } => {
+                    if let Some((kind, label, begin)) = open.remove(id) {
+                        m.observe_ns(
+                            &format!("span/{}/{label}", kind.name()),
+                            e.time_ns.saturating_sub(begin),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        m.snapshot()
+    }
+
+    /// The events of the half-open window `[from_event, to_event)` as a
+    /// `TraceEvent` slice — the Chrome exporter's input.
+    pub fn window_trace(&self, from_event: u64, to_event: u64) -> Vec<TraceEvent> {
+        let from = (from_event as usize).min(self.event_records.len());
+        let to = (to_event as usize).min(self.event_records.len());
+        self.event_records[from..to]
+            .iter()
+            .map(|&ri| match &self.scan.records[ri].record {
+                Record::Event {
+                    time_ns,
+                    tid,
+                    event,
+                } => TraceEvent {
+                    time: VirtualTime(*time_ns),
+                    tid: *tid as usize,
+                    what: event.clone(),
+                },
+                _ => unreachable!("event_records points at a non-event"),
+            })
+            .collect()
+    }
+
+    /// Counter samples for the window `[from_event, to_event)`: one
+    /// `"faults"` sample per `RunEnd` and one `"campaign"` sample per
+    /// snapshot falling inside the window's record range — rendered by
+    /// the Chrome exporter as `"ph":"C"` gauge tracks.
+    pub fn window_counters(&self, from_event: u64, to_event: u64) -> Vec<CounterSample> {
+        let from = (from_event as usize).min(self.event_records.len());
+        let to = (to_event as usize).min(self.event_records.len());
+        let lo = from
+            .checked_sub(1)
+            .map_or(0, |i| self.event_records[i] + 1)
+            .min(self.scan.records.len());
+        let lo = if from == 0 { 0 } else { lo };
+        let hi = if to == 0 {
+            0
+        } else if to == self.event_records.len() {
+            self.scan.records.len()
+        } else {
+            self.event_records[to]
+        };
+        let mut out = Vec::new();
+        for r in &self.scan.records[lo..hi.max(lo)] {
+            match &r.record {
+                Record::RunEnd(e) => out.push(CounterSample {
+                    ts: VirtualTime(e.end_ns),
+                    pid: 0,
+                    name: "faults".to_string(),
+                    values: RUN_END_COUNTER_NAMES
+                        .iter()
+                        .zip(&e.counters)
+                        .map(|(n, v)| (n.to_string(), *v))
+                        .collect(),
+                }),
+                Record::Snapshot(s) => out.push(CounterSample {
+                    ts: VirtualTime(s.end_ns),
+                    pid: 0,
+                    name: "campaign".to_string(),
+                    values: vec![
+                        ("legs_done".to_string(), s.legs_done),
+                        ("fault_cursor".to_string(), s.fault_cursor),
+                    ],
+                }),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Thread metadata for the Chrome exporter: names from the latest
+    /// snapshot's per-thread state (tids are stable across legs of a
+    /// campaign with a fixed world shape), generic `tid<N>` labels
+    /// beyond it. All threads land in virtual process 0 — the journal
+    /// does not record the node placement.
+    pub fn thread_metas(&self) -> Vec<ThreadMeta> {
+        let names: Vec<String> = self
+            .snapshots
+            .last()
+            .and_then(|sp| match &self.scan.records[sp.record_index].record {
+                Record::Snapshot(s) => Some(s.threads.iter().map(|t| t.name.clone()).collect()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        let max_tid = self
+            .scan
+            .records
+            .iter()
+            .filter_map(|r| match &r.record {
+                Record::Event { tid, .. } => Some(*tid as usize),
+                _ => None,
+            })
+            .max()
+            .map_or(0, |t| t + 1);
+        (0..max_tid.max(names.len()))
+            .map(|tid| ThreadMeta {
+                name: names
+                    .get(tid)
+                    .cloned()
+                    .unwrap_or_else(|| format!("tid{tid}")),
+                pid: 0,
+            })
+            .collect()
+    }
+}
+
+/// Per-thread fold of the events since the base snapshot: the thread's
+/// last journaled virtual time and its event count within the current
+/// leg (cursors reset at `RunBegin` — each leg is a fresh world).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadCursor {
+    pub tid: u64,
+    pub vtime_ns: u64,
+    pub events: u64,
+}
+
+/// The observable world at one event index: the last leg-boundary
+/// snapshot plus a fold of the typed events after it. Equality is the
+/// replay-determinism contract; [`ReplayState::digest`] is the compact
+/// fingerprint the `jrnl` inspector prints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayState {
+    /// The reconstruction point (events folded from journal start).
+    pub event_index: u64,
+    /// Complete legs at this point.
+    pub legs_done: u64,
+    /// The in-flight leg, if the point is inside one.
+    pub current_leg: Option<u64>,
+    /// Maximum virtual time observed up to this point.
+    pub vtime_ns: u64,
+    /// The seeked base snapshot (kernel threads, RNG chain, fault
+    /// cursor, per-layer sections), if one precedes the point.
+    pub base: Option<SnapshotData>,
+    /// Per-thread cursors of the current leg, in tid order.
+    pub threads: Vec<ThreadCursor>,
+    /// FNV-1a fold over the encoded event records since the base.
+    pub events_digest: u64,
+    /// Events folded since the base snapshot.
+    pub events_since_base: u64,
+    /// `layer/kind` event counts since the base, sorted.
+    pub layer_counts: BTreeMap<String, u64>,
+    /// The most recent completed leg's `RunEnd` since the base.
+    pub last_run_end: Option<RunEndData>,
+}
+
+impl ReplayState {
+    /// Compact fingerprint of the whole state (base snapshot bytes
+    /// included).
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(256);
+        crate::journal::wire::put_u64(&mut bytes, self.event_index);
+        crate::journal::wire::put_u64(&mut bytes, self.legs_done);
+        crate::journal::wire::put_u64(&mut bytes, self.current_leg.unwrap_or(u64::MAX));
+        crate::journal::wire::put_u64(&mut bytes, self.vtime_ns);
+        crate::journal::wire::put_u64(&mut bytes, self.events_digest);
+        crate::journal::wire::put_u64(&mut bytes, self.events_since_base);
+        if let Some(base) = &self.base {
+            bytes.extend_from_slice(&Record::Snapshot(base.clone()).encode_payload());
+        }
+        for t in &self.threads {
+            crate::journal::wire::put_u64(&mut bytes, t.tid);
+            crate::journal::wire::put_u64(&mut bytes, t.vtime_ns);
+            crate::journal::wire::put_u64(&mut bytes, t.events);
+        }
+        for (k, v) in &self.layer_counts {
+            bytes.extend_from_slice(k.as_bytes());
+            crate::journal::wire::put_u64(&mut bytes, *v);
+        }
+        if let Some(e) = &self.last_run_end {
+            bytes.extend_from_slice(&Record::RunEnd(e.clone()).encode_payload());
+        }
+        fnv1a64(&bytes)
+    }
+}
+
+/// One query hit: the event plus its coordinates in the journal.
+#[derive(Clone, Debug)]
+pub struct MatchedEvent<'a> {
+    pub event_index: u64,
+    pub record_index: usize,
+    /// Leg the event belongs to (`u64::MAX` if outside any leg — a
+    /// malformed journal).
+    pub leg: u64,
+    pub time_ns: u64,
+    pub tid: u64,
+    pub event: &'a Event,
+}
+
+/// Event-stream filter: every populated field must match. Kind and
+/// channel match exactly against [`Event::kind_name`] /
+/// [`Event::channel`]; the rank filter matches either endpoint tag.
+#[derive(Clone, Debug, Default)]
+pub struct EventFilter {
+    pub layer: Option<Layer>,
+    pub kind: Option<String>,
+    pub rank: Option<usize>,
+    pub channel: Option<String>,
+    pub tid: Option<u64>,
+    pub leg: Option<u64>,
+    /// Inclusive virtual-time window start (ns).
+    pub min_ns: Option<u64>,
+    /// Inclusive virtual-time window end (ns).
+    pub max_ns: Option<u64>,
+    /// Inclusive event-index window.
+    pub min_index: Option<u64>,
+    pub max_index: Option<u64>,
+}
+
+impl EventFilter {
+    fn matches(
+        &self,
+        time_ns: u64,
+        tid: u64,
+        leg: Option<u64>,
+        event_index: u64,
+        event: &Event,
+    ) -> bool {
+        if self.layer.is_some_and(|l| event.layer() != l) {
+            return false;
+        }
+        if self.kind.as_deref().is_some_and(|k| event.kind_name() != k) {
+            return false;
+        }
+        if self
+            .rank
+            .is_some_and(|r| !event.rank_tags().contains(&Some(r)))
+        {
+            return false;
+        }
+        if self
+            .channel
+            .as_deref()
+            .is_some_and(|c| event.channel() != Some(c))
+        {
+            return false;
+        }
+        if self.tid.is_some_and(|t| tid != t) {
+            return false;
+        }
+        if self.leg.is_some_and(|l| leg != Some(l)) {
+            return false;
+        }
+        if self.min_ns.is_some_and(|t| time_ns < t) {
+            return false;
+        }
+        if self.max_ns.is_some_and(|t| time_ns > t) {
+            return false;
+        }
+        if self.min_index.is_some_and(|i| event_index < i) {
+            return false;
+        }
+        if self.max_index.is_some_and(|i| event_index > i) {
+            return false;
+        }
+        true
+    }
+}
+
+/// Parse a layer name as used by [`Layer::name`] (the `jrnl query
+/// --layer` argument).
+pub fn layer_from_name(name: &str) -> Option<Layer> {
+    Some(match name {
+        "marcel" => Layer::Marcel,
+        "madeleine" => Layer::Madeleine,
+        "ch_mad" => Layer::ChMad,
+        "adi" => Layer::Adi,
+        "coll" => Layer::Coll,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::format_witness;
+
+    #[test]
+    fn index_counts_witness_shape() {
+        let idx = JournalIndex::build(&format_witness()).unwrap();
+        assert_eq!(idx.events(), 23, "witness carries every event variant");
+        assert_eq!(idx.snapshots.len(), 1);
+        assert_eq!(idx.legs.len(), 1);
+        assert!(idx.legs[0].complete);
+        assert_eq!(idx.legs[0].events, 23);
+        let (label, seed, legs, every) = idx.campaign().unwrap();
+        assert_eq!((label, seed, legs, every), ("witness", 0xF00D, 2, 1));
+    }
+
+    #[test]
+    fn seek_is_logarithmic_and_correct() {
+        let idx = JournalIndex::build(&format_witness()).unwrap();
+        // Before the snapshot (which sits after all 23 events).
+        let s = idx.seek(0);
+        assert!(s.snapshot.is_none());
+        let s = idx.seek(23);
+        assert_eq!(s.snapshot, Some(0));
+        assert!(
+            s.probes <= 1 + 1,
+            "1 snapshot must need <= 1 probe, got {}",
+            s.probes
+        );
+    }
+
+    #[test]
+    fn state_at_boundary_uses_snapshot() {
+        let idx = JournalIndex::build(&format_witness()).unwrap();
+        let st = idx.state_at(23).unwrap();
+        assert_eq!(st.legs_done, 1);
+        assert!(st.base.is_some());
+        assert_eq!(st.events_since_base, 0);
+        assert_eq!(st.current_leg, None);
+        let mid = idx.state_at(5).unwrap();
+        assert_eq!(mid.current_leg, Some(0));
+        assert_eq!(mid.events_since_base, 5);
+        assert!(idx.state_at(24).is_err());
+    }
+
+    #[test]
+    fn query_filters_by_layer_and_kind() {
+        let idx = JournalIndex::build(&format_witness()).unwrap();
+        let all = idx.query(&EventFilter::default());
+        assert_eq!(all.len(), 23);
+        let marcel_only = idx.query(&EventFilter {
+            layer: Some(Layer::Marcel),
+            ..Default::default()
+        });
+        assert!(marcel_only.iter().all(|e| e.event.layer() == Layer::Marcel));
+        assert_eq!(marcel_only.len(), 8);
+        let packs = idx.query(&EventFilter {
+            kind: Some("pack".to_string()),
+            ..Default::default()
+        });
+        assert_eq!(packs.len(), 1);
+        let by_rank = idx.query(&EventFilter {
+            rank: Some(1),
+            ..Default::default()
+        });
+        assert!(!by_rank.is_empty());
+        assert!(by_rank
+            .iter()
+            .all(|e| e.event.rank_tags().contains(&Some(1))));
+    }
+
+    #[test]
+    fn aggregate_rebuilds_span_histograms() {
+        let idx = JournalIndex::build(&format_witness()).unwrap();
+        let snap = idx.aggregate(&EventFilter::default());
+        assert_eq!(snap.counter("events/marcel/spawn"), 1);
+        assert!(snap.counter("bytes/madeleine") > 0);
+        let h = snap.hist("span/handle/handle").expect("witness span");
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn window_export_carries_counters() {
+        let idx = JournalIndex::build(&format_witness()).unwrap();
+        let trace = idx.window_trace(0, idx.events());
+        assert_eq!(trace.len(), 23);
+        let counters = idx.window_counters(0, idx.events());
+        assert_eq!(counters.len(), 2, "one RunEnd + one Snapshot sample");
+        let json =
+            crate::obs::chrome_trace_json_with_counters(&trace, &idx.thread_metas(), &counters);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"retransmits\":"));
+        assert!(json.contains("\"legs_done\":"));
+    }
+}

@@ -318,7 +318,27 @@ where
     S: JournalSink,
     F: Fn(&LegCtx) -> LegSpec,
 {
+    resume_campaign_until(cfg, prior, sink, leg_factory, cfg.legs)
+}
+
+/// [`resume_campaign`] that stops early, after `stop_after_leg` legs
+/// have completed (clamped to `cfg.legs`). The journal prefix produced
+/// is byte-identical to the first `stop_after_leg` legs of a full run —
+/// the replay machinery uses this to re-execute *up to* a point of
+/// interest without paying for the rest of the campaign.
+pub fn resume_campaign_until<S, F>(
+    cfg: &CampaignConfig,
+    prior: &[u8],
+    sink: S,
+    leg_factory: F,
+    stop_after_leg: u64,
+) -> Result<CampaignReport, CampaignError>
+where
+    S: JournalSink,
+    F: Fn(&LegCtx) -> LegSpec,
+{
     cfg.validate()?;
+    let stop_at = stop_after_leg.min(cfg.legs);
     let campaign_record = Record::Campaign {
         label: cfg.label.clone(),
         master_seed: cfg.master_seed,
@@ -380,7 +400,7 @@ where
         }
     };
 
-    let resumed_at_leg = progress.legs_done.min(cfg.legs);
+    let resumed_at_leg = progress.legs_done.min(stop_at);
     let mut legs_done = progress.legs_done;
     let mut rng = progress.rng;
     let mut fault_cursor = progress.fault_cursor;
@@ -388,7 +408,7 @@ where
     let mut end_ns = 0u64;
     let mut last_results: Vec<Vec<u8>> = Vec::new();
 
-    while legs_done < cfg.legs {
+    while legs_done < stop_at {
         let leg = legs_done;
         let ctx = LegCtx {
             leg,

@@ -45,6 +45,7 @@ pub mod group;
 pub mod journal;
 pub mod matching;
 pub mod op;
+pub mod replay;
 pub mod request;
 pub mod types;
 pub mod world;
@@ -58,12 +59,16 @@ pub use device::{ChMad, ChMadConfig, ChP4, ChP4Costs, ChSelf, Packet, SmpPlug};
 pub use engine::Engine;
 pub use group::Group;
 pub use journal::{
-    resume_campaign, run_campaign, CampaignConfig, CampaignError, CampaignReport, LegCtx,
-    LegProgram, LegSpec,
+    resume_campaign, resume_campaign_until, run_campaign, CampaignConfig, CampaignError,
+    CampaignReport, LegCtx, LegProgram, LegSpec,
 };
 pub use marcel::{ConfigError, ExecPolicy, PollPolicy};
 pub use matching::{PostedStore, UnexpectedStore};
 pub use op::ReduceOp;
+pub use replay::{
+    decode_matching_snapshot, diff, reexecute_world_at, world_state_at, EngineMatchSnap,
+    FieldDelta, MatchingSnapshot, UnexpectedEnvSnap, WorldDiff, WorldState,
+};
 pub use request::{wait_all, wait_any, Request};
 pub use types::{Envelope, MatchSpec, Status, Tag};
 pub use world::{

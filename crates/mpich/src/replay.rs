@@ -1,0 +1,825 @@
+//! Time-travel debugging over a campaign journal: reconstruct the full
+//! multi-layer world at any event index, diff two reconstructions, and
+//! re-execute forward from the nearest snapshot.
+//!
+//! [`marcel::JournalIndex`] gives the kernel-level view (seek, event
+//! fold, window queries). This module stacks the MPI layers on top:
+//!
+//! * [`WorldState`] — the kernel [`marcel::ReplayState`] plus the typed
+//!   decodes of the snapshot's `"madeleine"` (reliability windows) and
+//!   `"matching"` (posted / unexpected / rendezvous stores) sections.
+//! * [`WorldDiff`] — a typed, printable field-by-field comparison of
+//!   two world states; empty iff the states are identical.
+//! * [`reexecute_world_at`] — truncate the journal to the snapshot
+//!   preceding the target, re-run legs through the resume machinery
+//!   (under any [`marcel::ExecPolicy`]) until the target's leg is
+//!   regenerated, and reconstruct. The replay-determinism contract is
+//!   that this equals [`world_state_at`] on the uninterrupted journal,
+//!   bit for bit.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::journal::{resume_campaign_until, CampaignConfig, LegCtx, LegSpec};
+use madeleine::{decode_reliability_snapshot, ReliabilitySnapshot};
+use marcel::replay::RUN_END_COUNTER_NAMES;
+use marcel::{JournalIndex, MemSink, ReplayState};
+
+/// One unexpected-queue envelope from a matching snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnexpectedEnvSnap {
+    pub src: u64,
+    pub tag: u32,
+    pub context: u32,
+    pub len: u64,
+}
+
+/// One engine's matching stores at a quiescent point — the typed
+/// inverse of [`crate::Engine::matching_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineMatchSnap {
+    pub rank: u64,
+    /// Posted-receive queue depth (drained to zero on a clean leg).
+    pub posted: u64,
+    /// Next rendezvous handle the engine would hand out.
+    pub next_rhandle: u64,
+    /// Live rendezvous slots as `(token, total, received)`, sorted.
+    pub rndv: Vec<(u64, u64, u64)>,
+    /// Unexpected-message queue, in arrival order.
+    pub unexpected: Vec<UnexpectedEnvSnap>,
+}
+
+/// Decoded `"matching"` section of a journal world snapshot: every
+/// rank's matching stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingSnapshot {
+    pub engines: Vec<EngineMatchSnap>,
+}
+
+/// Decode the `"matching"` snapshot section (a `u32` engine count
+/// followed by each engine's [`crate::Engine::matching_snapshot`]
+/// encoding).
+pub fn decode_matching_snapshot(bytes: &[u8]) -> Result<MatchingSnapshot, String> {
+    let mut r = marcel::journal::wire::Reader::new(bytes);
+    let n_engines = r.u32()? as usize;
+    let mut engines = Vec::with_capacity(n_engines);
+    for _ in 0..n_engines {
+        let rank = r.u64()?;
+        let posted = r.u64()?;
+        let next_rhandle = r.u64()?;
+        let n_rndv = r.u32()? as usize;
+        let mut rndv = Vec::with_capacity(n_rndv);
+        for _ in 0..n_rndv {
+            rndv.push((r.u64()?, r.u64()?, r.u64()?));
+        }
+        let n_unexpected = r.u32()? as usize;
+        let mut unexpected = Vec::with_capacity(n_unexpected);
+        for _ in 0..n_unexpected {
+            unexpected.push(UnexpectedEnvSnap {
+                src: r.u64()?,
+                tag: r.u32()?,
+                context: r.u32()?,
+                len: r.u64()?,
+            });
+        }
+        engines.push(EngineMatchSnap {
+            rank,
+            posted,
+            next_rhandle,
+            rndv,
+            unexpected,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(format!(
+            "{} trailing bytes after matching snapshot",
+            r.remaining()
+        ));
+    }
+    Ok(MatchingSnapshot { engines })
+}
+
+/// The full multi-layer world at one event index: kernel replay state
+/// plus the typed per-layer sections of its base snapshot (absent
+/// before the first snapshot, or when the journal predates sections).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldState {
+    pub replay: ReplayState,
+    pub madeleine: Option<ReliabilitySnapshot>,
+    pub matching: Option<MatchingSnapshot>,
+}
+
+/// Reconstruct the world at `event_index` from an indexed journal:
+/// seek the base snapshot in `O(log snapshots)`, fold the events after
+/// it, and decode the snapshot's per-layer sections.
+pub fn world_state_at(index: &JournalIndex, event_index: u64) -> Result<WorldState, String> {
+    let replay = index.state_at(event_index)?;
+    let mut madeleine_snap = None;
+    let mut matching = None;
+    if let Some(base) = &replay.base {
+        for (name, bytes) in &base.sections {
+            match name.as_str() {
+                "madeleine" => {
+                    madeleine_snap = Some(
+                        decode_reliability_snapshot(bytes)
+                            .map_err(|e| format!("madeleine section: {e}"))?,
+                    )
+                }
+                "matching" => {
+                    matching = Some(
+                        decode_matching_snapshot(bytes)
+                            .map_err(|e| format!("matching section: {e}"))?,
+                    )
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(WorldState {
+        replay,
+        madeleine: madeleine_snap,
+        matching,
+    })
+}
+
+/// One differing scalar inside a named aggregate (a kernel thread, a
+/// channel, a rank's matching store): `field` is a dotted path, the
+/// sides are printed values (`"-"` when absent on that side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDelta {
+    pub key: String,
+    pub field: String,
+    pub a: String,
+    pub b: String,
+}
+
+impl FieldDelta {
+    fn new(key: &str, field: &str, a: impl fmt::Display, b: impl fmt::Display) -> FieldDelta {
+        FieldDelta {
+            key: key.to_string(),
+            field: field.to_string(),
+            a: a.to_string(),
+            b: b.to_string(),
+        }
+    }
+}
+
+/// Typed difference between two [`WorldState`]s. Every field is
+/// `None` / empty when the two sides agree; [`WorldDiff::is_empty`] is
+/// the bit-identity check, and `Display` prints one line per delta.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorldDiff {
+    /// The two reconstruction points (always recorded, not a delta).
+    pub points: (u64, u64),
+    pub legs_done: Option<(u64, u64)>,
+    pub current_leg: Option<(Option<u64>, Option<u64>)>,
+    pub vtime_ns: Option<(u64, u64)>,
+    pub events_digest: Option<(u64, u64)>,
+    pub rng_state: Option<(Option<u64>, Option<u64>)>,
+    pub fault_cursor: Option<(Option<u64>, Option<u64>)>,
+    pub metrics_digest: Option<(Option<u64>, Option<u64>)>,
+    /// Kernel thread deltas: base-snapshot threads by name, then live
+    /// per-leg cursors by tid.
+    pub threads: Vec<FieldDelta>,
+    /// Madeleine reliability-window deltas, keyed by channel name.
+    pub channels: Vec<FieldDelta>,
+    /// Matching-store deltas, keyed by rank.
+    pub matching: Vec<FieldDelta>,
+    /// Per-layer event-count deltas since the base snapshot.
+    pub layer_counts: Vec<FieldDelta>,
+    /// Last completed leg's fault counters, by name.
+    pub run_end: Vec<FieldDelta>,
+}
+
+impl WorldDiff {
+    /// True iff the two world states were identical.
+    pub fn is_empty(&self) -> bool {
+        self.legs_done.is_none()
+            && self.current_leg.is_none()
+            && self.vtime_ns.is_none()
+            && self.events_digest.is_none()
+            && self.rng_state.is_none()
+            && self.fault_cursor.is_none()
+            && self.metrics_digest.is_none()
+            && self.threads.is_empty()
+            && self.channels.is_empty()
+            && self.matching.is_empty()
+            && self.layer_counts.is_empty()
+            && self.run_end.is_empty()
+    }
+
+    /// Total number of differing fields.
+    pub fn deltas(&self) -> usize {
+        self.legs_done.iter().count()
+            + self.current_leg.iter().count()
+            + self.vtime_ns.iter().count()
+            + self.events_digest.iter().count()
+            + self.rng_state.iter().count()
+            + self.fault_cursor.iter().count()
+            + self.metrics_digest.iter().count()
+            + self.threads.len()
+            + self.channels.len()
+            + self.matching.len()
+            + self.layer_counts.len()
+            + self.run_end.len()
+    }
+}
+
+fn opt_hex(v: &Option<u64>) -> String {
+    match v {
+        Some(x) => format!("{x:#x}"),
+        None => "-".to_string(),
+    }
+}
+
+fn opt_num(v: &Option<u64>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+impl fmt::Display for WorldDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(
+                f,
+                "world@{} == world@{}: identical",
+                self.points.0, self.points.1
+            );
+        }
+        writeln!(
+            f,
+            "world@{} vs world@{}: {} deltas",
+            self.points.0,
+            self.points.1,
+            self.deltas()
+        )?;
+        if let Some((a, b)) = &self.legs_done {
+            writeln!(f, "  legs_done: {a} -> {b}")?;
+        }
+        if let Some((a, b)) = &self.current_leg {
+            writeln!(f, "  current_leg: {} -> {}", opt_num(a), opt_num(b))?;
+        }
+        if let Some((a, b)) = &self.vtime_ns {
+            writeln!(f, "  vtime_ns: {a} -> {b}")?;
+        }
+        if let Some((a, b)) = &self.events_digest {
+            writeln!(f, "  events_digest: {a:#x} -> {b:#x}")?;
+        }
+        if let Some((a, b)) = &self.rng_state {
+            writeln!(f, "  rng_state: {} -> {}", opt_hex(a), opt_hex(b))?;
+        }
+        if let Some((a, b)) = &self.fault_cursor {
+            writeln!(f, "  fault_cursor: {} -> {}", opt_num(a), opt_num(b))?;
+        }
+        if let Some((a, b)) = &self.metrics_digest {
+            writeln!(f, "  metrics_digest: {} -> {}", opt_hex(a), opt_hex(b))?;
+        }
+        for (section, deltas) in [
+            ("thread", &self.threads),
+            ("channel", &self.channels),
+            ("matching", &self.matching),
+            ("events", &self.layer_counts),
+            ("run_end", &self.run_end),
+        ] {
+            for d in deltas {
+                writeln!(f, "  {section}[{}].{}: {} -> {}", d.key, d.field, d.a, d.b)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn delta<T: PartialEq>(a: T, b: T) -> Option<(T, T)> {
+    if a == b {
+        None
+    } else {
+        Some((a, b))
+    }
+}
+
+/// Push one [`FieldDelta`] per differing printed value, walking two
+/// same-keyed sides (`None` prints as `-`).
+fn push_delta(
+    out: &mut Vec<FieldDelta>,
+    key: &str,
+    field: &str,
+    a: Option<&dyn fmt::Display>,
+    b: Option<&dyn fmt::Display>,
+) {
+    let fa = a.map_or_else(|| "-".to_string(), |v| v.to_string());
+    let fb = b.map_or_else(|| "-".to_string(), |v| v.to_string());
+    if fa != fb {
+        out.push(FieldDelta {
+            key: key.to_string(),
+            field: field.to_string(),
+            a: fa,
+            b: fb,
+        });
+    }
+}
+
+fn diff_threads(a: &WorldState, b: &WorldState) -> Vec<FieldDelta> {
+    let mut out = Vec::new();
+    // Base-snapshot threads, paired by name (tid order is stable but
+    // names are the human handle).
+    let av = a.replay.base.as_ref().map(|s| &s.threads);
+    let bv = b.replay.base.as_ref().map(|s| &s.threads);
+    let names: Vec<&str> = {
+        let mut n: Vec<&str> = Vec::new();
+        for side in [av, bv].into_iter().flatten() {
+            for t in side.iter() {
+                if !n.contains(&t.name.as_str()) {
+                    n.push(&t.name);
+                }
+            }
+        }
+        n
+    };
+    for name in names {
+        let ta = av.and_then(|v| v.iter().find(|t| t.name == name));
+        let tb = bv.and_then(|v| v.iter().find(|t| t.name == name));
+        push_delta(
+            &mut out,
+            name,
+            "vtime_ns",
+            ta.map(|t| &t.vtime_ns as &dyn fmt::Display),
+            tb.map(|t| &t.vtime_ns as &dyn fmt::Display),
+        );
+        push_delta(
+            &mut out,
+            name,
+            "ops",
+            ta.map(|t| &t.ops as &dyn fmt::Display),
+            tb.map(|t| &t.ops as &dyn fmt::Display),
+        );
+    }
+    // Live per-leg cursors, paired by tid.
+    let mut tids: Vec<u64> = a
+        .replay
+        .threads
+        .iter()
+        .chain(b.replay.threads.iter())
+        .map(|c| c.tid)
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let ca = a.replay.threads.iter().find(|c| c.tid == tid);
+        let cb = b.replay.threads.iter().find(|c| c.tid == tid);
+        let key = format!("tid{tid}");
+        push_delta(
+            &mut out,
+            &key,
+            "cursor.vtime_ns",
+            ca.map(|c| &c.vtime_ns as &dyn fmt::Display),
+            cb.map(|c| &c.vtime_ns as &dyn fmt::Display),
+        );
+        push_delta(
+            &mut out,
+            &key,
+            "cursor.events",
+            ca.map(|c| &c.events as &dyn fmt::Display),
+            cb.map(|c| &c.events as &dyn fmt::Display),
+        );
+    }
+    out
+}
+
+fn diff_channels(
+    a: Option<&ReliabilitySnapshot>,
+    b: Option<&ReliabilitySnapshot>,
+) -> Vec<FieldDelta> {
+    let mut out = Vec::new();
+    push_delta(
+        &mut out,
+        "session",
+        "failovers",
+        a.map(|s| &s.failovers as &dyn fmt::Display),
+        b.map(|s| &s.failovers as &dyn fmt::Display),
+    );
+    push_delta(
+        &mut out,
+        "session",
+        "rndv_reissues",
+        a.map(|s| &s.rndv_reissues as &dyn fmt::Display),
+        b.map(|s| &s.rndv_reissues as &dyn fmt::Display),
+    );
+    let names: Vec<&str> = {
+        let mut n: Vec<&str> = Vec::new();
+        for side in [a, b].into_iter().flatten() {
+            for c in &side.channels {
+                if !n.contains(&c.name.as_str()) {
+                    n.push(&c.name);
+                }
+            }
+        }
+        n
+    };
+    for name in names {
+        let ca = a.and_then(|s| s.channels.iter().find(|c| c.name == name));
+        let cb = b.and_then(|s| s.channels.iter().find(|c| c.name == name));
+        match (ca, cb) {
+            (Some(ca), Some(cb)) if ca == cb => continue,
+            (Some(ca), Some(cb)) => {
+                for (field, fa, fb) in [
+                    (
+                        "retransmits",
+                        ca.counters.retransmits,
+                        cb.counters.retransmits,
+                    ),
+                    ("drops", ca.counters.drops, cb.counters.drops),
+                    ("duplicates", ca.counters.duplicates, cb.counters.duplicates),
+                    ("deferrals", ca.counters.deferrals, cb.counters.deferrals),
+                    ("dead_pairs", ca.counters.dead_pairs, cb.counters.dead_pairs),
+                    ("dead.len", ca.dead.len() as u64, cb.dead.len() as u64),
+                ] {
+                    if fa != fb {
+                        out.push(FieldDelta::new(name, field, fa, fb));
+                    }
+                }
+                for conn in &ca.conns {
+                    let Some(other) = cb
+                        .conns
+                        .iter()
+                        .find(|c| c.from == conn.from && c.to == conn.to)
+                    else {
+                        out.push(FieldDelta::new(
+                            name,
+                            &format!("conn[{}->{}]", conn.from, conn.to),
+                            "present",
+                            "-",
+                        ));
+                        continue;
+                    };
+                    for (field, fa, fb) in [
+                        ("floor_ns", conn.floor_ns, other.floor_ns),
+                        ("seq", conn.seq, other.seq),
+                        ("msg_seq", conn.msg_seq, other.msg_seq),
+                    ] {
+                        if fa != fb {
+                            out.push(FieldDelta::new(
+                                name,
+                                &format!("conn[{}->{}].{field}", conn.from, conn.to),
+                                fa,
+                                fb,
+                            ));
+                        }
+                    }
+                }
+                for conn in &cb.conns {
+                    if !ca
+                        .conns
+                        .iter()
+                        .any(|c| c.from == conn.from && c.to == conn.to)
+                    {
+                        out.push(FieldDelta::new(
+                            name,
+                            &format!("conn[{}->{}]", conn.from, conn.to),
+                            "-",
+                            "present",
+                        ));
+                    }
+                }
+                for ra in &ca.recv {
+                    let Some(rb) = cb.recv.iter().find(|r| r.rank == ra.rank) else {
+                        out.push(FieldDelta::new(
+                            name,
+                            &format!("recv[{}]", ra.rank),
+                            "present",
+                            "-",
+                        ));
+                        continue;
+                    };
+                    if ra.ready != rb.ready {
+                        out.push(FieldDelta::new(
+                            name,
+                            &format!("recv[{}].ready", ra.rank),
+                            ra.ready,
+                            rb.ready,
+                        ));
+                    }
+                    for pa in &ra.peers {
+                        let pb = rb.peers.iter().find(|p| p.peer == pa.peer);
+                        if pb != Some(pa) {
+                            out.push(FieldDelta::new(
+                                name,
+                                &format!("recv[{}].peer[{}]", ra.rank, pa.peer),
+                                format!("expected={} stashed={:?}", pa.expected, pa.stashed),
+                                pb.map_or_else(
+                                    || "-".to_string(),
+                                    |p| format!("expected={} stashed={:?}", p.expected, p.stashed),
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            (ca, cb) => {
+                push_delta(
+                    &mut out,
+                    name,
+                    "channel",
+                    ca.map(|_| &"present" as &dyn fmt::Display),
+                    cb.map(|_| &"present" as &dyn fmt::Display),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn diff_matching(a: Option<&MatchingSnapshot>, b: Option<&MatchingSnapshot>) -> Vec<FieldDelta> {
+    let mut out = Vec::new();
+    let mut ranks: Vec<u64> = Vec::new();
+    for side in [a, b].into_iter().flatten() {
+        for e in &side.engines {
+            if !ranks.contains(&e.rank) {
+                ranks.push(e.rank);
+            }
+        }
+    }
+    ranks.sort_unstable();
+    for rank in ranks {
+        let ea = a.and_then(|s| s.engines.iter().find(|e| e.rank == rank));
+        let eb = b.and_then(|s| s.engines.iter().find(|e| e.rank == rank));
+        let key = rank.to_string();
+        push_delta(
+            &mut out,
+            &key,
+            "posted",
+            ea.map(|e| &e.posted as &dyn fmt::Display),
+            eb.map(|e| &e.posted as &dyn fmt::Display),
+        );
+        push_delta(
+            &mut out,
+            &key,
+            "next_rhandle",
+            ea.map(|e| &e.next_rhandle as &dyn fmt::Display),
+            eb.map(|e| &e.next_rhandle as &dyn fmt::Display),
+        );
+        let rndv_a = ea.map(|e| format!("{:?}", e.rndv));
+        let rndv_b = eb.map(|e| format!("{:?}", e.rndv));
+        push_delta(
+            &mut out,
+            &key,
+            "rndv",
+            rndv_a.as_ref().map(|s| s as &dyn fmt::Display),
+            rndv_b.as_ref().map(|s| s as &dyn fmt::Display),
+        );
+        let ux_a = ea.map(|e| {
+            e.unexpected
+                .iter()
+                .map(|u| {
+                    format!(
+                        "(src={} tag={} ctx={} len={})",
+                        u.src, u.tag, u.context, u.len
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        });
+        let ux_b = eb.map(|e| {
+            e.unexpected
+                .iter()
+                .map(|u| {
+                    format!(
+                        "(src={} tag={} ctx={} len={})",
+                        u.src, u.tag, u.context, u.len
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        });
+        push_delta(
+            &mut out,
+            &key,
+            "unexpected",
+            ux_a.as_ref().map(|s| s as &dyn fmt::Display),
+            ux_b.as_ref().map(|s| s as &dyn fmt::Display),
+        );
+    }
+    out
+}
+
+/// Compare two world states field by field. The result is empty iff
+/// the states are identical (`diff(&w, &w).is_empty()` always holds).
+pub fn diff(a: &WorldState, b: &WorldState) -> WorldDiff {
+    let base_a = a.replay.base.as_ref();
+    let base_b = b.replay.base.as_ref();
+    let mut layer_counts = Vec::new();
+    {
+        let mut keys: Vec<&String> = a
+            .replay
+            .layer_counts
+            .keys()
+            .chain(b.replay.layer_counts.keys())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        for k in keys {
+            let ca = a.replay.layer_counts.get(k).copied().unwrap_or(0);
+            let cb = b.replay.layer_counts.get(k).copied().unwrap_or(0);
+            if ca != cb {
+                layer_counts.push(FieldDelta::new(k, "count", ca, cb));
+            }
+        }
+    }
+    let mut run_end = Vec::new();
+    {
+        let ra = a.replay.last_run_end.as_ref();
+        let rb = b.replay.last_run_end.as_ref();
+        push_delta(
+            &mut run_end,
+            "leg",
+            "index",
+            ra.map(|r| &r.leg as &dyn fmt::Display),
+            rb.map(|r| &r.leg as &dyn fmt::Display),
+        );
+        for (i, name) in RUN_END_COUNTER_NAMES.iter().enumerate() {
+            push_delta(
+                &mut run_end,
+                name,
+                "value",
+                ra.and_then(|r| r.counters.get(i))
+                    .map(|v| v as &dyn fmt::Display),
+                rb.and_then(|r| r.counters.get(i))
+                    .map(|v| v as &dyn fmt::Display),
+            );
+        }
+    }
+    WorldDiff {
+        points: (a.replay.event_index, b.replay.event_index),
+        legs_done: delta(a.replay.legs_done, b.replay.legs_done),
+        current_leg: delta(a.replay.current_leg, b.replay.current_leg),
+        vtime_ns: delta(a.replay.vtime_ns, b.replay.vtime_ns),
+        events_digest: delta(a.replay.events_digest, b.replay.events_digest),
+        rng_state: delta(base_a.map(|s| s.rng_state), base_b.map(|s| s.rng_state)),
+        fault_cursor: delta(
+            base_a.map(|s| s.fault_cursor),
+            base_b.map(|s| s.fault_cursor),
+        ),
+        metrics_digest: delta(
+            base_a.map(|s| s.metrics_digest),
+            base_b.map(|s| s.metrics_digest),
+        ),
+        threads: diff_threads(a, b),
+        channels: diff_channels(a.madeleine.as_ref(), b.madeleine.as_ref()),
+        matching: diff_matching(a.matching.as_ref(), b.matching.as_ref()),
+        layer_counts,
+        run_end,
+    }
+}
+
+/// Re-execute the campaign to `event_index` and reconstruct the world
+/// there: seek the last snapshot at or before the target, keep the
+/// journal prefix through that snapshot verbatim, and drive
+/// [`resume_campaign_until`] (under `cfg.exec` — any policy) until the
+/// target's leg has been regenerated. Returns the reconstructed world
+/// plus the regenerated journal prefix; determinism means the world is
+/// bit-identical to [`world_state_at`] on the original journal, and
+/// the prefix is byte-identical to the original's.
+pub fn reexecute_world_at<F>(
+    cfg: &CampaignConfig,
+    journal: &[u8],
+    leg_factory: F,
+    event_index: u64,
+) -> Result<(WorldState, Vec<u8>), String>
+where
+    F: Fn(&LegCtx) -> LegSpec,
+{
+    let index = JournalIndex::build(journal).map_err(|e| format!("index: {e}"))?;
+    if event_index > index.events() {
+        return Err(format!(
+            "event index {event_index} beyond journal end ({} events)",
+            index.events()
+        ));
+    }
+    let seek = index.seek(event_index);
+    let prior: &[u8] = match seek.snapshot {
+        Some(s) => {
+            let rec = index.snapshots[s].record_index;
+            &journal[..index.scan.records[rec].end]
+        }
+        None => &[],
+    };
+    let stop_after = index.legs_needed(event_index);
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    resume_campaign_until(
+        cfg,
+        prior,
+        MemSink::new(buf.clone()),
+        leg_factory,
+        stop_after,
+    )
+    .map_err(|e| format!("re-execution: {e}"))?;
+    let bytes = buf.lock().unwrap().clone();
+    let reindex = JournalIndex::build(&bytes).map_err(|e| format!("re-index: {e}"))?;
+    let world = world_state_at(&reindex, event_index)?;
+    Ok((world, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_decode_round_trips_hand_encoding() {
+        use marcel::journal::wire::{put_u32, put_u64};
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 2);
+        // Engine 0: empty stores.
+        put_u64(&mut bytes, 0);
+        put_u64(&mut bytes, 0);
+        put_u64(&mut bytes, 7);
+        put_u32(&mut bytes, 0);
+        put_u32(&mut bytes, 0);
+        // Engine 1: one rendezvous, one unexpected envelope.
+        put_u64(&mut bytes, 1);
+        put_u64(&mut bytes, 3);
+        put_u64(&mut bytes, 9);
+        put_u32(&mut bytes, 1);
+        put_u64(&mut bytes, 42);
+        put_u64(&mut bytes, 65536);
+        put_u64(&mut bytes, 4096);
+        put_u32(&mut bytes, 1);
+        put_u64(&mut bytes, 0);
+        put_u32(&mut bytes, 5);
+        put_u32(&mut bytes, 0);
+        put_u64(&mut bytes, 128);
+        let snap = decode_matching_snapshot(&bytes).unwrap();
+        assert_eq!(snap.engines.len(), 2);
+        assert_eq!(snap.engines[0].next_rhandle, 7);
+        assert_eq!(snap.engines[1].rndv, vec![(42, 65536, 4096)]);
+        assert_eq!(
+            snap.engines[1].unexpected,
+            vec![UnexpectedEnvSnap {
+                src: 0,
+                tag: 5,
+                context: 0,
+                len: 128
+            }]
+        );
+        assert!(decode_matching_snapshot(&bytes[..bytes.len() - 2]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_matching_snapshot(&padded).is_err());
+    }
+
+    #[test]
+    fn self_diff_is_empty_and_prints_identical() {
+        let world = WorldState {
+            replay: ReplayState {
+                event_index: 5,
+                legs_done: 1,
+                current_leg: None,
+                vtime_ns: 100,
+                base: None,
+                threads: vec![],
+                events_digest: 0xABCD,
+                events_since_base: 5,
+                layer_counts: Default::default(),
+                last_run_end: None,
+            },
+            madeleine: None,
+            matching: None,
+        };
+        let d = diff(&world, &world);
+        assert!(d.is_empty());
+        assert_eq!(d.deltas(), 0);
+        assert!(d.to_string().contains("identical"));
+    }
+
+    #[test]
+    fn diff_reports_typed_deltas() {
+        let mk = |vtime: u64, failovers: u64| WorldState {
+            replay: ReplayState {
+                event_index: 5,
+                legs_done: 1,
+                current_leg: None,
+                vtime_ns: vtime,
+                base: None,
+                threads: vec![],
+                events_digest: 0xABCD,
+                events_since_base: 5,
+                layer_counts: Default::default(),
+                last_run_end: None,
+            },
+            madeleine: Some(ReliabilitySnapshot {
+                channels: vec![],
+                failovers,
+                rndv_reissues: 0,
+            }),
+            matching: None,
+        };
+        let d = diff(&mk(100, 0), &mk(250, 2));
+        assert!(!d.is_empty());
+        assert_eq!(d.vtime_ns, Some((100, 250)));
+        assert_eq!(d.channels.len(), 1);
+        assert_eq!(d.channels[0].field, "failovers");
+        let text = d.to_string();
+        assert!(text.contains("vtime_ns: 100 -> 250"));
+        assert!(text.contains("channel[session].failovers: 0 -> 2"));
+    }
+}

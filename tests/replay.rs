@@ -1,0 +1,277 @@
+//! Time-travel replay tests: seek/re-execute to an arbitrary event
+//! index reproduces the world bit-identically to an uninterrupted run,
+//! across the `FAULT_SEED` matrix × the execution-policy matrix;
+//! `WorldDiff` is empty exactly for identical points; rolling journal
+//! segments concatenate to the single-file byte stream.
+
+use std::sync::{Arc, Mutex};
+
+use marcel::{ExecPolicy, JournalIndex, MemSink, Tail};
+use mpich::{
+    diff, reexecute_world_at, run_campaign, world_state_at, CampaignConfig, LegCtx, LegSpec,
+    Placement, WorldConfig,
+};
+use simnet::{FaultPlan, Protocol, Topology};
+
+/// Master seed: `FAULT_SEED` env var, or a fixed default (the same
+/// convention as `tests/faults.rs` so CI's seed matrix covers both).
+fn fault_seed() -> u64 {
+    std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF00D)
+}
+
+fn payload(src: usize, i: usize, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|k| {
+            (src as u8)
+                .wrapping_mul(31)
+                .wrapping_add((i as u8).wrapping_mul(17))
+                .wrapping_add(k as u8)
+        })
+        .collect()
+}
+
+const SIZES: [usize; 3] = [1, 512, 9 * 1024];
+const TAG: i32 = 7;
+const LEGS: u64 = 6;
+const SNAPSHOT_EVERY: u64 = 2;
+
+fn storm_cfg(exec: ExecPolicy) -> CampaignConfig {
+    CampaignConfig {
+        label: "replay-storm".to_string(),
+        legs: LEGS,
+        snapshot_every: SNAPSHOT_EVERY,
+        master_seed: fault_seed(),
+        exec,
+    }
+}
+
+/// Dual-rail faulted storm leg; `perturb_from` switches the fault seed
+/// from that leg on (the controlled divergence the diff test inspects).
+fn storm_factory(perturb_from: Option<u64>) -> impl Fn(&LegCtx) -> LegSpec {
+    move |ctx: &LegCtx| {
+        let tweak = if perturb_from.is_some_and(|from| ctx.leg >= from) {
+            0xB0057
+        } else {
+            0
+        };
+        let plan = FaultPlan::new(ctx.seed ^ ctx.fault_cursor ^ tweak)
+            .with_loss(0.20)
+            .with_ack_loss(0.10);
+        let mut t = Topology::new();
+        let a = t.add_node("a", 2);
+        let b = t.add_node("b", 2);
+        let sci = t.add_network(Protocol::Sisci, [a, b]);
+        let bip = t.add_network(Protocol::Bip, [a, b]);
+        let mut sci_plan = plan.clone();
+        sci_plan.seed ^= 0x5C1_5C1;
+        t.set_fault(sci, sci_plan);
+        t.set_fault(bip, plan);
+        LegSpec {
+            label: format!("replay-leg{}", ctx.leg),
+            topology: t,
+            placement: Placement::OneRankPerNode,
+            config: WorldConfig::default(),
+            fault_cells: 2,
+            program: Arc::new(|comm| {
+                let me = comm.rank();
+                let peer = 1 - me;
+                let mut got = Vec::new();
+                if me == 0 {
+                    for (i, &n) in SIZES.iter().enumerate() {
+                        comm.send(&payload(me, i, n), peer, TAG);
+                    }
+                }
+                for &n in &SIZES {
+                    got.extend_from_slice(&comm.recv(n, Some(peer), Some(TAG)).0);
+                }
+                if me == 1 {
+                    for (i, &n) in SIZES.iter().enumerate() {
+                        comm.send(&payload(me, i, n), peer, TAG);
+                    }
+                }
+                got
+            }),
+        }
+    }
+}
+
+fn full_journal(perturb_from: Option<u64>) -> Vec<u8> {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    run_campaign(
+        &storm_cfg(ExecPolicy::Seed),
+        MemSink::new(buf.clone()),
+        storm_factory(perturb_from),
+    )
+    .expect("storm campaign failed");
+    let bytes = buf.lock().unwrap().clone();
+    bytes
+}
+
+/// The reconstruction points every matrix test probes: journal start,
+/// first event, mid-leg, a leg-boundary snapshot point, and the end.
+fn probe_points(idx: &JournalIndex) -> Vec<u64> {
+    let total = idx.events();
+    let boundary = idx.legs[(SNAPSHOT_EVERY - 1) as usize].first_event
+        + idx.legs[(SNAPSHOT_EVERY - 1) as usize].events;
+    vec![0, 1, total / 3, boundary, total.saturating_sub(1), total]
+}
+
+/// Tentpole: `reexecute_world_at` == `world_state_at` at every probe
+/// point, under both execution policies, and the regenerated journal
+/// prefix is byte-identical to the original's.
+#[test]
+fn reexecution_reproduces_world_bit_identically() {
+    let journal = full_journal(None);
+    let idx = JournalIndex::build(&journal).expect("journal indexes");
+    assert_eq!(idx.scan.tail, Tail::Clean);
+    for exec in [ExecPolicy::Seed, ExecPolicy::Ticketed(2)] {
+        let cfg = storm_cfg(exec);
+        for point in probe_points(&idx) {
+            let direct = world_state_at(&idx, point)
+                .unwrap_or_else(|e| panic!("direct world at {point}: {e}"));
+            let (reexec, regenerated) =
+                reexecute_world_at(&cfg, &journal, storm_factory(None), point)
+                    .unwrap_or_else(|e| panic!("re-execution to {point} under {exec:?}: {e}"));
+            assert_eq!(
+                reexec, direct,
+                "world at event {point} under {exec:?} diverged from the direct fold"
+            );
+            assert_eq!(
+                reexec.replay.digest(),
+                direct.replay.digest(),
+                "digest mismatch at {point}"
+            );
+            assert_eq!(
+                &journal[..regenerated.len()],
+                &regenerated[..],
+                "regenerated prefix at {point} under {exec:?} is not byte-identical"
+            );
+            assert!(diff(&direct, &reexec).is_empty());
+        }
+    }
+}
+
+/// Seek is a binary search: probes stay within the log2 bound, and the
+/// chosen snapshot is the greatest one at or before the target.
+#[test]
+fn seek_is_logarithmic_and_correct() {
+    let journal = full_journal(None);
+    let idx = JournalIndex::build(&journal).expect("journal indexes");
+    assert_eq!(idx.snapshots.len() as u64, LEGS / SNAPSHOT_EVERY);
+    let bound = (idx.snapshots.len() as u64).ilog2() as usize + 1;
+    for point in 0..=idx.events() {
+        let seek = idx.seek(point);
+        assert!(
+            seek.probes <= bound,
+            "{} probes for {} snapshots at point {point}",
+            seek.probes,
+            idx.snapshots.len()
+        );
+        match seek.snapshot {
+            Some(s) => {
+                assert!(idx.snapshots[s].events_before <= point);
+                if let Some(next) = idx.snapshots.get(s + 1) {
+                    assert!(next.events_before > point);
+                }
+            }
+            None => {
+                assert!(idx
+                    .snapshots
+                    .first()
+                    .is_none_or(|s| s.events_before > point));
+            }
+        }
+    }
+}
+
+/// `WorldDiff` is empty exactly when the points are identical: the
+/// same point diffs empty; different points in one journal, and the
+/// same point across a perturbed-seed journal, diff non-empty.
+#[test]
+fn world_diff_separates_identical_from_divergent() {
+    const PERTURB_AT: u64 = 3;
+    let reference = full_journal(None);
+    let perturbed = full_journal(Some(PERTURB_AT));
+    assert_ne!(reference, perturbed);
+    let idx_r = JournalIndex::build(&reference).expect("reference indexes");
+    let idx_p = JournalIndex::build(&perturbed).expect("perturbed indexes");
+
+    for point in probe_points(&idx_r) {
+        let w = world_state_at(&idx_r, point).unwrap();
+        let d = diff(&w, &w);
+        assert!(d.is_empty(), "self-diff at {point}: {d}");
+        assert_eq!(d.deltas(), 0);
+        assert!(d.to_string().contains("identical"));
+    }
+
+    let a = world_state_at(&idx_r, idx_r.events()).unwrap();
+    let b = world_state_at(&idx_r, idx_r.events() / 2).unwrap();
+    let d = diff(&a, &b);
+    assert!(!d.is_empty(), "distinct points must diff non-empty");
+    assert!(d.deltas() > 0);
+
+    // Before the perturbation the worlds agree; at the end they don't,
+    // and the divergence shows up in typed layers, not just digests.
+    let pre_r = world_state_at(&idx_r, idx_r.legs[0].first_event + idx_r.legs[0].events).unwrap();
+    let pre_p = world_state_at(&idx_p, idx_p.legs[0].first_event + idx_p.legs[0].events).unwrap();
+    assert!(diff(&pre_r, &pre_p).is_empty(), "perturbation leaked early");
+    let end_r = world_state_at(&idx_r, idx_r.events()).unwrap();
+    let end_p = world_state_at(&idx_p, idx_p.events()).unwrap();
+    let d = diff(&end_r, &end_p);
+    assert!(!d.is_empty(), "perturbed campaign diffed empty");
+    assert!(
+        d.events_digest.is_some() || !d.channels.is_empty() || !d.run_end.is_empty(),
+        "divergence must be attributed beyond the point index: {d}"
+    );
+}
+
+/// Satellite: a campaign journaled into rolling segment files
+/// concatenates byte-identically to the single-file stream, and the
+/// scanner reads the segmented journal transparently.
+#[test]
+fn rolling_segments_concatenate_to_the_flat_journal() {
+    let flat = full_journal(None);
+    let dir = std::env::temp_dir().join(format!("replay-roll-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let prefix = dir.join("storm");
+    let sink = marcel::FileSink::create_rolling(&prefix, 32 * 1024).expect("rolling sink");
+    run_campaign(&storm_cfg(ExecPolicy::Seed), sink, storm_factory(None))
+        .expect("rolled campaign failed");
+    let rolled = marcel::read_segments(&prefix).expect("read segments");
+    assert_eq!(rolled, flat, "segment concatenation != flat journal");
+    let segments = (0..)
+        .take_while(|&s| marcel::segment_path(&prefix, s).exists())
+        .count();
+    assert!(
+        segments > 1,
+        "32 KiB roll over a {}-byte journal must produce multiple segments",
+        flat.len()
+    );
+    // `read_journal` resolves a segment prefix like a plain path.
+    let via_path = marcel::read_journal(&prefix).expect("read_journal over segments");
+    assert_eq!(via_path, flat);
+    let idx = JournalIndex::build(&rolled).expect("segmented journal indexes");
+    assert_eq!(idx.scan.tail, Tail::Clean);
+    assert_eq!(idx.legs.len() as u64, LEGS);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: any event window exports through the Chrome-trace path
+/// with counter samples at the boundaries it contains.
+#[test]
+fn window_export_carries_events_and_counters() {
+    let journal = full_journal(None);
+    let idx = JournalIndex::build(&journal).expect("journal indexes");
+    let total = idx.events();
+    let trace = idx.window_trace(total / 4, 3 * total / 4);
+    assert!(!trace.is_empty(), "mid-campaign window has events");
+    let counters = idx.window_counters(total / 4, 3 * total / 4);
+    assert!(!counters.is_empty(), "window spans at least one leg end");
+    let json = marcel::chrome_trace_json_with_counters(&trace, &idx.thread_metas(), &counters);
+    assert!(json.contains("\"ph\":\"C\""), "counter events exported");
+    assert!(json.contains("\"retransmits\":"), "fault counters named");
+    assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+}
